@@ -1,0 +1,226 @@
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// Cluster is the realtime runtime: it drives the same protocol actors the
+// simulator runs, but with goroutines, channels and wall-clock timers, for
+// in-process replicated applications and the runnable examples.
+//
+// Each node owns one goroutine that serializes every callback (message
+// receipt, timers, Work and DiskWrite completions), preserving the actor
+// model's single-threaded contract. ip-multicast is implemented as sender
+// fan-out, which keeps the semantics (every subscriber receives the
+// message) even though in-process transport has no real switch.
+type Cluster struct {
+	mu     sync.Mutex
+	nodes  map[proto.NodeID]*ClusterNode
+	groups map[proto.GroupID]map[proto.NodeID]bool
+	start  time.Time
+	seed   int64
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewCluster returns an empty realtime cluster.
+func NewCluster(seed int64) *Cluster {
+	return &Cluster{
+		nodes:  make(map[proto.NodeID]*ClusterNode),
+		groups: make(map[proto.GroupID]map[proto.NodeID]bool),
+		seed:   seed,
+	}
+}
+
+// event is one unit of work for a node's loop.
+type event func()
+
+// ClusterNode is one realtime process; it implements Env for its handler.
+type ClusterNode struct {
+	id      proto.NodeID
+	c       *Cluster
+	handler proto.Handler
+	inbox   chan event
+	quit    chan struct{}
+	rng     *rand.Rand
+}
+
+var _ proto.Env = (*ClusterNode)(nil)
+
+// AddNode installs a handler on a new node. Call before Start.
+func (c *Cluster) AddNode(id NodeID, h Handler) *ClusterNode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := &ClusterNode{
+		id:      id,
+		c:       c,
+		handler: h,
+		inbox:   make(chan event, 4096),
+		quit:    make(chan struct{}),
+		rng:     rand.New(rand.NewSource(c.seed + int64(id))),
+	}
+	c.nodes[id] = n
+	return n
+}
+
+// Subscribe adds node id to multicast group g. Call before Start.
+func (c *Cluster) Subscribe(g GroupID, id NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := c.groups[g]
+	if set == nil {
+		set = make(map[proto.NodeID]bool)
+		c.groups[g] = set
+	}
+	set[id] = true
+}
+
+// Start launches every node's loop and invokes the handlers' Start
+// callbacks on their own goroutines.
+func (c *Cluster) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.start = time.Now()
+	for _, n := range c.nodes {
+		n := n
+		c.wg.Add(1)
+		go n.loop(&c.wg)
+		n.enqueue(func() { n.handler.Start(n) })
+	}
+}
+
+// Stop terminates all node loops and waits for them to exit.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	nodes := make([]*ClusterNode, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	for _, n := range nodes {
+		close(n.quit)
+	}
+	c.wg.Wait()
+}
+
+// Node returns the node with the given id, or nil.
+func (c *Cluster) Node(id NodeID) *ClusterNode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[id]
+}
+
+func (n *ClusterNode) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case ev := <-n.inbox:
+			ev()
+		}
+	}
+}
+
+// enqueue delivers an event to this node's loop, dropping it if the node
+// has stopped.
+func (n *ClusterNode) enqueue(ev event) {
+	select {
+	case n.inbox <- ev:
+	case <-n.quit:
+	}
+}
+
+// ID implements Env.
+func (n *ClusterNode) ID() NodeID { return n.id }
+
+// Now implements Env: elapsed wall time since Start.
+func (n *ClusterNode) Now() time.Duration { return time.Since(n.c.start) }
+
+// Rand implements Env. It must only be used from the node's own callbacks.
+func (n *ClusterNode) Rand() *rand.Rand { return n.rng }
+
+// Send implements Env: in-process channels are reliable and FIFO.
+func (n *ClusterNode) Send(to NodeID, m Message) {
+	n.c.mu.Lock()
+	dst := n.c.nodes[to]
+	n.c.mu.Unlock()
+	if dst == nil {
+		return
+	}
+	from := n.id
+	dst.enqueue(func() { dst.handler.Receive(from, m) })
+}
+
+// SendUDP implements Env. In-process transport does not lose messages; the
+// datagram semantics (no backpressure guarantee) are preserved by dropping
+// when the destination's inbox is full.
+func (n *ClusterNode) SendUDP(to NodeID, m Message) {
+	n.c.mu.Lock()
+	dst := n.c.nodes[to]
+	n.c.mu.Unlock()
+	if dst == nil {
+		return
+	}
+	from := n.id
+	select {
+	case dst.inbox <- func() { dst.handler.Receive(from, m) }:
+	default: // buffer full: datagram dropped
+	}
+}
+
+// Multicast implements Env by fanning out to every subscriber.
+func (n *ClusterNode) Multicast(g GroupID, m Message) {
+	n.c.mu.Lock()
+	var dsts []*ClusterNode
+	for id := range n.c.groups[g] {
+		if d := n.c.nodes[id]; d != nil {
+			dsts = append(dsts, d)
+		}
+	}
+	n.c.mu.Unlock()
+	from := n.id
+	for _, dst := range dsts {
+		dst := dst
+		select {
+		case dst.inbox <- func() { dst.handler.Receive(from, m) }:
+		default:
+		}
+	}
+}
+
+// rtTimer adapts time.Timer to proto.Timer.
+type rtTimer struct {
+	t *time.Timer
+}
+
+// Cancel implements Timer.
+func (t rtTimer) Cancel() { t.t.Stop() }
+
+// After implements Env.
+func (n *ClusterNode) After(d time.Duration, fn func()) Timer {
+	t := time.AfterFunc(d, func() { n.enqueue(fn) })
+	return rtTimer{t: t}
+}
+
+// Work implements Env: realtime has no modeled CPU, so fn runs after d of
+// wall time (0 means immediately, still serialized through the loop).
+func (n *ClusterNode) Work(d time.Duration, fn func()) {
+	if d <= 0 {
+		n.enqueue(fn)
+		return
+	}
+	time.AfterFunc(d, func() { n.enqueue(fn) })
+}
+
+// DiskWrite implements Env: in-memory runtime completes immediately.
+func (n *ClusterNode) DiskWrite(_ int, fn func()) { n.enqueue(fn) }

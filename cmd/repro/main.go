@@ -1,0 +1,46 @@
+// Command repro regenerates the dissertation's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	repro -list              list experiment ids
+//	repro -exp fig3.7        run one experiment
+//	repro -all               run everything (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments")
+	exp := flag.String("exp", "", "experiment id to run (e.g. fig3.7)")
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		for _, e := range bench.All() {
+			fmt.Printf("\n########## %s — %s ##########\n", e.ID, e.Title)
+			e.Run(os.Stdout)
+		}
+	case *exp != "":
+		e, ok := bench.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(1)
+		}
+		e.Run(os.Stdout)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,62 @@
+// Command btreebank reproduces the DSN 2011 scenario end to end on the
+// simulated cluster: a replicated B+-tree service (think: an account-range
+// lookup service) under the paper's three deployment strategies —
+//
+//  1. classic state-machine replication,
+//  2. SMR with speculative execution (§4.2.1),
+//  3. SMR with state partitioning (§4.2.2),
+//
+// and prints the throughput/latency comparison the paper's Chapter 4
+// evaluation builds its figures from.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func run(name string, cfg repro.SMRDeployConfig) {
+	d := repro.DeploySMR(cfg, repro.DefaultSimConfig(), 42)
+	tput, lat := d.Measure(300*time.Millisecond, time.Second)
+	fmt.Printf("%-28s %10.0f req/s %12v\n", name, tput, lat.Round(10*time.Microsecond))
+}
+
+func main() {
+	const keys = 200_000
+	queries := func(int) repro.SMRWorkload {
+		return repro.SMRQueryWorkload{KeySpace: keys, Span: 1000}
+	}
+	fmt.Println("replicated B+-tree, 1000-key range queries, 96 closed-loop clients")
+	fmt.Println("------------------------------------------------------------------")
+	run("client-server (baseline)", repro.SMRDeployConfig{
+		CS: true, Clients: 96, KeysPerPartition: keys, Workload: queries,
+	})
+	run("SMR, 2 replicas", repro.SMRDeployConfig{
+		Clients: 96, Replicas: 2, KeysPerPartition: keys, Workload: queries,
+	})
+	run("SMR + speculation", repro.SMRDeployConfig{
+		Clients: 96, Replicas: 2, Speculative: true, KeysPerPartition: keys, Workload: queries,
+	})
+	run("SMR + 2 partitions", repro.SMRDeployConfig{
+		Clients: 96, Replicas: 2, Partitions: 2, KeysPerPartition: keys / 2,
+		Workload: func(int) repro.SMRWorkload {
+			return repro.SMRCrossPartitionWorkload{
+				Partitions: 2, PartitionSpan: keys / 2, Span: 1000,
+			}
+		},
+	})
+	run("SMR + 4 partitions", repro.SMRDeployConfig{
+		Clients: 96, Replicas: 2, Partitions: 4, KeysPerPartition: keys / 4,
+		Workload: func(int) repro.SMRWorkload {
+			return repro.SMRCrossPartitionWorkload{
+				Partitions: 4, PartitionSpan: keys / 4, Span: 1000,
+			}
+		},
+	})
+	fmt.Println()
+	fmt.Println("expected shape (paper, Fig 4.3/4.7): replication adds latency over")
+	fmt.Println("client-server; speculation trims it; partitioning multiplies")
+	fmt.Println("throughput roughly by the partition count.")
+}

@@ -1,0 +1,171 @@
+// Package repro is a Go reproduction of "High Performance State-Machine
+// Replication" (Marandi, Primi, Pedone — DSN 2011) and the surrounding
+// system stack from the dissertation it belongs to: the Ring Paxos atomic
+// broadcast protocols (DSN 2010), Multi-Ring Paxos atomic multicast
+// (DSN 2012) and Parallel State-Machine Replication (P-SMR).
+//
+// The package is a facade: protocol implementations live in internal
+// packages and are exported here through aliases, so downstream users get
+// the full library surface while the reproduction harness keeps its layout.
+//
+// Protocols are event-driven actors (Handler) bound to an environment
+// (Env). Two environments exist:
+//
+//   - the realtime Cluster in this package: goroutines and channels, for
+//     applications and the runnable examples;
+//   - the simulated cluster (lan.LAN, exported below): a deterministic
+//     discrete-event model of the paper's gigabit testbed, used by every
+//     benchmark that regenerates a figure or table.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/lan"
+	"repro/internal/multiring"
+	"repro/internal/proto"
+	"repro/internal/psmr"
+	"repro/internal/ringpaxos"
+	"repro/internal/smr"
+)
+
+// Core message/identity types.
+type (
+	// Value is an application message submitted to an ordering protocol.
+	Value = core.Value
+	// ValueID identifies a value; Ring Paxos runs consensus on ids.
+	ValueID = core.ValueID
+	// Batch is the set of values decided by one consensus instance.
+	Batch = core.Batch
+	// DeliverFunc observes delivered values in order.
+	DeliverFunc = core.DeliverFunc
+	// NodeID identifies a process.
+	NodeID = proto.NodeID
+	// GroupID identifies an ip-multicast group.
+	GroupID = proto.GroupID
+	// Message is anything that travels on the wire.
+	Message = proto.Message
+	// Env is the world as seen by a protocol actor.
+	Env = proto.Env
+	// Handler is a protocol actor.
+	Handler = proto.Handler
+	// Timer is a cancellable scheduled callback.
+	Timer = proto.Timer
+)
+
+// Ring Paxos (Chapter 3, DSN 2010).
+type (
+	// MRingConfig configures multicast-based Ring Paxos.
+	MRingConfig = ringpaxos.MConfig
+	// MRingAgent is one M-Ring Paxos process.
+	MRingAgent = ringpaxos.MAgent
+	// URingConfig configures unicast-based Ring Paxos.
+	URingConfig = ringpaxos.UConfig
+	// URingAgent is one U-Ring Paxos process.
+	URingAgent = ringpaxos.UAgent
+)
+
+// Multi-Ring Paxos (Chapter 5, DSN 2012).
+type (
+	// MultiRingNode hosts one process's roles across rings.
+	MultiRingNode = multiring.Node
+	// MultiRingMerger is the learner-side deterministic merge.
+	MultiRingMerger = multiring.Merger
+	// MultiRingPacer paces a ring with skip instances (λ, ∆).
+	MultiRingPacer = multiring.Pacer
+)
+
+// NewMultiRingNode returns an empty multi-ring process.
+func NewMultiRingNode() *MultiRingNode { return multiring.NewNode() }
+
+// NewMultiRingMerger creates a deterministic merge over ring ids with
+// parameter M.
+func NewMultiRingMerger(rings []int, m int64) *MultiRingMerger {
+	return multiring.NewMerger(rings, m)
+}
+
+// State-machine replication with speculation and partitioning
+// (Chapter 4, DSN 2011 — the paper's primary contribution).
+type (
+	// SMRCommand is a B+-tree service command.
+	SMRCommand = smr.Command
+	// SMRReply is a command result.
+	SMRReply = smr.Reply
+	// SMRService is a deterministic state machine with logical undo.
+	SMRService = smr.Service
+	// SMRReplica is a (possibly speculative) replica.
+	SMRReplica = smr.Replica
+	// SMRClient is a closed-loop client with cross-partition splitting.
+	SMRClient = smr.Client
+	// SMRDeployConfig describes a replicated B+-tree deployment.
+	SMRDeployConfig = smr.DeployConfig
+	// SMRDeployment is a wired deployment on the simulated cluster.
+	SMRDeployment = smr.Deployment
+	// BTreeService is the replicated B+-tree service of §4.4.2.
+	BTreeService = smr.BTreeService
+	// SMRWorkload generates client commands.
+	SMRWorkload = smr.Workload
+	// SMRQueryWorkload issues 1000-key range queries.
+	SMRQueryWorkload = smr.QueryWorkload
+	// SMRUpdateWorkload issues insert/delete requests.
+	SMRUpdateWorkload = smr.UpdateWorkload
+	// SMRCrossPartitionWorkload issues queries over a partitioned key
+	// space, a configurable share of which straddle partition boundaries.
+	SMRCrossPartitionWorkload = smr.CrossPartitionWorkload
+)
+
+// SMR command operations.
+const (
+	OpInsert = smr.OpInsert
+	OpDelete = smr.OpDelete
+	OpQuery  = smr.OpQuery
+)
+
+// NewBTreeService returns a B+-tree service pre-populated with n tuples
+// starting at base.
+func NewBTreeService(base, n int64) *BTreeService { return smr.NewBTreeService(base, n) }
+
+// DeploySMR wires a Chapter 4 deployment on the simulated cluster.
+func DeploySMR(cfg SMRDeployConfig, lc SimConfig, seed int64) *SMRDeployment {
+	return smr.Deploy(cfg, lc, seed)
+}
+
+// Parallel SMR (Chapter 6).
+type (
+	// PSMRMode selects an execution model (sequential, pipelined, SDPE,
+	// P-SMR).
+	PSMRMode = psmr.Mode
+	// PSMRDeployConfig describes a §6.5 experiment.
+	PSMRDeployConfig = psmr.DeployConfig
+	// PSMRDeployment is a wired deployment.
+	PSMRDeployment = psmr.Deployment
+)
+
+// P-SMR execution models.
+const (
+	ModeSequential = psmr.Sequential
+	ModePipelined  = psmr.Pipelined
+	ModeSDPE       = psmr.SDPE
+	ModePSMR       = psmr.PSMR
+)
+
+// DeployPSMR wires a Chapter 6 deployment on the simulated cluster.
+func DeployPSMR(cfg PSMRDeployConfig, lc SimConfig, seed int64) *PSMRDeployment {
+	return psmr.Deploy(cfg, lc, seed)
+}
+
+// Simulated cluster (the paper's testbed model).
+type (
+	// Sim is the discrete-event cluster.
+	Sim = lan.LAN
+	// SimConfig holds the cluster's resource parameters.
+	SimConfig = lan.Config
+	// SimNodeConfig scales one node's resources.
+	SimNodeConfig = lan.NodeConfig
+)
+
+// NewSim creates a simulated cluster.
+func NewSim(cfg SimConfig, seed int64) *Sim { return lan.New(cfg, seed) }
+
+// DefaultSimConfig returns the calibrated testbed parameters (1 Gbps,
+// 0.1 ms RTT, ~270 Mbps synchronous disk writes).
+func DefaultSimConfig() SimConfig { return lan.DefaultConfig() }

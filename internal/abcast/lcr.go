@@ -1,0 +1,252 @@
+// Package abcast implements the comparison atomic broadcast protocols of the
+// dissertation's §3.4/§3.5.3: LCR, a Totem-style token ring (the Spread
+// stand-in) and S-Paxos. The Libpaxos and PFSB baselines are the multicast
+// and unicast configurations of internal/paxos.
+//
+// These are baselines: they reproduce each protocol's communication pattern
+// and cost structure (which is what the paper's comparison measures), not
+// the full engineering of the original codebases.
+package abcast
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+const headerBytes = 32
+
+// LCR reproduces the LCR protocol of [12]: processes form a ring, every
+// process broadcasts, message payloads travel the ring once and are
+// delivered after a second (acknowledgement) revolution, giving uniform
+// total order under perfect failure detection. Sequencing happens on-ring:
+// ring position 0 stamps global sequence numbers as payloads pass, which
+// preserves LCR's cost structure (two revolutions per message, all links
+// equally loaded, every process broadcasting).
+type LCR struct {
+	// Ring lists all processes in ring order; all are broadcasters and
+	// receivers.
+	Ring []proto.NodeID
+	// BatchBytes groups small application messages (paper: 32 KB).
+	BatchBytes int
+	// BatchDelay flushes a non-empty batch after this delay.
+	BatchDelay time.Duration
+	// DiskSync persists each batch before forwarding it (Fig 3.9 mode).
+	// Writes happen sequentially along the ring.
+	DiskSync bool
+	// Deliver is invoked for every value in delivery order.
+	Deliver core.DeliverFunc
+
+	env proto.Env
+
+	pending      []core.Value
+	pendingBytes int
+	batchTimer   proto.Timer
+
+	seq       int64 // stamping counter (ring position 0 only)
+	localSeq  int64 // per-origin message counter
+	next      int64 // next global sequence to deliver
+	learned   map[int64]core.Batch
+	unstamped map[lcrKey]core.Batch
+	stable    map[int64]bool
+
+	// DeliveredBytes/DeliveredMsgs count delivered application payload.
+	DeliveredBytes int64
+	DeliveredMsgs  int64
+	LatencySum     time.Duration
+	LatencyCount   int64
+}
+
+var _ proto.Handler = (*LCR)(nil)
+
+// lcrData is a payload batch circulating the ring from its origin all the
+// way around and back to the origin. Seq is -1 until stamped by position 0;
+// (Origin, Local) identifies the message before it is stamped.
+type lcrData struct {
+	Origin proto.NodeID
+	Local  int64
+	Seq    int64
+	Val    core.Batch
+	Hops   int
+}
+
+// lcrAck announces that Seq completed its payload revolution; receiving the
+// ack makes the message stable (deliverable) — the second revolution. It
+// also carries the (Origin, Local) → Seq binding for processes that saw the
+// payload before it was stamped.
+type lcrAck struct {
+	Origin proto.NodeID
+	Local  int64
+	Seq    int64
+	Hops   int
+}
+
+func (m lcrData) Size() int { return headerBytes + m.Val.Size() }
+func (m lcrAck) Size() int  { return headerBytes }
+
+// Start implements proto.Handler.
+func (l *LCR) Start(env proto.Env) {
+	l.env = env
+	if l.BatchBytes == 0 {
+		l.BatchBytes = 32 << 10
+	}
+	if l.BatchDelay == 0 {
+		l.BatchDelay = 500 * time.Microsecond
+	}
+	l.learned = make(map[int64]core.Batch)
+	l.unstamped = make(map[lcrKey]core.Batch)
+	l.stable = make(map[int64]bool)
+}
+
+// lcrKey identifies a message before position 0 stamps it.
+type lcrKey struct {
+	origin proto.NodeID
+	local  int64
+}
+
+func (l *LCR) index() int {
+	for i, id := range l.Ring {
+		if id == l.env.ID() {
+			return i
+		}
+	}
+	return -1
+}
+
+func (l *LCR) succ() proto.NodeID {
+	return l.Ring[(l.index()+1)%len(l.Ring)]
+}
+
+// Broadcast submits a value at this process.
+func (l *LCR) Broadcast(v core.Value) {
+	l.pending = append(l.pending, v)
+	l.pendingBytes += v.Bytes
+	if l.pendingBytes >= l.BatchBytes {
+		l.flush()
+		return
+	}
+	if l.batchTimer == nil {
+		l.batchTimer = l.env.After(l.BatchDelay, func() {
+			l.batchTimer = nil
+			l.flush()
+		})
+	}
+}
+
+func (l *LCR) flush() {
+	for len(l.pending) > 0 {
+		n, bytes := 0, 0
+		for n < len(l.pending) && bytes < l.BatchBytes {
+			bytes += l.pending[n].Bytes
+			n++
+		}
+		batch := core.Batch{Vals: append([]core.Value(nil), l.pending[:n]...)}
+		l.pending = l.pending[n:]
+		l.localSeq++
+		m := lcrData{Origin: l.env.ID(), Local: l.localSeq, Seq: -1, Val: batch}
+		if l.index() == 0 {
+			m.Seq = l.seq
+			l.seq++
+		}
+		l.forward(m)
+	}
+	l.pendingBytes = 0
+}
+
+// forward sends m to the successor, after the optional synchronous write.
+func (l *LCR) forward(m lcrData) {
+	if l.DiskSync {
+		l.env.DiskWrite(m.Val.Size()+headerBytes, func() { l.env.Send(l.succ(), m) })
+		return
+	}
+	l.env.Send(l.succ(), m)
+}
+
+// Receive implements proto.Handler.
+func (l *LCR) Receive(_ proto.NodeID, msg proto.Message) {
+	switch m := msg.(type) {
+	case lcrData:
+		l.onData(m)
+	case lcrAck:
+		l.onAck(m)
+	}
+}
+
+func (l *LCR) onData(m lcrData) {
+	if m.Origin == l.env.ID() && m.Hops > 0 {
+		// The payload completed its revolution: everyone (including us)
+		// holds it now; start the acknowledgement revolution.
+		l.store(m)
+		ack := lcrAck{Origin: m.Origin, Local: m.Local, Seq: m.Seq}
+		l.applyAck(ack)
+		l.env.Send(l.succ(), ack)
+		return
+	}
+	if l.index() == 0 && m.Seq < 0 {
+		m.Seq = l.seq
+		l.seq++
+	}
+	l.store(m)
+	m.Hops++
+	l.forward(m)
+}
+
+func (l *LCR) store(m lcrData) {
+	if m.Seq < 0 {
+		l.unstamped[lcrKey{m.Origin, m.Local}] = m.Val
+		return
+	}
+	if m.Seq < l.next {
+		return
+	}
+	if _, ok := l.learned[m.Seq]; !ok {
+		l.learned[m.Seq] = m.Val
+	}
+	l.drain()
+}
+
+func (l *LCR) onAck(m lcrAck) {
+	l.applyAck(m)
+	m.Hops++
+	if m.Hops < len(l.Ring)-1 {
+		l.env.Send(l.succ(), m)
+	}
+}
+
+// applyAck re-keys a payload seen before stamping and marks Seq stable.
+func (l *LCR) applyAck(m lcrAck) {
+	k := lcrKey{m.Origin, m.Local}
+	if b, ok := l.unstamped[k]; ok {
+		delete(l.unstamped, k)
+		if _, dup := l.learned[m.Seq]; !dup && m.Seq >= l.next {
+			l.learned[m.Seq] = b
+		}
+	}
+	l.stable[m.Seq] = true
+	l.drain()
+}
+
+// drain delivers stable messages in global sequence order.
+func (l *LCR) drain() {
+	for l.stable[l.next] {
+		b, ok := l.learned[l.next]
+		if !ok {
+			return // payload still in flight
+		}
+		delete(l.learned, l.next)
+		delete(l.stable, l.next)
+		for _, v := range b.Vals {
+			l.DeliveredBytes += int64(v.Bytes)
+			l.DeliveredMsgs++
+			if v.Born != 0 {
+				l.LatencySum += l.env.Now() - v.Born
+				l.LatencyCount++
+			}
+			if l.Deliver != nil {
+				l.Deliver(l.next, v)
+			}
+		}
+		l.next++
+	}
+}

@@ -1,0 +1,218 @@
+package abcast
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/paxos"
+	"repro/internal/proto"
+)
+
+// SPaxos models S-Paxos [32] (§3.4): request dissemination and reception are
+// spread over all replicas. A client submits a request to any replica; that
+// replica forwards it to all others; every replica acknowledges to all
+// others; once f+1 acks are seen the request is stable. The leader orders
+// request *ids* with plain Paxos. A replica delivers a request when its id
+// is ordered and the request is stable locally.
+//
+// The all-to-all dissemination (n² messages per request) is what makes
+// S-Paxos CPU-intensive and keeps its efficiency near 30% (Table 3.2).
+type SPaxos struct {
+	// Replicas lists all replica nodes; Replicas[0] is the Paxos leader.
+	Replicas []proto.NodeID
+	// BatchBytes groups client requests forwarded together (paper: 32 KB).
+	BatchBytes int
+	// BatchDelay flushes a non-empty forward batch after this delay.
+	BatchDelay time.Duration
+	// GCJitter, when positive, injects random pauses that model the JVM
+	// garbage-collection variability observed in §3.5.4.
+	GCJitter time.Duration
+	// Deliver is invoked for every value in delivery order.
+	Deliver core.DeliverFunc
+
+	env   proto.Env
+	inner *paxos.Agent
+
+	pending      []core.Value
+	pendingBytes int
+	batchTimer   proto.Timer
+
+	reqs    map[core.ValueID]core.Value // disseminated request payloads
+	acks    map[core.ValueID]map[proto.NodeID]bool
+	stable  map[core.ValueID]bool
+	ordered []core.ValueID // ids ordered by Paxos, pending stability
+	seq     int64
+
+	// DeliveredBytes/DeliveredMsgs count delivered application payload.
+	DeliveredBytes int64
+	DeliveredMsgs  int64
+	LatencySum     time.Duration
+	LatencyCount   int64
+}
+
+var _ proto.Handler = (*SPaxos)(nil)
+
+// spForward disseminates a batch of client requests to all replicas.
+type spForward struct{ Vals []core.Value }
+
+// spAck acknowledges receipt of the forwarded requests.
+type spAck struct{ IDs []core.ValueID }
+
+func (m spForward) Size() int {
+	n := headerBytes
+	for _, v := range m.Vals {
+		n += v.Bytes
+	}
+	return n
+}
+func (m spAck) Size() int { return headerBytes + 8*len(m.IDs) }
+
+// Start implements proto.Handler.
+func (s *SPaxos) Start(env proto.Env) {
+	s.env = env
+	if s.BatchBytes == 0 {
+		s.BatchBytes = 32 << 10
+	}
+	if s.BatchDelay == 0 {
+		s.BatchDelay = 500 * time.Microsecond
+	}
+	s.reqs = make(map[core.ValueID]core.Value)
+	s.acks = make(map[core.ValueID]map[proto.NodeID]bool)
+	s.stable = make(map[core.ValueID]bool)
+	// Inner Paxos orders ids only: replicas are acceptors and learners.
+	s.inner = &paxos.Agent{
+		Cfg: paxos.Config{
+			Coordinator: s.Replicas[0],
+			Acceptors:   s.Replicas,
+			Learners:    s.Replicas,
+		},
+		Deliver: func(_ int64, v core.Value) { s.onOrdered(core.ValueID(v.ID)) },
+	}
+	s.inner.Start(env)
+}
+
+// Submit accepts a client request at this replica.
+func (s *SPaxos) Submit(v core.Value) {
+	s.pending = append(s.pending, v)
+	s.pendingBytes += v.Bytes
+	if s.pendingBytes >= s.BatchBytes {
+		s.flush()
+		return
+	}
+	if s.batchTimer == nil {
+		s.batchTimer = s.env.After(s.BatchDelay, func() {
+			s.batchTimer = nil
+			s.flush()
+		})
+	}
+}
+
+func (s *SPaxos) flush() {
+	if len(s.pending) == 0 {
+		return
+	}
+	fwd := spForward{Vals: s.pending}
+	s.pending = nil
+	s.pendingBytes = 0
+	s.onForward(s.env.ID(), fwd)
+	for _, r := range s.Replicas {
+		if r != s.env.ID() {
+			s.env.Send(r, fwd)
+		}
+	}
+}
+
+// Receive implements proto.Handler; non-S-Paxos messages belong to the inner
+// Paxos agent ordering ids.
+func (s *SPaxos) Receive(from proto.NodeID, msg proto.Message) {
+	switch m := msg.(type) {
+	case spForward:
+		s.onForward(from, m)
+	case spAck:
+		s.onAck(from, m)
+	default:
+		s.inner.Receive(from, msg)
+	}
+}
+
+func (s *SPaxos) onForward(from proto.NodeID, m spForward) {
+	ids := make([]core.ValueID, 0, len(m.Vals))
+	for _, v := range m.Vals {
+		if _, ok := s.reqs[v.ID]; !ok {
+			s.reqs[v.ID] = v
+		}
+		ids = append(ids, v.ID)
+	}
+	ackAndPropose := func() {
+		// Acknowledge to all replicas (including self, locally).
+		ack := spAck{IDs: ids}
+		s.onAck(s.env.ID(), ack)
+		for _, r := range s.Replicas {
+			if r != s.env.ID() {
+				s.env.Send(r, ack)
+			}
+		}
+		// The leader proposes ids for ordering once it has seen the request.
+		if s.env.ID() == s.Replicas[0] {
+			for _, id := range ids {
+				s.inner.Propose(core.Value{ID: id, Bytes: 16})
+			}
+		}
+	}
+	if s.GCJitter > 0 && s.env.Rand().Intn(50) == 0 {
+		// Occasional JVM garbage-collection pause (§3.5.4) delays this
+		// replica's acknowledgements and therefore request stability.
+		s.env.Work(time.Duration(s.env.Rand().Int63n(int64(s.GCJitter))), ackAndPropose)
+		return
+	}
+	ackAndPropose()
+}
+
+func (s *SPaxos) onAck(from proto.NodeID, m spAck) {
+	f := (len(s.Replicas) - 1) / 2
+	for _, id := range m.IDs {
+		set := s.acks[id]
+		if set == nil {
+			set = make(map[proto.NodeID]bool)
+			s.acks[id] = set
+		}
+		set[from] = true
+		if len(set) >= f+1 && !s.stable[id] {
+			s.stable[id] = true
+		}
+	}
+	s.drain()
+}
+
+func (s *SPaxos) onOrdered(id core.ValueID) {
+	s.ordered = append(s.ordered, id)
+	s.drain()
+}
+
+// drain delivers ordered ids whose payloads are stable, in order.
+func (s *SPaxos) drain() {
+	for len(s.ordered) > 0 {
+		id := s.ordered[0]
+		if !s.stable[id] {
+			return
+		}
+		v, ok := s.reqs[id]
+		if !ok {
+			return
+		}
+		s.ordered = s.ordered[1:]
+		delete(s.reqs, id)
+		delete(s.acks, id)
+		delete(s.stable, id)
+		s.DeliveredBytes += int64(v.Bytes)
+		s.DeliveredMsgs++
+		if v.Born != 0 {
+			s.LatencySum += s.env.Now() - v.Born
+			s.LatencyCount++
+		}
+		if s.Deliver != nil {
+			s.Deliver(s.seq, v)
+		}
+		s.seq++
+	}
+}

@@ -1,0 +1,127 @@
+// Package bench is the reproduction harness: one runner per table and
+// figure of the dissertation's evaluation sections. Each runner rebuilds
+// the experiment's deployment on the simulated cluster, sweeps the same
+// parameter the paper sweeps, and prints the same rows/series the paper
+// reports together with the paper's qualitative expectation.
+//
+// Runners are exposed three ways: the registry here (used by cmd/repro),
+// the testing.B wrappers in the repository root's bench_test.go, and
+// programmatically.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the paper artifact name: "fig3.7", "tab3.2", ...
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run regenerates it, writing human-readable series to w.
+	Run func(w io.Writer)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment, sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// table accumulates and prints one aligned results table.
+type table struct {
+	title  string
+	header []string
+	rows   [][]string
+	notes  []string
+}
+
+func newTable(title string, header ...string) *table {
+	return &table{title: title, header: header}
+}
+
+func (t *table) row(cells ...any) {
+	r := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			r[i] = v
+		case float64:
+			r[i] = fmt.Sprintf("%.1f", v)
+		case time.Duration:
+			r[i] = v.Round(10 * time.Microsecond).String()
+		default:
+			r[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, r)
+}
+
+func (t *table) note(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+func (t *table) print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.title)
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.header)
+	for _, r := range t.rows {
+		line(r)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// mbps converts bytes transferred over dur to megabits per second.
+func mbps(bytes int64, dur time.Duration) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / 1e6 / dur.Seconds()
+}
+
+// pct formats a ratio as a percentage string.
+func pct(num, den float64) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*num/den)
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the evaluation sections must be present.
+	want := []string{
+		"tab3.1", "fig3.2", "fig3.3", "fig3.4", "fig3.7", "tab3.2",
+		"fig3.8", "fig3.9", "fig3.10", "fig3.11", "fig3.12", "fig3.13",
+		"fig3.14", "tab3.3", "tab3.4",
+		"fig4.3", "fig4.4", "fig4.5", "fig4.6", "fig4.7", "fig4.8",
+		"fig4.9", "fig4.10",
+		"fig5.1", "fig5.2", "fig5.4", "fig5.5", "fig5.6", "fig5.7",
+		"fig5.8", "fig5.9", "fig5.10", "fig5.11",
+		"fig6.3", "fig6.4", "fig6.5", "fig6.6", "fig6.7", "tab6.1",
+		"fig7.2", "fig7.3", "fig7.4", "fig7.5", "fig7.6", "fig7.7",
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Errorf("registry has %d experiments, want at least %d", len(All()), len(want))
+	}
+}
+
+func TestTablesRenderAndExperimentsRun(t *testing.T) {
+	// Smoke-run the cheap analytic/qualitative experiments end to end.
+	for _, id := range []string{"tab3.1", "tab6.1"} {
+		e, _ := Get(id)
+		var sb strings.Builder
+		e.Run(&sb)
+		if !strings.Contains(sb.String(), "==") {
+			t.Errorf("%s produced no table", id)
+		}
+	}
+}
+
+func TestFlowControlExperiment(t *testing.T) {
+	// fig3.14 exercises the full flow-control machinery; run it as an
+	// integration test.
+	e, ok := Get("fig3.14")
+	if !ok {
+		t.Fatal("fig3.14 missing")
+	}
+	var sb strings.Builder
+	e.Run(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "window") {
+		t.Fatalf("unexpected fig3.14 output: %s", out)
+	}
+}
+
+func TestPumpOffersConfiguredRate(t *testing.T) {
+	e, ok := Get("fig5.2")
+	if !ok {
+		t.Fatal("fig5.2 missing")
+	}
+	e.Run(io.Discard)
+}

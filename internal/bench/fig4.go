@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/lan"
+	"repro/internal/smr"
+)
+
+func init() {
+	register(Experiment{ID: "fig4.3", Title: "cost of replication: CS vs SMR across workloads", Run: runFig4_3})
+	register(Experiment{ID: "fig4.4", Title: "cost of replication: throughput vs replicas", Run: runFig4_4})
+	register(Experiment{ID: "fig4.5", Title: "speculative execution, query workload", Run: runFig4_5})
+	register(Experiment{ID: "fig4.6", Title: "speculative execution, batched updates", Run: runFig4_6})
+	register(Experiment{ID: "fig4.7", Title: "state partitioning speedup (no cross-partition)", Run: runFig4_7})
+	register(Experiment{ID: "fig4.8", Title: "cross-partition queries, 2 replicas/partition", Run: runFig4_8})
+	register(Experiment{ID: "fig4.9", Title: "cross-partition queries, 3 replicas/partition", Run: runFig4_9})
+	register(Experiment{ID: "fig4.10", Title: "speculation + partitioning combined", Run: runFig4_10})
+}
+
+const smrKeys = 100_000
+
+func smrWorkload(kind string, parts int) func(int) smr.Workload {
+	switch kind {
+	case "queries":
+		space := int64(smrKeys)
+		if parts > 1 {
+			return func(int) smr.Workload {
+				return smr.CrossPartitionWorkload{Partitions: parts, PartitionSpan: smrKeys, Span: 1000}
+			}
+		}
+		return func(int) smr.Workload { return smr.QueryWorkload{KeySpace: space, Span: 1000} }
+	case "single":
+		return func(int) smr.Workload {
+			return smr.UpdateWorkload{KeySpace: int64(parts) * smrKeys, PerRequest: 1}
+		}
+	default: // batch
+		return func(int) smr.Workload {
+			return smr.UpdateWorkload{KeySpace: int64(parts) * smrKeys, PerRequest: 7}
+		}
+	}
+}
+
+func smrRun(cfg smr.DeployConfig, seed int64) (float64, time.Duration) {
+	d := smr.Deploy(cfg, lan.DefaultConfig(), seed)
+	return d.Measure(300*time.Millisecond, 700*time.Millisecond)
+}
+
+func runFig4_3(w io.Writer) {
+	for _, wl := range []string{"queries", "single", "batch"} {
+		t := newTable(fmt.Sprintf("Fig 4.3 — CS vs SMR, %s workload: Kcps / latency vs clients", wl),
+			"clients", "CS", "CS lat", "SMR", "SMR lat")
+		for _, n := range []int{5, 10, 20, 40} {
+			base := smr.DeployConfig{Clients: n, KeysPerPartition: smrKeys, Workload: smrWorkload(wl, 1)}
+			cs := base
+			cs.CS = true
+			t1, l1 := smrRun(cs, 1)
+			rep := base
+			rep.Replicas = 2
+			t2, l2 := smrRun(rep, 1)
+			t.row(n, fmt.Sprintf("%.1f", t1/1000), l1, fmt.Sprintf("%.1f", t2/1000), l2)
+		}
+		t.note("paper: replication costs latency at every load; throughput parity except single updates")
+		t.print(w)
+	}
+}
+
+func runFig4_4(w io.Writer) {
+	t := newTable("Fig 4.4 — throughput (Kcps) vs number of replicas, 40 clients",
+		"servers", "queries", "ins/del single", "ins/del batch")
+	for _, reps := range []int{0, 1, 2, 4, 8} {
+		row := []any{fmt.Sprint(reps)}
+		if reps == 0 {
+			row[0] = "CS"
+		}
+		for _, wl := range []string{"queries", "single", "batch"} {
+			cfg := smr.DeployConfig{Clients: 40, KeysPerPartition: smrKeys, Workload: smrWorkload(wl, 1)}
+			if reps == 0 {
+				cfg.CS = true
+			} else {
+				cfg.Replicas = reps
+			}
+			tput, _ := smrRun(cfg, 2)
+			row = append(row, fmt.Sprintf("%.1f", tput/1000))
+		}
+		t.row(row...)
+	}
+	t.note("paper: queries scale with replicas up to ~4 then flatten (delivery overhead); updates don't scale")
+	t.print(w)
+}
+
+func specSweep(w io.Writer, fig, wl string) {
+	t := newTable(fmt.Sprintf("Fig %s — speculative execution, %s workload: Kcps / latency", fig, wl),
+		"replicas", "SMR", "SMR lat", "speculative", "spec lat")
+	for _, reps := range []int{1, 2, 4, 8} {
+		cfg := smr.DeployConfig{Clients: 30, Replicas: reps, KeysPerPartition: smrKeys, Workload: smrWorkload(wl, 1)}
+		t1, l1 := smrRun(cfg, 3)
+		cfg.Speculative = true
+		t2, l2 := smrRun(cfg, 3)
+		t.row(reps, fmt.Sprintf("%.1f", t1/1000), l1, fmt.Sprintf("%.1f", t2/1000), l2)
+	}
+	t.note("paper: speculation trims response time (up to 16.2 percent); throughput follows by Little law")
+	t.print(w)
+}
+
+func runFig4_5(w io.Writer) { specSweep(w, "4.5", "queries") }
+func runFig4_6(w io.Writer) { specSweep(w, "4.6", "batch") }
+
+func runFig4_7(w io.Writer) {
+	t := newTable("Fig 4.7 — partitioning speedup over SMR (no cross-partition commands)",
+		"config", "queries Kcps", "speedup", "batch Kcps", "speedup")
+	var baseQ, baseB float64
+	for _, parts := range []int{1, 2, 4} {
+		name := "SMR"
+		if parts > 1 {
+			name = fmt.Sprintf("%d partitions", parts)
+		}
+		q, _ := smrRun(smr.DeployConfig{
+			Clients: 64, Replicas: 2, Partitions: parts, KeysPerPartition: smrKeys,
+			Workload: smrWorkload("queries", parts),
+		}, 4)
+		b, _ := smrRun(smr.DeployConfig{
+			Clients: 64, Replicas: 2, Partitions: parts, KeysPerPartition: smrKeys,
+			Workload: smrWorkload("batch", parts),
+		}, 4)
+		if parts == 1 {
+			baseQ, baseB = q, b
+		}
+		t.row(name, fmt.Sprintf("%.1f", q/1000), fmt.Sprintf("%.1fx", q/baseQ),
+			fmt.Sprintf("%.1f", b/1000), fmt.Sprintf("%.1fx", b/baseB))
+	}
+	t.note("paper: 2.1x / 3.9x for queries, 1.8x / 2.6x for batched updates")
+	t.print(w)
+}
+
+func crossSweep(w io.Writer, fig string, reps int) {
+	t := newTable(fmt.Sprintf("Fig %s — cross-partition query %%%% sweep, 2 partitions x %d replicas (64 clients)", fig, reps),
+		"cross %", "Kcps", "latency", "reply Mbps/replica")
+	for _, cross := range []int{0, 25, 50, 75, 100} {
+		d := smr.Deploy(smr.DeployConfig{
+			Clients: 64, Replicas: reps, Partitions: 2, KeysPerPartition: smrKeys,
+			Workload: func(int) smr.Workload {
+				return smr.CrossPartitionWorkload{
+					Partitions: 2, PartitionSpan: smrKeys, Span: 1000, CrossPct: cross,
+				}
+			},
+		}, lan.DefaultConfig(), 5)
+		d.Run(300 * time.Millisecond)
+		rep0 := d.LAN.Node(2000)
+		sent0 := rep0.Stats().BytesSent
+		tput, lat := d.Measure(0, 700*time.Millisecond)
+		bw := mbps(rep0.Stats().BytesSent-sent0, 700*time.Millisecond)
+		t.row(fmt.Sprint(cross), fmt.Sprintf("%.1f", tput/1000), lat, fmt.Sprintf("%.0f", bw))
+	}
+	t.note("paper: under high load, mid cross-%% configs win (split queries are cheaper to execute);")
+	t.note("reply bandwidth per replica grows with cross-%% and more replicas relieve it")
+	t.print(w)
+}
+
+func runFig4_8(w io.Writer) { crossSweep(w, "4.8", 2) }
+func runFig4_9(w io.Writer) { crossSweep(w, "4.9", 3) }
+
+func runFig4_10(w io.Writer) {
+	t := newTable("Fig 4.10 — speculation + partitioning: improvement over plain partitioned SMR",
+		"cross %", "tput gain", "latency cut")
+	for _, cross := range []int{0, 25, 50, 75, 100} {
+		mk := func(spec bool) (float64, time.Duration) {
+			return smrRun(smr.DeployConfig{
+				Clients: 48, Replicas: 2, Partitions: 2, Speculative: spec,
+				KeysPerPartition: smrKeys,
+				Workload: func(int) smr.Workload {
+					return smr.CrossPartitionWorkload{
+						Partitions: 2, PartitionSpan: smrKeys, Span: 1000, CrossPct: cross,
+					}
+				},
+			}, 6)
+		}
+		t1, l1 := mk(false)
+		t2, l2 := mk(true)
+		t.row(fmt.Sprint(cross), pct(t2-t1, t1), pct(float64(l1-l2), float64(l1)))
+	}
+	t.note("paper: speculation keeps cutting latency, less as cross-partition share grows (narrower window)")
+	t.print(w)
+}

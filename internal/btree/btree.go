@@ -1,0 +1,242 @@
+// Package btree is the in-memory B+-tree service the dissertation's
+// Chapter 4 (DSN 2011) evaluates state-machine replication with: it stores
+// (key, value) pairs of 8-byte integers and supports insert(key, value),
+// delete(key) and query(key_min, key_max).
+//
+// Operations return logical undo actions so a speculative replica can roll
+// back out-of-order executions: the rollback of an insert is a delete, the
+// rollback of a delete re-inserts the deleted value (§4.4.2).
+package btree
+
+// degree is the maximum number of children of an internal node; leaves hold
+// up to degree-1 keys.
+const degree = 64
+
+// Tree is an in-memory B+-tree mapping int64 keys to int64 values.
+// The zero value is an empty tree ready to use.
+type Tree struct {
+	root *node
+	size int
+}
+
+// node is either internal (children non-nil) or a leaf (vals non-nil).
+// Leaves are chained through next for range scans.
+type node struct {
+	keys     []int64
+	children []*node
+	vals     []int64
+	next     *node
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Len returns the number of stored pairs.
+func (t *Tree) Len() int { return t.size }
+
+// findLeaf descends to the leaf that would hold key.
+func (t *Tree) findLeaf(key int64) *node {
+	n := t.root
+	for n != nil && !n.leaf() {
+		i := upperBound(n.keys, key)
+		n = n.children[i]
+	}
+	return n
+}
+
+// upperBound returns the index of the first element > key.
+func upperBound(keys []int64, key int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lowerBound returns the index of the first element >= key.
+func lowerBound(keys []int64, key int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key int64) (int64, bool) {
+	n := t.findLeaf(key)
+	if n == nil {
+		return 0, false
+	}
+	i := lowerBound(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i], true
+	}
+	return 0, false
+}
+
+// Insert stores (key, value) if key is absent and reports whether it
+// inserted.
+func (t *Tree) Insert(key, value int64) bool {
+	if t.root == nil {
+		t.root = &node{keys: []int64{key}, vals: []int64{value}}
+		t.size = 1
+		return true
+	}
+	split, sepKey, ok := t.insert(t.root, key, value)
+	if !ok {
+		return false
+	}
+	if split != nil {
+		t.root = &node{
+			keys:     []int64{sepKey},
+			children: []*node{t.root, split},
+		}
+	}
+	t.size++
+	return true
+}
+
+// insert adds (key, value) under n. If n splits, it returns the new right
+// sibling and the separator key to push up.
+func (t *Tree) insert(n *node, key, value int64) (*node, int64, bool) {
+	if n.leaf() {
+		i := lowerBound(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			return nil, 0, false // duplicate
+		}
+		n.keys = insertAt(n.keys, i, key)
+		n.vals = insertAt(n.vals, i, value)
+		if len(n.keys) < degree {
+			return nil, 0, true
+		}
+		// Split leaf.
+		mid := len(n.keys) / 2
+		right := &node{
+			keys: append([]int64(nil), n.keys[mid:]...),
+			vals: append([]int64(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		n.next = right
+		return right, right.keys[0], true
+	}
+	i := upperBound(n.keys, key)
+	split, sepKey, ok := t.insert(n.children[i], key, value)
+	if !ok {
+		return nil, 0, false
+	}
+	if split == nil {
+		return nil, 0, true
+	}
+	n.keys = insertAt(n.keys, i, sepKey)
+	n.children = insertChildAt(n.children, i+1, split)
+	if len(n.children) <= degree {
+		return nil, 0, true
+	}
+	// Split internal node.
+	mid := len(n.keys) / 2
+	up := n.keys[mid]
+	right := &node{
+		keys:     append([]int64(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return right, up, true
+}
+
+func insertAt(s []int64, i int, v int64) []int64 {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertChildAt(s []*node, i int, v *node) []*node {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Delete removes key, returning the deleted value and whether it existed.
+// Leaves are allowed to underflow (lazy deletion): range scans skip empty
+// leaves, and the tree's depth is bounded by the insertion history. This
+// matches the service's workloads, which keep tree size constant (§4.4.2).
+func (t *Tree) Delete(key int64) (int64, bool) {
+	n := t.findLeaf(key)
+	if n == nil {
+		return 0, false
+	}
+	i := lowerBound(n.keys, key)
+	if i >= len(n.keys) || n.keys[i] != key {
+		return 0, false
+	}
+	v := n.vals[i]
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	t.size--
+	return v, true
+}
+
+// Query returns the values of all keys in [min, max], in key order.
+func (t *Tree) Query(min, max int64) []int64 {
+	var out []int64
+	t.QueryFunc(min, max, func(_, v int64) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// QueryFunc visits all (key, value) pairs with min <= key <= max in key
+// order until fn returns false.
+func (t *Tree) QueryFunc(min, max int64, fn func(k, v int64) bool) {
+	n := t.findLeaf(min)
+	for n != nil {
+		i := lowerBound(n.keys, min)
+		for ; i < len(n.keys); i++ {
+			if n.keys[i] > max {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Count returns how many keys lie in [min, max].
+func (t *Tree) Count(min, max int64) int {
+	n := 0
+	t.QueryFunc(min, max, func(_, _ int64) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// Depth returns the height of the tree (0 when empty).
+func (t *Tree) Depth() int {
+	d := 0
+	for n := t.root; n != nil; {
+		d++
+		if n.leaf() {
+			break
+		}
+		n = n.children[0]
+	}
+	return d
+}

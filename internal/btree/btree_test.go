@@ -1,0 +1,226 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertGet(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 1000; i++ {
+		if !tr.Insert(i*7%1000, i) {
+			t.Fatalf("insert %d failed", i*7%1000)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	for i := int64(0); i < 1000; i++ {
+		k := i * 7 % 1000
+		v, ok := tr.Get(k)
+		if !ok {
+			t.Fatalf("key %d missing", k)
+		}
+		if v*7%1000 != k {
+			t.Fatalf("key %d has value %d", k, v)
+		}
+	}
+}
+
+func TestDuplicateInsertRejected(t *testing.T) {
+	var tr Tree
+	if !tr.Insert(5, 1) || tr.Insert(5, 2) {
+		t.Fatal("duplicate insert accepted")
+	}
+	if v, _ := tr.Get(5); v != 1 {
+		t.Fatalf("value overwritten: %d", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 500; i++ {
+		tr.Insert(i, i*10)
+	}
+	for i := int64(0); i < 500; i += 2 {
+		v, ok := tr.Delete(i)
+		if !ok || v != i*10 {
+			t.Fatalf("delete %d: %d %v", i, v, ok)
+		}
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	for i := int64(0); i < 500; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d)=%v, want %v", i, ok, want)
+		}
+	}
+	if _, ok := tr.Delete(1000); ok {
+		t.Fatal("deleted a missing key")
+	}
+}
+
+func TestQueryRange(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 2000; i += 2 {
+		tr.Insert(i, i+1)
+	}
+	got := tr.Query(100, 120)
+	want := []int64{101, 103, 105, 107, 109, 111, 113, 115, 117, 119, 121}
+	if len(got) != len(want) {
+		t.Fatalf("Query(100,120) returned %d values: %v", len(got), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Query[%d]=%d, want %d", i, got[i], want[i])
+		}
+	}
+	if n := tr.Count(0, 1999); n != 1000 {
+		t.Fatalf("Count=%d", n)
+	}
+	if got := tr.Query(5000, 6000); len(got) != 0 {
+		t.Fatalf("empty range returned %v", got)
+	}
+}
+
+func TestQueryAfterDeletions(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 1000; i++ {
+		tr.Insert(i, i)
+	}
+	// Empty out a whole region so some leaves underflow.
+	for i := int64(200); i < 400; i++ {
+		tr.Delete(i)
+	}
+	got := tr.Query(150, 450)
+	var want []int64
+	for i := int64(150); i < 200; i++ {
+		want = append(want, i)
+	}
+	for i := int64(400); i <= 450; i++ {
+		want = append(want, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("at %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDepthLogarithmic(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 100000; i++ {
+		tr.Insert(i, i)
+	}
+	if d := tr.Depth(); d > 5 {
+		t.Fatalf("depth %d for 100k sequential inserts (degree %d)", d, degree)
+	}
+}
+
+// Model-based property test: a random sequence of inserts, deletes and
+// queries behaves exactly like a map + sort.
+func TestQuickAgainstModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  int16
+		Val  int64
+	}
+	f := func(ops []op) bool {
+		var tr Tree
+		model := make(map[int64]int64)
+		for _, o := range ops {
+			k := int64(o.Key)
+			switch o.Kind % 3 {
+			case 0: // insert
+				_, exists := model[k]
+				if tr.Insert(k, o.Val) == exists {
+					return false
+				}
+				if !exists {
+					model[k] = o.Val
+				}
+			case 1: // delete
+				want, exists := model[k]
+				v, ok := tr.Delete(k)
+				if ok != exists || (ok && v != want) {
+					return false
+				}
+				delete(model, k)
+			case 2: // range query around k
+				lo, hi := k-64, k+64
+				got := tr.Query(lo, hi)
+				var keys []int64
+				for mk := range model {
+					if mk >= lo && mk <= hi {
+						keys = append(keys, mk)
+					}
+				}
+				sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+				if len(got) != len(keys) {
+					return false
+				}
+				for i, mk := range keys {
+					if got[i] != model[mk] {
+						return false
+					}
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Rand:     rand.New(rand.NewSource(11)),
+		Values:   nil,
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryFuncEarlyStop(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(i, i)
+	}
+	n := 0
+	tr.QueryFunc(0, 99, func(_, _ int64) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("visited %d, want 10", n)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	var tr Tree
+	for i := 0; i < b.N; i++ {
+		tr.Insert(int64(i*2654435761)%1000000, int64(i))
+	}
+}
+
+func BenchmarkQuery1000(b *testing.B) {
+	var tr Tree
+	for i := int64(0); i < 1_000_000; i++ {
+		tr.Insert(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := int64(i*7919) % 999000
+		tr.Count(k, k+1000)
+	}
+}

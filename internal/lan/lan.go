@@ -1,0 +1,540 @@
+// Package lan is a discrete-event model of the paper's experimental testbed:
+// a cluster of commodity servers on a gigabit Ethernet switch.
+//
+// The model captures the four resources that shape every result in the
+// paper's evaluation sections:
+//
+//   - link bandwidth: each NIC is full-duplex with separate in/out
+//     serialization queues; ip-multicast is replicated by the switch, so a
+//     multicast sender pays the frame once while a unicast one-to-many
+//     sender pays it once per receiver;
+//   - socket buffers: datagrams arriving at a full receive buffer are
+//     dropped (packet loss); TCP-like channels instead apply backpressure
+//     through a bounded in-flight window;
+//   - CPU: each node processes sends and receives serially at a configurable
+//     per-message + per-byte cost, which is what saturates a Paxos
+//     coordinator before the wire does;
+//   - disk: synchronous stable-storage writes are bounded by a sequential
+//     device bandwidth.
+//
+// Defaults are calibrated to the paper's hardware (1 Gbps, 0.1 ms RTT,
+// ~270 Mbps effective synchronous write bandwidth).
+package lan
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Config holds cluster-wide resource parameters. The zero value is not
+// useful; start from DefaultConfig.
+type Config struct {
+	// Bandwidth is the NIC capacity in bits per second, per direction.
+	Bandwidth float64
+	// Latency is the one-way wire propagation delay (RTT/2).
+	Latency time.Duration
+	// UDPBuf is the per-node datagram receive buffer in bytes. Frames
+	// arriving while the buffer is full are dropped.
+	UDPBuf int
+	// TCPBuf is the per-connection window in bytes for reliable channels.
+	TCPBuf int
+	// CPUPerMsg is the fixed processing cost charged for each message sent
+	// or received (system call + protocol handling).
+	CPUPerMsg time.Duration
+	// CPUPerByte is the variable processing cost per payload byte.
+	CPUPerByte time.Duration
+	// DiskBandwidth is the sequential synchronous write bandwidth in bits
+	// per second.
+	DiskBandwidth float64
+	// DiskLatency is the fixed per-write latency (command overhead).
+	DiskLatency time.Duration
+	// LossRate is an additional random drop probability applied to every
+	// datagram (UDP/multicast) delivery, on top of buffer-overflow drops.
+	// Used by failure-injection tests; 0 in calibrated benchmarks.
+	LossRate float64
+}
+
+// DefaultConfig returns parameters calibrated to the dissertation's testbed:
+// Dell SC1435 nodes on a gigabit HP ProCurve switch with 0.1 ms RTT and
+// OCZ-VERTEX3 SSDs that sustain roughly 270 Mbps of synchronous writes.
+func DefaultConfig() Config {
+	return Config{
+		Bandwidth:     1e9,
+		Latency:       50 * time.Microsecond,
+		UDPBuf:        16 << 20,
+		TCPBuf:        32 << 20,
+		CPUPerMsg:     2 * time.Microsecond,
+		CPUPerByte:    1 * time.Nanosecond,
+		DiskBandwidth: 270e6,
+		DiskLatency:   60 * time.Microsecond,
+	}
+}
+
+// NodeConfig scales one node's resources relative to the cluster Config,
+// which is how the Chapter 7 heterogeneous (cloud) deployments are modeled.
+type NodeConfig struct {
+	// CPUScale multiplies the node's processing speed (0.5 = half as fast).
+	CPUScale float64
+	// BandwidthScale multiplies the node's NIC capacity.
+	BandwidthScale float64
+	// Cores is the number of CPU cores (default 1). Message handling runs
+	// on core 0; WorkOn schedules execution work on a chosen core, which
+	// is how P-SMR's parallel workers are modeled (Chapter 6).
+	Cores int
+}
+
+// Stats aggregates a node's traffic counters.
+type Stats struct {
+	MsgsSent     int64
+	BytesSent    int64
+	MsgsRecv     int64
+	BytesRecv    int64
+	MsgsDropped  int64
+	BytesDropped int64
+	DiskBytes    int64
+	DiskWrites   int64
+}
+
+// LAN is a simulated cluster. Create one with New, add nodes, subscribe
+// multicast groups, then Start and Run.
+type LAN struct {
+	Sim    *sim.Simulator
+	cfg    Config
+	nodes  map[proto.NodeID]*Node
+	groups map[proto.GroupID]map[proto.NodeID]bool
+}
+
+// New creates an empty cluster with the given parameters and seed.
+func New(cfg Config, seed int64) *LAN {
+	return &LAN{
+		Sim:    sim.New(seed),
+		cfg:    cfg,
+		nodes:  make(map[proto.NodeID]*Node),
+		groups: make(map[proto.GroupID]map[proto.NodeID]bool),
+	}
+}
+
+// Config returns the cluster-wide parameters.
+func (l *LAN) Config() Config { return l.cfg }
+
+// AddNode installs handler h on a new node. It panics if id already exists
+// (a configuration bug, not a runtime condition).
+func (l *LAN) AddNode(id proto.NodeID, h proto.Handler) *Node {
+	return l.AddNodeWithConfig(id, h, NodeConfig{CPUScale: 1, BandwidthScale: 1})
+}
+
+// AddNodeWithConfig installs handler h on a new node with scaled resources.
+func (l *LAN) AddNodeWithConfig(id proto.NodeID, h proto.Handler, nc NodeConfig) *Node {
+	if _, ok := l.nodes[id]; ok {
+		panic(fmt.Sprintf("lan: duplicate node %d", id))
+	}
+	if nc.CPUScale <= 0 {
+		nc.CPUScale = 1
+	}
+	if nc.BandwidthScale <= 0 {
+		nc.BandwidthScale = 1
+	}
+	if nc.Cores <= 0 {
+		nc.Cores = 1
+	}
+	n := &Node{
+		id:       id,
+		lan:      l,
+		handler:  h,
+		nc:       nc,
+		coreFree: make([]time.Duration, nc.Cores),
+		conns:    make(map[proto.NodeID]*conn),
+	}
+	l.nodes[id] = n
+	return n
+}
+
+// Node returns the node with the given id, or nil.
+func (l *LAN) Node(id proto.NodeID) *Node { return l.nodes[id] }
+
+// Nodes returns the number of nodes.
+func (l *LAN) Nodes() int { return len(l.nodes) }
+
+// Subscribe adds node id to multicast group g.
+func (l *LAN) Subscribe(g proto.GroupID, id proto.NodeID) {
+	set := l.groups[g]
+	if set == nil {
+		set = make(map[proto.NodeID]bool)
+		l.groups[g] = set
+	}
+	set[id] = true
+}
+
+// Unsubscribe removes node id from multicast group g.
+func (l *LAN) Unsubscribe(g proto.GroupID, id proto.NodeID) {
+	delete(l.groups[g], id)
+}
+
+// members returns group g's subscribers in ascending id order, so multicast
+// fan-out is deterministic.
+func (l *LAN) members(g proto.GroupID) []proto.NodeID {
+	set := l.groups[g]
+	ids := make([]proto.NodeID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Start invokes every handler's Start callback. Call once, before Run.
+func (l *LAN) Start() {
+	// Deterministic order: ascending node id.
+	ids := make([]proto.NodeID, 0, len(l.nodes))
+	for id := range l.nodes {
+		ids = append(ids, id)
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	for _, id := range ids {
+		n := l.nodes[id]
+		n.handler.Start(n)
+	}
+}
+
+// Run advances the simulation by d of virtual time.
+func (l *LAN) Run(d time.Duration) {
+	l.Sim.RunUntil(l.Sim.Now() + d)
+}
+
+// Node is one simulated machine. It implements proto.Env for its handler.
+type Node struct {
+	id      proto.NodeID
+	lan     *LAN
+	handler proto.Handler
+	nc      NodeConfig
+
+	down bool
+
+	outFree  time.Duration   // instant the out-link becomes idle
+	inFree   time.Duration   // instant the in-link becomes idle
+	coreFree []time.Duration // instant each CPU core becomes idle
+	cpuBusy  time.Duration   // accumulated CPU busy time, all cores
+	diskFree time.Duration   // instant the disk becomes idle
+
+	udpQueued    int // bytes in the datagram receive buffer
+	udpQueuedMax int
+
+	conns map[proto.NodeID]*conn
+
+	stats Stats
+}
+
+var _ proto.Env = (*Node)(nil)
+
+// conn models one reliable FIFO channel with a bounded in-flight window.
+type conn struct {
+	from, to *Node
+	queue    []proto.Message
+	inflight int
+}
+
+// ID implements proto.Env.
+func (n *Node) ID() proto.NodeID { return n.id }
+
+// Now implements proto.Env.
+func (n *Node) Now() time.Duration { return n.lan.Sim.Now() }
+
+// Rand implements proto.Env.
+func (n *Node) Rand() *rand.Rand { return n.lan.Sim.Rand() }
+
+// Stats returns a copy of the node's traffic counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// CPUBusy returns total CPU busy time accumulated so far.
+func (n *Node) CPUBusy() time.Duration { return n.cpuBusy }
+
+// BufferPeak returns the high-water mark of the datagram receive buffer.
+func (n *Node) BufferPeak() int { return n.udpQueuedMax }
+
+// BufferQueued returns the bytes currently queued in the datagram buffer.
+func (n *Node) BufferQueued() int { return n.udpQueued }
+
+// SetDown marks the node crashed (true) or recovered (false). A down node
+// sends nothing and silently discards everything addressed to it.
+func (n *Node) SetDown(down bool) { n.down = down }
+
+// Down reports whether the node is crashed.
+func (n *Node) Down() bool { return n.down }
+
+// Handler returns the installed protocol actor.
+func (n *Node) Handler() proto.Handler { return n.handler }
+
+func (n *Node) bandwidth() float64 {
+	return n.lan.cfg.Bandwidth * n.nc.BandwidthScale
+}
+
+// cpuCost returns the processing cost of a message of the given size on
+// this node's CPU.
+func (n *Node) cpuCost(size int) time.Duration {
+	c := n.lan.cfg.CPUPerMsg + time.Duration(size)*n.lan.cfg.CPUPerByte
+	return time.Duration(float64(c) / n.nc.CPUScale)
+}
+
+// reserveCPU books d of CPU on core 0 (the message-handling core) starting
+// no earlier than from, and returns the instant the booking completes.
+func (n *Node) reserveCPU(from, d time.Duration) time.Duration {
+	return n.reserveCore(0, from, d)
+}
+
+// reserveCore books d of CPU on the given core.
+func (n *Node) reserveCore(core int, from, d time.Duration) time.Duration {
+	if core < 0 || core >= len(n.coreFree) {
+		core = 0
+	}
+	start := max(from, n.coreFree[core])
+	n.coreFree[core] = start + d
+	n.cpuBusy += d
+	return n.coreFree[core]
+}
+
+// txTime returns the serialization delay of size bytes on a link of bw bits/s.
+func txTime(size int, bw float64) time.Duration {
+	return time.Duration(float64(size) * 8 / bw * float64(time.Second))
+}
+
+// transmitTo serializes a frame from n toward dst and returns the instant
+// the last bit clears dst's in-link. Sending CPU is charged on n.
+// payOut controls whether n's out-link is charged (multicast pays it once
+// for the whole group, before calling transmitTo per receiver).
+func (n *Node) transmitTo(dst *Node, size int, payOut bool) time.Duration {
+	now := n.lan.Sim.Now()
+	cpuDone := n.reserveCPU(now, n.cpuCost(size))
+	var outDone time.Duration
+	if payOut {
+		start := max(cpuDone, n.outFree)
+		n.outFree = start + txTime(size, n.bandwidth())
+		outDone = n.outFree
+	} else {
+		outDone = max(cpuDone, n.outFree)
+	}
+	arrive := outDone + n.lan.cfg.Latency
+	rxStart := max(arrive, dst.inFree)
+	dst.inFree = rxStart + txTime(size, dst.bandwidth())
+	return dst.inFree
+}
+
+// Send implements proto.Env: reliable FIFO channel with windowed
+// backpressure (TCP).
+func (n *Node) Send(to proto.NodeID, m proto.Message) {
+	if n.down {
+		return
+	}
+	dst := n.lan.nodes[to]
+	if dst == nil {
+		return
+	}
+	if dst == n {
+		n.deliverLocal(m)
+		return
+	}
+	c := n.conns[to]
+	if c == nil {
+		c = &conn{from: n, to: dst}
+		n.conns[to] = c
+	}
+	c.queue = append(c.queue, m)
+	n.pump(c)
+}
+
+// pump transmits queued messages on c while window space is available.
+func (n *Node) pump(c *conn) {
+	for len(c.queue) > 0 {
+		m := c.queue[0]
+		size := m.Size()
+		if c.inflight > 0 && c.inflight+size > n.lan.cfg.TCPBuf {
+			return // window full; resumes on ack
+		}
+		c.queue = c.queue[1:]
+		c.inflight += size
+		n.stats.MsgsSent++
+		n.stats.BytesSent += int64(size)
+		rxEnd := n.transmitTo(c.to, size, true)
+		dst, src := c.to, n
+		n.lan.Sim.At(rxEnd, func() {
+			if dst.down {
+				// Connection to a dead peer: window space never frees;
+				// messages already sent are lost.
+				return
+			}
+			dst.stats.MsgsRecv++
+			dst.stats.BytesRecv += int64(size)
+			done := dst.reserveCPU(rxEnd, dst.cpuCost(size))
+			dst.lan.Sim.At(done, func() {
+				if dst.down {
+					return
+				}
+				dst.handler.Receive(src.id, m)
+				// Ack travels back; window space frees at the sender.
+				ack := dst.lan.Sim.Now() + dst.lan.cfg.Latency
+				dst.lan.Sim.At(ack, func() {
+					c.inflight -= size
+					if !src.down {
+						src.pump(c)
+					}
+				})
+			})
+		})
+	}
+}
+
+// SendUDP implements proto.Env: lossy datagram.
+func (n *Node) SendUDP(to proto.NodeID, m proto.Message) {
+	if n.down {
+		return
+	}
+	dst := n.lan.nodes[to]
+	if dst == nil {
+		return
+	}
+	n.stats.MsgsSent++
+	n.stats.BytesSent += int64(m.Size())
+	if dst == n {
+		n.deliverLocal(m)
+		return
+	}
+	rxEnd := n.transmitTo(dst, m.Size(), true)
+	n.lan.Sim.At(rxEnd, func() { dst.datagramArrive(n.id, m) })
+}
+
+// Multicast implements proto.Env: switch-replicated datagram. The sender's
+// out-link carries the frame once; each subscriber's in-link carries it.
+func (n *Node) Multicast(g proto.GroupID, m proto.Message) {
+	if n.down {
+		return
+	}
+	size := m.Size()
+	n.stats.MsgsSent++
+	n.stats.BytesSent += int64(size)
+	// The frame leaves the sender once, after CPU cost.
+	now := n.lan.Sim.Now()
+	cpuDone := n.reserveCPU(now, n.cpuCost(size))
+	start := max(cpuDone, n.outFree)
+	n.outFree = start + txTime(size, n.bandwidth())
+	departure := n.outFree
+
+	for _, id := range n.lan.members(g) {
+		dst := n.lan.nodes[id]
+		if dst == nil {
+			continue
+		}
+		if dst == n {
+			n.deliverLocal(m)
+			continue
+		}
+		arrive := departure + n.lan.cfg.Latency
+		rxStart := max(arrive, dst.inFree)
+		dst.inFree = rxStart + txTime(size, dst.bandwidth())
+		rxEnd := dst.inFree
+		src := n.id
+		n.lan.Sim.At(rxEnd, func() { dst.datagramArrive(src, m) })
+	}
+}
+
+// datagramArrive applies the receive-buffer admission test and, if the frame
+// is admitted, schedules handler processing on the CPU.
+func (n *Node) datagramArrive(from proto.NodeID, m proto.Message) {
+	if n.down {
+		return
+	}
+	size := m.Size()
+	if n.lan.cfg.LossRate > 0 && n.lan.Sim.Rand().Float64() < n.lan.cfg.LossRate {
+		n.stats.MsgsDropped++
+		n.stats.BytesDropped += int64(size)
+		return
+	}
+	if n.udpQueued+size > n.lan.cfg.UDPBuf {
+		n.stats.MsgsDropped++
+		n.stats.BytesDropped += int64(size)
+		return
+	}
+	n.stats.MsgsRecv++
+	n.stats.BytesRecv += int64(size)
+	n.udpQueued += size
+	if n.udpQueued > n.udpQueuedMax {
+		n.udpQueuedMax = n.udpQueued
+	}
+	done := n.reserveCPU(n.lan.Sim.Now(), n.cpuCost(size))
+	n.lan.Sim.At(done, func() {
+		n.udpQueued -= size
+		if n.down {
+			return
+		}
+		n.handler.Receive(from, m)
+	})
+}
+
+// deliverLocal hands a self-addressed message to the handler, paying CPU
+// but no network resources (loopback).
+func (n *Node) deliverLocal(m proto.Message) {
+	done := n.reserveCPU(n.lan.Sim.Now(), n.cpuCost(m.Size()))
+	n.lan.Sim.At(done, func() {
+		if n.down {
+			return
+		}
+		n.handler.Receive(n.id, m)
+	})
+}
+
+// After implements proto.Env. Timer callbacks keep firing while the node is
+// down — SetDown models a frozen/partitioned process whose I/O is suppressed
+// (Send/Multicast/receive are all gated on down), so periodic protocol
+// timers resume their work transparently at recovery.
+func (n *Node) After(d time.Duration, fn func()) proto.Timer {
+	t := n.lan.Sim.After(d, fn)
+	return timerAdapter{t}
+}
+
+type timerAdapter struct{ t sim.Timer }
+
+func (a timerAdapter) Cancel() { a.t.Cancel() }
+
+// Work implements proto.Env: occupy core 0 for d, then run fn.
+func (n *Node) Work(d time.Duration, fn func()) {
+	n.WorkOn(0, d, fn)
+}
+
+// WorkOn occupies the given core for d, then runs fn. P-SMR workers each
+// own a core.
+func (n *Node) WorkOn(core int, d time.Duration, fn func()) {
+	d = time.Duration(float64(d) / n.nc.CPUScale)
+	done := n.reserveCore(core, n.lan.Sim.Now(), d)
+	n.lan.Sim.At(done, func() {
+		if n.down {
+			return
+		}
+		fn()
+	})
+}
+
+// DiskWrite implements proto.Env: synchronous sequential write of size
+// bytes, then fn. Writes queue behind each other on the device.
+func (n *Node) DiskWrite(size int, fn func()) {
+	cfg := n.lan.cfg
+	d := cfg.DiskLatency + txTime(size, cfg.DiskBandwidth)
+	start := max(n.lan.Sim.Now(), n.diskFree)
+	n.diskFree = start + d
+	n.stats.DiskBytes += int64(size)
+	n.stats.DiskWrites++
+	n.lan.Sim.At(n.diskFree, func() {
+		if n.down {
+			return
+		}
+		fn()
+	})
+}

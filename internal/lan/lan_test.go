@@ -1,0 +1,299 @@
+package lan
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// sink counts received messages and bytes.
+type sink struct {
+	msgs  int
+	bytes int
+}
+
+func (s *sink) Start(proto.Env) {}
+func (s *sink) Receive(_ proto.NodeID, m proto.Message) {
+	s.msgs++
+	s.bytes += m.Size()
+}
+
+// sender pushes packets of a given size at a fixed interval.
+type sender struct {
+	env      proto.Env
+	to       []proto.NodeID
+	group    proto.GroupID
+	useMcast bool
+	size     int
+	interval time.Duration
+	stop     time.Duration
+}
+
+func (s *sender) Start(env proto.Env) {
+	s.env = env
+	s.tick()
+}
+
+func (s *sender) tick() {
+	if s.env.Now() >= s.stop {
+		return
+	}
+	m := proto.Raw{Bytes: s.size}
+	if s.useMcast {
+		s.env.Multicast(s.group, m)
+	} else {
+		for _, to := range s.to {
+			s.env.SendUDP(to, m)
+		}
+	}
+	s.env.After(s.interval, s.tick)
+}
+
+func (s *sender) Receive(proto.NodeID, proto.Message) {}
+
+func TestUnicastSharesOutgoingBandwidth(t *testing.T) {
+	// One sender saturating its 1 Gbps out-link toward 4 receivers via
+	// unicast: each receiver should see ~1/4 of the wire.
+	cfg := DefaultConfig()
+	l := New(cfg, 1)
+	const nRecv = 4
+	recvs := make([]*sink, nRecv)
+	var ids []proto.NodeID
+	for i := 0; i < nRecv; i++ {
+		recvs[i] = &sink{}
+		id := proto.NodeID(i + 1)
+		l.AddNode(id, recvs[i])
+		ids = append(ids, id)
+	}
+	// 8 KB every 64 µs per receiver would be 1 Gbps per receiver; the
+	// out-link forces them to share.
+	l.AddNode(0, &sender{to: ids, size: 8192, interval: 64 * time.Microsecond, stop: time.Second})
+	l.Start()
+	l.Run(time.Second)
+
+	for i, r := range recvs {
+		gbps := float64(r.bytes) * 8 / 1e9
+		if gbps < 0.15 || gbps > 0.30 {
+			t.Errorf("receiver %d got %.3f Gbps, want ~0.25", i, gbps)
+		}
+	}
+}
+
+func TestMulticastConstantPerReceiver(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, nRecv := range []int{2, 8, 16} {
+		l := New(cfg, 1)
+		recvs := make([]*sink, nRecv)
+		for i := 0; i < nRecv; i++ {
+			recvs[i] = &sink{}
+			id := proto.NodeID(i + 1)
+			l.AddNode(id, recvs[i])
+			l.Subscribe(1, id)
+		}
+		// 8 KB every 80 µs = ~820 Mbps offered.
+		l.AddNode(0, &sender{useMcast: true, group: 1, size: 8192, interval: 80 * time.Microsecond, stop: time.Second})
+		l.Start()
+		l.Run(time.Second)
+		for i, r := range recvs {
+			mbps := float64(r.bytes) * 8 / 1e6
+			if mbps < 700 {
+				t.Errorf("n=%d receiver %d got %.0f Mbps, want ~800", nRecv, i, mbps)
+			}
+		}
+	}
+}
+
+func TestDatagramBufferOverflowDrops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UDPBuf = 16 << 10 // tiny buffer
+	l := New(cfg, 1)
+	r := &sink{}
+	// Receiver CPU far too slow to drain the offered load.
+	l.AddNodeWithConfig(1, r, NodeConfig{CPUScale: 0.01, BandwidthScale: 1})
+	l.AddNode(0, &sender{to: []proto.NodeID{1}, size: 8192, interval: 70 * time.Microsecond, stop: 100 * time.Millisecond})
+	l.Start()
+	l.Run(200 * time.Millisecond)
+	if l.Node(1).Stats().MsgsDropped == 0 {
+		t.Fatal("expected drops with overloaded tiny buffer, got none")
+	}
+}
+
+// tcpSender floods a peer over the reliable channel.
+type tcpSender struct {
+	env   proto.Env
+	to    proto.NodeID
+	size  int
+	count int
+}
+
+func (s *tcpSender) Start(env proto.Env) {
+	s.env = env
+	for i := 0; i < s.count; i++ {
+		env.Send(s.to, proto.Raw{Bytes: s.size})
+	}
+}
+func (s *tcpSender) Receive(proto.NodeID, proto.Message) {}
+
+func TestTCPNoLossAndFIFO(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TCPBuf = 64 << 10
+	l := New(cfg, 1)
+	var got []int64
+	r := &proto.HandlerFunc{OnReceive: func(_ proto.NodeID, m proto.Message) {
+		got = append(got, m.(proto.Raw).Tag)
+	}}
+	l.AddNode(1, r)
+	snd := l.AddNode(0, &proto.HandlerFunc{OnStart: func(env proto.Env) {
+		for i := 0; i < 500; i++ {
+			env.Send(1, proto.Raw{Bytes: 8192, Tag: int64(i)})
+		}
+	}})
+	l.Start()
+	l.Run(5 * time.Second)
+	if len(got) != 500 {
+		t.Fatalf("received %d of 500 reliable messages", len(got))
+	}
+	for i, tag := range got {
+		if tag != int64(i) {
+			t.Fatalf("FIFO violated at %d: tag %d", i, tag)
+		}
+	}
+	if snd.Stats().MsgsDropped != 0 || l.Node(1).Stats().MsgsDropped != 0 {
+		t.Fatal("reliable channel dropped messages")
+	}
+}
+
+func TestTCPWindowLimitsThroughput(t *testing.T) {
+	// With a small window, throughput ~ window/RTT << bandwidth.
+	run := func(window int) float64 {
+		cfg := DefaultConfig()
+		cfg.TCPBuf = window
+		l := New(cfg, 1)
+		r := &sink{}
+		l.AddNode(1, r)
+		l.AddNode(0, &tcpSender{to: 1, size: 8 << 10, count: 20000})
+		l.Start()
+		l.Run(time.Second)
+		return float64(r.bytes) * 8 / 1e6 // Mbps over 1s
+	}
+	small := run(8 << 10)
+	big := run(16 << 20)
+	if small >= big/2 {
+		t.Fatalf("small window %f Mbps not much slower than big %f Mbps", small, big)
+	}
+	if big < 700 {
+		t.Fatalf("big window only reached %f Mbps", big)
+	}
+}
+
+func TestDiskSerializesWrites(t *testing.T) {
+	cfg := DefaultConfig()
+	l := New(cfg, 1)
+	var done []time.Duration
+	n := l.AddNode(0, &proto.HandlerFunc{OnStart: func(env proto.Env) {
+		for i := 0; i < 10; i++ {
+			env.DiskWrite(32<<10, func() { done = append(done, env.Now()) })
+		}
+	}})
+	l.Start()
+	l.Run(time.Second)
+	if len(done) != 10 {
+		t.Fatalf("%d of 10 writes completed", len(done))
+	}
+	per := cfg.DiskLatency + txTime(32<<10, cfg.DiskBandwidth)
+	want := 10 * per
+	if got := done[9]; got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Fatalf("10 serialized writes finished at %v, want ~%v", got, want)
+	}
+	if n.Stats().DiskWrites != 10 {
+		t.Fatalf("DiskWrites=%d", n.Stats().DiskWrites)
+	}
+}
+
+func TestDownNodeDropsTraffic(t *testing.T) {
+	l := New(DefaultConfig(), 1)
+	r := &sink{}
+	l.AddNode(1, r)
+	l.AddNode(0, &sender{to: []proto.NodeID{1}, size: 1024, interval: time.Millisecond, stop: 100 * time.Millisecond})
+	l.Start()
+	l.Run(20 * time.Millisecond)
+	atCrash := r.msgs
+	l.Node(1).SetDown(true)
+	l.Run(80 * time.Millisecond)
+	if r.msgs != atCrash {
+		t.Fatalf("down node delivered %d extra messages", r.msgs-atCrash)
+	}
+	if atCrash == 0 {
+		t.Fatal("sanity: nothing delivered before crash")
+	}
+}
+
+func TestWorkOccupiesCPU(t *testing.T) {
+	l := New(DefaultConfig(), 1)
+	var t1, t2 time.Duration
+	n := l.AddNode(0, &proto.HandlerFunc{OnStart: func(env proto.Env) {
+		env.Work(10*time.Millisecond, func() { t1 = env.Now() })
+		env.Work(5*time.Millisecond, func() { t2 = env.Now() })
+	}})
+	l.Start()
+	l.Run(time.Second)
+	if t1 != 10*time.Millisecond || t2 != 15*time.Millisecond {
+		t.Fatalf("work completions at %v, %v; want 10ms, 15ms", t1, t2)
+	}
+	if n.CPUBusy() != 15*time.Millisecond {
+		t.Fatalf("CPUBusy=%v, want 15ms", n.CPUBusy())
+	}
+}
+
+func TestCPUScaleSlowsNode(t *testing.T) {
+	l := New(DefaultConfig(), 1)
+	var slow, fast time.Duration
+	l.AddNodeWithConfig(0, &proto.HandlerFunc{OnStart: func(env proto.Env) {
+		env.Work(10*time.Millisecond, func() { slow = env.Now() })
+	}}, NodeConfig{CPUScale: 0.5, BandwidthScale: 1})
+	l.AddNode(1, &proto.HandlerFunc{OnStart: func(env proto.Env) {
+		env.Work(10*time.Millisecond, func() { fast = env.Now() })
+	}})
+	l.Start()
+	l.Run(time.Second)
+	if fast != 10*time.Millisecond || slow != 20*time.Millisecond {
+		t.Fatalf("fast=%v slow=%v", fast, slow)
+	}
+}
+
+func TestMulticastSelfDelivery(t *testing.T) {
+	l := New(DefaultConfig(), 1)
+	got := 0
+	l.AddNode(0, &proto.HandlerFunc{
+		OnStart:   func(env proto.Env) { env.Multicast(1, proto.Raw{Bytes: 100}) },
+		OnReceive: func(proto.NodeID, proto.Message) { got++ },
+	})
+	l.Subscribe(1, 0)
+	l.Start()
+	l.Run(time.Second)
+	if got != 1 {
+		t.Fatalf("self multicast delivered %d times", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		l := New(DefaultConfig(), 99)
+		s1 := &sink{}
+		s2 := &sink{}
+		l.AddNode(1, s1)
+		l.AddNode(2, s2)
+		l.Subscribe(5, 1)
+		l.Subscribe(5, 2)
+		l.AddNode(0, &sender{useMcast: true, group: 5, size: 4096, interval: 40 * time.Microsecond, stop: 300 * time.Millisecond})
+		l.Start()
+		l.Run(400 * time.Millisecond)
+		return l.Node(1).Stats().BytesRecv, l.Node(2).Stats().BytesRecv
+	}
+	a1, a2 := run()
+	b1, b2 := run()
+	if a1 != b1 || a2 != b2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", a1, a2, b1, b2)
+	}
+}

@@ -1,0 +1,327 @@
+// Package multiring implements Multi-Ring Paxos (Chapter 5, DSN 2012): an
+// atomic multicast built from independent M-Ring Paxos instances, one per
+// group, coordinated by three parameters:
+//
+//   - λ: the maximum expected consensus rate of any ring; a ring whose rate
+//     falls below λ proposes skip instances to keep pace,
+//   - ∆: the sampling interval at which each coordinator compares its rate
+//     µ to λ and proposes skips,
+//   - M: how many consecutive consensus instances a learner consumes from
+//     one ring before moving to the next during deterministic merge.
+//
+// Learners that subscribe to multiple groups interleave the rings'
+// decisions with a deterministic round-robin merge in group-id order, which
+// yields the uniform partial order of atomic multicast.
+package multiring
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/ringpaxos"
+)
+
+// RingMsg wraps an M-Ring Paxos message with its ring id so several rings
+// can share nodes (Chapter 5: "machines can be shared among rings").
+type RingMsg struct {
+	Ring  int
+	Inner proto.Message
+}
+
+// Size implements proto.Message.
+func (m RingMsg) Size() int { return 4 + m.Inner.Size() }
+
+// skipMark is the payload of a skip batch: it stands for N consecutive
+// empty consensus instances.
+type skipMark struct{ N int64 }
+
+// SkipBatch builds the batch a coordinator proposes to represent n skipped
+// instances in a single consensus execution.
+func SkipBatch(n int64) core.Batch {
+	return core.Batch{Vals: []core.Value{{ID: -1, Bytes: 16, Payload: skipMark{N: n}}}}
+}
+
+// skipCount returns the number of virtual instances a batch stands for:
+// n for a skip batch, 1 otherwise.
+func skipCount(b core.Batch) (int64, bool) {
+	if len(b.Vals) == 1 {
+		if s, ok := b.Vals[0].Payload.(skipMark); ok {
+			return s.N, true
+		}
+	}
+	return 1, false
+}
+
+// ringEnv namespaces an agent's traffic with its ring id.
+type ringEnv struct {
+	proto.Env
+	ring int
+}
+
+func (e ringEnv) Send(to proto.NodeID, m proto.Message) {
+	e.Env.Send(to, RingMsg{Ring: e.ring, Inner: m})
+}
+
+func (e ringEnv) SendUDP(to proto.NodeID, m proto.Message) {
+	e.Env.SendUDP(to, RingMsg{Ring: e.ring, Inner: m})
+}
+
+func (e ringEnv) Multicast(g proto.GroupID, m proto.Message) {
+	e.Env.Multicast(g, RingMsg{Ring: e.ring, Inner: m})
+}
+
+// Node hosts one process's roles across all rings: any number of ring
+// agents (acceptor/coordinator/learner per ring), an optional skip Pacer
+// per coordinated ring, and an optional deterministic Merger when the
+// process learns from one or more groups.
+type Node struct {
+	agents map[int]*ringpaxos.MAgent
+	pacers []*Pacer
+	Merger *Merger
+
+	env proto.Env
+}
+
+var _ proto.Handler = (*Node)(nil)
+
+// NewNode returns an empty multi-ring process.
+func NewNode() *Node {
+	return &Node{agents: make(map[int]*ringpaxos.MAgent)}
+}
+
+// AddRing installs this process's agent for ring id.
+func (n *Node) AddRing(id int, a *ringpaxos.MAgent) {
+	n.agents[id] = a
+	if n.Merger != nil {
+		n.Merger.attach(id, a)
+	}
+}
+
+// AddPacer installs a skip pacer for a ring this node coordinates.
+func (n *Node) AddPacer(p *Pacer) { n.pacers = append(n.pacers, p) }
+
+// SetMerger installs the deterministic merge for the given subscribed ring
+// ids. Call before Start, after AddRing.
+func (n *Node) SetMerger(m *Merger) {
+	n.Merger = m
+	for _, id := range m.rings {
+		if a, ok := n.agents[id]; ok {
+			m.attach(id, a)
+		}
+	}
+}
+
+// Agent returns this node's agent for ring id, or nil.
+func (n *Node) Agent(id int) *ringpaxos.MAgent { return n.agents[id] }
+
+// Start implements proto.Handler.
+func (n *Node) Start(env proto.Env) {
+	n.env = env
+	ids := make([]int, 0, len(n.agents))
+	for id := range n.agents {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		n.agents[id].Start(ringEnv{Env: env, ring: id})
+	}
+	if n.Merger != nil {
+		n.Merger.start(env)
+	}
+	for _, p := range n.pacers {
+		p.start(env)
+	}
+}
+
+// Receive implements proto.Handler: unwraps ring messages and dispatches.
+func (n *Node) Receive(from proto.NodeID, m proto.Message) {
+	rm, ok := m.(RingMsg)
+	if !ok {
+		return
+	}
+	if a, ok := n.agents[rm.Ring]; ok {
+		a.Receive(from, rm.Inner)
+	}
+}
+
+// Pacer implements the coordinator side of Chapter 5, Algorithm 1 (Task 2):
+// every ∆ it compares the ring's consensus rate against λ and proposes one
+// batched skip instance to make up the difference.
+type Pacer struct {
+	// Agent is the coordinator's agent for the paced ring.
+	Agent *ringpaxos.MAgent
+	// Lambda is the expected consensus rate, in instances per second.
+	Lambda float64
+	// Delta is the sampling interval.
+	Delta time.Duration
+
+	env   proto.Env
+	prevK int64
+}
+
+func (p *Pacer) start(env proto.Env) {
+	p.env = env
+	if p.Delta == 0 {
+		p.Delta = time.Millisecond
+	}
+	p.tick()
+}
+
+func (p *Pacer) tick() {
+	p.env.After(p.Delta, func() {
+		// µ = real instances started since the previous tick. prevK is
+		// resampled after proposing the skip so the skip instance itself
+		// never counts toward the next interval's rate.
+		mu := p.Agent.InstancesStarted() - p.prevK
+		target := int64(p.Lambda * p.Delta.Seconds())
+		if mu < target {
+			p.Agent.ProposeBatch(SkipBatch(target - mu))
+		}
+		p.prevK = p.Agent.InstancesStarted()
+		p.tick()
+	})
+}
+
+// Merger performs the deterministic merge of Chapter 5, Algorithm 1
+// (Task 4): in ascending group order, consume M consensus instances from
+// each subscribed ring, delivering application values and skipping skip
+// instances; block whenever the current ring has nothing decided yet.
+type Merger struct {
+	// M is the number of consecutive instances taken per ring per turn.
+	M int64
+	// ExecCost is the per-value processing cost at this learner.
+	ExecCost time.Duration
+	// Deliver receives every application value in merged order.
+	Deliver core.DeliverFunc
+
+	rings  []int
+	queues map[int][]token
+	cur    int
+	budget int64
+	busy   bool
+
+	env proto.Env
+
+	// DeliveredBytes/DeliveredMsgs count application payload delivered.
+	DeliveredBytes int64
+	DeliveredMsgs  int64
+	LatencySum     time.Duration
+	LatencyCount   int64
+	// ReceivedBytes counts payload received per ring before merging.
+	ReceivedBytes map[int]int64
+}
+
+type token struct {
+	n   int64 // virtual instances remaining
+	val core.Batch
+}
+
+// NewMerger creates a merger over the given subscribed ring ids.
+func NewMerger(rings []int, m int64) *Merger {
+	sorted := append([]int(nil), rings...)
+	sort.Ints(sorted)
+	if m <= 0 {
+		m = 1
+	}
+	return &Merger{
+		M:             m,
+		rings:         sorted,
+		queues:        make(map[int][]token),
+		budget:        m,
+		ReceivedBytes: make(map[int]int64),
+	}
+}
+
+func (mg *Merger) attach(ring int, a *ringpaxos.MAgent) {
+	a.DeliverBatch = func(_ int64, b core.Batch) { mg.Push(ring, b) }
+}
+
+func (mg *Merger) start(env proto.Env) { mg.env = env }
+
+// Start binds the merger to an environment. Deployments that wire mergers
+// manually (P-SMR fans one ring out to several workers) call it directly;
+// Node.SetMerger does it automatically.
+func (mg *Merger) Start(env proto.Env) { mg.start(env) }
+
+// Push feeds one decided consensus instance from ring into the merge.
+// Instances must be pushed in each ring's decision order.
+func (mg *Merger) Push(ring int, b core.Batch) {
+	n, isSkip := skipCount(b)
+	if isSkip {
+		b = core.Batch{}
+	} else {
+		mg.ReceivedBytes[ring] += int64(b.Size())
+	}
+	mg.queues[ring] = append(mg.queues[ring], token{n: n, val: b})
+	mg.drain()
+}
+
+// Buffered returns the number of buffered (not yet merged) tokens across
+// rings — the learner buffer whose overflow the λ experiments provoke.
+func (mg *Merger) Buffered() int {
+	n := 0
+	for _, q := range mg.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// drain advances the merge as far as possible; value-carrying tokens pass
+// through the node's CPU at ExecCost per value.
+func (mg *Merger) drain() {
+	if mg.busy {
+		return
+	}
+	for {
+		ring := mg.rings[mg.cur]
+		q := mg.queues[ring]
+		if len(q) == 0 {
+			return // block until the current ring makes progress
+		}
+		t := q[0]
+		use := t.n
+		if use > mg.budget {
+			use = mg.budget
+		}
+		t.n -= use
+		mg.budget -= use
+		if t.n == 0 {
+			mg.queues[ring] = q[1:]
+		} else {
+			q[0] = t
+		}
+		if mg.budget == 0 {
+			mg.cur = (mg.cur + 1) % len(mg.rings)
+			mg.budget = mg.M
+		}
+		if len(t.val.Vals) > 0 && t.n == 0 {
+			if mg.ExecCost > 0 {
+				mg.busy = true
+				b := t.val
+				mg.env.Work(time.Duration(len(b.Vals))*mg.ExecCost, func() {
+					mg.busy = false
+					mg.deliverBatch(b)
+					mg.drain()
+				})
+				return
+			}
+			mg.deliverBatch(t.val)
+		}
+	}
+}
+
+func (mg *Merger) deliverBatch(b core.Batch) {
+	for _, v := range b.Vals {
+		mg.DeliveredBytes += int64(v.Bytes)
+		mg.DeliveredMsgs++
+		if v.Born != 0 {
+			mg.LatencySum += mg.env.Now() - v.Born
+			mg.LatencyCount++
+		}
+		if mg.Deliver != nil {
+			mg.Deliver(0, v)
+		}
+	}
+}

@@ -1,0 +1,507 @@
+// Package paxos implements the basic (multi-instance, optimized) Paxos
+// protocol of the dissertation's Chapter 3, Algorithm 1 and Figure 3.1.
+//
+// The coordinator pre-executes Phase 1 for all instances, pipelines a
+// window of simultaneously open instances, and batches small application
+// values into fixed-size packets, as the dissertation's implementations do.
+// Two wire configurations are supported:
+//
+//   - Multicast: Phase 2A and Decision messages use network-level
+//     ip-multicast while Phase 2B messages are unicast datagrams back to the
+//     coordinator. This is the "Libpaxos" architecture evaluated in §3.5.3:
+//     dissemination is cheap but the coordinator receives one 2B per
+//     acceptor per instance and becomes CPU-bound.
+//   - Unicast: every message is a direct reliable channel, the "PFSB"
+//     architecture of [10].
+//
+// The package also serves as the consensus substrate reused by the SMR and
+// baseline packages; Ring Paxos has its own package (internal/ringpaxos).
+package paxos
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// Config describes one Paxos deployment.
+type Config struct {
+	// Coordinator is the node running the coordinator role (it is also an
+	// acceptor if listed in Acceptors).
+	Coordinator proto.NodeID
+	// Acceptors is the acceptor set; a majority quorum must stay alive.
+	Acceptors []proto.NodeID
+	// Learners receive Decision messages.
+	Learners []proto.NodeID
+	// Multicast selects the ip-multicast wire configuration; Group is the
+	// multicast group to which acceptors and learners must be subscribed.
+	Multicast bool
+	Group     proto.GroupID
+	// Window is the maximum number of simultaneously open instances.
+	Window int
+	// BatchBytes closes a batch once this many payload bytes accumulate.
+	BatchBytes int
+	// BatchDelay closes a non-empty batch after this delay even if not full.
+	BatchDelay time.Duration
+	// Retry is the retransmission timeout for unacknowledged Phase 2A and
+	// for learner gap recovery.
+	Retry time.Duration
+	// DiskSync makes acceptors persist their vote to stable storage before
+	// answering Phase 2A (Recoverable mode, §3.5.5).
+	DiskSync bool
+}
+
+func (c *Config) defaults() {
+	if c.Window == 0 {
+		c.Window = 32
+	}
+	if c.BatchBytes == 0 {
+		c.BatchBytes = 4 << 10
+	}
+	if c.BatchDelay == 0 {
+		c.BatchDelay = 500 * time.Microsecond
+	}
+	if c.Retry == 0 {
+		c.Retry = 20 * time.Millisecond
+	}
+}
+
+// Quorum returns the majority quorum size for the acceptor set.
+func (c Config) Quorum() int { return len(c.Acceptors)/2 + 1 }
+
+const headerBytes = 32 // modeled fixed header size of every protocol message
+
+// Wire messages.
+type (
+	// MsgPropose carries a client value to the coordinator.
+	MsgPropose struct{ V core.Value }
+	// msgPhase1A opens round Rnd on all instances.
+	msgPhase1A struct{ Rnd int64 }
+	// msgPhase1B is an acceptor's promise, carrying its votes for all
+	// undecided instances.
+	msgPhase1B struct {
+		Rnd   int64
+		Votes map[int64]vote
+	}
+	// msgPhase2A proposes Val in instance Inst at round Rnd.
+	msgPhase2A struct {
+		Inst int64
+		Rnd  int64
+		Val  core.Batch
+	}
+	// msgPhase2B is an acceptor's vote.
+	msgPhase2B struct {
+		Inst int64
+		Rnd  int64
+	}
+	// msgDecision announces the decided batch of Inst.
+	msgDecision struct {
+		Inst int64
+		Val  core.Batch
+	}
+	// msgLearnReq asks the coordinator to retransmit decisions from
+	// instance From on (learner gap recovery).
+	msgLearnReq struct{ From int64 }
+)
+
+// Size implements proto.Message.
+func (m MsgPropose) Size() int { return headerBytes + m.V.Bytes }
+func (m msgPhase1A) Size() int { return headerBytes }
+func (m msgPhase1B) Size() int {
+	n := headerBytes
+	for _, v := range m.Votes {
+		n += headerBytes + v.val.Size()
+	}
+	return n
+}
+func (m msgPhase2A) Size() int  { return headerBytes + m.Val.Size() }
+func (m msgPhase2B) Size() int  { return headerBytes }
+func (m msgDecision) Size() int { return headerBytes + m.Val.Size() }
+func (m msgLearnReq) Size() int { return headerBytes }
+
+type vote struct {
+	rnd int64
+	val core.Batch
+}
+
+// coordInst is the coordinator's bookkeeping for one open instance.
+type coordInst struct {
+	rnd     int64
+	val     core.Batch
+	votes   map[proto.NodeID]bool
+	decided bool
+	timer   proto.Timer
+}
+
+// Agent is one Paxos process. Its roles follow from the Config: it acts as
+// coordinator if its node id equals Coordinator, as acceptor if listed in
+// Acceptors, and as learner if listed in Learners. Application values are
+// delivered, in instance order, through the Deliver callback.
+type Agent struct {
+	Cfg     Config
+	Deliver core.DeliverFunc
+	// OnDecide, if set, is invoked on the coordinator when an instance
+	// decides (used by harnesses).
+	OnDecide func(inst int64)
+
+	env proto.Env
+
+	// coordinator state
+	isCoord      bool
+	phase1Done   bool
+	crnd         int64
+	pending      []core.Value
+	pendingBytes int
+	batchTimer   proto.Timer
+	next         int64
+	open         map[int64]*coordInst
+	log          map[int64]core.Batch // decided batches, for retransmission
+	promises     map[proto.NodeID]msgPhase1B
+
+	// acceptor state
+	rnd   int64
+	votes map[int64]vote
+
+	// learner state
+	learned     map[int64]core.Batch
+	nextDeliver int64
+	gapTimer    proto.Timer
+}
+
+var _ proto.Handler = (*Agent)(nil)
+
+// Start implements proto.Handler.
+func (a *Agent) Start(env proto.Env) {
+	a.env = env
+	a.Cfg.defaults()
+	a.open = make(map[int64]*coordInst)
+	a.log = make(map[int64]core.Batch)
+	a.votes = make(map[int64]vote)
+	a.learned = make(map[int64]core.Batch)
+	a.promises = make(map[proto.NodeID]msgPhase1B)
+	if env.ID() == a.Cfg.Coordinator {
+		a.BecomeCoordinator(1)
+	}
+	if a.isLearner() {
+		a.armGapTimer()
+	}
+}
+
+func (a *Agent) isAcceptor() bool {
+	for _, id := range a.Cfg.Acceptors {
+		if id == a.env.ID() {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Agent) isLearner() bool {
+	for _, id := range a.Cfg.Learners {
+		if id == a.env.ID() {
+			return true
+		}
+	}
+	return false
+}
+
+// BecomeCoordinator makes this agent start Phase 1 with a round number
+// unique to it and at least minRound. It is called automatically on the
+// configured coordinator and manually by failover logic and tests.
+func (a *Agent) BecomeCoordinator(minRound int64) {
+	a.isCoord = true
+	a.phase1Done = false
+	a.promises = make(map[proto.NodeID]msgPhase1B)
+	// Rounds are made globally unique by embedding the node id in the low
+	// bits.
+	r := (minRound << 10) | int64(a.env.ID())
+	if r <= a.crnd {
+		r = (((a.crnd >> 10) + 1) << 10) | int64(a.env.ID())
+	}
+	a.crnd = r
+	m := msgPhase1A{Rnd: a.crnd}
+	for _, id := range a.Cfg.Acceptors {
+		a.env.Send(id, m)
+	}
+	a.env.After(a.Cfg.Retry, func() {
+		if a.isCoord && !a.phase1Done {
+			a.BecomeCoordinator(a.crnd >> 10)
+		}
+	})
+}
+
+// Propose submits a value from this node. On the coordinator it enqueues
+// directly; on any other node it forwards to the coordinator.
+func (a *Agent) Propose(v core.Value) {
+	if a.isCoord {
+		a.enqueue(v)
+		return
+	}
+	a.env.Send(a.Cfg.Coordinator, MsgPropose{V: v})
+}
+
+// Receive implements proto.Handler.
+func (a *Agent) Receive(from proto.NodeID, m proto.Message) {
+	switch msg := m.(type) {
+	case MsgPropose:
+		if a.isCoord {
+			a.enqueue(msg.V)
+		}
+	case msgPhase1A:
+		a.onPhase1A(from, msg)
+	case msgPhase1B:
+		a.onPhase1B(from, msg)
+	case msgPhase2A:
+		a.onPhase2A(from, msg)
+	case msgPhase2B:
+		a.onPhase2B(from, msg)
+	case msgDecision:
+		a.onDecision(msg)
+	case msgLearnReq:
+		a.onLearnReq(from, msg)
+	}
+}
+
+// --- coordinator ---
+
+func (a *Agent) enqueue(v core.Value) {
+	a.pending = append(a.pending, v)
+	a.pendingBytes += v.Bytes
+	if a.pendingBytes >= a.Cfg.BatchBytes {
+		a.flush()
+		return
+	}
+	if a.batchTimer == nil {
+		a.batchTimer = a.env.After(a.Cfg.BatchDelay, func() {
+			a.batchTimer = nil
+			a.flush()
+		})
+	}
+}
+
+// flush opens new instances for pending batches while the window allows.
+func (a *Agent) flush() {
+	if !a.isCoord || !a.phase1Done {
+		return
+	}
+	for len(a.pending) > 0 && len(a.open) < a.Cfg.Window {
+		n := 0
+		bytes := 0
+		for n < len(a.pending) && bytes < a.Cfg.BatchBytes {
+			bytes += a.pending[n].Bytes
+			n++
+		}
+		batch := core.Batch{Vals: append([]core.Value(nil), a.pending[:n]...)}
+		a.pending = a.pending[n:]
+		a.pendingBytes -= bytes
+		a.startInstance(batch)
+	}
+}
+
+func (a *Agent) startInstance(b core.Batch) {
+	inst := a.next
+	a.next++
+	ci := &coordInst{rnd: a.crnd, val: b, votes: make(map[proto.NodeID]bool)}
+	a.open[inst] = ci
+	a.sendPhase2A(inst, ci)
+}
+
+func (a *Agent) sendPhase2A(inst int64, ci *coordInst) {
+	m := msgPhase2A{Inst: inst, Rnd: ci.rnd, Val: ci.val}
+	if a.Cfg.Multicast {
+		// Acceptors and learners are subscribed; learners buffer the value
+		// until the decision arrives.
+		a.env.Multicast(a.Cfg.Group, m)
+	} else {
+		for _, id := range a.Cfg.Acceptors {
+			a.env.Send(id, m)
+		}
+	}
+	ci.timer = a.env.After(a.Cfg.Retry, func() {
+		if cur, ok := a.open[inst]; ok && !cur.decided {
+			a.sendPhase2A(inst, cur)
+		}
+	})
+}
+
+func (a *Agent) onPhase1B(from proto.NodeID, m msgPhase1B) {
+	if !a.isCoord || m.Rnd != a.crnd || a.phase1Done {
+		return
+	}
+	a.promises[from] = m
+	if len(a.promises) < a.Cfg.Quorum() {
+		return
+	}
+	a.phase1Done = true
+	// Adopt the highest-round vote per undecided instance; re-propose it.
+	adopt := make(map[int64]vote)
+	for _, p := range a.promises {
+		for inst, v := range p.Votes {
+			if _, done := a.log[inst]; done {
+				continue
+			}
+			if cur, ok := adopt[inst]; !ok || v.rnd > cur.rnd {
+				adopt[inst] = v
+			}
+		}
+	}
+	insts := make([]int64, 0, len(adopt))
+	for inst := range adopt {
+		insts = append(insts, inst)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	for _, inst := range insts {
+		if inst >= a.next {
+			a.next = inst + 1
+		}
+		ci := &coordInst{rnd: a.crnd, val: adopt[inst].val, votes: make(map[proto.NodeID]bool)}
+		a.open[inst] = ci
+		a.sendPhase2A(inst, ci)
+	}
+	a.flush()
+}
+
+func (a *Agent) onPhase2B(from proto.NodeID, m msgPhase2B) {
+	if !a.isCoord {
+		return
+	}
+	ci, ok := a.open[m.Inst]
+	if !ok || ci.decided || m.Rnd != ci.rnd {
+		return
+	}
+	ci.votes[from] = true
+	if len(ci.votes) < a.Cfg.Quorum() {
+		return
+	}
+	ci.decided = true
+	if ci.timer != nil {
+		ci.timer.Cancel()
+	}
+	a.log[m.Inst] = ci.val
+	delete(a.open, m.Inst)
+	dec := msgDecision{Inst: m.Inst, Val: ci.val}
+	if a.Cfg.Multicast {
+		a.env.Multicast(a.Cfg.Group, dec)
+	} else {
+		for _, id := range a.Cfg.Learners {
+			if id == a.env.ID() {
+				continue
+			}
+			a.env.Send(id, dec)
+		}
+	}
+	if a.isLearner() {
+		a.onDecision(dec)
+	}
+	if a.OnDecide != nil {
+		a.OnDecide(m.Inst)
+	}
+	a.flush()
+}
+
+func (a *Agent) onLearnReq(from proto.NodeID, m msgLearnReq) {
+	if !a.isCoord {
+		return
+	}
+	// Retransmit up to a handful of decisions per request to bound load.
+	for inst, sent := m.From, 0; sent < 64; inst, sent = inst+1, sent+1 {
+		b, ok := a.log[inst]
+		if !ok {
+			break
+		}
+		a.env.Send(from, msgDecision{Inst: inst, Val: b})
+	}
+}
+
+// --- acceptor ---
+
+func (a *Agent) onPhase1A(from proto.NodeID, m msgPhase1A) {
+	if !a.isAcceptor() {
+		return
+	}
+	if m.Rnd <= a.rnd {
+		return
+	}
+	a.rnd = m.Rnd
+	reply := msgPhase1B{Rnd: a.rnd, Votes: make(map[int64]vote, len(a.votes))}
+	for inst, v := range a.votes {
+		reply.Votes[inst] = v
+	}
+	a.env.Send(from, reply)
+}
+
+func (a *Agent) onPhase2A(from proto.NodeID, m msgPhase2A) {
+	if a.isLearner() {
+		// Learners buffer proposed values; they learn them on decision.
+		// (Used by speculative delivery in internal/smr.)
+	}
+	if !a.isAcceptor() {
+		return
+	}
+	if m.Rnd < a.rnd {
+		return
+	}
+	a.rnd = m.Rnd
+	a.votes[m.Inst] = vote{rnd: m.Rnd, val: m.Val}
+	send := func() {
+		mb := msgPhase2B{Inst: m.Inst, Rnd: m.Rnd}
+		if a.Cfg.Multicast {
+			a.env.SendUDP(from, mb)
+		} else {
+			a.env.Send(from, mb)
+		}
+	}
+	if a.Cfg.DiskSync {
+		a.env.DiskWrite(m.Val.Size()+headerBytes, send)
+	} else {
+		send()
+	}
+}
+
+// --- learner ---
+
+func (a *Agent) onDecision(m msgDecision) {
+	if !a.isLearner() {
+		return
+	}
+	if m.Inst < a.nextDeliver {
+		return // duplicate
+	}
+	if _, ok := a.learned[m.Inst]; ok {
+		return
+	}
+	a.learned[m.Inst] = m.Val
+	for {
+		b, ok := a.learned[a.nextDeliver]
+		if !ok {
+			break
+		}
+		delete(a.learned, a.nextDeliver)
+		if a.Deliver != nil {
+			for _, v := range b.Vals {
+				a.Deliver(a.nextDeliver, v)
+			}
+		}
+		a.nextDeliver++
+	}
+}
+
+// armGapTimer periodically asks the coordinator for missing decisions.
+func (a *Agent) armGapTimer() {
+	a.gapTimer = a.env.After(a.Cfg.Retry, func() {
+		if len(a.learned) > 0 || a.stalled() {
+			a.env.Send(a.Cfg.Coordinator, msgLearnReq{From: a.nextDeliver})
+		}
+		a.armGapTimer()
+	})
+}
+
+// stalled reports whether this learner might be missing decisions: it is
+// heuristic (a retransmission request for an instance that never existed is
+// simply ignored).
+func (a *Agent) stalled() bool { return true }
+
+// NextDeliver returns the next undelivered instance (learner progress).
+func (a *Agent) NextDeliver() int64 { return a.nextDeliver }

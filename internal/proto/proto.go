@@ -1,0 +1,141 @@
+// Package proto defines the node/message/environment contracts shared by
+// every protocol in this repository.
+//
+// Protocols are written as deterministic event-driven actors: a Handler
+// reacts to messages and timers through single-threaded callbacks and talks
+// to the outside world only through its Env. The same protocol code runs on
+// the discrete-event simulated cluster (internal/lan), used by all paper
+// reproductions, and on the realtime goroutine runtime (package runtime),
+// used by the examples and by library consumers.
+package proto
+
+import (
+	"math/rand"
+	"time"
+)
+
+// NodeID identifies a process in the system.
+type NodeID int
+
+// GroupID identifies an ip-multicast group.
+type GroupID int
+
+// Message is anything a protocol puts on the wire. Size is the payload size
+// in bytes; the substrates charge bandwidth, buffers and CPU based on it.
+type Message interface {
+	Size() int
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer interface {
+	Cancel()
+}
+
+// Env is the world as seen by one protocol actor. All callbacks delivered
+// through an Env (message receipt, timers, Work/DiskWrite completions) are
+// serialized: a handler never runs concurrently with itself.
+type Env interface {
+	// ID returns the node this actor runs on.
+	ID() NodeID
+	// Now returns elapsed time since the run began.
+	Now() time.Duration
+	// Rand returns a deterministic per-run random source.
+	Rand() *rand.Rand
+
+	// Send transmits m to node `to` over a reliable FIFO channel (TCP-like:
+	// no loss, backpressure through a bounded window).
+	Send(to NodeID, m Message)
+	// SendUDP transmits m as an unreliable datagram; it may be dropped when
+	// the receiver's socket buffer is full.
+	SendUDP(to NodeID, m Message)
+	// Multicast transmits m to every subscriber of group g with
+	// network-level replication: the sender pays the transmission once.
+	// Delivery is unreliable, like SendUDP.
+	Multicast(g GroupID, m Message)
+
+	// After schedules fn to run on this actor after d.
+	After(d time.Duration, fn func()) Timer
+	// Work occupies this node's CPU for d, then runs fn. Use it to model
+	// command-execution cost.
+	Work(d time.Duration, fn func())
+	// DiskWrite synchronously writes size bytes to stable storage, then
+	// runs fn.
+	DiskWrite(size int, fn func())
+}
+
+// MultiCore is the optional interface environments with multiple CPU cores
+// implement; core 0 also handles messages. Protocols that exploit
+// parallelism (P-SMR) type-assert for it and fall back to Work.
+type MultiCore interface {
+	WorkOn(core int, d time.Duration, fn func())
+}
+
+// WorkOn schedules work on a specific core when env supports it, else on
+// the env's single CPU.
+func WorkOn(env Env, core int, d time.Duration, fn func()) {
+	if mc, ok := env.(MultiCore); ok {
+		mc.WorkOn(core, d, fn)
+		return
+	}
+	env.Work(d, fn)
+}
+
+// Handler is the protocol actor installed on a node.
+type Handler interface {
+	// Start is called exactly once, before any message is delivered.
+	Start(env Env)
+	// Receive is called for every message delivered to this node.
+	Receive(from NodeID, m Message)
+}
+
+// HandlerFunc adapts plain functions to Handler for tests and probes.
+type HandlerFunc struct {
+	OnStart   func(env Env)
+	OnReceive func(from NodeID, m Message)
+}
+
+// Start implements Handler.
+func (h *HandlerFunc) Start(env Env) {
+	if h.OnStart != nil {
+		h.OnStart(env)
+	}
+}
+
+// Receive implements Handler.
+func (h *HandlerFunc) Receive(from NodeID, m Message) {
+	if h.OnReceive != nil {
+		h.OnReceive(from, m)
+	}
+}
+
+// Multi composes several handlers on one node: Start and Receive fan out to
+// each in order. Handlers must ignore messages that are not theirs (the
+// convention throughout this repository: Receive type-switches and drops
+// unknown types).
+func Multi(hs ...Handler) Handler { return multiHandler(hs) }
+
+type multiHandler []Handler
+
+// Start implements Handler.
+func (m multiHandler) Start(env Env) {
+	for _, h := range m {
+		h.Start(env)
+	}
+}
+
+// Receive implements Handler.
+func (m multiHandler) Receive(from NodeID, msg Message) {
+	for _, h := range m {
+		h.Receive(from, msg)
+	}
+}
+
+// Raw is a plain payload message of a given size, used by substrates' own
+// tests and by traffic generators.
+type Raw struct {
+	Bytes int
+	Tag   int64
+}
+
+// Size implements Message.
+func (r Raw) Size() int { return r.Bytes }

@@ -1,0 +1,101 @@
+// Package psmr implements Parallel State-Machine Replication (Chapter 6)
+// and the execution models it is compared against in §6.2/§6.5:
+//
+//   - Sequential SMR: one ordering stream, single-threaded replicas.
+//   - Pipelined SMR: one ordering stream; protocol handling and execution
+//     run in different threads (cores), but execution stays sequential.
+//   - SDPE (sequential delivery–parallel execution, e.g. CBASE): one
+//     ordering stream; a scheduler thread tracks command dependencies and
+//     dispatches independent commands to parallel workers — the scheduler
+//     is the serial bottleneck.
+//   - P-SMR: one Multi-Ring Paxos ring per worker plus a synchronization
+//     ring every worker subscribes to. Independent commands are multicast
+//     to a single worker's ring and execute concurrently with no replica-
+//     side coordination; dependent commands go to the synchronization ring,
+//     where workers rendezvous at a barrier and one of them executes
+//     (Figure 6.2's concurrent and sequential execution modes).
+//
+// The replicated service is a key-value store whose keys are partitioned
+// into one class per worker; a command's classes determine independence.
+package psmr
+
+import "time"
+
+// Mode selects the replication/execution architecture.
+type Mode int
+
+// Execution models of §6.2.
+const (
+	Sequential Mode = iota
+	Pipelined
+	SDPE
+	PSMR
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Sequential:
+		return "sequential SMR"
+	case Pipelined:
+		return "pipelined SMR"
+	case SDPE:
+		return "SDPE"
+	case PSMR:
+		return "P-SMR"
+	default:
+		return "unknown"
+	}
+}
+
+// Command is one key-value request. Classes lists the worker classes whose
+// state it touches: one class means independent, several mean dependent.
+type Command struct {
+	Classes []int
+	Put     bool
+	Keys    []int64
+	Value   int64
+	Client  int64
+	Seq     int64
+}
+
+// msgReply answers the client.
+type msgReply struct {
+	Client int64
+	Seq    int64
+}
+
+// Size implements proto.Message.
+func (m msgReply) Size() int { return 64 }
+
+// KVStore is the deterministic service: an in-memory map whose commands
+// cost OpCost of CPU each.
+type KVStore struct {
+	data   map[int64]int64
+	OpCost time.Duration
+}
+
+// NewKVStore returns an empty store with the given per-command cost.
+func NewKVStore(opCost time.Duration) *KVStore {
+	return &KVStore{data: make(map[int64]int64), OpCost: opCost}
+}
+
+// Execute applies c.
+func (s *KVStore) Execute(c Command) {
+	for _, k := range c.Keys {
+		if c.Put {
+			s.data[k] = c.Value
+		} else {
+			_ = s.data[k]
+		}
+	}
+}
+
+// Get reads a key directly (for tests).
+func (s *KVStore) Get(k int64) (int64, bool) {
+	v, ok := s.data[k]
+	return v, ok
+}
+
+// Len returns the number of stored keys.
+func (s *KVStore) Len() int { return len(s.data) }

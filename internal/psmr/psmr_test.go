@@ -1,0 +1,129 @@
+package psmr
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/lan"
+	"repro/internal/proto"
+)
+
+func measure(t testing.TB, cfg DeployConfig, seed int64) (float64, time.Duration) {
+	if cfg.Clients == 0 {
+		cfg.Clients = 12
+	}
+	d := Deploy(cfg, lan.DefaultConfig(), seed)
+	tput, lat := d.Measure(300*time.Millisecond, time.Second)
+	if tput == 0 {
+		t.Fatalf("%v: no completed requests", cfg.Mode)
+	}
+	return tput, lat
+}
+
+func TestAllModesServeRequests(t *testing.T) {
+	for _, mode := range []Mode{Sequential, Pipelined, SDPE, PSMR} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			tput, lat := measure(t, DeployConfig{Mode: mode, Workers: 2, DependentPct: 10}, 1)
+			t.Logf("%v: %.0f req/s, %v", mode, tput, lat)
+		})
+	}
+}
+
+func TestPSMRConvergenceAcrossReplicas(t *testing.T) {
+	d := Deploy(DeployConfig{Mode: PSMR, Workers: 3, Replicas: 2, Clients: 8, DependentPct: 20}, lan.DefaultConfig(), 2)
+	d.Run(2 * time.Second)
+	// Freeze clients and drain.
+	for i := 0; i < d.Cfg.Clients; i++ {
+		d.LAN.Node(proto.NodeID(i + 1)).SetDown(true)
+	}
+	d.Run(2 * time.Second)
+	a, b := d.Replicas[0].Store, d.Replicas[1].Store
+	if a.Len() != b.Len() {
+		t.Fatalf("store sizes diverge: %d vs %d", a.Len(), b.Len())
+	}
+	for k, v := range a.data {
+		if bv, ok := b.Get(k); !ok || bv != v {
+			t.Fatalf("key %d: %d vs %d (%v)", k, v, bv, ok)
+		}
+	}
+	if d.Replicas[0].ExecutedCmds == 0 {
+		t.Fatal("nothing executed")
+	}
+}
+
+func TestPSMRIndependentCommandsScale(t *testing.T) {
+	// Figure 6.3/6.6 shape: with a 100%-independent workload, P-SMR
+	// throughput grows with workers while sequential SMR stays flat.
+	seq1, _ := measure(t, DeployConfig{Mode: Sequential, Workers: 1, Clients: 160}, 3)
+	p1, _ := measure(t, DeployConfig{Mode: PSMR, Workers: 1, Clients: 160}, 3)
+	p4, _ := measure(t, DeployConfig{Mode: PSMR, Workers: 4, Clients: 160}, 3)
+	t.Logf("sequential=%.0f psmr(1)=%.0f psmr(4)=%.0f req/s", seq1, p1, p4)
+	if p4 < 2*seq1 {
+		t.Fatalf("P-SMR with 4 workers (%.0f) should far exceed sequential (%.0f)", p4, seq1)
+	}
+	if p4 < 1.8*p1 {
+		t.Fatalf("P-SMR did not scale with workers: %.0f -> %.0f", p1, p4)
+	}
+}
+
+func TestPSMRDependentCommandsNoWorseThanSequentialShape(t *testing.T) {
+	// Figure 6.4 shape: with 100% dependent commands P-SMR degrades to
+	// (roughly) sequential execution — barriers serialize everything.
+	p, _ := measure(t, DeployConfig{Mode: PSMR, Workers: 4, DependentPct: 100, Clients: 12}, 4)
+	s, _ := measure(t, DeployConfig{Mode: Sequential, Workers: 4, DependentPct: 100, Clients: 12}, 4)
+	t.Logf("100%% dependent: psmr=%.0f sequential=%.0f req/s", p, s)
+	if p > 2*s {
+		t.Fatalf("P-SMR on dependent commands (%.0f) should not beat sequential (%.0f) by 2x", p, s)
+	}
+	if p < s/4 {
+		t.Fatalf("P-SMR on dependent commands collapsed: %.0f vs %.0f", p, s)
+	}
+}
+
+func TestSDPESchedulerBottleneck(t *testing.T) {
+	// §6.2.4: SDPE parallelizes execution but its serial scheduler caps
+	// scalability below P-SMR on independent workloads.
+	sdpe, _ := measure(t, DeployConfig{Mode: SDPE, Workers: 4, Clients: 320}, 5)
+	psmr, _ := measure(t, DeployConfig{Mode: PSMR, Workers: 4, Clients: 320}, 5)
+	t.Logf("independent: sdpe=%.0f psmr=%.0f req/s", sdpe, psmr)
+	if psmr <= sdpe {
+		t.Fatalf("P-SMR (%.0f) should outperform SDPE (%.0f) on independent commands", psmr, sdpe)
+	}
+}
+
+func TestBarriersCounted(t *testing.T) {
+	d := Deploy(DeployConfig{Mode: PSMR, Workers: 2, Clients: 6, DependentPct: 50}, lan.DefaultConfig(), 6)
+	d.Run(time.Second)
+	if d.Replicas[0].BarrierWaits == 0 {
+		t.Fatal("dependent workload produced no barrier waits")
+	}
+}
+
+func TestWorkloadClassesWellFormed(t *testing.T) {
+	w := &Workload{Workers: 4, DependentPct: 30}
+	d := Deploy(DeployConfig{Mode: Sequential, Workers: 1, Clients: 1}, lan.DefaultConfig(), 7)
+	r := d.LAN.Sim.Rand()
+	dep, ind := 0, 0
+	for i := 0; i < 1000; i++ {
+		c := w.Next(r)
+		switch len(c.Classes) {
+		case 1:
+			ind++
+			if c.Classes[0] < 0 || c.Classes[0] >= 4 {
+				t.Fatalf("class out of range: %d", c.Classes[0])
+			}
+		case 4:
+			dep++
+		default:
+			t.Fatalf("unexpected class count %d", len(c.Classes))
+		}
+	}
+	if dep < 200 || dep > 400 {
+		t.Fatalf("dependent fraction %d/1000, want ~300", dep)
+	}
+	if fmt.Sprint(PSMR) != "P-SMR" {
+		t.Fatal("mode string")
+	}
+}

@@ -1,0 +1,258 @@
+package psmr
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/multiring"
+	"repro/internal/proto"
+)
+
+// Replica executes ordered commands under one of the four execution models.
+// Cores: core 0 handles protocol messages and (for SDPE) the scheduler;
+// workers run on cores 1..Workers.
+type Replica struct {
+	// Mode is the execution model.
+	Mode Mode
+	// Workers is the execution parallelism (ignored by Sequential and
+	// Pipelined, which always execute on one thread).
+	Workers int
+	// Store is the service state (shared by workers; the execution models
+	// guarantee conflict-free concurrent access).
+	Store *KVStore
+	// SchedCost is SDPE's per-command scheduler overhead on core 0.
+	SchedCost time.Duration
+	// Index/GroupSize pick which replica answers which client.
+	Index     int
+	GroupSize int
+	// ClientNode maps client ids to nodes; identity by default.
+	ClientNode func(client int64) proto.NodeID
+
+	env proto.Env
+
+	// ExecutedCmds counts executed commands; BarrierWaits counts worker
+	// stalls at dependent-command barriers (P-SMR).
+	ExecutedCmds int64
+	BarrierWaits int64
+
+	// P-SMR per-worker streams.
+	workers []*workerState
+	// SDPE scheduler state: per class, FIFO of pending commands.
+	classQ  map[int][]*sdpeCmd
+	running int
+
+	// Sequential/Pipelined serial lane bookkeeping.
+	serialBusy  bool
+	serialQueue []Command
+}
+
+// workerState is one P-SMR worker's merged stream and barrier status.
+type workerState struct {
+	queue   []Command
+	busy    bool
+	atSync  bool // parked at the head sync command
+	syncSeq int64
+	syncCli int64
+}
+
+// sdpeCmd is one scheduled SDPE command.
+type sdpeCmd struct {
+	cmd     Command
+	started bool
+}
+
+// OnValue feeds one ordered value into the replica's execution engine. The
+// deployment wires it to the ordering layer's delivery callbacks: for
+// Sequential/Pipelined/SDPE a single totally ordered stream (worker = 0);
+// for P-SMR each worker's deterministically merged stream (worker = w).
+func (r *Replica) OnValue(worker int, v core.Value) {
+	c, ok := v.Payload.(Command)
+	if !ok {
+		return
+	}
+	switch r.Mode {
+	case Sequential, Pipelined:
+		r.serialQueue = append(r.serialQueue, c)
+		r.pumpSerial()
+	case SDPE:
+		// The scheduler examines every command serially on core 0 before
+		// workers may run it — SDPE's structural bottleneck (§6.2.4).
+		r.env.Work(r.SchedCost, func() { r.sdpeAdmit(c) })
+	case PSMR:
+		w := r.workers[worker]
+		w.queue = append(w.queue, c)
+		r.pumpWorker(worker)
+	}
+}
+
+var _ proto.Handler = (*Replica)(nil)
+
+// Receive implements proto.Handler; the replica consumes ordered values
+// through OnValue, not network messages.
+func (r *Replica) Receive(proto.NodeID, proto.Message) {}
+
+// Start binds the replica to its node.
+func (r *Replica) Start(env proto.Env) {
+	r.env = env
+	if r.Workers == 0 {
+		r.Workers = 1
+	}
+	if r.GroupSize == 0 {
+		r.GroupSize = 1
+	}
+	if r.ClientNode == nil {
+		r.ClientNode = func(c int64) proto.NodeID { return proto.NodeID(c) }
+	}
+	if r.SchedCost == 0 {
+		// Dependency analysis per command at the scheduler thread; CBASE
+		// reports it roughly on par with cheap command execution (§6.2.4).
+		r.SchedCost = 12 * time.Microsecond
+	}
+	r.workers = make([]*workerState, r.Workers)
+	for i := range r.workers {
+		r.workers[i] = &workerState{}
+	}
+	r.classQ = make(map[int][]*sdpeCmd)
+}
+
+func (r *Replica) responsible(c Command) bool {
+	return int(c.Client)%r.GroupSize == r.Index
+}
+
+func (r *Replica) reply(c Command) {
+	if r.responsible(c) {
+		r.env.Send(r.ClientNode(c.Client), msgReply{Client: c.Client, Seq: c.Seq})
+	}
+}
+
+// cost returns a command's modeled execution time.
+func (r *Replica) cost(c Command) time.Duration { return r.Store.OpCost }
+
+// --- Sequential / Pipelined ---
+
+func (r *Replica) pumpSerial() {
+	if r.serialBusy || len(r.serialQueue) == 0 {
+		return
+	}
+	c := r.serialQueue[0]
+	r.serialQueue = r.serialQueue[1:]
+	r.serialBusy = true
+	r.Store.Execute(c)
+	core := 0
+	if r.Mode == Pipelined {
+		core = 1 // execution thread separate from protocol thread (§6.2.3)
+	}
+	proto.WorkOn(r.env, core, r.cost(c), func() {
+		r.ExecutedCmds++
+		r.reply(c)
+		r.serialBusy = false
+		r.pumpSerial()
+	})
+}
+
+// --- SDPE (§6.2.4) ---
+
+// sdpeAdmit enqueues c on every class it touches; it may start when it
+// heads all of them (conflict-serializable in delivery order).
+func (r *Replica) sdpeAdmit(c Command) {
+	sc := &sdpeCmd{cmd: c}
+	for _, cl := range c.Classes {
+		r.classQ[cl] = append(r.classQ[cl], sc)
+	}
+	r.sdpeTryStart(sc)
+}
+
+func (r *Replica) sdpeTryStart(sc *sdpeCmd) {
+	if sc.started {
+		return
+	}
+	for _, cl := range sc.cmd.Classes {
+		q := r.classQ[cl]
+		if len(q) == 0 || q[0] != sc {
+			return
+		}
+	}
+	sc.started = true
+	r.Store.Execute(sc.cmd)
+	core := 1 + (sc.cmd.Classes[0] % r.Workers)
+	proto.WorkOn(r.env, core, r.cost(sc.cmd), func() {
+		r.ExecutedCmds++
+		r.reply(sc.cmd)
+		for _, cl := range sc.cmd.Classes {
+			r.classQ[cl] = r.classQ[cl][1:]
+		}
+		// Newly unblocked heads may start.
+		for _, cl := range sc.cmd.Classes {
+			if q := r.classQ[cl]; len(q) > 0 {
+				r.sdpeTryStart(q[0])
+			}
+		}
+	})
+}
+
+// --- P-SMR (§6.3) ---
+
+// pumpWorker advances worker w through its merged stream: independent
+// commands execute concurrently on the worker's core; a dependent command
+// parks the worker at a barrier until every worker reaches it, then one
+// worker executes it while the others wait (Figure 6.2).
+func (r *Replica) pumpWorker(wi int) {
+	w := r.workers[wi]
+	if w.busy || w.atSync || len(w.queue) == 0 {
+		return
+	}
+	c := w.queue[0]
+	if len(c.Classes) > 1 {
+		w.atSync = true
+		w.syncSeq, w.syncCli = c.Seq, c.Client
+		r.BarrierWaits++
+		r.tryBarrier()
+		return
+	}
+	w.queue = w.queue[1:]
+	w.busy = true
+	r.Store.Execute(c)
+	proto.WorkOn(r.env, 1+wi, r.cost(c), func() {
+		r.ExecutedCmds++
+		r.reply(c)
+		w.busy = false
+		r.pumpWorker(wi)
+	})
+}
+
+// tryBarrier fires when every worker is parked at the same dependent
+// command; worker 0's core executes it and all workers resume.
+func (r *Replica) tryBarrier() {
+	var ref *workerState
+	for _, w := range r.workers {
+		if !w.atSync || w.busy {
+			return
+		}
+		if ref == nil {
+			ref = w
+			continue
+		}
+		if w.syncSeq != ref.syncSeq || w.syncCli != ref.syncCli {
+			return
+		}
+	}
+	c := r.workers[0].queue[0]
+	r.Store.Execute(c)
+	proto.WorkOn(r.env, 1, r.cost(c), func() {
+		r.ExecutedCmds++
+		r.reply(c)
+		for wi, w := range r.workers {
+			w.queue = w.queue[1:]
+			w.atSync = false
+			r.pumpWorker(wi)
+		}
+	})
+}
+
+// mergerFor builds the deterministic merge feeding worker wi: its own ring
+// plus the synchronization ring (ring id = Workers).
+func (r *Replica) mergerFor(wi int) *multiring.Merger {
+	m := multiring.NewMerger([]int{wi, r.Workers}, 1)
+	m.Deliver = func(_ int64, v core.Value) { r.OnValue(wi, v) }
+	return m
+}

@@ -1,0 +1,140 @@
+package ringpaxos
+
+import (
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+const headerBytes = 32 // modeled fixed header of every protocol message
+
+// Wire messages shared by M-Ring Paxos and U-Ring Paxos. The "m" prefix
+// marks multicast-variant messages, "u" the unicast variant.
+type (
+	// MsgPropose carries a client value toward the coordinator.
+	MsgPropose struct{ V core.Value }
+
+	// mPhase1A opens round Rnd and proposes the ring layout (§3.3.2: the
+	// coordinator proposes the ring before Phase 1; acceptors abide by it
+	// when they reply).
+	mPhase1A struct {
+		Rnd  int64
+		Ring []proto.NodeID
+	}
+	// mPhase1B is an acceptor's promise with its prior votes. MaxInst is
+	// the highest instance the acceptor has ever seen, so a new coordinator
+	// resumes numbering above instances whose state was garbage-collected.
+	mPhase1B struct {
+		Rnd     int64
+		MaxInst int64
+		Votes   map[int64]vote
+	}
+	// mPhase2A proposes batch Val with unique id VID in instance Inst.
+	// Decided piggybacks decision ids of previously finished instances
+	// (the Task-5-with-Task-3 overlap of §3.3.2); DecidedMasks carries the
+	// matching partition masks in partitioned mode.
+	mPhase2A struct {
+		Inst         int64
+		Rnd          int64
+		VID          core.ValueID
+		Val          core.Batch
+		Decided      []int64
+		DecidedMasks []uint64
+	}
+	// mPhase2B travels along the ring; consensus is on value ids, so it
+	// carries no payload.
+	mPhase2B struct {
+		Inst int64
+		Rnd  int64
+		VID  core.ValueID
+	}
+	// mDecision is a standalone decision flush (used when there is no 2A
+	// to piggyback on). Masks carries partition masks in partitioned mode.
+	mDecision struct {
+		Insts []int64
+		Masks []uint64
+	}
+	// mRetransmitReq asks a preferential acceptor for lost instances.
+	mRetransmitReq struct{ Insts []int64 }
+	// mRetransmit answers with the stored value and decision status.
+	mRetransmit struct {
+		Inst    int64
+		VID     core.ValueID
+		Val     core.Batch
+		Mask    uint64
+		Decided bool
+	}
+	// mSlowDown is a learner flow-control notification, forwarded along
+	// the ring to the coordinator (§3.3.6).
+	mSlowDown struct{ Backlog int }
+	// mVersion reports a learner's applied version for garbage collection
+	// (§3.3.7); acceptors circulate it once around the ring so every
+	// acceptor sees every learner's version.
+	mVersion struct {
+		Learner proto.NodeID
+		Inst    int64
+		Hops    int
+	}
+
+	// uPhase2 is the combined Phase 2A/2B message of U-Ring Paxos
+	// (Algorithm 3): it travels through the acceptor segment of the ring.
+	uPhase2 struct {
+		Inst int64
+		Rnd  int64
+		VID  core.ValueID
+		Val  core.Batch
+	}
+	// uDecision circulates the decision (and the chosen value) along the
+	// remainder of the ring. Hops counts forwards so circulation stops
+	// after one revolution.
+	uDecision struct {
+		Inst int64
+		VID  core.ValueID
+		Val  core.Batch
+		Hops int
+	}
+	// uPhase1A / uPhase1B run U-Ring's (infrequent, pre-executed) Phase 1
+	// over direct channels.
+	uPhase1A struct{ Rnd int64 }
+	uPhase1B struct {
+		Rnd   int64
+		Votes map[int64]vote
+	}
+)
+
+type vote struct {
+	rnd int64
+	vid core.ValueID
+	val core.Batch
+}
+
+// Size implements proto.Message for each wire type.
+func (m MsgPropose) Size() int { return headerBytes + m.V.Bytes }
+func (m mPhase1A) Size() int   { return headerBytes + 4*len(m.Ring) }
+func (m mPhase1B) Size() int {
+	n := headerBytes
+	for _, v := range m.Votes {
+		n += headerBytes + v.val.Size()
+	}
+	return n
+}
+func (m mPhase2A) Size() int {
+	return headerBytes + m.Val.Size() + 8*len(m.Decided) + 8*len(m.DecidedMasks)
+}
+func (m mPhase2B) Size() int       { return headerBytes }
+func (m mDecision) Size() int      { return headerBytes + 8*len(m.Insts) + 8*len(m.Masks) }
+func (m mRetransmitReq) Size() int { return headerBytes + 8*len(m.Insts) }
+func (m mRetransmit) Size() int    { return headerBytes + m.Val.Size() }
+func (m mSlowDown) Size() int      { return headerBytes }
+func (m mVersion) Size() int       { return headerBytes }
+func (m uPhase2) Size() int        { return headerBytes + m.Val.Size() }
+func (m uDecision) Size() int {
+	return headerBytes + m.Val.Size()
+}
+func (m uPhase1A) Size() int { return headerBytes }
+func (m uPhase1B) Size() int {
+	n := headerBytes
+	for _, v := range m.Votes {
+		n += headerBytes + v.val.Size()
+	}
+	return n
+}

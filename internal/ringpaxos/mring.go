@@ -1,0 +1,875 @@
+// Package ringpaxos implements the two Ring Paxos atomic broadcast
+// protocols of the dissertation's Chapter 3 (DSN 2010) plus the partitioned
+// and speculative extensions of Chapter 4 (DSN 2011):
+//
+//   - M-Ring Paxos (Algorithm 2): payload dissemination by network-level
+//     ip-multicast, ordering by a logical ring of f+1 acceptors whose last
+//     process is the coordinator; consensus is on value ids.
+//   - U-Ring Paxos (Algorithm 3): all communication is pipelined unicast
+//     around a ring that contains every process.
+//
+// Both variants batch application values (8 KB / 32 KB packets), pipeline a
+// window of outstanding instances, recover lost messages by retransmission,
+// garbage-collect acceptor state using learner versions, and implement the
+// learner-driven flow control of §3.3.6.
+package ringpaxos
+
+import (
+	"math/bits"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// MConfig configures an M-Ring Paxos deployment.
+type MConfig struct {
+	// Ring is the m-quorum of acceptors laid out as a directed logical
+	// ring. The coordinator is the LAST element (§3.3.2).
+	Ring []proto.NodeID
+	// Spares are acceptors outside the ring, used on reconfiguration.
+	Spares []proto.NodeID
+	// Learners deliver decided values.
+	Learners []proto.NodeID
+	// Group is the ip-multicast group; ring acceptors and learners must be
+	// subscribed. In partitioned mode it is the decision group and
+	// PartGroups[i] carries Phase 2A traffic of partition i.
+	Group proto.GroupID
+	// PartGroups enables the Chapter 4 partitioned mode when non-empty:
+	// one multicast group per partition. Acceptors must subscribe to all
+	// of them; each learner only to its own partitions plus Group.
+	PartGroups []proto.GroupID
+	// LearnerParts gives, per learner, the bitmask of partitions it
+	// subscribes to (parallel to Learners; nil means every learner gets
+	// everything).
+	LearnerParts map[proto.NodeID]uint64
+
+	// Window is the maximum number of simultaneously open instances.
+	Window int
+	// BatchBytes is the packet size (paper: 8 KB for M-Ring Paxos).
+	BatchBytes int
+	// BatchDelay flushes a non-empty batch after this delay.
+	BatchDelay time.Duration
+	// Retry is the retransmission / gap-recovery timeout.
+	Retry time.Duration
+	// DiskSync makes acceptors persist votes before forwarding Phase 2B
+	// (Recoverable Ring Paxos). Writes happen in parallel across the ring
+	// because every acceptor starts its write at 2A delivery (§3.5.5).
+	DiskSync bool
+	// ExecCost is the learner-side processing cost per delivered value.
+	ExecCost time.Duration
+	// FlowThreshold is the learner backlog (in undelivered decided
+	// instances) that triggers a slow-down notification; 0 disables flow
+	// control.
+	FlowThreshold int
+	// GCInterval is how often learners report their version (§3.3.7).
+	GCInterval time.Duration
+	// Speculative delivers values to learners at Phase 2A receipt, before
+	// they are decided (Chapter 4 speculative execution).
+	Speculative bool
+}
+
+func (c *MConfig) defaults() {
+	if c.Window == 0 {
+		c.Window = 64
+	}
+	if c.BatchBytes == 0 {
+		c.BatchBytes = 8 << 10
+	}
+	if c.BatchDelay == 0 {
+		c.BatchDelay = 500 * time.Microsecond
+	}
+	if c.Retry == 0 {
+		c.Retry = 20 * time.Millisecond
+	}
+	if c.GCInterval == 0 {
+		c.GCInterval = 50 * time.Millisecond
+	}
+}
+
+// Coordinator returns the coordinator (last ring position).
+func (c MConfig) Coordinator() proto.NodeID { return c.Ring[len(c.Ring)-1] }
+
+// logEntry is an acceptor/coordinator record of one instance.
+type logEntry struct {
+	vid     core.ValueID
+	val     core.Batch
+	mask    uint64
+	decided bool
+}
+
+// openInst is the coordinator's bookkeeping for an in-flight instance.
+type openInst struct {
+	vid   core.ValueID
+	val   core.Batch
+	mask  uint64
+	timer proto.Timer
+}
+
+// MAgent is one M-Ring Paxos process. Roles follow from the configuration:
+// ring acceptors order, the last ring process coordinates, learners deliver.
+// Any node (including dedicated proposer nodes) can Propose.
+type MAgent struct {
+	Cfg MConfig
+	// Deliver is invoked on learners for every value in delivery order.
+	Deliver core.DeliverFunc
+	// SpecDeliver, when Cfg.Speculative, is invoked on learners at Phase 2A
+	// receipt, in receipt order, before the value is decided.
+	SpecDeliver core.DeliverFunc
+	// Confirm is invoked on learners when a speculatively delivered
+	// instance's order is confirmed.
+	Confirm func(inst int64)
+	// DeliverBatch, if set, is invoked on learners once per decided
+	// instance, in instance order, with the instance's whole batch —
+	// including empty/marker batches. Multi-Ring Paxos uses it to merge
+	// rings at consensus-instance granularity.
+	DeliverBatch func(inst int64, b core.Batch)
+
+	env proto.Env
+
+	// --- coordinator state ---
+	isCoord      bool
+	phase1Done   bool
+	crnd         int64
+	promises     map[proto.NodeID]mPhase1B
+	pending      []core.Value
+	pendingBytes int
+	batchTimer   proto.Timer
+	next         int64
+	open         map[int64]*openInst
+	window       int
+	lastSlow     time.Duration
+	decidedQ     []int64
+	decidedQM    []uint64
+	timersArmed  bool
+
+	// --- acceptor state ---
+	rnd       int64
+	maxInst   int64
+	ring      []proto.NodeID
+	store     map[int64]*logEntry
+	storeByte int
+	pending2B map[int64]mPhase2B
+	diskDone  map[int64]bool
+	versions  map[proto.NodeID]int64
+	gcFloor   int64
+
+	// --- learner state ---
+	values       map[int64]*logEntry
+	decided      map[int64]uint64 // inst -> partition mask (decided)
+	nextDeliver  int64
+	maxDecided   int64
+	backlog      int
+	notified     bool
+	askCoord     bool
+	lastFrontier int64
+	myParts      uint64
+
+	// DeliveredBytes/DeliveredMsgs count application payload delivered at
+	// this learner.
+	DeliveredBytes int64
+	DeliveredMsgs  int64
+	// LatencySum accumulates propose-to-deliver latency for values whose
+	// Born field is set.
+	LatencySum   time.Duration
+	LatencyCount int64
+	// Latencies, if non-nil before Start, records each delivery latency.
+	Latencies *[]time.Duration
+}
+
+var _ proto.Handler = (*MAgent)(nil)
+
+// Start implements proto.Handler.
+func (a *MAgent) Start(env proto.Env) {
+	a.env = env
+	a.Cfg.defaults()
+	a.window = a.Cfg.Window
+	a.maxInst = -1
+	a.ring = a.Cfg.Ring
+	a.open = make(map[int64]*openInst)
+	a.store = make(map[int64]*logEntry)
+	a.pending2B = make(map[int64]mPhase2B)
+	a.diskDone = make(map[int64]bool)
+	a.values = make(map[int64]*logEntry)
+	a.decided = make(map[int64]uint64)
+	a.versions = make(map[proto.NodeID]int64)
+	a.promises = make(map[proto.NodeID]mPhase1B)
+	a.myParts = ^uint64(0)
+	if a.Cfg.LearnerParts != nil {
+		if m, ok := a.Cfg.LearnerParts[env.ID()]; ok {
+			a.myParts = m
+		}
+	}
+	if env.ID() == a.Cfg.Coordinator() {
+		a.becomeCoordinator(1, a.Cfg.Ring)
+	}
+	if a.isLearner() {
+		a.armLearnerTimers()
+	}
+}
+
+func (a *MAgent) isAcceptor() bool {
+	for _, id := range a.ring {
+		if id == a.env.ID() {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *MAgent) isLearner() bool {
+	for _, id := range a.Cfg.Learners {
+		if id == a.env.ID() {
+			return true
+		}
+	}
+	return false
+}
+
+// ringIndex returns this node's position in the current ring, or -1.
+func (a *MAgent) ringIndex() int {
+	for i, id := range a.ring {
+		if id == a.env.ID() {
+			return i
+		}
+	}
+	return -1
+}
+
+// successor returns the next process after position i in the ring.
+func (a *MAgent) successor(i int) proto.NodeID { return a.ring[i+1] }
+
+// preferential returns the ring acceptor assigned to learner id for
+// retransmissions and version reports (load balanced round-robin, §3.3.4).
+func (a *MAgent) preferential() proto.NodeID {
+	idx := 0
+	for i, id := range a.Cfg.Learners {
+		if id == a.env.ID() {
+			idx = i
+			break
+		}
+	}
+	return a.ring[idx%len(a.ring)]
+}
+
+// becomeCoordinator starts Phase 1 with a fresh round and ring layout.
+func (a *MAgent) becomeCoordinator(minRound int64, ring []proto.NodeID) {
+	a.isCoord = true
+	a.phase1Done = false
+	a.promises = make(map[proto.NodeID]mPhase1B)
+	r := (minRound << 10) | int64(a.env.ID())
+	if r <= a.crnd {
+		r = (((a.crnd >> 10) + 1) << 10) | int64(a.env.ID())
+	}
+	a.crnd = r
+	m := mPhase1A{Rnd: a.crnd, Ring: ring}
+	for _, id := range ring {
+		a.env.Send(id, m)
+	}
+	a.env.After(a.Cfg.Retry, func() {
+		if a.isCoord && !a.phase1Done {
+			a.becomeCoordinator(a.crnd>>10, a.ring)
+		}
+	})
+}
+
+// TakeOver promotes this agent to coordinator over newRing (failover and
+// reconfiguration entry point; the last element must be this node).
+func (a *MAgent) TakeOver(newRing []proto.NodeID) {
+	a.becomeCoordinator((a.rnd>>10)+1, newRing)
+}
+
+// ProposeBatch opens a consensus instance for b immediately, bypassing
+// batching and the flow-control window. Multi-Ring Paxos uses it for skip
+// instances, which must not be delayed behind application traffic
+// (Chapter 5: "the cost of executing any number of skip instances is the
+// same as the cost of executing a single skip instance").
+func (a *MAgent) ProposeBatch(b core.Batch) {
+	if !a.isCoord || !a.phase1Done {
+		return
+	}
+	a.startInstance(b, 0)
+}
+
+// InstancesStarted returns how many consensus instances this coordinator
+// has opened (the k counter of Chapter 5, Algorithm 1).
+func (a *MAgent) InstancesStarted() int64 { return a.next }
+
+// Propose submits a value from this node.
+func (a *MAgent) Propose(v core.Value) {
+	if a.isCoord {
+		a.enqueue(v)
+		return
+	}
+	a.env.Send(a.Cfg.Coordinator(), MsgPropose{V: v})
+}
+
+// Receive implements proto.Handler.
+func (a *MAgent) Receive(from proto.NodeID, m proto.Message) {
+	switch msg := m.(type) {
+	case MsgPropose:
+		if a.isCoord {
+			a.enqueue(msg.V)
+		}
+	case mPhase1A:
+		a.onPhase1A(from, msg)
+	case mPhase1B:
+		a.onPhase1B(from, msg)
+	case mPhase2A:
+		a.onPhase2A(msg)
+	case mPhase2B:
+		a.onPhase2B(msg)
+	case mDecision:
+		a.onDecisions(msg.Insts, msg.Masks)
+	case mRetransmitReq:
+		a.onRetransmitReq(from, msg)
+	case mRetransmit:
+		a.onRetransmit(msg)
+	case mSlowDown:
+		a.onSlowDown(msg)
+	case mVersion:
+		a.onVersion(msg)
+	}
+}
+
+// --- coordinator ---
+
+func (a *MAgent) enqueue(v core.Value) {
+	a.pending = append(a.pending, v)
+	a.pendingBytes += v.Bytes
+	if a.pendingBytes >= a.Cfg.BatchBytes {
+		a.flush()
+		return
+	}
+	if a.batchTimer == nil {
+		a.batchTimer = a.env.After(a.Cfg.BatchDelay, func() {
+			a.batchTimer = nil
+			a.flush()
+		})
+	}
+}
+
+// flush opens instances for pending batches while the window allows. In
+// partitioned mode values with different partition masks are batched
+// separately so each batch travels only to the groups it concerns.
+func (a *MAgent) flush() {
+	if !a.isCoord || !a.phase1Done {
+		return
+	}
+	for len(a.pending) > 0 && len(a.open) < a.window {
+		mask := a.pending[0].PartMask
+		var batch []core.Value
+		bytes := 0
+		rest := a.pending[:0]
+		for _, v := range a.pending {
+			if bytes < a.Cfg.BatchBytes && v.PartMask == mask {
+				batch = append(batch, v)
+				bytes += v.Bytes
+				continue
+			}
+			rest = append(rest, v)
+		}
+		a.pending = rest
+		a.pendingBytes -= bytes
+		a.startInstance(core.Batch{Vals: batch}, mask)
+	}
+}
+
+func (a *MAgent) startInstance(b core.Batch, mask uint64) {
+	inst := a.next
+	a.next++
+	oi := &openInst{vid: core.ValueID(a.crnd<<32 | inst), val: b, mask: mask}
+	a.open[inst] = oi
+	a.sendPhase2A(inst, oi)
+}
+
+func (a *MAgent) sendPhase2A(inst int64, oi *openInst) {
+	m := mPhase2A{Inst: inst, Rnd: a.crnd, VID: oi.vid, Val: oi.val,
+		Decided: a.decidedQ, DecidedMasks: a.decidedQM}
+	a.decidedQ, a.decidedQM = nil, nil
+	if len(a.Cfg.PartGroups) == 0 || oi.mask == 0 {
+		a.env.Multicast(a.Cfg.Group, m)
+	} else {
+		// Partitioned mode: one 2A per concerned partition group; decision
+		// ids travel on the decision group (§4.2.2), so don't piggyback.
+		if len(m.Decided) > 0 {
+			a.env.Multicast(a.Cfg.Group, mDecision{Insts: m.Decided, Masks: m.DecidedMasks})
+			m.Decided, m.DecidedMasks = nil, nil
+		}
+		rem := oi.mask
+		for rem != 0 {
+			p := bits.TrailingZeros64(rem)
+			rem &^= 1 << p
+			if p < len(a.Cfg.PartGroups) {
+				a.env.Multicast(a.Cfg.PartGroups[p], m)
+			}
+		}
+	}
+	oi.timer = a.env.After(a.Cfg.Retry, func() {
+		if cur, ok := a.open[inst]; ok {
+			a.sendPhase2A(inst, cur)
+		}
+	})
+}
+
+func (a *MAgent) onPhase1B(from proto.NodeID, m mPhase1B) {
+	if !a.isCoord || m.Rnd != a.crnd || a.phase1Done {
+		return
+	}
+	a.promises[from] = m
+	if len(a.promises) < len(a.ring) {
+		return // the whole ring is the m-quorum
+	}
+	a.phase1Done = true
+	for _, p := range a.promises {
+		if p.MaxInst >= a.next {
+			a.next = p.MaxInst + 1
+		}
+	}
+	if a.maxInst >= a.next {
+		a.next = a.maxInst + 1
+	}
+	adopt := make(map[int64]vote)
+	for _, p := range a.promises {
+		for inst, v := range p.Votes {
+			if e, ok := a.store[inst]; ok && e.decided {
+				continue
+			}
+			if cur, ok := adopt[inst]; !ok || v.rnd > cur.rnd {
+				adopt[inst] = v
+			}
+		}
+	}
+	insts := make([]int64, 0, len(adopt))
+	for inst := range adopt {
+		insts = append(insts, inst)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	for _, inst := range insts {
+		if inst >= a.next {
+			a.next = inst + 1
+		}
+		oi := &openInst{vid: core.ValueID(a.crnd<<32 | inst), val: adopt[inst].val}
+		a.open[inst] = oi
+		a.sendPhase2A(inst, oi)
+	}
+	a.flush()
+	if !a.timersArmed {
+		a.timersArmed = true
+		a.armDecisionFlush()
+		a.armWindowRecovery()
+	}
+}
+
+// armDecisionFlush periodically multicasts pending decision ids when there
+// is no Phase 2A traffic to piggyback them on.
+func (a *MAgent) armDecisionFlush() {
+	a.env.After(2*a.Cfg.BatchDelay, func() {
+		if !a.isCoord {
+			return
+		}
+		if len(a.decidedQ) > 0 {
+			a.env.Multicast(a.Cfg.Group, mDecision{Insts: a.decidedQ, Masks: a.decidedQM})
+			a.decidedQ, a.decidedQM = nil, nil
+		}
+		a.armDecisionFlush()
+	})
+}
+
+// armWindowRecovery slowly restores the window after flow-control slowdowns
+// (§3.3.6: the coordinator gradually increases its window when it stops
+// receiving notifications).
+func (a *MAgent) armWindowRecovery() {
+	a.env.After(100*time.Millisecond, func() {
+		if !a.isCoord {
+			return
+		}
+		if a.window < a.Cfg.Window && a.env.Now()-a.lastSlow > 300*time.Millisecond {
+			a.window += max(1, a.window/4)
+			if a.window > a.Cfg.Window {
+				a.window = a.Cfg.Window
+			}
+			a.flush()
+		}
+		a.armWindowRecovery()
+	})
+}
+
+func (a *MAgent) onSlowDown(m mSlowDown) {
+	if a.isCoord {
+		a.window = max(1, a.window/2)
+		a.lastSlow = a.env.Now()
+		return
+	}
+	// Forward along the ring toward the coordinator.
+	if i := a.ringIndex(); i >= 0 && i < len(a.ring)-1 {
+		a.env.Send(a.successor(i), m)
+	}
+}
+
+// decide finishes an instance at the coordinator.
+func (a *MAgent) decide(inst int64) {
+	oi, ok := a.open[inst]
+	if !ok {
+		return
+	}
+	if oi.timer != nil {
+		oi.timer.Cancel()
+	}
+	delete(a.open, inst)
+	e := a.ensureStore(inst)
+	e.vid, e.val, e.mask, e.decided = oi.vid, oi.val, oi.mask, true
+	a.decidedQ = append(a.decidedQ, inst)
+	a.decidedQM = append(a.decidedQM, oi.mask)
+	if a.isLearner() {
+		a.learnDecision(inst, oi.mask)
+	}
+	a.flush()
+}
+
+// --- acceptor ---
+
+func (a *MAgent) onPhase1A(from proto.NodeID, m mPhase1A) {
+	if m.Rnd <= a.rnd {
+		return
+	}
+	a.rnd = m.Rnd
+	if len(m.Ring) > 0 {
+		a.ring = m.Ring // abide by the proposed ring
+	}
+	if !a.isAcceptor() {
+		return
+	}
+	reply := mPhase1B{Rnd: a.rnd, MaxInst: a.maxInst, Votes: make(map[int64]vote)}
+	for inst, e := range a.store {
+		if e.vid != 0 {
+			reply.Votes[inst] = vote{rnd: a.rnd, vid: e.vid, val: e.val}
+		}
+	}
+	a.env.Send(from, reply)
+}
+
+func (a *MAgent) ensureStore(inst int64) *logEntry {
+	e, ok := a.store[inst]
+	if !ok {
+		e = &logEntry{}
+		a.store[inst] = e
+	}
+	return e
+}
+
+func (a *MAgent) onPhase2A(m mPhase2A) {
+	// Decision ids piggybacked on the 2A are processed by every role.
+	if len(m.Decided) > 0 {
+		a.onDecisions(m.Decided, m.DecidedMasks)
+	}
+	if a.isLearner() {
+		a.learnValue(m.Inst, m.VID, m.Val, m.Mask())
+	}
+	if !a.isAcceptor() {
+		return
+	}
+	if m.Rnd < a.rnd {
+		return
+	}
+	a.rnd = m.Rnd
+	if m.Inst > a.maxInst {
+		a.maxInst = m.Inst
+	}
+	e := a.ensureStore(m.Inst)
+	if !e.decided {
+		a.storeByte += m.Val.Size() - e.val.Size()
+		e.vid, e.val, e.mask = m.VID, m.Val, m.Mask()
+	}
+	proceed := func() {
+		a.diskDone[m.Inst] = true
+		idx := a.ringIndex()
+		if idx == 0 {
+			a.forward2B(mPhase2B{Inst: m.Inst, Rnd: m.Rnd, VID: m.VID})
+		} else if p, ok := a.pending2B[m.Inst]; ok && p.VID == m.VID {
+			delete(a.pending2B, m.Inst)
+			a.onPhase2B(p)
+		}
+	}
+	if a.Cfg.DiskSync {
+		// All ring acceptors write in parallel at 2A delivery (§3.5.5).
+		a.env.DiskWrite(m.Val.Size()+headerBytes, proceed)
+	} else {
+		proceed()
+	}
+}
+
+// Mask returns the partition mask of a 2A (0 = unpartitioned).
+func (m mPhase2A) Mask() uint64 {
+	if len(m.Val.Vals) == 0 {
+		return 0
+	}
+	return m.Val.Vals[0].PartMask
+}
+
+func (a *MAgent) forward2B(m mPhase2B) {
+	idx := a.ringIndex()
+	if idx < 0 {
+		return
+	}
+	if idx == len(a.ring)-1 {
+		// Coordinator: the 2B has traversed the whole m-quorum.
+		a.decide(m.Inst)
+		return
+	}
+	a.env.Send(a.successor(idx), m)
+}
+
+func (a *MAgent) onPhase2B(m mPhase2B) {
+	e, ok := a.store[m.Inst]
+	if !ok || e.vid != m.VID || (a.Cfg.DiskSync && !a.diskDone[m.Inst]) {
+		// Haven't ip-delivered the value yet (or still persisting): hold the
+		// 2B; it resumes when the 2A arrives (Task 5's v-vid check).
+		a.pending2B[m.Inst] = m
+		return
+	}
+	a.forward2B(m)
+}
+
+func (a *MAgent) onRetransmitReq(from proto.NodeID, m mRetransmitReq) {
+	for _, inst := range m.Insts {
+		if e, ok := a.store[inst]; ok && e.vid != 0 {
+			a.env.Send(from, mRetransmit{Inst: inst, VID: e.vid, Val: e.val, Mask: e.mask, Decided: e.decided})
+		}
+	}
+}
+
+func (a *MAgent) onVersion(m mVersion) {
+	if v, ok := a.versions[m.Learner]; ok && v >= m.Inst {
+		// Stale or already-circulated report.
+		if m.Hops >= len(a.ring)-1 {
+			return
+		}
+	}
+	a.versions[m.Learner] = m.Inst
+	// Circulate once around the ring so every acceptor sees every version.
+	if i := a.ringIndex(); i >= 0 && m.Hops < len(a.ring)-1 {
+		m.Hops++
+		a.env.Send(a.ring[(i+1)%len(a.ring)], m)
+	}
+	if len(a.versions) < len(a.Cfg.Learners) {
+		return
+	}
+	minV := int64(1<<62 - 1)
+	for _, v := range a.versions {
+		if v < minV {
+			minV = v
+		}
+	}
+	for inst := a.gcFloor; inst <= minV; inst++ {
+		if e, ok := a.store[inst]; ok {
+			a.storeByte -= e.val.Size()
+			delete(a.store, inst)
+		}
+		delete(a.diskDone, inst)
+	}
+	if minV >= a.gcFloor {
+		a.gcFloor = minV + 1
+	}
+}
+
+// StoreBytes reports the bytes of batch payload currently held by this
+// acceptor (the circular-buffer occupancy of §3.5.2).
+func (a *MAgent) StoreBytes() int { return a.storeByte }
+
+// --- learner ---
+
+func (a *MAgent) learnValue(inst int64, vid core.ValueID, val core.Batch, mask uint64) {
+	if inst < a.nextDeliver {
+		return
+	}
+	e, ok := a.values[inst]
+	if ok && e.vid == vid {
+		return
+	}
+	a.values[inst] = &logEntry{vid: vid, val: val, mask: mask}
+	if a.Cfg.Speculative && a.SpecDeliver != nil {
+		for _, v := range val.Vals {
+			a.SpecDeliver(inst, v)
+		}
+	}
+	a.tryDeliver()
+}
+
+func (a *MAgent) learnDecision(inst int64, mask uint64) {
+	if inst < a.nextDeliver {
+		return
+	}
+	if _, ok := a.decided[inst]; ok {
+		return
+	}
+	a.decided[inst] = mask
+	if inst > a.maxDecided {
+		a.maxDecided = inst
+	}
+	a.tryDeliver()
+}
+
+func (a *MAgent) onDecisions(insts []int64, masks []uint64) {
+	if !a.isLearner() && !a.isAcceptor() {
+		return
+	}
+	for i, inst := range insts {
+		var mask uint64
+		if masks != nil {
+			mask = masks[i]
+		}
+		if e, ok := a.store[inst]; ok {
+			e.decided = true
+			mask = e.mask
+		}
+		if a.isLearner() {
+			if e, ok := a.values[inst]; ok {
+				mask = e.mask
+			}
+			a.learnDecision(inst, mask)
+		}
+	}
+}
+
+func (a *MAgent) onRetransmit(m mRetransmit) {
+	if !a.isLearner() {
+		return
+	}
+	a.learnValue(m.Inst, m.VID, m.Val, m.Mask)
+	if m.Decided {
+		a.learnDecision(m.Inst, m.Mask)
+	}
+}
+
+// tryDeliver advances the in-order delivery frontier. Decided instances
+// whose partition mask doesn't intersect this learner's subscription are
+// skipped (partitioned mode: "learners may receive decision messages for
+// partitions they are not interested in, in which case they discard the
+// messages").
+func (a *MAgent) tryDeliver() {
+	for {
+		mask, dec := a.decided[a.nextDeliver]
+		if !dec {
+			return
+		}
+		e, ok := a.values[a.nextDeliver]
+		if !ok {
+			if mask != 0 && mask&a.myParts == 0 {
+				// Not our partition: skip without a value.
+				delete(a.decided, a.nextDeliver)
+				a.nextDeliver++
+				continue
+			}
+			return // value lost; gap recovery will fetch it
+		}
+		inst := a.nextDeliver
+		delete(a.decided, inst)
+		delete(a.values, inst)
+		a.nextDeliver++
+		a.backlog++
+		a.maybeNotifySlow()
+		a.process(inst, e)
+	}
+}
+
+// process models command execution at the learner: each instance occupies
+// the node's CPU for ExecCost per value before the next one is handled.
+func (a *MAgent) process(inst int64, e *logEntry) {
+	finish := func() {
+		a.backlog--
+		if a.Confirm != nil {
+			a.Confirm(inst)
+		}
+		if a.DeliverBatch != nil {
+			a.DeliverBatch(inst, e.val)
+		}
+		for _, v := range e.val.Vals {
+			a.DeliveredBytes += int64(v.Bytes)
+			a.DeliveredMsgs++
+			if v.Born != 0 {
+				lat := a.env.Now() - v.Born
+				a.LatencySum += lat
+				a.LatencyCount++
+				if a.Latencies != nil {
+					*a.Latencies = append(*a.Latencies, lat)
+				}
+			}
+			if a.Deliver != nil {
+				a.Deliver(inst, v)
+			}
+		}
+	}
+	if a.Cfg.ExecCost > 0 && len(e.val.Vals) > 0 {
+		a.env.Work(time.Duration(len(e.val.Vals))*a.Cfg.ExecCost, finish)
+	} else {
+		finish()
+	}
+}
+
+// maybeNotifySlow sends at most one in-flight flow-control notification
+// when the backlog exceeds the threshold.
+func (a *MAgent) maybeNotifySlow() {
+	if a.Cfg.FlowThreshold <= 0 || a.backlog <= a.Cfg.FlowThreshold || a.notified {
+		return
+	}
+	a.notified = true
+	a.env.Send(a.preferential(), mSlowDown{Backlog: a.backlog})
+	a.env.After(50*time.Millisecond, func() { a.notified = false })
+}
+
+// armLearnerTimers starts gap recovery and version reporting.
+func (a *MAgent) armLearnerTimers() {
+	a.env.After(a.Cfg.Retry, func() {
+		a.requestMissing()
+		a.armLearnerTimers()
+	})
+	a.armVersionTimer()
+}
+
+func (a *MAgent) armVersionTimer() {
+	a.env.After(a.Cfg.GCInterval, func() {
+		a.env.Send(a.preferential(), mVersion{Learner: a.env.ID(), Inst: a.nextDeliver - 1})
+		a.armVersionTimer()
+	})
+}
+
+// requestMissing asks for instances that block the delivery frontier (lost
+// 2A payloads or lost decisions). It also probes a window beyond the highest
+// known decision in case a whole decision announcement was lost. Requests
+// alternate between the preferential acceptor and the coordinator, which
+// always knows the authoritative decision state.
+func (a *MAgent) requestMissing() {
+	stalled := a.nextDeliver == a.lastFrontier
+	a.lastFrontier = a.nextDeliver
+	hi := a.maxDecided
+	if stalled && hi < a.nextDeliver+8 {
+		// No progress and nothing known to be pending: a whole decision
+		// announcement may have been lost; probe a small window ahead.
+		hi = a.nextDeliver + 8
+	}
+	var miss []int64
+	for inst := a.nextDeliver; inst <= hi && len(miss) < 48; inst++ {
+		_, dec := a.decided[inst]
+		_, hasVal := a.values[inst]
+		if !dec || !hasVal {
+			miss = append(miss, inst)
+		}
+	}
+	if len(miss) == 0 {
+		return
+	}
+	to := a.preferential()
+	if a.askCoord {
+		to = a.Cfg.Coordinator()
+	}
+	a.askCoord = !a.askCoord
+	a.env.Send(to, mRetransmitReq{Insts: miss})
+}
+
+// NextDeliver returns the learner's delivery frontier.
+func (a *MAgent) NextDeliver() int64 { return a.nextDeliver }
+
+// Window returns the coordinator's current flow-control window.
+func (a *MAgent) Window() int { return a.window }

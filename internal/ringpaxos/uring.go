@@ -1,0 +1,438 @@
+package ringpaxos
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// UConfig configures a U-Ring Paxos deployment (Algorithm 3). All processes
+// — proposers, acceptors and learners — are laid out on one directed ring
+// connected by reliable FIFO channels.
+type UConfig struct {
+	// Ring lists every process in ring order. The coordinator is the FIRST
+	// acceptor; acceptors must occupy consecutive positions starting at the
+	// coordinator ("for simplicity of discussion, it is assumed that
+	// acceptors are lined up one after the other in the ring", §3.3.3).
+	Ring []proto.NodeID
+	// NumAcceptors is how many processes, starting at ring position 0, act
+	// as acceptors (2f+1).
+	NumAcceptors int
+	// Learners deliver decided values (typically all ring members).
+	Learners []proto.NodeID
+
+	// Window is the maximum number of simultaneously open instances
+	// (§3.3.6: U-Ring Paxos limits outstanding consensus instances).
+	Window int
+	// BatchBytes is the packet size (paper: 32 KB for U-Ring Paxos).
+	BatchBytes int
+	// BatchDelay flushes a non-empty batch after this delay.
+	BatchDelay time.Duration
+	// Retry is the Phase 1 retransmission timeout.
+	Retry time.Duration
+	// DiskSync makes acceptors persist votes before forwarding Phase 2.
+	// Along the ring, writes happen sequentially (§3.5.5).
+	DiskSync bool
+	// ExecCost is the learner-side processing cost per delivered value.
+	// U-Ring Paxos flow control lets a learner process a decision BEFORE
+	// forwarding it (§3.3.6), so a slow learner backpressures the ring.
+	ExecCost time.Duration
+}
+
+func (c *UConfig) defaults() {
+	if c.Window == 0 {
+		c.Window = 64
+	}
+	if c.BatchBytes == 0 {
+		c.BatchBytes = 32 << 10
+	}
+	if c.BatchDelay == 0 {
+		c.BatchDelay = 500 * time.Microsecond
+	}
+	if c.Retry == 0 {
+		c.Retry = 20 * time.Millisecond
+	}
+	if c.NumAcceptors == 0 {
+		c.NumAcceptors = len(c.Ring)
+	}
+}
+
+// Coordinator returns the first acceptor in the ring.
+func (c UConfig) Coordinator() proto.NodeID { return c.Ring[0] }
+
+// UAgent is one U-Ring Paxos process.
+type UAgent struct {
+	Cfg UConfig
+	// Deliver is invoked on learners for every value in delivery order.
+	Deliver core.DeliverFunc
+
+	env proto.Env
+
+	// coordinator state
+	isCoord      bool
+	phase1Done   bool
+	crnd         int64
+	promises     map[proto.NodeID]uPhase1B
+	pending      []core.Value
+	pendingBytes int
+	batchTimer   proto.Timer
+	next         int64
+	openCount    int
+	timersArmed  bool
+
+	// acceptor state
+	rnd   int64
+	votes map[int64]vote
+
+	// learner state
+	learned     map[int64]core.Batch
+	nextDeliver int64
+
+	// DeliveredBytes/DeliveredMsgs count application payload delivered at
+	// this learner.
+	DeliveredBytes int64
+	DeliveredMsgs  int64
+	LatencySum     time.Duration
+	LatencyCount   int64
+	Latencies      *[]time.Duration
+}
+
+var _ proto.Handler = (*UAgent)(nil)
+
+// Start implements proto.Handler.
+func (a *UAgent) Start(env proto.Env) {
+	a.env = env
+	a.Cfg.defaults()
+	a.votes = make(map[int64]vote)
+	a.learned = make(map[int64]core.Batch)
+	a.promises = make(map[proto.NodeID]uPhase1B)
+	if env.ID() == a.Cfg.Coordinator() {
+		a.becomeCoordinator(1)
+	}
+}
+
+func (a *UAgent) ringIndex() int {
+	for i, id := range a.Cfg.Ring {
+		if id == a.env.ID() {
+			return i
+		}
+	}
+	return -1
+}
+
+func (a *UAgent) succ() proto.NodeID {
+	i := a.ringIndex()
+	return a.Cfg.Ring[(i+1)%len(a.Cfg.Ring)]
+}
+
+func (a *UAgent) isAcceptor() bool {
+	i := a.ringIndex()
+	return i >= 0 && i < a.Cfg.NumAcceptors
+}
+
+// lastAcceptor reports whether this process is the f-th acceptor after the
+// coordinator — the process that detects decisions (Algorithm 3, Task 4).
+func (a *UAgent) lastAcceptor() bool {
+	return a.ringIndex() == a.Cfg.NumAcceptors-1
+}
+
+func (a *UAgent) isLearner() bool {
+	for _, id := range a.Cfg.Learners {
+		if id == a.env.ID() {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *UAgent) becomeCoordinator(minRound int64) {
+	a.isCoord = true
+	a.phase1Done = false
+	a.promises = make(map[proto.NodeID]uPhase1B)
+	r := (minRound << 10) | int64(a.env.ID())
+	if r <= a.crnd {
+		r = (((a.crnd >> 10) + 1) << 10) | int64(a.env.ID())
+	}
+	a.crnd = r
+	for i := 0; i < a.Cfg.NumAcceptors; i++ {
+		a.env.Send(a.Cfg.Ring[i], uPhase1A{Rnd: a.crnd})
+	}
+	a.env.After(a.Cfg.Retry, func() {
+		if a.isCoord && !a.phase1Done {
+			a.becomeCoordinator(a.crnd >> 10)
+		}
+	})
+}
+
+// Propose submits a value from this node; non-coordinators forward it along
+// the ring until it reaches the coordinator (Algorithm 3, Task 1).
+func (a *UAgent) Propose(v core.Value) {
+	if a.isCoord {
+		a.enqueue(v)
+		return
+	}
+	a.env.Send(a.succ(), MsgPropose{V: v})
+}
+
+// Receive implements proto.Handler.
+func (a *UAgent) Receive(from proto.NodeID, m proto.Message) {
+	switch msg := m.(type) {
+	case MsgPropose:
+		if a.isCoord {
+			a.enqueue(msg.V)
+		} else {
+			a.env.Send(a.succ(), msg)
+		}
+	case uPhase1A:
+		a.onPhase1A(from, msg)
+	case uPhase1B:
+		a.onPhase1B(from, msg)
+	case uPhase2:
+		a.onPhase2(msg)
+	case uDecision:
+		a.onDecision(msg)
+	}
+}
+
+// --- coordinator ---
+
+func (a *UAgent) enqueue(v core.Value) {
+	a.pending = append(a.pending, v)
+	a.pendingBytes += v.Bytes
+	if a.pendingBytes >= a.Cfg.BatchBytes {
+		a.flush()
+		return
+	}
+	if a.batchTimer == nil {
+		a.batchTimer = a.env.After(a.Cfg.BatchDelay, func() {
+			a.batchTimer = nil
+			a.flush()
+		})
+	}
+}
+
+func (a *UAgent) flush() {
+	if !a.isCoord || !a.phase1Done {
+		return
+	}
+	for len(a.pending) > 0 && a.openCount < a.Cfg.Window {
+		n, bytes := 0, 0
+		for n < len(a.pending) && bytes < a.Cfg.BatchBytes {
+			bytes += a.pending[n].Bytes
+			n++
+		}
+		batch := core.Batch{Vals: append([]core.Value(nil), a.pending[:n]...)}
+		a.pending = a.pending[n:]
+		a.pendingBytes -= bytes
+		a.startInstance(batch)
+	}
+}
+
+func (a *UAgent) startInstance(b core.Batch) {
+	inst := a.next
+	a.next++
+	a.openCount++
+	vid := core.ValueID(a.crnd<<32 | inst)
+	// The coordinator votes itself and sends the combined 2A/2B onward.
+	a.votes[inst] = vote{rnd: a.crnd, vid: vid, val: b}
+	m := uPhase2{Inst: inst, Rnd: a.crnd, VID: vid, Val: b}
+	if a.Cfg.DiskSync {
+		a.env.DiskWrite(b.Size()+headerBytes, func() { a.forwardPhase2(m) })
+	} else {
+		a.forwardPhase2(m)
+	}
+}
+
+func (a *UAgent) forwardPhase2(m uPhase2) {
+	if a.Cfg.NumAcceptors == 1 {
+		// Degenerate single-acceptor ring: decide immediately.
+		a.sendDecision(m)
+		return
+	}
+	a.env.Send(a.succ(), m)
+}
+
+func (a *UAgent) onPhase1A(from proto.NodeID, m uPhase1A) {
+	if !a.isAcceptor() || m.Rnd <= a.rnd {
+		return
+	}
+	a.rnd = m.Rnd
+	reply := uPhase1B{Rnd: a.rnd, Votes: make(map[int64]vote)}
+	for inst, v := range a.votes {
+		reply.Votes[inst] = v
+	}
+	a.env.Send(from, reply)
+}
+
+func (a *UAgent) onPhase1B(from proto.NodeID, m uPhase1B) {
+	if !a.isCoord || m.Rnd != a.crnd || a.phase1Done {
+		return
+	}
+	a.promises[from] = m
+	if len(a.promises) < a.Cfg.NumAcceptors/2+1 {
+		return
+	}
+	a.phase1Done = true
+	adopt := make(map[int64]vote)
+	for _, p := range a.promises {
+		for inst, v := range p.Votes {
+			if cur, ok := adopt[inst]; !ok || v.rnd > cur.rnd {
+				adopt[inst] = v
+			}
+		}
+	}
+	insts := make([]int64, 0, len(adopt))
+	for inst := range adopt {
+		insts = append(insts, inst)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	for _, inst := range insts {
+		if _, delivered := a.learned[inst]; delivered || inst < a.nextDeliver {
+			continue
+		}
+		if inst >= a.next {
+			a.next = inst + 1
+		}
+		a.openCount++
+		vid := core.ValueID(a.crnd<<32 | inst)
+		v := adopt[inst]
+		a.votes[inst] = vote{rnd: a.crnd, vid: vid, val: v.val}
+		a.forwardPhase2(uPhase2{Inst: inst, Rnd: a.crnd, VID: vid, Val: v.val})
+	}
+	a.flush()
+}
+
+// --- acceptor (Task 4) ---
+
+func (a *UAgent) onPhase2(m uPhase2) {
+	if !a.isAcceptor() || a.isCoord {
+		return
+	}
+	if m.Rnd < a.rnd {
+		return
+	}
+	a.rnd = m.Rnd
+	a.votes[m.Inst] = vote{rnd: m.Rnd, vid: m.VID, val: m.Val}
+	proceed := func() {
+		if a.lastAcceptor() {
+			a.sendDecision(m)
+		} else {
+			a.env.Send(a.succ(), m)
+		}
+	}
+	if a.Cfg.DiskSync {
+		a.env.DiskWrite(m.Val.Size()+headerBytes, proceed)
+	} else {
+		proceed()
+	}
+}
+
+// sendDecision starts the decision's revolution around the ring (Task 5).
+func (a *UAgent) sendDecision(m uPhase2) {
+	d := uDecision{Inst: m.Inst, VID: m.VID, Val: m.Val, Hops: 0}
+	a.deliverLocal(d)
+	a.releaseWindow()
+	if len(a.Cfg.Ring) > 1 {
+		a.forwardDecision(d)
+	}
+}
+
+// --- decision circulation and delivery ---
+
+func (a *UAgent) onDecision(m uDecision) {
+	if len(m.Val.Vals) == 0 {
+		// Value was stripped upstream: acceptors already hold it.
+		if v, ok := a.votes[m.Inst]; ok && v.vid == m.VID {
+			m.Val = v.val
+		}
+	}
+	a.deliverLocal(m)
+	a.releaseWindow()
+	m.Hops++
+	if m.Hops >= len(a.Cfg.Ring)-1 {
+		return // full revolution complete
+	}
+	// A slow learner delays this forward naturally: its CPU is busy
+	// executing delivered commands, so the reliable channel's window to it
+	// fills and the whole ring backpressures (§3.3.6).
+	a.forwardDecision(m)
+}
+
+// forwardDecision sends the decision to the successor, stripping the payload
+// when the successor is an acceptor: acceptors stored the value during
+// Phase 2, so re-sending it would double each link's traffic ("forwarding
+// the chosen-value ends at the predecessor of the process that has proposed
+// the chosen value", Task 5; the coordinator piggybacks new proposals on the
+// circulating decision).
+func (a *UAgent) forwardDecision(m uDecision) {
+	nextIdx := (a.ringIndex() + 1) % len(a.Cfg.Ring)
+	if nextIdx < a.Cfg.NumAcceptors {
+		m.Val = core.Batch{}
+	}
+	a.env.Send(a.Cfg.Ring[nextIdx], m)
+}
+
+// releaseWindow frees coordinator window space once per decision seen.
+func (a *UAgent) releaseWindow() {
+	if !a.isCoord {
+		return
+	}
+	if a.openCount > 0 {
+		a.openCount--
+	}
+	a.flush()
+}
+
+// deliverLocal records and, in instance order, delivers a decision.
+func (a *UAgent) deliverLocal(m uDecision) {
+	if !a.isLearner() {
+		return
+	}
+	if m.Inst < a.nextDeliver {
+		return
+	}
+	if _, ok := a.learned[m.Inst]; ok {
+		return
+	}
+	a.learned[m.Inst] = m.Val
+	a.drain()
+}
+
+func (a *UAgent) drain() {
+	for {
+		b, ok := a.learned[a.nextDeliver]
+		if !ok {
+			return
+		}
+		inst := a.nextDeliver
+		delete(a.learned, inst)
+		a.nextDeliver++
+		finish := func() {
+			for _, v := range b.Vals {
+				a.DeliveredBytes += int64(v.Bytes)
+				a.DeliveredMsgs++
+				if v.Born != 0 {
+					lat := a.env.Now() - v.Born
+					a.LatencySum += lat
+					a.LatencyCount++
+					if a.Latencies != nil {
+						*a.Latencies = append(*a.Latencies, lat)
+					}
+				}
+				if a.Deliver != nil {
+					a.Deliver(inst, v)
+				}
+			}
+		}
+		if a.Cfg.ExecCost > 0 && len(b.Vals) > 0 {
+			a.env.Work(time.Duration(len(b.Vals))*a.Cfg.ExecCost, finish)
+		} else {
+			finish()
+		}
+	}
+}
+
+// NextDeliver returns the learner's delivery frontier.
+func (a *UAgent) NextDeliver() int64 { return a.nextDeliver }

@@ -1,0 +1,157 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// A Simulator owns a virtual clock and a priority queue of events. Events
+// scheduled for the same instant fire in scheduling order, which makes every
+// run fully deterministic for a fixed seed and schedule. All protocol
+// benchmarks in this repository execute on top of this kernel so that the
+// reproduced figures are stable across machines and runs.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Event is a callback executed at a virtual instant.
+type Event func()
+
+// item is a scheduled event in the queue.
+type item struct {
+	at    time.Duration
+	seq   uint64
+	fn    Event
+	index int
+	dead  bool
+}
+
+// eventQueue orders items by (time, sequence number).
+type eventQueue []*item
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	it := x.(*item)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*q = old[:n-1]
+	return it
+}
+
+// Timer identifies a scheduled event so it can be cancelled.
+type Timer struct{ it *item }
+
+// Cancel prevents the timer's event from firing. Cancelling an already-fired
+// or already-cancelled timer is a no-op.
+func (t Timer) Cancel() {
+	if t.it != nil {
+		t.it.dead = true
+	}
+}
+
+// Simulator is a discrete-event scheduler with a virtual clock.
+// The zero value is not usable; construct with New.
+type Simulator struct {
+	now    time.Duration
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	nSteps uint64
+}
+
+// New returns a Simulator whose random source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (elapsed since simulation start).
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Steps reports how many events have been executed so far.
+func (s *Simulator) Steps() uint64 { return s.nSteps }
+
+// At schedules fn to run at absolute virtual time at. Times in the past are
+// clamped to the current instant.
+func (s *Simulator) At(at time.Duration, fn Event) Timer {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	it := &item{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, it)
+	return Timer{it: it}
+}
+
+// After schedules fn to run d from now. Negative delays run "now".
+func (s *Simulator) After(d time.Duration, fn Event) Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its instant.
+// It reports whether an event was executed.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		it := heap.Pop(&s.queue).(*item)
+		if it.dead {
+			continue
+		}
+		s.now = it.at
+		s.nSteps++
+		it.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to deadline. Events scheduled later remain queued.
+func (s *Simulator) RunUntil(deadline time.Duration) {
+	for len(s.queue) > 0 {
+		// Peek at the earliest live event.
+		top := s.queue[0]
+		if top.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if top.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Pending reports the number of queued (possibly cancelled) events.
+func (s *Simulator) Pending() int { return len(s.queue) }

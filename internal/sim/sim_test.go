@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []time.Duration
+	for _, d := range []time.Duration{30, 10, 20, 10, 5} {
+		d := d
+		s.After(d, func() { got = append(got, s.Now()) })
+	}
+	s.Run()
+	want := []time.Duration{5, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(7, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.After(5, func() { fired = true })
+	tm.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	// Cancelling twice must be harmless.
+	tm.Cancel()
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var seq []string
+	s.After(1, func() {
+		seq = append(seq, "a")
+		s.After(1, func() { seq = append(seq, "c") })
+	})
+	s.After(2, func() { seq = append(seq, "b") })
+	s.Run()
+	// Events at t=2: "b" was scheduled first, then "c" nested.
+	if len(seq) != 3 || seq[0] != "a" || seq[1] != "b" || seq[2] != "c" {
+		t.Fatalf("got sequence %v", seq)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{5, 10, 15, 20} {
+		d := d
+		s.After(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(12) fired %v", fired)
+	}
+	if s.Now() != 12 {
+		t.Fatalf("clock is %v, want 12", s.Now())
+	}
+	s.Run()
+	if len(fired) != 4 {
+		t.Fatalf("remaining events lost: %v", fired)
+	}
+}
+
+func TestPastEventClampsToNow(t *testing.T) {
+	s := New(1)
+	var at time.Duration = -1
+	s.After(10, func() {
+		s.At(3, func() { at = s.Now() }) // in the past
+	})
+	s.Run()
+	if at != 10 {
+		t.Fatalf("past event fired at %v, want clamped to 10", at)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int {
+		s := New(42)
+		var trace []int
+		var rec func(depth int)
+		rec = func(depth int) {
+			if depth > 4 {
+				return
+			}
+			n := s.Rand().Intn(3) + 1
+			for i := 0; i < n; i++ {
+				i := i
+				s.After(time.Duration(s.Rand().Intn(100)), func() {
+					trace = append(trace, depth*100+i)
+					rec(depth + 1)
+				})
+			}
+		}
+		rec(0)
+		s.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the clock never goes backwards.
+func TestQuickMonotoneClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(7)
+		var times []time.Duration
+		for _, d := range delays {
+			s.After(time.Duration(d), func() { times = append(times, s.Now()) })
+		}
+		s.Run()
+		if !sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] }) {
+			return false
+		}
+		want := make([]time.Duration, len(delays))
+		for i, d := range delays {
+			want[i] = time.Duration(d)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if times[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.After(time.Duration(i), func() {})
+	}
+	s.Run()
+	if s.Steps() != 5 {
+		t.Fatalf("Steps=%d, want 5", s.Steps())
+	}
+}

@@ -1,0 +1,245 @@
+package smr
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// Workload generates client commands. Implementations correspond to the
+// three workloads of §4.4.2.
+type Workload interface {
+	// Next returns the commands of the client's next request. A request
+	// with several commands (Ins/Del batch) still forms a single value.
+	Next(r *rand.Rand) []Command
+}
+
+// QueryWorkload issues range queries over an interval of Span keys with
+// uniformly random lower bounds in [0, KeySpace-Span).
+type QueryWorkload struct {
+	KeySpace int64
+	Span     int64
+}
+
+// Next implements Workload.
+func (w QueryWorkload) Next(r *rand.Rand) []Command {
+	lo := r.Int63n(w.KeySpace - w.Span)
+	return []Command{{Op: OpQuery, Min: lo, Max: lo + w.Span - 1}}
+}
+
+// UpdateWorkload issues insert/delete pairs that keep tree size constant:
+// each request is PerRequest update operations (1 for Ins/Del single, 7 for
+// Ins/Del batch).
+type UpdateWorkload struct {
+	KeySpace   int64
+	PerRequest int
+}
+
+// Next implements Workload.
+func (w UpdateWorkload) Next(r *rand.Rand) []Command {
+	n := w.PerRequest
+	if n == 0 {
+		n = 1
+	}
+	cs := make([]Command, 0, n)
+	for i := 0; i < n; i++ {
+		k := r.Int63n(w.KeySpace)
+		if r.Intn(2) == 0 {
+			cs = append(cs, Command{Op: OpInsert, Key: k, Value: k})
+		} else {
+			cs = append(cs, Command{Op: OpDelete, Key: k})
+		}
+	}
+	return cs
+}
+
+// MixedWorkload issues queries with probability QueryPct/100, updates
+// otherwise.
+type MixedWorkload struct {
+	Query    QueryWorkload
+	Update   UpdateWorkload
+	QueryPct int
+}
+
+// Next implements Workload.
+func (w MixedWorkload) Next(r *rand.Rand) []Command {
+	if r.Intn(100) < w.QueryPct {
+		return w.Query.Next(r)
+	}
+	return w.Update.Next(r)
+}
+
+// CrossPartitionWorkload issues range queries of which CrossPct percent
+// straddle a partition boundary and therefore split into two sub-queries
+// (the Figure 4.8/4.9 workload). Single-partition queries scan Span keys
+// inside a random partition; cross-partition ones scan Span keys centered
+// on a random internal boundary.
+type CrossPartitionWorkload struct {
+	Partitions    int
+	PartitionSpan int64
+	Span          int64
+	CrossPct      int
+}
+
+// Next implements Workload.
+func (w CrossPartitionWorkload) Next(r *rand.Rand) []Command {
+	if w.Partitions > 1 && r.Intn(100) < w.CrossPct {
+		b := int64(r.Intn(w.Partitions-1)+1) * w.PartitionSpan
+		lo := b - w.Span/2
+		return []Command{{Op: OpQuery, Min: lo, Max: lo + w.Span - 1}}
+	}
+	p := int64(r.Intn(w.Partitions))
+	lo := p*w.PartitionSpan + r.Int63n(w.PartitionSpan-w.Span)
+	return []Command{{Op: OpQuery, Min: lo, Max: lo + w.Span - 1}}
+}
+
+// Client is a closed-loop client: it submits one request, waits for all
+// replies (one per touched partition), records the latency and submits the
+// next. With Partitions > 1 it implements the client replication library of
+// §4.2.2: cross-partition queries split into per-partition sub-commands and
+// the responses merge at the client.
+type Client struct {
+	// ID must be unique; replies are routed to the node whose NodeID equals
+	// ID (clients live on their own nodes).
+	ID int64
+	// Submit injects a request value into the ordering layer (usually a
+	// co-located proposer agent's Propose).
+	Submit func(v core.Value)
+	// Workload generates requests.
+	Workload Workload
+	// Partitions is the number of state partitions (≤1 means none);
+	// PartitionSpan is the key width of each partition.
+	Partitions    int
+	PartitionSpan int64
+	// Think, when positive, pauses between completion and next request.
+	Think time.Duration
+	// OnComplete, if set, observes each finished request with the total
+	// tuples scanned across its sub-queries.
+	OnComplete func(seq int64, scanned int)
+
+	env proto.Env
+
+	seq     int64
+	waiting int
+	got     map[int]bool
+	started time.Duration
+	scanned int
+
+	// Completed counts finished requests; LatencySum accumulates their
+	// response times.
+	Completed  int64
+	LatencySum time.Duration
+}
+
+var _ proto.Handler = (*Client)(nil)
+
+// Start implements proto.Handler.
+func (c *Client) Start(env proto.Env) {
+	c.env = env
+	// Stagger client start to avoid a synchronized burst.
+	env.After(time.Duration(env.Rand().Intn(1000))*time.Microsecond, c.issue)
+}
+
+func (c *Client) issue() {
+	cs := c.Workload.Next(c.env.Rand())
+	c.seq++
+	c.started = c.env.Now()
+	subs := c.split(cs)
+	c.waiting = len(subs)
+	c.got = make(map[int]bool, len(subs))
+	c.scanned = 0
+	for i, sub := range subs {
+		for j := range sub {
+			sub[j].Client = c.ID
+			sub[j].Seq = c.seq
+			sub[j].Sub = i
+		}
+		v := core.Value{
+			ID:      core.ValueID(c.ID<<32 | c.seq&0xffffffff),
+			Bytes:   RequestBytes,
+			Payload: sub,
+			Born:    c.env.Now(),
+		}
+		if c.Partitions > 1 {
+			v.PartMask = 1 << uint(c.partitionOf(sub[0]))
+		}
+		c.Submit(v)
+	}
+}
+
+// split breaks a request into per-partition sub-commands (§4.2.2). Updates
+// touch one partition; a query spanning several partitions becomes one
+// sub-query per partition.
+func (c *Client) split(cs []Command) [][]Command {
+	if c.Partitions <= 1 {
+		return [][]Command{cs}
+	}
+	if cs[0].Op != OpQuery {
+		return [][]Command{cs}
+	}
+	q := cs[0]
+	first := int(q.Min / c.PartitionSpan)
+	last := int(q.Max / c.PartitionSpan)
+	if first == last {
+		return [][]Command{cs}
+	}
+	var subs [][]Command
+	for p := first; p <= last; p++ {
+		lo, hi := q.Min, q.Max
+		pLo, pHi := int64(p)*c.PartitionSpan, int64(p+1)*c.PartitionSpan-1
+		if lo < pLo {
+			lo = pLo
+		}
+		if hi > pHi {
+			hi = pHi
+		}
+		subs = append(subs, []Command{{Op: OpQuery, Min: lo, Max: hi}})
+	}
+	return subs
+}
+
+func (c *Client) partitionOf(cmd Command) int {
+	k := cmd.Key
+	if cmd.Op == OpQuery {
+		k = cmd.Min
+	}
+	p := int(k / c.PartitionSpan)
+	if p >= c.Partitions {
+		p = c.Partitions - 1
+	}
+	return p
+}
+
+// Receive implements proto.Handler.
+func (c *Client) Receive(_ proto.NodeID, m proto.Message) {
+	rep, ok := m.(MsgReply)
+	if !ok || rep.Client != c.ID || rep.Seq != c.seq || c.waiting == 0 || c.got[rep.Sub] {
+		return
+	}
+	c.got[rep.Sub] = true
+	c.waiting--
+	c.scanned += rep.Reply.Scanned
+	if c.waiting > 0 {
+		return
+	}
+	c.Completed++
+	c.LatencySum += c.env.Now() - c.started
+	if c.OnComplete != nil {
+		c.OnComplete(c.seq, c.scanned)
+	}
+	if c.Think > 0 {
+		c.env.After(c.Think, c.issue)
+		return
+	}
+	c.issue()
+}
+
+// AvgLatency returns the mean response time over completed requests.
+func (c *Client) AvgLatency() time.Duration {
+	if c.Completed == 0 {
+		return 0
+	}
+	return c.LatencySum / time.Duration(c.Completed)
+}

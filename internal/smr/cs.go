@@ -1,0 +1,67 @@
+package smr
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// MsgRequest carries a client request directly to a stand-alone server (the
+// non-replicated client-server baseline of §4.4.3).
+type MsgRequest struct{ V core.Value }
+
+// Size implements proto.Message.
+func (m MsgRequest) Size() int { return m.V.Bytes }
+
+// CSServer is the stand-alone, non-replicated server baseline: clients send
+// commands straight to it, execution is immediate (no ordering layer), and
+// it answers every request itself.
+type CSServer struct {
+	// Service is the local state machine.
+	Service Service
+	// ClientNode maps client ids to nodes; identity by default.
+	ClientNode func(client int64) proto.NodeID
+
+	env proto.Env
+
+	// ExecutedCmds counts executed commands.
+	ExecutedCmds int64
+}
+
+var _ proto.Handler = (*CSServer)(nil)
+
+// Start implements proto.Handler.
+func (s *CSServer) Start(env proto.Env) {
+	s.env = env
+	if s.ClientNode == nil {
+		s.ClientNode = func(c int64) proto.NodeID { return proto.NodeID(c) }
+	}
+}
+
+// Receive implements proto.Handler.
+func (s *CSServer) Receive(_ proto.NodeID, m proto.Message) {
+	req, ok := m.(MsgRequest)
+	if !ok {
+		return
+	}
+	cs := commands(req.V)
+	if len(cs) == 0 {
+		return
+	}
+	var cost time.Duration
+	var last Reply
+	for _, c := range cs {
+		rep, _ := s.Service.Execute(c)
+		cost += s.Service.Cost(c, rep)
+		last = rep
+		s.ExecutedCmds++
+	}
+	c0 := cs[0]
+	s.env.Work(cost, func() {
+		s.env.Send(s.ClientNode(c0.Client), MsgReply{
+			Client: c0.Client, Seq: c0.Seq, Sub: c0.Sub,
+			Bytes: replyBytes(cs), Reply: last,
+		})
+	})
+}

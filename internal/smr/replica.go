@@ -1,0 +1,266 @@
+package smr
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/ringpaxos"
+)
+
+const (
+	// RequestBytes is the wire size of every client command (§4.4.2).
+	RequestBytes = 256
+	// UpdateReplyBytes is the reply size of insert/delete commands.
+	UpdateReplyBytes = 256
+	// QueryReplyBytes is the reply size of range queries.
+	QueryReplyBytes = 8 << 10
+)
+
+// MsgReply carries a command result back to the client.
+type MsgReply struct {
+	Client int64
+	Seq    int64
+	Sub    int
+	Bytes  int
+	Reply  Reply
+}
+
+// Size implements proto.Message.
+func (m MsgReply) Size() int { return m.Bytes }
+
+// Replica is one state-machine replica: a learner of an M-Ring Paxos
+// instance that executes delivered commands against a local Service and
+// replies to clients. With Speculative set it implements §4.2.1: commands
+// execute at Phase 2A receipt, overlapping ordering, and reply only once
+// the order is confirmed; a mismatch triggers logical rollback.
+type Replica struct {
+	// Agent is this node's learner agent. Replica wires its callbacks.
+	Agent *ringpaxos.MAgent
+	// Service is the local deterministic state machine.
+	Service Service
+	// Speculative selects speculative execution (requires
+	// Agent.Cfg.Speculative).
+	Speculative bool
+	// Index and GroupSize locate this replica in its replica group, to
+	// decide which replica executes queries and answers clients.
+	Index     int
+	GroupSize int
+	// ClientNode maps a command's client id to the node to answer;
+	// identity by default.
+	ClientNode func(client int64) proto.NodeID
+
+	env proto.Env
+
+	// ExecutedCmds counts commands this replica actually executed.
+	ExecutedCmds int64
+	// DiscardedCmds counts delivered commands it discarded (queries it was
+	// not responsible for — the overhead that caps read scalability,
+	// §4.1).
+	DiscardedCmds int64
+	// Rollbacks counts speculative rollbacks.
+	Rollbacks int64
+
+	// speculative bookkeeping
+	specLog   []*specEntry
+	confirmed int // prefix of specLog whose order is confirmed
+}
+
+// specEntry records one speculatively executed instance.
+type specEntry struct {
+	inst    int64
+	cmds    []Command
+	replies []Reply
+	undos   []Undo
+	done    bool // modeled execution time fully charged
+	acked   bool // order confirmed
+	replied bool
+}
+
+var _ proto.Handler = (*Replica)(nil)
+
+// Start implements proto.Handler.
+func (r *Replica) Start(env proto.Env) {
+	r.env = env
+	if r.GroupSize == 0 {
+		r.GroupSize = 1
+	}
+	if r.ClientNode == nil {
+		r.ClientNode = func(c int64) proto.NodeID { return proto.NodeID(c) }
+	}
+	if r.Speculative {
+		r.Agent.Cfg.Speculative = true
+		r.Agent.SpecDeliver = r.onSpecDeliver
+		r.Agent.Confirm = r.onConfirm
+	} else {
+		r.Agent.Deliver = r.onDeliver
+	}
+	r.Agent.Start(env)
+}
+
+// Receive implements proto.Handler.
+func (r *Replica) Receive(from proto.NodeID, m proto.Message) {
+	r.Agent.Receive(from, m)
+}
+
+// responsible reports whether this replica executes/answers for the client.
+func (r *Replica) responsible(c Command) bool {
+	return int(c.Client)%r.GroupSize == r.Index
+}
+
+func commands(v core.Value) []Command {
+	cs, _ := v.Payload.([]Command)
+	return cs
+}
+
+func replyBytes(cs []Command) int {
+	for _, c := range cs {
+		if c.Op == OpQuery {
+			return QueryReplyBytes
+		}
+	}
+	return UpdateReplyBytes
+}
+
+// --- non-speculative path ---
+
+func (r *Replica) onDeliver(_ int64, v core.Value) {
+	cs := commands(v)
+	if len(cs) == 0 {
+		return
+	}
+	resp := r.responsible(cs[0])
+	if cs[0].Op == OpQuery && !resp {
+		// Only one replica executes a query (§4.4.2); the rest deliver and
+		// discard it.
+		r.DiscardedCmds += int64(len(cs))
+		return
+	}
+	var cost time.Duration
+	var last Reply
+	for _, c := range cs {
+		rep, _ := r.Service.Execute(c)
+		cost += r.Service.Cost(c, rep)
+		last = rep
+		r.ExecutedCmds++
+	}
+	c0 := cs[0]
+	reply := MsgReply{Client: c0.Client, Seq: c0.Seq, Sub: c0.Sub, Bytes: replyBytes(cs), Reply: last}
+	r.env.Work(cost, func() {
+		if resp {
+			r.env.Send(r.ClientNode(c0.Client), reply)
+		}
+	})
+}
+
+// --- speculative path (§4.2.1) ---
+
+// onSpecDeliver executes one client request (one value) as soon as its
+// Phase 2A arrives. One specEntry is appended per value, in execution order.
+func (r *Replica) onSpecDeliver(inst int64, v core.Value) {
+	cs := commands(v)
+	if len(cs) == 0 {
+		return
+	}
+	e := r.execute(&specEntry{inst: inst}, cs)
+	r.specLog = append(r.specLog, e)
+}
+
+// execute runs cs against the service, filling e and charging the modeled
+// cost; e.done flips when the modeled execution time elapses.
+func (r *Replica) execute(e *specEntry, cs []Command) *specEntry {
+	var cost time.Duration
+	for _, c := range cs {
+		if c.Op == OpQuery && !r.responsible(c) {
+			r.DiscardedCmds++
+			e.cmds = append(e.cmds, c)
+			e.replies = append(e.replies, Reply{})
+			e.undos = append(e.undos, nil)
+			continue
+		}
+		rep, undo := r.Service.Execute(c)
+		cost += r.Service.Cost(c, rep)
+		e.cmds = append(e.cmds, c)
+		e.replies = append(e.replies, rep)
+		e.undos = append(e.undos, undo)
+		r.ExecutedCmds++
+	}
+	r.env.Work(cost, func() {
+		e.done = true
+		r.maybeReply(e)
+	})
+	return e
+}
+
+// onConfirm fires when instance inst's order is confirmed; every specEntry
+// of that instance (contiguous, in value order) becomes answerable. If the
+// speculative execution order diverges from the confirmed order, the
+// unconfirmed suffix is rolled back and re-executed (§4.2.1).
+func (r *Replica) onConfirm(inst int64) {
+	if r.confirmed < len(r.specLog) && r.specLog[r.confirmed].inst == inst {
+		for r.confirmed < len(r.specLog) && r.specLog[r.confirmed].inst == inst {
+			e := r.specLog[r.confirmed]
+			r.confirmed++
+			e.acked = true
+			r.maybeReply(e)
+		}
+		r.trim()
+		return
+	}
+	// Mismatch (or instance never speculatively executed): roll back every
+	// unconfirmed speculative execution in reverse order...
+	r.Rollbacks++
+	suffix := append([]*specEntry(nil), r.specLog[r.confirmed:]...)
+	for i := len(suffix) - 1; i >= 0; i-- {
+		for j := len(suffix[i].undos) - 1; j >= 0; j-- {
+			if u := suffix[i].undos[j]; u != nil {
+				u()
+			}
+		}
+	}
+	r.specLog = r.specLog[:r.confirmed]
+	// ...then re-execute the confirmed instance's entries first, followed
+	// by the remaining rolled-back entries in their old relative order.
+	for _, e := range suffix {
+		if e.inst == inst {
+			ne := r.execute(&specEntry{inst: e.inst, acked: true}, e.cmds)
+			r.specLog = append(r.specLog, ne)
+			r.confirmed = len(r.specLog)
+		}
+	}
+	for _, e := range suffix {
+		if e.inst != inst {
+			ne := r.execute(&specEntry{inst: e.inst}, e.cmds)
+			r.specLog = append(r.specLog, ne)
+		}
+	}
+}
+
+// maybeReply answers the client once an entry is both executed and
+// confirmed.
+func (r *Replica) maybeReply(e *specEntry) {
+	if !e.done || !e.acked || e.replied || len(e.cmds) == 0 {
+		return
+	}
+	e.replied = true
+	c0 := e.cmds[0]
+	if !r.responsible(c0) {
+		return
+	}
+	r.env.Send(r.ClientNode(c0.Client), MsgReply{
+		Client: c0.Client, Seq: c0.Seq, Sub: c0.Sub,
+		Bytes: replyBytes(e.cmds), Reply: e.replies[len(e.replies)-1],
+	})
+}
+
+// trim drops fully processed prefix entries to bound memory.
+func (r *Replica) trim() {
+	i := 0
+	for i < r.confirmed && i < len(r.specLog) && r.specLog[i].replied {
+		i++
+	}
+	if i > 0 {
+		r.specLog = r.specLog[i:]
+		r.confirmed -= i
+	}
+}

@@ -1,0 +1,137 @@
+// Package smr implements the DSN 2011 contribution ("High Performance
+// State-Machine Replication", Chapter 4 of the dissertation): state-machine
+// replication over M-Ring Paxos with two performance extensions —
+//
+//   - speculative execution: replicas execute a command when its Phase 2A
+//     arrives, in parallel with the protocol ordering it, and reply once the
+//     order is confirmed; mismatches are rolled back with logical undo;
+//   - state partitioning: the service state is split into sub-states, each
+//     with its own ip-multicast group; M-Ring Paxos totally orders all
+//     commands but delivers each only to the partitions it accesses, so
+//     partitions execute in parallel while cross-partition commands remain
+//     linearizable (state-partitioning ordering, §4.2.2).
+//
+// The replicated service is the B+-tree of §4.4.2, storing (key, value)
+// int64 pairs with insert, delete and range-query commands.
+package smr
+
+import (
+	"time"
+
+	"repro/internal/btree"
+)
+
+// Op is a service command type.
+type Op uint8
+
+// Service operations (§4.4.2).
+const (
+	OpInsert Op = iota + 1
+	OpDelete
+	OpQuery
+)
+
+// Command is one client request against the replicated B+-tree.
+type Command struct {
+	Op       Op
+	Key      int64
+	Value    int64
+	Min, Max int64 // query range
+	// Client and Seq identify the request for the reply path; Sub
+	// distinguishes the sub-commands of a split cross-partition query.
+	Client int64
+	Seq    int64
+	Sub    int
+}
+
+// Reply is the result of executing a Command.
+type Reply struct {
+	// Scanned is the number of tuples a query visited.
+	Scanned int
+	// Ok reports whether an update took effect.
+	Ok bool
+	// DeletedValue preserves the value removed by a delete so the command
+	// can be rolled back (§4.4.2).
+	DeletedValue int64
+}
+
+// Undo is a logical rollback action for one executed command; nil when the
+// command needs no rollback (queries).
+type Undo func()
+
+// Service is a deterministic state machine with logical undo, executable
+// speculatively.
+type Service interface {
+	// Execute applies c and returns its reply and undo action.
+	Execute(c Command) (Reply, Undo)
+	// Cost returns the modeled CPU time executing c consumes on a replica,
+	// given the reply (a range query's cost depends on how much it
+	// scanned).
+	Cost(c Command, r Reply) time.Duration
+}
+
+// BTreeService is the replicated B+-tree service of §4.4.2. Costs are
+// calibrated so a stand-alone server saturates at a few thousand 1000-key
+// range queries per second and tens of thousands of updates per second
+// (Figure 4.3).
+type BTreeService struct {
+	Tree btree.Tree
+
+	// UpdateCost is the modeled CPU time of one insert or delete.
+	UpdateCost time.Duration
+	// QueryBaseCost is the fixed part of a range query's cost.
+	QueryBaseCost time.Duration
+	// QueryPerKey is the per-scanned-tuple part of a range query's cost.
+	QueryPerKey time.Duration
+}
+
+var _ Service = (*BTreeService)(nil)
+
+// NewBTreeService returns a service with the calibrated default costs,
+// pre-populated with n sequential (key, key) tuples starting at base.
+func NewBTreeService(base, n int64) *BTreeService {
+	s := &BTreeService{
+		UpdateCost:    18 * time.Microsecond,
+		QueryBaseCost: 30 * time.Microsecond,
+		QueryPerKey:   250 * time.Nanosecond,
+	}
+	for i := int64(0); i < n; i++ {
+		s.Tree.Insert(base+i, base+i)
+	}
+	return s
+}
+
+// Execute implements Service.
+func (s *BTreeService) Execute(c Command) (Reply, Undo) {
+	switch c.Op {
+	case OpInsert:
+		ok := s.Tree.Insert(c.Key, c.Value)
+		var undo Undo
+		if ok {
+			key := c.Key
+			undo = func() { s.Tree.Delete(key) }
+		}
+		return Reply{Ok: ok}, undo
+	case OpDelete:
+		v, ok := s.Tree.Delete(c.Key)
+		var undo Undo
+		if ok {
+			key, val := c.Key, v
+			undo = func() { s.Tree.Insert(key, val) }
+		}
+		return Reply{Ok: ok, DeletedValue: v}, undo
+	case OpQuery:
+		n := s.Tree.Count(c.Min, c.Max)
+		return Reply{Scanned: n, Ok: true}, nil
+	default:
+		return Reply{}, nil
+	}
+}
+
+// Cost implements Service.
+func (s *BTreeService) Cost(c Command, r Reply) time.Duration {
+	if c.Op == OpQuery {
+		return s.QueryBaseCost + time.Duration(r.Scanned)*s.QueryPerKey
+	}
+	return s.UpdateCost
+}

@@ -1,0 +1,58 @@
+package repro
+
+import (
+	"time"
+
+	"repro/internal/ringpaxos"
+)
+
+// ReplicatedLog is a convenience wrapper: a U-Ring Paxos ring over a
+// realtime Cluster in which every node proposes and learns. It is the
+// quickest way to embed a totally ordered, fault-tolerant log in an
+// application (U-Ring Paxos because plain sockets have no ip-multicast,
+// §3.3.3).
+type ReplicatedLog struct {
+	cluster *Cluster
+	agents  map[NodeID]*URingAgent
+}
+
+// LogConfig configures a ReplicatedLog.
+type LogConfig struct {
+	// Nodes lists the ring members in ring order; all are learners.
+	Nodes []NodeID
+	// Deliver is invoked on each node, in the agreed total order.
+	Deliver func(node NodeID, inst int64, v Value)
+	// BatchDelay bounds how long small values wait for batching.
+	BatchDelay time.Duration
+}
+
+// NewReplicatedLog adds the ring to the cluster. Call before
+// Cluster.Start.
+func NewReplicatedLog(c *Cluster, cfg LogConfig) *ReplicatedLog {
+	l := &ReplicatedLog{cluster: c, agents: make(map[NodeID]*URingAgent)}
+	ucfg := ringpaxos.UConfig{
+		Ring:       cfg.Nodes,
+		Learners:   cfg.Nodes,
+		BatchDelay: cfg.BatchDelay,
+	}
+	for _, id := range cfg.Nodes {
+		id := id
+		a := &URingAgent{Cfg: ucfg}
+		if cfg.Deliver != nil {
+			a.Deliver = func(inst int64, v Value) { cfg.Deliver(id, inst, v) }
+		}
+		l.agents[id] = a
+		c.AddNode(id, a)
+	}
+	return l
+}
+
+// Propose submits v from the given ring node.
+func (l *ReplicatedLog) Propose(from NodeID, v Value) {
+	if a, ok := l.agents[from]; ok {
+		l.cluster.Node(from).enqueue(func() { a.Propose(v) })
+	}
+}
+
+// Agent exposes a node's underlying U-Ring Paxos agent.
+func (l *ReplicatedLog) Agent(id NodeID) *URingAgent { return l.agents[id] }
