@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// fig32SeedHash is the SHA-256 of the fig3.2 experiment's full text output
+// under the seed kernel (pointer-heap internal/sim + closure-based
+// internal/lan), captured before the allocation-free rewrite. The rewrite
+// must preserve the (time, seq) total event order exactly, so the regenerated
+// figure must stay byte-identical for the fixed seed.
+//
+// If a deliberate model change legitimately alters the figure, re-capture
+// with: go test ./internal/bench -run TestFig32Determinism -v
+const fig32SeedHash = "313fd52c4c14930422d4606fc4b14ae7a62205a58e0292d658e50da82773e669"
+
+// TestFig32Determinism regenerates fig3.2 (one-to-many unicast vs multicast
+// vs pipeline — it exercises SendUDP, Multicast, Send/ack windows, timers and
+// CPU reservations together) and verifies the output is byte-identical to the
+// pre-refactor golden hash.
+func TestFig32Determinism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	e, ok := Get("fig3.2")
+	if !ok {
+		t.Fatal("fig3.2 not registered")
+	}
+	h := sha256.New()
+	e.Run(h)
+	got := hex.EncodeToString(h.Sum(nil))
+	t.Logf("fig3.2 output hash: %s", got)
+	if got != fig32SeedHash {
+		t.Fatalf("fig3.2 output diverged from the seed kernel\n got:  %s\n want: %s\n"+
+			"the event kernel rewrite must preserve (time, seq) order exactly",
+			got, fig32SeedHash)
+	}
+}

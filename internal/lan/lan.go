@@ -103,19 +103,70 @@ type Stats struct {
 // LAN is a simulated cluster. Create one with New, add nodes, subscribe
 // multicast groups, then Start and Run.
 type LAN struct {
-	Sim    *sim.Simulator
-	cfg    Config
-	nodes  map[proto.NodeID]*Node
-	groups map[proto.GroupID]map[proto.NodeID]bool
+	Sim     *sim.Simulator
+	cfg     Config
+	nodes   map[proto.NodeID]*Node
+	groups  map[proto.GroupID]map[proto.NodeID]bool
+	members map[proto.GroupID][]proto.NodeID // sorted, invalidated on (un)subscribe
 }
 
 // New creates an empty cluster with the given parameters and seed.
 func New(cfg Config, seed int64) *LAN {
-	return &LAN{
-		Sim:    sim.New(seed),
-		cfg:    cfg,
-		nodes:  make(map[proto.NodeID]*Node),
-		groups: make(map[proto.GroupID]map[proto.NodeID]bool),
+	l := &LAN{
+		Sim:     sim.New(seed),
+		cfg:     cfg,
+		nodes:   make(map[proto.NodeID]*Node),
+		groups:  make(map[proto.GroupID]map[proto.NodeID]bool),
+		members: make(map[proto.GroupID][]proto.NodeID),
+	}
+	l.Sim.SetDispatcher(l.dispatch)
+	return l
+}
+
+// Typed-event kinds for the simulation kernel. Every per-message callback in
+// the hot path (transmit -> receive -> ack, datagram arrival and delivery,
+// work and disk completions) is one of these, so steady-state traffic
+// schedules no closures at all.
+const (
+	evTCPArrive   uint8 = iota + 1 // frame cleared dst's in-link: P1=msg, P2=conn, D=size
+	evTCPDeliver                   // rx CPU done, hand to handler + ack: P1=msg, P2=conn, D=size
+	evTCPAck                       // ack reached sender, window opens: P2=conn, D=size
+	evUDPArrive                    // datagram cleared in-link: P1=msg, P2=dst node, A=src id
+	evUDPDeliver                   // rx CPU done, drain buffer + hand over: P1=msg, P2=node, A=src id, D=size
+	evNodeDeliver                  // loopback delivery: P1=msg, P2=node, A=src id
+	evNodeFunc                     // down-gated completion (Work/DiskWrite): P1=func(), P2=node
+)
+
+// dispatch executes one typed event. It runs inside the kernel loop at the
+// event's instant, so sim.Now() is the scheduled time.
+func (l *LAN) dispatch(ev sim.TypedEvent) {
+	switch ev.Kind {
+	case evTCPArrive:
+		ev.P2.(*conn).arrive(ev.P1.(proto.Message), int(ev.D))
+	case evTCPDeliver:
+		ev.P2.(*conn).deliver(ev.P1.(proto.Message), int(ev.D))
+	case evTCPAck:
+		ev.P2.(*conn).ack(int(ev.D))
+	case evUDPArrive:
+		ev.P2.(*Node).datagramArrive(proto.NodeID(ev.A), ev.P1.(proto.Message))
+	case evUDPDeliver:
+		n := ev.P2.(*Node)
+		n.udpQueued -= int(ev.D)
+		if n.down {
+			return
+		}
+		n.handler.Receive(proto.NodeID(ev.A), ev.P1.(proto.Message))
+	case evNodeDeliver:
+		n := ev.P2.(*Node)
+		if n.down {
+			return
+		}
+		n.handler.Receive(proto.NodeID(ev.A), ev.P1.(proto.Message))
+	case evNodeFunc:
+		if ev.P2.(*Node).down {
+			return
+		}
+		ev.P1.(func())()
 	}
 }
 
@@ -168,22 +219,35 @@ func (l *LAN) Subscribe(g proto.GroupID, id proto.NodeID) {
 		l.groups[g] = set
 	}
 	set[id] = true
+	delete(l.members, g) // invalidate the sorted-member cache
 }
 
 // Unsubscribe removes node id from multicast group g.
 func (l *LAN) Unsubscribe(g proto.GroupID, id proto.NodeID) {
 	delete(l.groups[g], id)
+	delete(l.members, g)
 }
 
-// members returns group g's subscribers in ascending id order, so multicast
-// fan-out is deterministic.
-func (l *LAN) members(g proto.GroupID) []proto.NodeID {
+// sortNodeIDs orders ids ascending; every deterministic iteration over node
+// sets (multicast fan-out, Start order) funnels through it.
+func sortNodeIDs(ids []proto.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// groupMembers returns group g's subscribers in ascending id order, so
+// multicast fan-out is deterministic. The sorted slice is cached until the
+// group's membership changes; callers must not retain or mutate it.
+func (l *LAN) groupMembers(g proto.GroupID) []proto.NodeID {
+	if ids, ok := l.members[g]; ok {
+		return ids
+	}
 	set := l.groups[g]
 	ids := make([]proto.NodeID, 0, len(set))
 	for id := range set {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sortNodeIDs(ids)
+	l.members[g] = ids
 	return ids
 }
 
@@ -194,13 +258,7 @@ func (l *LAN) Start() {
 	for id := range l.nodes {
 		ids = append(ids, id)
 	}
-	for i := 0; i < len(ids); i++ {
-		for j := i + 1; j < len(ids); j++ {
-			if ids[j] < ids[i] {
-				ids[i], ids[j] = ids[j], ids[i]
-			}
-		}
-	}
+	sortNodeIDs(ids)
 	for _, id := range ids {
 		n := l.nodes[id]
 		n.handler.Start(n)
@@ -238,10 +296,46 @@ type Node struct {
 var _ proto.Env = (*Node)(nil)
 
 // conn models one reliable FIFO channel with a bounded in-flight window.
+// The send queue is a power-of-two ring buffer: popping advances head
+// instead of re-slicing, so the backing array is reused forever and drained
+// messages are released immediately.
 type conn struct {
-	from, to *Node
-	queue    []proto.Message
-	inflight int
+	from, to   *Node
+	buf        []proto.Message // ring storage, len is a power of two
+	head, tail uint32          // pop/push cursors; tail-head = queued count
+	inflight   int
+}
+
+func (c *conn) queued() int { return int(c.tail - c.head) }
+
+func (c *conn) push(m proto.Message) {
+	if c.queued() == len(c.buf) {
+		c.grow()
+	}
+	c.buf[c.tail&uint32(len(c.buf)-1)] = m
+	c.tail++
+}
+
+func (c *conn) pop() proto.Message {
+	i := c.head & uint32(len(c.buf)-1)
+	m := c.buf[i]
+	c.buf[i] = nil // release the reference as soon as it is on the wire
+	c.head++
+	return m
+}
+
+func (c *conn) grow() {
+	n := len(c.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	nb := make([]proto.Message, n)
+	for i, cnt := uint32(0), uint32(c.queued()); i < cnt; i++ {
+		nb[i] = c.buf[(c.head+i)&uint32(len(c.buf)-1)]
+	}
+	c.tail = c.tail - c.head
+	c.head = 0
+	c.buf = nb
 }
 
 // ID implements proto.Env.
@@ -348,48 +442,61 @@ func (n *Node) Send(to proto.NodeID, m proto.Message) {
 		c = &conn{from: n, to: dst}
 		n.conns[to] = c
 	}
-	c.queue = append(c.queue, m)
+	c.push(m)
 	n.pump(c)
 }
 
-// pump transmits queued messages on c while window space is available.
+// pump transmits queued messages on c while window space is available. The
+// whole transmit -> receive -> ack chain runs on typed events: no closures
+// are allocated per message.
 func (n *Node) pump(c *conn) {
-	for len(c.queue) > 0 {
-		m := c.queue[0]
+	for c.queued() > 0 {
+		m := c.buf[c.head&uint32(len(c.buf)-1)]
 		size := m.Size()
 		if c.inflight > 0 && c.inflight+size > n.lan.cfg.TCPBuf {
 			return // window full; resumes on ack
 		}
-		c.queue = c.queue[1:]
+		c.pop()
 		c.inflight += size
 		n.stats.MsgsSent++
 		n.stats.BytesSent += int64(size)
 		rxEnd := n.transmitTo(c.to, size, true)
-		dst, src := c.to, n
-		n.lan.Sim.At(rxEnd, func() {
-			if dst.down {
-				// Connection to a dead peer: window space never frees;
-				// messages already sent are lost.
-				return
-			}
-			dst.stats.MsgsRecv++
-			dst.stats.BytesRecv += int64(size)
-			done := dst.reserveCPU(rxEnd, dst.cpuCost(size))
-			dst.lan.Sim.At(done, func() {
-				if dst.down {
-					return
-				}
-				dst.handler.Receive(src.id, m)
-				// Ack travels back; window space frees at the sender.
-				ack := dst.lan.Sim.Now() + dst.lan.cfg.Latency
-				dst.lan.Sim.At(ack, func() {
-					c.inflight -= size
-					if !src.down {
-						src.pump(c)
-					}
-				})
-			})
-		})
+		n.lan.Sim.AtEvent(rxEnd, sim.TypedEvent{Kind: evTCPArrive, D: int64(size), P1: m, P2: c})
+	}
+}
+
+// arrive runs when a frame's last bit clears the receiver's in-link.
+func (c *conn) arrive(m proto.Message, size int) {
+	dst := c.to
+	if dst.down {
+		// Connection to a dead peer: window space never frees; messages
+		// already sent are lost.
+		return
+	}
+	dst.stats.MsgsRecv++
+	dst.stats.BytesRecv += int64(size)
+	done := dst.reserveCPU(dst.lan.Sim.Now(), dst.cpuCost(size))
+	dst.lan.Sim.AtEvent(done, sim.TypedEvent{Kind: evTCPDeliver, D: int64(size), P1: m, P2: c})
+}
+
+// deliver runs when the receiver's CPU finishes processing the message: it
+// hands the message to the handler and sends the ack back.
+func (c *conn) deliver(m proto.Message, size int) {
+	dst := c.to
+	if dst.down {
+		return
+	}
+	dst.handler.Receive(c.from.id, m)
+	// Ack travels back; window space frees at the sender.
+	ack := dst.lan.Sim.Now() + dst.lan.cfg.Latency
+	dst.lan.Sim.AtEvent(ack, sim.TypedEvent{Kind: evTCPAck, D: int64(size), P2: c})
+}
+
+// ack opens window space at the sender and restarts its pump.
+func (c *conn) ack(size int) {
+	c.inflight -= size
+	if !c.from.down {
+		c.from.pump(c)
 	}
 }
 
@@ -409,7 +516,7 @@ func (n *Node) SendUDP(to proto.NodeID, m proto.Message) {
 		return
 	}
 	rxEnd := n.transmitTo(dst, m.Size(), true)
-	n.lan.Sim.At(rxEnd, func() { dst.datagramArrive(n.id, m) })
+	n.lan.Sim.AtEvent(rxEnd, sim.TypedEvent{Kind: evUDPArrive, A: int64(n.id), P1: m, P2: dst})
 }
 
 // Multicast implements proto.Env: switch-replicated datagram. The sender's
@@ -428,7 +535,7 @@ func (n *Node) Multicast(g proto.GroupID, m proto.Message) {
 	n.outFree = start + txTime(size, n.bandwidth())
 	departure := n.outFree
 
-	for _, id := range n.lan.members(g) {
+	for _, id := range n.lan.groupMembers(g) {
 		dst := n.lan.nodes[id]
 		if dst == nil {
 			continue
@@ -441,8 +548,7 @@ func (n *Node) Multicast(g proto.GroupID, m proto.Message) {
 		rxStart := max(arrive, dst.inFree)
 		dst.inFree = rxStart + txTime(size, dst.bandwidth())
 		rxEnd := dst.inFree
-		src := n.id
-		n.lan.Sim.At(rxEnd, func() { dst.datagramArrive(src, m) })
+		n.lan.Sim.AtEvent(rxEnd, sim.TypedEvent{Kind: evUDPArrive, A: int64(n.id), P1: m, P2: dst})
 	}
 }
 
@@ -470,25 +576,14 @@ func (n *Node) datagramArrive(from proto.NodeID, m proto.Message) {
 		n.udpQueuedMax = n.udpQueued
 	}
 	done := n.reserveCPU(n.lan.Sim.Now(), n.cpuCost(size))
-	n.lan.Sim.At(done, func() {
-		n.udpQueued -= size
-		if n.down {
-			return
-		}
-		n.handler.Receive(from, m)
-	})
+	n.lan.Sim.AtEvent(done, sim.TypedEvent{Kind: evUDPDeliver, A: int64(from), D: int64(size), P1: m, P2: n})
 }
 
 // deliverLocal hands a self-addressed message to the handler, paying CPU
 // but no network resources (loopback).
 func (n *Node) deliverLocal(m proto.Message) {
 	done := n.reserveCPU(n.lan.Sim.Now(), n.cpuCost(m.Size()))
-	n.lan.Sim.At(done, func() {
-		if n.down {
-			return
-		}
-		n.handler.Receive(n.id, m)
-	})
+	n.lan.Sim.AtEvent(done, sim.TypedEvent{Kind: evNodeDeliver, A: int64(n.id), P1: m, P2: n})
 }
 
 // After implements proto.Env. Timer callbacks keep firing while the node is
@@ -514,12 +609,7 @@ func (n *Node) Work(d time.Duration, fn func()) {
 func (n *Node) WorkOn(core int, d time.Duration, fn func()) {
 	d = time.Duration(float64(d) / n.nc.CPUScale)
 	done := n.reserveCore(core, n.lan.Sim.Now(), d)
-	n.lan.Sim.At(done, func() {
-		if n.down {
-			return
-		}
-		fn()
-	})
+	n.lan.Sim.AtEvent(done, sim.TypedEvent{Kind: evNodeFunc, P1: fn, P2: n})
 }
 
 // DiskWrite implements proto.Env: synchronous sequential write of size
@@ -531,10 +621,5 @@ func (n *Node) DiskWrite(size int, fn func()) {
 	n.diskFree = start + d
 	n.stats.DiskBytes += int64(size)
 	n.stats.DiskWrites++
-	n.lan.Sim.At(n.diskFree, func() {
-		if n.down {
-			return
-		}
-		fn()
-	})
+	n.lan.Sim.AtEvent(n.diskFree, sim.TypedEvent{Kind: evNodeFunc, P1: fn, P2: n})
 }

@@ -26,7 +26,13 @@ type Message interface {
 	Size() int
 }
 
-// Timer is a cancellable scheduled callback.
+// Timer is a cancellable scheduled callback. Cancel is idempotent and safe
+// at any point in the timer's life: cancelling a timer that already fired,
+// or was already cancelled, is a guaranteed no-op — substrates that recycle
+// timer storage must ensure a stale handle can never cancel an unrelated,
+// newer timer (the simulated kernel uses a generation counter for this).
+// Protocols therefore never need to track whether a timer is still live
+// before cancelling it.
 type Timer interface {
 	Cancel()
 }
@@ -53,7 +59,9 @@ type Env interface {
 	// Delivery is unreliable, like SendUDP.
 	Multicast(g GroupID, m Message)
 
-	// After schedules fn to run on this actor after d.
+	// After schedules fn to run on this actor after d. Callbacks scheduled
+	// for the same instant run in scheduling order (FIFO), which is part of
+	// the determinism contract every figure reproduction relies on.
 	After(d time.Duration, fn func()) Timer
 	// Work occupies this node's CPU for d, then runs fn. Use it to model
 	// command-execution cost.

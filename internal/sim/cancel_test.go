@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestCancelAfterFire: cancelling a timer whose event already ran must be a
+// no-op, even though the slab slot has been recycled for a newer event.
+func TestCancelAfterFire(t *testing.T) {
+	s := New(1)
+	fired := 0
+	t1 := s.After(1, func() { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired=%d, want 1", fired)
+	}
+	// The slot freed by t1's firing is the next one allocated: t2 reuses it.
+	var fired2 bool
+	t2 := s.After(1, func() { fired2 = true })
+	t1.Cancel() // stale handle: generation mismatch, must not touch t2
+	s.Run()
+	if !fired2 {
+		t.Fatal("stale Cancel killed an unrelated timer occupying the reused slot")
+	}
+	_ = t2
+}
+
+// TestCancelTwice: double-cancel must be a no-op and must not corrupt the
+// dead-event accounting that drives compaction.
+func TestCancelTwice(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.After(5, func() { fired = true })
+	other := s.After(6, func() {})
+	tm.Cancel()
+	tm.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending=%d after double cancel, want 1", got)
+	}
+	// The cancelled slot is recycled; a stale third Cancel must not kill the
+	// new occupant either.
+	replacement := s.After(7, func() {})
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	_, _ = other, replacement
+}
+
+// TestCancelZeroTimer: the zero Timer cancels nothing and must not panic.
+func TestCancelZeroTimer(t *testing.T) {
+	var tm Timer
+	tm.Cancel()
+}
+
+// TestPendingExcludesCancelled: Pending reports live events only; cancelled
+// timers must not leak into the count no matter how many accumulate.
+func TestPendingExcludesCancelled(t *testing.T) {
+	s := New(1)
+	var timers []Timer
+	for i := 0; i < 1000; i++ {
+		timers = append(timers, s.After(time.Duration(i+1), func() {}))
+	}
+	keep := s.After(2000, func() {})
+	for _, tm := range timers {
+		tm.Cancel()
+	}
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending=%d with 1 live event, want 1", got)
+	}
+	// Mass cancellation triggers compaction; the survivor must still fire at
+	// its scheduled instant.
+	if got := len(s.heap); got >= 500 {
+		t.Fatalf("compaction did not sweep: %d heap entries for 1 live event", got)
+	}
+	s.Run()
+	if s.Now() != 2000 {
+		t.Fatalf("survivor fired at %v, want 2000", s.Now())
+	}
+	_ = keep
+}
+
+// TestCancelledSlotsAreReused: steady schedule/cancel churn must not grow
+// the slab (the free-list recycles cancelled slots after they are swept).
+func TestCancelledSlotsAreReused(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100_000; i++ {
+		tm := s.After(5, func() {})
+		s.After(1, func() {})
+		tm.Cancel()
+		s.Step()
+	}
+	if got := len(s.slab); got > 4096 {
+		t.Fatalf("slab grew to %d slots under schedule/cancel churn", got)
+	}
+}
+
+// TestCompactionPreservesOrder: sweeping dead entries rebuilds the heap; the
+// surviving events must still fire in exact (time, seq) order.
+func TestCompactionPreservesOrder(t *testing.T) {
+	s := New(3)
+	var got, want []int
+	type sched struct {
+		at time.Duration
+		id int
+	}
+	var keepers []sched
+	var cancels []Timer
+	// Interleave keepers and victims across shuffled instants, same-instant
+	// collisions included.
+	for i := 0; i < 500; i++ {
+		at := time.Duration(s.Rand().Intn(50))
+		if i%3 == 0 {
+			i := i
+			keepers = append(keepers, sched{at, i})
+			s.At(at, func() { got = append(got, i) })
+		} else {
+			cancels = append(cancels, s.At(at, func() { t.Error("cancelled event fired") }))
+		}
+	}
+	for _, tm := range cancels {
+		tm.Cancel() // bulk cancel forces at least one compaction
+	}
+	// Expected order: by instant, then scheduling order (ids were issued in
+	// seq order, so a stable sort by time is exactly (time, seq)).
+	sort.SliceStable(keepers, func(i, j int) bool { return keepers[i].at < keepers[j].at })
+	for _, k := range keepers {
+		want = append(want, k.id)
+	}
+	s.Run()
+	if len(got) != len(want) {
+		t.Fatalf("fired %d keepers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order diverges at %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}

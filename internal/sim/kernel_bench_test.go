@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkKernelSteadyState measures the scheduler hot loop: a fixed
+// population of self-rescheduling timers, one event executed per iteration.
+// This is the workload shape of every LAN model run (timer fires, handler
+// schedules the next), so events/sec here is the throughput ceiling for all
+// figure reproductions. The closures are created once, before the timer
+// starts: steady-state allocations are the kernel's own.
+func BenchmarkKernelSteadyState(b *testing.B) {
+	s := New(1)
+	const width = 64
+	for i := 0; i < width; i++ {
+		d := time.Duration(1 + i%7)
+		var fn Event
+		fn = func() { s.After(d, fn) }
+		s.After(d, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for n := 0; n < b.N; n++ {
+		s.Step()
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "events/s")
+}
+
+// BenchmarkKernelScheduleCancel measures the schedule+cancel path: protocols
+// arm retransmit/failure timers that almost always get cancelled, so cancelled
+// timers must be cheap and must not accumulate in the queue.
+func BenchmarkKernelScheduleCancel(b *testing.B) {
+	s := New(1)
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		t := s.After(5, nop) // armed, then dropped: the common timer fate
+		s.After(1, nop)
+		t.Cancel()
+		s.Step()
+	}
+}
+
+// BenchmarkKernelFanOut measures bursty scheduling: each executed event
+// schedules a batch (a multicast fan-out shape), and the loop drains them.
+func BenchmarkKernelFanOut(b *testing.B) {
+	s := New(1)
+	const fan = 16
+	var burst Event
+	nop := func() {}
+	burst = func() {
+		for i := 0; i < fan-1; i++ {
+			s.After(time.Duration(1+i), nop)
+		}
+		s.After(fan, burst)
+	}
+	s.After(1, burst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		s.Step()
+	}
+}
