@@ -3,44 +3,232 @@
 //
 // Usage:
 //
-//	repro -list              list experiment ids
-//	repro -exp fig3.7        run one experiment
-//	repro -all               run everything (slow)
+//	repro -list                  list experiment ids
+//	repro -exp fig3.7            run one experiment
+//	repro -all                   run everything on a worker pool
+//	repro -all -jobs 1           force the sequential path
+//	repro -all -json             machine-readable per-experiment summary
+//	repro -update-golden         re-pin the golden output hashes
+//	repro -verify-golden         check every experiment against its pin
+//
+// Experiment text goes to stdout in registry order (byte-identical for any
+// -jobs value); per-experiment wall-clock and the run summary go to stderr
+// so timing never perturbs the deterministic output stream.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list experiments")
-	exp := flag.String("exp", "", "experiment id to run (e.g. fig3.7)")
-	all := flag.Bool("all", false, "run every experiment")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonResult is the machine-readable per-experiment record emitted by
+// -json.
+type jsonResult struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	SHA256 string  `json:"sha256,omitempty"`
+	Bytes  int     `json:"bytes"`
+	WallMS float64 `json:"wall_ms"`
+	Error  string  `json:"error,omitempty"`
+}
+
+type jsonSummary struct {
+	Experiments int          `json:"experiments"`
+	Failed      int          `json:"failed"`
+	Jobs        int          `json:"jobs"`
+	WallMS      float64      `json:"wall_ms"`
+	AggregateMS float64      `json:"aggregate_ms"`
+	Speedup     float64      `json:"speedup"`
+	Results     []jsonResult `json:"results"`
+}
+
+// run is main with injectable streams and an exit code, so the CLI is
+// testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list experiments")
+	exp := fs.String("exp", "", "experiment id to run (e.g. fig3.7)")
+	all := fs.Bool("all", false, "run every experiment")
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker pool size for -all and golden runs (<1 means GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "with -all: emit a JSON run summary on stdout instead of experiment text")
+	updateGolden := fs.Bool("update-golden", false, "regenerate the golden output hashes for all deterministic experiments")
+	verifyGolden := fs.Bool("verify-golden", false, "run all deterministic experiments and compare against the golden hashes")
+	goldenDir := fs.String("golden-dir", bench.DefaultGoldenDir, "golden hash directory (relative to the repository root)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if *jsonOut && !*all {
+		fmt.Fprintln(stderr, "-json only applies to -all")
+		return 2
+	}
 
 	switch {
 	case *list:
 		for _, e := range bench.All() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
 		}
+		return 0
+	case *updateGolden, *verifyGolden:
+		exps := bench.GoldenExperiments()
+		if *exp != "" {
+			// Re-pin or check a single experiment after a targeted change.
+			e, ok := bench.Get(*exp)
+			if !ok {
+				fmt.Fprintf(stderr, "unknown experiment %q; use -list\n", *exp)
+				return 1
+			}
+			if e.Volatile {
+				fmt.Fprintf(stderr, "experiment %q is volatile: it has no golden pin\n", *exp)
+				return 1
+			}
+			exps = []bench.Experiment{e}
+		}
+		return goldenRun(stdout, stderr, bench.ResolveGoldenDir(*goldenDir), *jobs, *updateGolden, exps)
 	case *all:
-		for _, e := range bench.All() {
-			fmt.Printf("\n########## %s — %s ##########\n", e.ID, e.Title)
-			e.Run(os.Stdout)
-		}
+		return runAll(stdout, stderr, *jobs, *jsonOut)
 	case *exp != "":
 		e, ok := bench.Get(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "unknown experiment %q; use -list\n", *exp)
+			return 1
 		}
-		e.Run(os.Stdout)
+		return runSingle(e, stdout, stderr)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+}
+
+// runSingle runs one experiment streaming its text to stdout as it is
+// produced (bannerless, as -exp always was) — no pool, no buffering —
+// while still reporting the output hash and containing panics.
+func runSingle(e bench.Experiment, stdout, stderr io.Writer) (code int) {
+	start := time.Now()
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(stderr, "experiment %s panicked: %v\n", e.ID, p)
+			code = 1
+		}
+	}()
+	h := e.Hash(stdout)
+	fmt.Fprintf(stderr, "done %s in %s (sha256 %s)\n",
+		e.ID, time.Since(start).Round(time.Millisecond), h[:12])
+	return 0
+}
+
+// runPool runs exps with the given parallelism, streaming each
+// experiment's banner and text to stdout in registry order and its
+// wall-clock to stderr.
+func runPool(exps []bench.Experiment, jobs int, stdout, stderr io.Writer) []bench.Result {
+	return bench.Run(exps, bench.Options{
+		Jobs: jobs,
+		OnResult: func(r bench.Result) {
+			fmt.Fprintf(stdout, "\n########## %s — %s ##########\n", r.ID, r.Title)
+			stdout.Write(r.Output)
+			if r.Err != nil {
+				fmt.Fprintf(stderr, "FAIL %s: %v\n", r.ID, r.Err)
+				return
+			}
+			fmt.Fprintf(stderr, "done %-8s %8s  %6d bytes  %s\n",
+				r.ID, r.Wall.Round(time.Millisecond), r.Bytes, r.SHA256[:12])
+		},
+	})
+}
+
+func runAll(stdout, stderr io.Writer, jobs int, jsonOut bool) int {
+	exps := bench.All()
+	start := time.Now()
+	var results []bench.Result
+	if jsonOut {
+		// JSON mode: experiment text is summarized by its hash, so capture
+		// quietly and emit one document at the end.
+		results = bench.Run(exps, bench.Options{Jobs: jobs, OnResult: func(r bench.Result) {
+			if r.Err != nil {
+				fmt.Fprintf(stderr, "FAIL %s: %v\n", r.ID, r.Err)
+			}
+		}})
+	} else {
+		results = runPool(exps, jobs, stdout, stderr)
+	}
+	sum := bench.Summarize(results, jobs, time.Since(start))
+	if jsonOut {
+		out := jsonSummary{
+			Experiments: sum.Experiments,
+			Failed:      sum.Failed,
+			Jobs:        sum.Jobs,
+			WallMS:      float64(sum.Wall) / 1e6,
+			AggregateMS: float64(sum.CPUTime) / 1e6,
+			Speedup:     sum.Speedup(),
+		}
+		for _, r := range results {
+			jr := jsonResult{ID: r.ID, Title: r.Title, SHA256: r.SHA256,
+				Bytes: r.Bytes, WallMS: float64(r.Wall) / 1e6}
+			if r.Err != nil {
+				jr.Error = r.Err.Error()
+			}
+			out.Results = append(out.Results, jr)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	sum.Fprint(stderr)
+	if sum.Failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// goldenRun regenerates (update=true) or verifies the golden hashes for
+// the given experiments.
+func goldenRun(stdout, stderr io.Writer, dir string, jobs int, update bool, exps []bench.Experiment) int {
+	start := time.Now()
+	results := bench.Run(exps, bench.Options{Jobs: jobs, OnResult: func(r bench.Result) {
+		if r.Err != nil {
+			fmt.Fprintf(stderr, "FAIL %s: %v\n", r.ID, r.Err)
+			return
+		}
+		fmt.Fprintf(stderr, "done %-8s %8s  %s\n", r.ID, r.Wall.Round(time.Millisecond), r.SHA256[:12])
+	}})
+	sum := bench.Summarize(results, jobs, time.Since(start))
+	sum.Fprint(stderr)
+	if sum.Failed > 0 {
+		return 1
+	}
+	if update {
+		for _, r := range results {
+			if err := bench.WriteGolden(dir, r.ID, r.SHA256); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "pinned %d golden hashes under %s\n", len(results), dir)
+		return 0
+	}
+	if bad := bench.VerifyGolden(dir, results); len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintln(stderr, b)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "all %d experiments match their golden hashes\n", len(results))
+	return 0
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	for _, id := range []string{"fig3.2", "tab3.2", "fig5.4", "fig6.3", "fig7.7"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+func TestUnknownExperimentExits1(t *testing.T) {
+	code, _, errw := runCLI(t, "-exp", "fig99.9")
+	if code != 1 {
+		t.Fatalf("-exp fig99.9 exit %d, want 1", code)
+	}
+	if !strings.Contains(errw, "unknown experiment") || !strings.Contains(errw, "fig99.9") {
+		t.Errorf("stderr %q lacks diagnosis", errw)
+	}
+}
+
+func TestRunOneExperiment(t *testing.T) {
+	// tab3.1 is analytic (no simulation) so this stays fast.
+	code, out, errw := runCLI(t, "-exp", "tab3.1")
+	if code != 0 {
+		t.Fatalf("-exp tab3.1 exit %d, stderr %s", code, errw)
+	}
+	if !strings.Contains(out, "Tab 3.1") || !strings.Contains(out, "M-Ring Paxos") {
+		t.Errorf("unexpected output: %q", out)
+	}
+	if strings.Contains(out, "##########") {
+		t.Errorf("-exp output must stay bannerless, got %q", out)
+	}
+	if !strings.Contains(errw, "sha256") {
+		t.Errorf("stderr %q lacks the hash/timing line", errw)
+	}
+}
+
+func TestJobsFlagParsing(t *testing.T) {
+	// Malformed -jobs is a usage error (flag package reports it): exit 2.
+	if code, _, errw := runCLI(t, "-all", "-jobs", "four"); code != 2 {
+		t.Fatalf("-jobs four exit %d (stderr %s), want 2", code, errw)
+	}
+	// A valid -jobs value composes with -exp (it only affects pool runs).
+	if code, _, _ := runCLI(t, "-jobs", "3", "-exp", "tab3.1"); code != 0 {
+		t.Fatalf("-jobs 3 -exp tab3.1 exit %d, want 0", code)
+	}
+}
+
+func TestJSONRequiresAll(t *testing.T) {
+	code, _, errw := runCLI(t, "-exp", "tab3.1", "-json")
+	if code != 2 || !strings.Contains(errw, "-json only applies to -all") {
+		t.Fatalf("-exp -json exit %d, stderr %q; want usage error", code, errw)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	code, _, errw := runCLI(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exit %d, want 0", code)
+	}
+	if !strings.Contains(errw, "-update-golden") {
+		t.Errorf("help text incomplete: %q", errw)
+	}
+}
+
+func TestNoArgsIsUsageError(t *testing.T) {
+	code, _, errw := runCLI(t)
+	if code != 2 {
+		t.Fatalf("no args exit %d, want 2", code)
+	}
+	if !strings.Contains(errw, "-exp") {
+		t.Errorf("usage text missing from stderr: %q", errw)
+	}
+}
+
+func TestGoldenUpdateAndVerifyRoundTrip(t *testing.T) {
+	// Scoped to the analytic tab3.1 so the round trip stays fast: pin it
+	// into a temp dir, verify it, then verify an unpinned experiment and
+	// expect failure.
+	dir := t.TempDir()
+	code, out, errw := runCLI(t, "-update-golden", "-exp", "tab3.1", "-golden-dir", dir)
+	if code != 0 || !strings.Contains(out, "pinned 1 golden hashes") {
+		t.Fatalf("-update-golden exit %d, out %q, err %q", code, out, errw)
+	}
+	code, out, _ = runCLI(t, "-verify-golden", "-exp", "tab3.1", "-golden-dir", dir)
+	if code != 0 || !strings.Contains(out, "match their golden hashes") {
+		t.Fatalf("-verify-golden exit %d, out %q", code, out)
+	}
+	code, _, errw = runCLI(t, "-verify-golden", "-exp", "tab6.1", "-golden-dir", dir)
+	if code != 1 || !strings.Contains(errw, "no golden file") {
+		t.Fatalf("-verify-golden on unpinned experiment: exit %d, stderr %q", code, errw)
+	}
+}

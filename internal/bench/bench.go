@@ -10,6 +10,8 @@
 package bench
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"sort"
@@ -25,6 +27,26 @@ type Experiment struct {
 	Title string
 	// Run regenerates it, writing human-readable series to w.
 	Run func(w io.Writer)
+	// Volatile marks an experiment whose output is legitimately not
+	// byte-stable across runs (none today: every registered experiment is
+	// deterministic for a fixed seed). Volatile experiments are excluded
+	// from the golden-output regression suite.
+	Volatile bool
+}
+
+// Hash regenerates the experiment and returns the hex SHA-256 of its full
+// text output, teeing the text to w when w is non-nil. It is the capture
+// path the worker pool (and through it the golden-file suite) runs every
+// experiment through: anything that changes a single output byte changes
+// the hash.
+func (e Experiment) Hash(w io.Writer) string {
+	h := sha256.New()
+	if w == nil {
+		e.Run(h)
+	} else {
+		e.Run(io.MultiWriter(h, w))
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 var registry []Experiment

@@ -58,7 +58,9 @@ func hetero(w io.Writer, fig, name string, run func(lc lan.Config, slow int) abR
 	lc := lan.DefaultConfig()
 	base := run(lc, -1)
 	t.row("homogeneous", fmt.Sprintf("%.0f", base.Mbps), "100%")
-	for slot, label := range map[int]string{0: "slow leader/coordinator", 1: "slow acceptor/replica"} {
+	// Fixed slot order: ranging over a map here would randomize row order
+	// run to run and break the golden-output pins.
+	for slot, label := range []string{"slow leader/coordinator", "slow acceptor/replica"} {
 		r := run(lc, slot)
 		t.row(label, fmt.Sprintf("%.0f", r.Mbps), pct(r.Mbps, base.Mbps))
 	}

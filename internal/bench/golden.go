@@ -1,0 +1,106 @@
+package bench
+
+// This file holds the golden-output regression support. Every
+// deterministic experiment's full text output is pinned by a SHA-256
+// stored under internal/bench/testdata/golden/<id>.sha256. The hashes are
+// verified by go test ./internal/bench (TestGoldenOutputs) and
+// regenerated with cmd/repro -update-golden after a deliberate model
+// change.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// DefaultGoldenDir is the golden-file directory relative to the repository
+// root (cmd/repro's default) — the same directory the bench tests resolve
+// relative to the package as "testdata/golden".
+const DefaultGoldenDir = "internal/bench/testdata/golden"
+
+// ResolveGoldenDir anchors a relative golden dir to the module root: if
+// dir does not exist relative to the current directory, walk up toward
+// the filesystem root looking for the directory next to a go.mod. This
+// lets cmd/repro's golden flags work from any subdirectory instead of
+// silently creating a stray tree wherever the process happens to run.
+// Absolute paths and resolvable relative paths are returned unchanged.
+func ResolveGoldenDir(dir string) string {
+	if filepath.IsAbs(dir) {
+		return dir
+	}
+	if _, err := os.Stat(dir); err == nil {
+		return dir
+	}
+	at, err := os.Getwd()
+	if err != nil {
+		return dir
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(at, "go.mod")); err == nil {
+			return filepath.Join(at, dir)
+		}
+		parent := filepath.Dir(at)
+		if parent == at {
+			return dir
+		}
+		at = parent
+	}
+}
+
+// GoldenPath returns the golden file for one experiment id.
+func GoldenPath(dir, id string) string {
+	return filepath.Join(dir, id+".sha256")
+}
+
+// ReadGolden returns the pinned hash for id, or "" with os.ErrNotExist
+// wrapped when no golden file exists yet.
+func ReadGolden(dir, id string) (string, error) {
+	b, err := os.ReadFile(GoldenPath(dir, id))
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(b)), nil
+}
+
+// WriteGolden pins hash as the golden output for id, creating dir as
+// needed.
+func WriteGolden(dir, id, hash string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(GoldenPath(dir, id), []byte(hash+"\n"), 0o644)
+}
+
+// GoldenExperiments returns every registered experiment that participates
+// in the golden suite (all non-volatile ones), sorted by ID.
+func GoldenExperiments() []Experiment {
+	var out []Experiment
+	for _, e := range All() {
+		if !e.Volatile {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// VerifyGolden compares results against the golden files in dir and
+// returns one line per divergence (missing file or hash mismatch).
+// Volatile experiments and failed results are the caller's concern; this
+// only inspects results that carry a hash.
+func VerifyGolden(dir string, results []Result) []string {
+	var bad []string
+	for _, r := range results {
+		if r.SHA256 == "" {
+			continue
+		}
+		want, err := ReadGolden(dir, r.ID)
+		switch {
+		case err != nil:
+			bad = append(bad, fmt.Sprintf("%s: no golden file (%v); run cmd/repro -update-golden", r.ID, err))
+		case want != r.SHA256:
+			bad = append(bad, fmt.Sprintf("%s: output diverged from golden\n  got:  %s\n  want: %s", r.ID, r.SHA256, want))
+		}
+	}
+	return bad
+}

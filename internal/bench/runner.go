@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Result is the outcome of one experiment run by the pool.
+type Result struct {
+	ID     string
+	Title  string
+	SHA256 string
+	Bytes  int
+	Wall   time.Duration // host wall-clock for this experiment
+	Err    error         // non-nil when the experiment panicked
+
+	// Output is the experiment's full captured text. It is what SHA256
+	// hashes; emitting it in registry order makes a parallel run
+	// byte-identical to a sequential one.
+	Output []byte
+}
+
+// Options configures a pool run.
+type Options struct {
+	// Jobs is the worker count. Values < 1 mean GOMAXPROCS.
+	Jobs int
+	// OnResult, when set, is called for every result in the order the
+	// experiments were given — never completion order — as soon as each
+	// result and all its predecessors are done. Workers keep running
+	// while OnResult executes; only emission is serialized.
+	OnResult func(Result)
+}
+
+// Run executes exps on a worker pool and returns one Result per
+// experiment, in input order. Experiment output is buffered in memory, so
+// workers never interleave writes; a panicking experiment is captured as
+// Result.Err and does not take down the pool.
+func Run(exps []Experiment, opts Options) []Result {
+	jobs := opts.Jobs
+	if jobs < 1 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(exps) {
+		jobs = len(exps)
+	}
+	results := make([]Result, len(exps))
+	if jobs <= 1 {
+		// Sequential fast path: same code path per experiment, no
+		// goroutines, emission as each experiment finishes.
+		for i, e := range exps {
+			results[i] = runOne(e)
+			if opts.OnResult != nil {
+				opts.OnResult(results[i])
+			}
+		}
+		return results
+	}
+
+	idx := make(chan int)
+	done := make([]chan struct{}, len(exps))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	for w := 0; w < jobs; w++ {
+		go func() {
+			for i := range idx {
+				results[i] = runOne(exps[i])
+				close(done[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range exps {
+			idx <- i
+		}
+		close(idx)
+	}()
+	// Emit in input order regardless of completion order.
+	for i := range exps {
+		<-done[i]
+		if opts.OnResult != nil {
+			opts.OnResult(results[i])
+		}
+	}
+	return results
+}
+
+// runOne executes a single experiment through the Hash capture path with
+// panic containment. A panicking experiment keeps its partial output but
+// never carries a hash (a hash of partial output must not reach golden
+// updates).
+func runOne(e Experiment) (r Result) {
+	r.ID, r.Title = e.ID, e.Title
+	var buf bytes.Buffer
+	start := time.Now()
+	defer func() {
+		r.Wall = time.Since(start)
+		r.Output = buf.Bytes()
+		r.Bytes = buf.Len()
+		if p := recover(); p != nil {
+			r.SHA256 = ""
+			r.Err = fmt.Errorf("experiment %s panicked: %v\n%s", e.ID, p, debug.Stack())
+		}
+	}()
+	r.SHA256 = e.Hash(&buf)
+	return
+}
+
+// Summary aggregates a finished run.
+type Summary struct {
+	Experiments int
+	Failed      int
+	Jobs        int
+	Wall        time.Duration
+	CPUTime     time.Duration // sum of per-experiment wall clocks
+}
+
+// Summarize builds a Summary from results; wall is the whole run's
+// elapsed host time (the pool overlaps experiments, so wall <= CPUTime
+// for any parallel run).
+func Summarize(results []Result, jobs int, wall time.Duration) Summary {
+	s := Summary{Experiments: len(results), Jobs: jobs, Wall: wall}
+	for _, r := range results {
+		s.CPUTime += r.Wall
+		if r.Err != nil {
+			s.Failed++
+		}
+	}
+	return s
+}
+
+// Fprint writes the human-readable one-line run summary.
+func (s Summary) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "ran %d experiments in %s (%d jobs, %s aggregate, %.1fx speedup), %d failed\n",
+		s.Experiments, s.Wall.Round(time.Millisecond), s.Jobs,
+		s.CPUTime.Round(time.Millisecond), s.Speedup(), s.Failed)
+}
+
+// Speedup is aggregate experiment time over wall time: ~1.0 sequential,
+// approaching Jobs under perfect overlap.
+func (s Summary) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.CPUTime) / float64(s.Wall)
+}

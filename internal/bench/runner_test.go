@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeExp builds a synthetic experiment that sleeps (host time) and then
+// prints a deterministic body.
+func fakeExp(id string, sleep time.Duration, onRun func()) Experiment {
+	return Experiment{ID: id, Title: "fake " + id, Run: func(w io.Writer) {
+		if onRun != nil {
+			onRun()
+		}
+		time.Sleep(sleep)
+		fmt.Fprintf(w, "body of %s\n", id)
+	}}
+}
+
+// TestRunnerOrderedEmission forces completion order to be the reverse of
+// input order (the first experiment sleeps longest) and checks that
+// OnResult still fires in input order with the right outputs.
+func TestRunnerOrderedEmission(t *testing.T) {
+	var exps []Experiment
+	const n = 6
+	var started int32
+	for i := 0; i < n; i++ {
+		// exp0 sleeps 120ms, exp5 sleeps 20ms: with jobs=n all start
+		// together and finish in reverse input order.
+		exps = append(exps, fakeExp(fmt.Sprintf("exp%d", i),
+			time.Duration(n-i)*20*time.Millisecond,
+			func() { atomic.AddInt32(&started, 1) }))
+	}
+	var emitted []string
+	results := Run(exps, Options{Jobs: n, OnResult: func(r Result) {
+		emitted = append(emitted, r.ID)
+	}})
+	for i, r := range results {
+		want := fmt.Sprintf("exp%d", i)
+		if r.ID != want {
+			t.Errorf("results[%d] = %s, want %s", i, r.ID, want)
+		}
+		if got := string(r.Output); got != fmt.Sprintf("body of %s\n", want) {
+			t.Errorf("results[%d] output = %q", i, got)
+		}
+		if r.SHA256 == "" || r.Err != nil {
+			t.Errorf("results[%d]: hash %q err %v", i, r.SHA256, r.Err)
+		}
+	}
+	for i, id := range emitted {
+		if want := fmt.Sprintf("exp%d", i); id != want {
+			t.Fatalf("emission order %v: position %d is %s, want %s", emitted, i, id, want)
+		}
+	}
+	if int(started) != n {
+		t.Errorf("ran %d experiments, want %d", started, n)
+	}
+}
+
+// TestRunnerSaturation checks the pool runs exactly `jobs` experiments
+// concurrently: never more (the cap) and, with sleeping work, at some
+// point all workers busy at once.
+func TestRunnerSaturation(t *testing.T) {
+	const jobs, n = 2, 8
+	var cur, peak int32
+	var exps []Experiment
+	for i := 0; i < n; i++ {
+		exps = append(exps, Experiment{ID: fmt.Sprintf("sat%d", i), Run: func(io.Writer) {
+			c := atomic.AddInt32(&cur, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+					break
+				}
+			}
+			time.Sleep(30 * time.Millisecond)
+			atomic.AddInt32(&cur, -1)
+		}})
+	}
+	Run(exps, Options{Jobs: jobs})
+	if peak > jobs {
+		t.Errorf("pool ran %d experiments at once, cap is %d", peak, jobs)
+	}
+	if peak < jobs {
+		t.Errorf("pool never saturated: peak concurrency %d, want %d", peak, jobs)
+	}
+}
+
+// TestRunnerJobs1MatchesParallel runs two real (cheap) registry
+// experiments sequentially and on a pool: concatenated emitted output must
+// be byte-identical, and must equal a direct sequential e.Run — the
+// guarantee cmd/repro -all relies on for any -jobs value.
+func TestRunnerJobs1MatchesParallel(t *testing.T) {
+	var exps []Experiment
+	for _, id := range []string{"tab3.1", "tab6.1"} {
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("%s not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	emit := func(jobs int) string {
+		var sb strings.Builder
+		Run(exps, Options{Jobs: jobs, OnResult: func(r Result) { sb.Write(r.Output) }})
+		return sb.String()
+	}
+	seq := emit(1)
+	par := emit(4)
+	var direct bytes.Buffer
+	for _, e := range exps {
+		e.Run(&direct)
+	}
+	if seq != direct.String() {
+		t.Errorf("jobs=1 output differs from direct sequential run")
+	}
+	if seq != par {
+		t.Errorf("jobs=4 output differs from jobs=1 output")
+	}
+}
+
+// TestRunnerPanicContained verifies a panicking experiment becomes an
+// error result without killing the pool or the other experiments.
+func TestRunnerPanicContained(t *testing.T) {
+	exps := []Experiment{
+		fakeExp("ok1", 0, nil),
+		{ID: "boom", Title: "panics", Run: func(w io.Writer) {
+			fmt.Fprintln(w, "partial output")
+			panic("kaboom")
+		}},
+		fakeExp("ok2", 0, nil),
+	}
+	results := Run(exps, Options{Jobs: 2})
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "kaboom") {
+		t.Fatalf("panic not captured: %v", results[1].Err)
+	}
+	if results[1].SHA256 != "" {
+		t.Errorf("failed experiment must not carry a hash (it would poison golden updates)")
+	}
+	if !strings.Contains(string(results[1].Output), "partial output") {
+		t.Errorf("partial output lost: %q", results[1].Output)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil || results[i].SHA256 == "" {
+			t.Errorf("sibling experiment %s affected by panic: %+v", results[i].ID, results[i])
+		}
+	}
+	sum := Summarize(results, 2, time.Millisecond)
+	if sum.Failed != 1 || sum.Experiments != 3 {
+		t.Errorf("summary = %+v, want 1 failed of 3", sum)
+	}
+}
+
+// TestRunnerSpeedup documents the pool's overlap with host-sleeping
+// experiments: 4 experiments of ~60ms each must complete in well under
+// the 240ms a sequential run needs. (Sleep-bound, so this holds even on
+// a single-core host where CPU-bound experiments cannot overlap.)
+func TestRunnerSpeedup(t *testing.T) {
+	var exps []Experiment
+	for i := 0; i < 4; i++ {
+		exps = append(exps, fakeExp(fmt.Sprintf("sleep%d", i), 60*time.Millisecond, nil))
+	}
+	start := time.Now()
+	results := Run(exps, Options{Jobs: 4})
+	wall := time.Since(start)
+	sum := Summarize(results, 4, wall)
+	if sum.Speedup() < 2 {
+		t.Errorf("pool speedup %.1fx over %v aggregate, want >= 2x", sum.Speedup(), sum.CPUTime)
+	}
+}
+
+// TestExperimentHashTee checks Hash both returns the output hash and tees
+// the text unmodified.
+func TestExperimentHashTee(t *testing.T) {
+	e := fakeExp("hash", 0, nil)
+	var buf bytes.Buffer
+	h := e.Hash(&buf)
+	if buf.String() != "body of hash\n" {
+		t.Fatalf("tee lost output: %q", buf.String())
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	if want := hex.EncodeToString(sum[:]); h != want {
+		t.Errorf("Hash = %s, want hash of teed bytes %s", h, want)
+	}
+	if h2 := e.Hash(nil); h2 != h {
+		t.Errorf("Hash(nil) = %s, differs from Hash(buf) = %s", h2, h)
+	}
+}

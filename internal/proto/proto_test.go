@@ -1,0 +1,119 @@
+package proto
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// stubEnv records the calls a handler makes, for contract tests.
+type stubEnv struct {
+	workD time.Duration
+	calls []string
+}
+
+func (s *stubEnv) ID() NodeID              { return 1 }
+func (s *stubEnv) Now() time.Duration      { return 0 }
+func (s *stubEnv) Rand() *rand.Rand        { return rand.New(rand.NewSource(1)) }
+func (s *stubEnv) Send(NodeID, Message)    { s.calls = append(s.calls, "send") }
+func (s *stubEnv) SendUDP(NodeID, Message) { s.calls = append(s.calls, "udp") }
+func (s *stubEnv) Multicast(GroupID, Message) {
+	s.calls = append(s.calls, "mcast")
+}
+func (s *stubEnv) After(time.Duration, func()) Timer {
+	s.calls = append(s.calls, "after")
+	return nil
+}
+func (s *stubEnv) Work(d time.Duration, fn func()) {
+	s.workD = d
+	s.calls = append(s.calls, "work")
+	fn()
+}
+func (s *stubEnv) DiskWrite(int, func()) { s.calls = append(s.calls, "disk") }
+
+// multiCoreEnv additionally implements MultiCore.
+type multiCoreEnv struct {
+	stubEnv
+	core int
+}
+
+func (m *multiCoreEnv) WorkOn(core int, d time.Duration, fn func()) {
+	m.core = core
+	m.calls = append(m.calls, "workon")
+	fn()
+}
+
+// TestWorkOnDispatch: WorkOn must use the env's multi-core path when the
+// env offers one and fall back to single-CPU Work otherwise — P-SMR's
+// parallel execution depends on the former, every other protocol on the
+// latter.
+func TestWorkOnDispatch(t *testing.T) {
+	ran := 0
+	single := &stubEnv{}
+	WorkOn(single, 3, time.Millisecond, func() { ran++ })
+	if single.workD != time.Millisecond || len(single.calls) != 1 || single.calls[0] != "work" {
+		t.Errorf("single-core fallback: calls %v, d %v", single.calls, single.workD)
+	}
+	multi := &multiCoreEnv{}
+	WorkOn(multi, 3, time.Millisecond, func() { ran++ })
+	if multi.core != 3 || len(multi.calls) != 1 || multi.calls[0] != "workon" {
+		t.Errorf("multi-core dispatch: calls %v, core %d", multi.calls, multi.core)
+	}
+	if ran != 2 {
+		t.Errorf("callback ran %d times, want 2", ran)
+	}
+}
+
+// TestRawSize: substrates charge bandwidth and buffers off Message.Size;
+// Raw must report exactly its configured payload.
+func TestRawSize(t *testing.T) {
+	for _, n := range []int{0, 1, 200, 8 << 10} {
+		if got := (Raw{Bytes: n, Tag: 9}).Size(); got != n {
+			t.Errorf("Raw{%d}.Size() = %d", n, got)
+		}
+	}
+}
+
+// TestHandlerFuncNilSafe: a HandlerFunc with unset callbacks must be a
+// no-op, not a nil dereference (probes often set only one of the two).
+func TestHandlerFuncNilSafe(t *testing.T) {
+	h := &HandlerFunc{}
+	h.Start(&stubEnv{})
+	h.Receive(1, Raw{Bytes: 1})
+
+	started, received := 0, 0
+	h = &HandlerFunc{
+		OnStart:   func(Env) { started++ },
+		OnReceive: func(NodeID, Message) { received++ },
+	}
+	h.Start(&stubEnv{})
+	h.Receive(2, Raw{Bytes: 1})
+	if started != 1 || received != 1 {
+		t.Errorf("callbacks ran %d/%d times, want 1/1", started, received)
+	}
+}
+
+// TestMultiFanOutOrder: Multi must deliver Start and Receive to each
+// component in composition order — harnesses co-locate an agent and its
+// traffic pump on one node and rely on the agent seeing events first.
+func TestMultiFanOutOrder(t *testing.T) {
+	var order []string
+	mk := func(name string) Handler {
+		return &HandlerFunc{
+			OnStart:   func(Env) { order = append(order, name+".start") },
+			OnReceive: func(NodeID, Message) { order = append(order, name+".recv") },
+		}
+	}
+	m := Multi(mk("a"), mk("b"), mk("c"))
+	m.Start(&stubEnv{})
+	m.Receive(1, Raw{Bytes: 4})
+	want := []string{"a.start", "b.start", "c.start", "a.recv", "b.recv", "c.recv"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}

@@ -56,12 +56,12 @@ type Dispatcher func(TypedEvent)
 // Ordering keys (time, seq) live in the heap entries, not here, so heap
 // operations never touch the slab.
 type slot struct {
-	fn   Event
-	ev   TypedEvent
-	gen  uint64 // bumped on free; timers carry the gen they were issued with
+	fn  Event
+	ev  TypedEvent
+	gen uint64 // bumped on free; timers carry the gen they were issued with
 	//         (64-bit so it cannot wrap and re-validate a stale Timer)
-	dead bool   // cancelled but not yet swept out of the heap
-	next int32  // free-list link, -1 terminated
+	dead bool  // cancelled but not yet swept out of the heap
+	next int32 // free-list link, -1 terminated
 }
 
 // entry is one heap element, ordered by (at, seq). It is exactly 16 bytes —
