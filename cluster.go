@@ -49,7 +49,10 @@ type ClusterNode struct {
 	rng     *rand.Rand
 }
 
-var _ proto.Env = (*ClusterNode)(nil)
+var (
+	_ proto.Env          = (*ClusterNode)(nil)
+	_ proto.FreeTimerEnv = (*ClusterNode)(nil)
+)
 
 // AddNode installs a handler on a new node. Call before Start.
 func (c *Cluster) AddNode(id NodeID, h Handler) *ClusterNode {
@@ -210,6 +213,17 @@ func (t rtTimer) Cancel() { t.t.Stop() }
 func (n *ClusterNode) After(d time.Duration, fn func()) Timer {
 	t := time.AfterFunc(d, func() { n.enqueue(fn) })
 	return rtTimer{t: t}
+}
+
+// AfterFree implements proto.FreeTimerEnv. The realtime runtime has no
+// allocation-free scheduling path, so this is After without the handle.
+func (n *ClusterNode) AfterFree(d time.Duration, fn func()) {
+	time.AfterFunc(d, func() { n.enqueue(fn) })
+}
+
+// AfterFreeArg implements proto.FreeTimerEnv.
+func (n *ClusterNode) AfterFreeArg(d time.Duration, fn func(int64), arg int64) {
+	time.AfterFunc(d, func() { n.enqueue(func() { fn(arg) }) })
 }
 
 // Work implements Env: realtime has no modeled CPU, so fn runs after d of

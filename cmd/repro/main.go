@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -66,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	updateGolden := fs.Bool("update-golden", false, "regenerate the golden output hashes for all deterministic experiments")
 	verifyGolden := fs.Bool("verify-golden", false, "run all deterministic experiments and compare against the golden hashes")
 	goldenDir := fs.String("golden-dir", bench.DefaultGoldenDir, "golden hash directory (relative to the repository root)")
+	allocs := fs.String("allocs", "", "comma-separated experiment ids to alloc-profile sequentially (JSON on stdout)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -78,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	switch {
+	case *allocs != "":
+		return runAllocs(stdout, stderr, *allocs)
 	case *list:
 		for _, e := range bench.All() {
 			fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
@@ -192,6 +196,35 @@ func runAll(stdout, stderr io.Writer, jobs int, jsonOut bool) int {
 	}
 	sum.Fprint(stderr)
 	if sum.Failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runAllocs profiles the named experiments' heap allocations one at a
+// time (MemStats is process-global, so the worker pool would pollute the
+// numbers) and emits one JSON document on stdout.
+func runAllocs(stdout, stderr io.Writer, ids string) int {
+	var results []bench.AllocResult
+	for _, id := range strings.Split(ids, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		e, ok := bench.Get(id)
+		if !ok {
+			fmt.Fprintf(stderr, "unknown experiment %q; use -list\n", id)
+			return 1
+		}
+		r := bench.ProfileAllocs(e)
+		fmt.Fprintf(stderr, "done %-8s %8.0fms  %d mallocs  %d bytes\n",
+			r.ID, r.WallMS, r.Mallocs, r.TotalAlloc)
+		results = append(results, r)
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(stderr, err)
 		return 1
 	}
 	return 0

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -105,5 +106,35 @@ func TestGoldenUpdateAndVerifyRoundTrip(t *testing.T) {
 	code, _, errw = runCLI(t, "-verify-golden", "-exp", "tab6.1", "-golden-dir", dir)
 	if code != 1 || !strings.Contains(errw, "no golden file") {
 		t.Fatalf("-verify-golden on unpinned experiment: exit %d, stderr %q", code, errw)
+	}
+}
+
+func TestAllocsFlag(t *testing.T) {
+	// tab3.1 is analytic, so the alloc profile stays fast; the JSON must
+	// carry the MemStats fields and the output hash.
+	code, out, errw := runCLI(t, "-allocs", "tab3.1")
+	if code != 0 {
+		t.Fatalf("-allocs tab3.1 exit %d, stderr %s", code, errw)
+	}
+	var results []struct {
+		ID      string `json:"id"`
+		Mallocs uint64 `json:"mallocs"`
+		SHA256  string `json:"sha256"`
+	}
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, out)
+	}
+	if len(results) != 1 || results[0].ID != "tab3.1" {
+		t.Fatalf("unexpected results: %+v", results)
+	}
+	if results[0].Mallocs == 0 || len(results[0].SHA256) != 64 {
+		t.Errorf("profile looks empty: %+v", results[0])
+	}
+}
+
+func TestAllocsUnknownExperiment(t *testing.T) {
+	code, _, errw := runCLI(t, "-allocs", "fig99.9")
+	if code != 1 || !strings.Contains(errw, "unknown experiment") {
+		t.Fatalf("exit %d stderr %q, want unknown-experiment failure", code, errw)
 	}
 }

@@ -40,16 +40,16 @@ type LCR struct {
 
 	env proto.Env
 
-	pending      []core.Value
+	pending      core.ValueSlab
 	pendingBytes int
-	batchTimer   proto.Timer
+	batchArmed   bool
+	batchFn      func()
 
 	seq       int64 // stamping counter (ring position 0 only)
 	localSeq  int64 // per-origin message counter
 	next      int64 // next global sequence to deliver
-	learned   map[int64]core.Batch
+	learned   core.InstLog[lcrEntry]
 	unstamped map[lcrKey]core.Batch
-	stable    map[int64]bool
 
 	// DeliveredBytes/DeliveredMsgs count delivered application payload.
 	DeliveredBytes int64
@@ -85,6 +85,14 @@ type lcrAck struct {
 func (m lcrData) Size() int { return headerBytes + m.Val.Size() }
 func (m lcrAck) Size() int  { return headerBytes }
 
+// lcrEntry merges the payload and stability tables: one ring-indexed record
+// per undelivered global sequence.
+type lcrEntry struct {
+	val    core.Batch
+	has    bool
+	stable bool
+}
+
 // Start implements proto.Handler.
 func (l *LCR) Start(env proto.Env) {
 	l.env = env
@@ -94,9 +102,8 @@ func (l *LCR) Start(env proto.Env) {
 	if l.BatchDelay == 0 {
 		l.BatchDelay = 500 * time.Microsecond
 	}
-	l.learned = make(map[int64]core.Batch)
 	l.unstamped = make(map[lcrKey]core.Batch)
-	l.stable = make(map[int64]bool)
+	l.batchFn = func() { l.batchArmed = false; l.flush() }
 }
 
 // lcrKey identifies a message before position 0 stamps it.
@@ -120,31 +127,32 @@ func (l *LCR) succ() proto.NodeID {
 
 // Broadcast submits a value at this process.
 func (l *LCR) Broadcast(v core.Value) {
-	l.pending = append(l.pending, v)
+	l.pending.Push(v)
 	l.pendingBytes += v.Bytes
 	if l.pendingBytes >= l.BatchBytes {
 		l.flush()
 		return
 	}
-	if l.batchTimer == nil {
-		l.batchTimer = l.env.After(l.BatchDelay, func() {
-			l.batchTimer = nil
-			l.flush()
-		})
+	if !l.batchArmed {
+		l.batchArmed = true
+		proto.AfterFree(l.env, l.BatchDelay, l.batchFn)
 	}
 }
 
 func (l *LCR) flush() {
-	for len(l.pending) > 0 {
+	for l.pending.Len() > 0 {
 		n, bytes := 0, 0
-		for n < len(l.pending) && bytes < l.BatchBytes {
-			bytes += l.pending[n].Bytes
+		for n < l.pending.Len() && bytes < l.BatchBytes {
+			bytes += l.pending.At(n).Bytes
 			n++
 		}
-		batch := core.Batch{Vals: append([]core.Value(nil), l.pending[:n]...)}
-		l.pending = l.pending[n:]
+		vals := make([]core.Value, n)
+		for i := range vals {
+			vals[i] = l.pending.At(i)
+		}
+		l.pending.PopFront(n)
 		l.localSeq++
-		m := lcrData{Origin: l.env.ID(), Local: l.localSeq, Seq: -1, Val: batch}
+		m := lcrData{Origin: l.env.ID(), Local: l.localSeq, Seq: -1, Val: core.Batch{Vals: vals}}
 		if l.index() == 0 {
 			m.Seq = l.seq
 			l.seq++
@@ -200,8 +208,9 @@ func (l *LCR) store(m lcrData) {
 	if m.Seq < l.next {
 		return
 	}
-	if _, ok := l.learned[m.Seq]; !ok {
-		l.learned[m.Seq] = m.Val
+	e, _ := l.learned.Put(m.Seq)
+	if !e.has {
+		e.val, e.has = m.Val, true
 	}
 	l.drain()
 }
@@ -215,27 +224,36 @@ func (l *LCR) onAck(m lcrAck) {
 }
 
 // applyAck re-keys a payload seen before stamping and marks Seq stable.
+// Acks for already-delivered sequences are ignored (the map-based version
+// kept a dead stability record; drain never read it).
 func (l *LCR) applyAck(m lcrAck) {
 	k := lcrKey{m.Origin, m.Local}
-	if b, ok := l.unstamped[k]; ok {
+	b, reKey := l.unstamped[k]
+	if reKey {
 		delete(l.unstamped, k)
-		if _, dup := l.learned[m.Seq]; !dup && m.Seq >= l.next {
-			l.learned[m.Seq] = b
-		}
 	}
-	l.stable[m.Seq] = true
+	if m.Seq >= l.next {
+		e, _ := l.learned.Put(m.Seq)
+		if reKey && !e.has {
+			e.val, e.has = b, true
+		}
+		e.stable = true
+	}
 	l.drain()
 }
 
 // drain delivers stable messages in global sequence order.
 func (l *LCR) drain() {
-	for l.stable[l.next] {
-		b, ok := l.learned[l.next]
-		if !ok {
+	for {
+		e, ok := l.learned.Get(l.next)
+		if !ok || !e.stable {
+			return
+		}
+		if !e.has {
 			return // payload still in flight
 		}
-		delete(l.learned, l.next)
-		delete(l.stable, l.next)
+		b := e.val
+		l.learned.Delete(l.next)
 		for _, v := range b.Vals {
 			l.DeliveredBytes += int64(v.Bytes)
 			l.DeliveredMsgs++

@@ -1,6 +1,7 @@
 package abcast
 
 import (
+	"math/bits"
 	"time"
 
 	"repro/internal/core"
@@ -33,14 +34,15 @@ type SPaxos struct {
 	env   proto.Env
 	inner *paxos.Agent
 
-	pending      []core.Value
+	pending      core.ValueSlab
 	pendingBytes int
-	batchTimer   proto.Timer
+	batchArmed   bool
+	batchFn      func()
 
 	reqs    map[core.ValueID]core.Value // disseminated request payloads
-	acks    map[core.ValueID]map[proto.NodeID]bool
+	acks    map[core.ValueID]uint64     // acked replicas, as a bitmask over Replicas
 	stable  map[core.ValueID]bool
-	ordered []core.ValueID // ids ordered by Paxos, pending stability
+	ordered core.FIFO[core.ValueID] // ids ordered by Paxos, pending stability
 	seq     int64
 
 	// DeliveredBytes/DeliveredMsgs count delivered application payload.
@@ -77,8 +79,9 @@ func (s *SPaxos) Start(env proto.Env) {
 		s.BatchDelay = 500 * time.Microsecond
 	}
 	s.reqs = make(map[core.ValueID]core.Value)
-	s.acks = make(map[core.ValueID]map[proto.NodeID]bool)
+	s.acks = make(map[core.ValueID]uint64)
 	s.stable = make(map[core.ValueID]bool)
+	s.batchFn = func() { s.batchArmed = false; s.flush() }
 	// Inner Paxos orders ids only: replicas are acceptors and learners.
 	s.inner = &paxos.Agent{
 		Cfg: paxos.Config{
@@ -93,27 +96,30 @@ func (s *SPaxos) Start(env proto.Env) {
 
 // Submit accepts a client request at this replica.
 func (s *SPaxos) Submit(v core.Value) {
-	s.pending = append(s.pending, v)
+	s.pending.Push(v)
 	s.pendingBytes += v.Bytes
 	if s.pendingBytes >= s.BatchBytes {
 		s.flush()
 		return
 	}
-	if s.batchTimer == nil {
-		s.batchTimer = s.env.After(s.BatchDelay, func() {
-			s.batchTimer = nil
-			s.flush()
-		})
+	if !s.batchArmed {
+		s.batchArmed = true
+		proto.AfterFree(s.env, s.BatchDelay, s.batchFn)
 	}
 }
 
 func (s *SPaxos) flush() {
-	if len(s.pending) == 0 {
+	n := s.pending.Len()
+	if n == 0 {
 		return
 	}
-	fwd := spForward{Vals: s.pending}
-	s.pending = nil
+	vals := make([]core.Value, n)
+	for i := range vals {
+		vals[i] = s.pending.At(i)
+	}
+	s.pending.PopFront(n)
 	s.pendingBytes = 0
+	fwd := spForward{Vals: vals}
 	s.onForward(s.env.ID(), fwd)
 	for _, r := range s.Replicas {
 		if r != s.env.ID() {
@@ -168,16 +174,23 @@ func (s *SPaxos) onForward(from proto.NodeID, m spForward) {
 	ackAndPropose()
 }
 
+// replicaBit returns from's bit in the ack mask, or 0 for a non-replica.
+func (s *SPaxos) replicaBit(from proto.NodeID) uint64 {
+	for i, r := range s.Replicas {
+		if r == from {
+			return 1 << uint(i)
+		}
+	}
+	return 0
+}
+
 func (s *SPaxos) onAck(from proto.NodeID, m spAck) {
 	f := (len(s.Replicas) - 1) / 2
+	bit := s.replicaBit(from)
 	for _, id := range m.IDs {
-		set := s.acks[id]
-		if set == nil {
-			set = make(map[proto.NodeID]bool)
-			s.acks[id] = set
-		}
-		set[from] = true
-		if len(set) >= f+1 && !s.stable[id] {
+		set := s.acks[id] | bit
+		s.acks[id] = set
+		if bits.OnesCount64(set) >= f+1 && !s.stable[id] {
 			s.stable[id] = true
 		}
 	}
@@ -185,14 +198,14 @@ func (s *SPaxos) onAck(from proto.NodeID, m spAck) {
 }
 
 func (s *SPaxos) onOrdered(id core.ValueID) {
-	s.ordered = append(s.ordered, id)
+	s.ordered.Push(id)
 	s.drain()
 }
 
 // drain delivers ordered ids whose payloads are stable, in order.
 func (s *SPaxos) drain() {
-	for len(s.ordered) > 0 {
-		id := s.ordered[0]
+	for s.ordered.Len() > 0 {
+		id := s.ordered.At(0)
 		if !s.stable[id] {
 			return
 		}
@@ -200,7 +213,7 @@ func (s *SPaxos) drain() {
 		if !ok {
 			return
 		}
-		s.ordered = s.ordered[1:]
+		s.ordered.PopFront(1)
 		delete(s.reqs, id)
 		delete(s.acks, id)
 		delete(s.stable, id)

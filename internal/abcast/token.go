@@ -31,10 +31,10 @@ type TokenRing struct {
 
 	env proto.Env
 
-	pending      []core.Value
+	pending      core.ValueSlab
 	pendingBytes int
 
-	learned map[int64]core.Batch
+	learned core.InstLog[core.Batch]
 	next    int64
 	safe    int64 // sequences < safe are stable
 
@@ -80,7 +80,6 @@ func (t *TokenRing) Start(env proto.Env) {
 	if t.MaxPerToken == 0 {
 		t.MaxPerToken = 4
 	}
-	t.learned = make(map[int64]core.Batch)
 	if t.index() == 0 {
 		env.After(time.Millisecond, func() {
 			t.onToken(tokenMsg{MinRecv: 1<<62 - 1})
@@ -104,7 +103,7 @@ func (t *TokenRing) succ() proto.NodeID {
 // Broadcast submits a value at this daemon; it is sent at the next token
 // visit.
 func (t *TokenRing) Broadcast(v core.Value) {
-	t.pending = append(t.pending, v)
+	t.pending.Push(v)
 	t.pendingBytes += v.Bytes
 }
 
@@ -117,8 +116,8 @@ func (t *TokenRing) Receive(from proto.NodeID, msg proto.Message) {
 		t.onData(m)
 	case tokenRetransmitReq:
 		for _, seq := range m.Seqs {
-			if b, ok := t.learned[seq]; ok {
-				t.env.Send(from, tokenData{Seq: seq, Val: b})
+			if b, ok := t.learned.Get(seq); ok {
+				t.env.Send(from, tokenData{Seq: seq, Val: *b})
 			}
 		}
 	}
@@ -128,28 +127,29 @@ func (t *TokenRing) Receive(from proto.NodeID, msg proto.Message) {
 // payloads.
 func (t *TokenRing) received() int64 {
 	r := t.next
-	for {
-		if _, ok := t.learned[r]; !ok {
-			return r
-		}
+	for t.learned.Has(r) {
 		r++
 	}
+	return r
 }
 
 func (t *TokenRing) onToken(m tokenMsg) {
 	work := t.DaemonCost
 	// Broadcast pending batches while holding the token.
 	sent := 0
-	for len(t.pending) > 0 && sent < t.MaxPerToken {
+	for t.pending.Len() > 0 && sent < t.MaxPerToken {
 		n, bytes := 0, 0
-		for n < len(t.pending) && bytes < t.BatchBytes {
-			bytes += t.pending[n].Bytes
+		for n < t.pending.Len() && bytes < t.BatchBytes {
+			bytes += t.pending.At(n).Bytes
 			n++
 		}
-		batch := core.Batch{Vals: append([]core.Value(nil), t.pending[:n]...)}
-		t.pending = t.pending[n:]
+		vals := make([]core.Value, n)
+		for i := range vals {
+			vals[i] = t.pending.At(i)
+		}
+		t.pending.PopFront(n)
 		t.pendingBytes -= bytes
-		d := tokenData{Seq: m.Seq, Val: batch}
+		d := tokenData{Seq: m.Seq, Val: core.Batch{Vals: vals}}
 		m.Seq++
 		sent++
 		t.onData(d) // local copy
@@ -162,7 +162,7 @@ func (t *TokenRing) onToken(m tokenMsg) {
 	if r := t.received(); r < m.Seq {
 		var miss []int64
 		for s := r; s < m.Seq && len(miss) < 16; s++ {
-			if _, ok := t.learned[s]; !ok {
+			if !t.learned.Has(s) {
 				miss = append(miss, s)
 			}
 		}
@@ -195,34 +195,33 @@ func (t *TokenRing) onData(m tokenData) {
 	if m.Seq < t.next {
 		return
 	}
-	if _, ok := t.learned[m.Seq]; !ok {
-		t.learned[m.Seq] = m.Val
+	e, existed := t.learned.Put(m.Seq)
+	if !existed {
+		*e = m.Val
 	}
 	t.drain()
 }
 
 func (t *TokenRing) drain() {
 	for t.next < t.safe {
-		b, ok := t.learned[t.next]
+		e, ok := t.learned.Get(t.next)
 		if !ok {
 			return
 		}
+		b := *e
 		// Keep a bounded history for token-driven retransmission.
-		delete(t.learned, t.next-1024)
-		finish := func(batch core.Batch, seq int64) {
-			for _, v := range batch.Vals {
-				t.DeliveredBytes += int64(v.Bytes)
-				t.DeliveredMsgs++
-				if v.Born != 0 {
-					t.LatencySum += t.env.Now() - v.Born
-					t.LatencyCount++
-				}
-				if t.Deliver != nil {
-					t.Deliver(seq, v)
-				}
+		t.learned.Delete(t.next - 1024)
+		for _, v := range b.Vals {
+			t.DeliveredBytes += int64(v.Bytes)
+			t.DeliveredMsgs++
+			if v.Born != 0 {
+				t.LatencySum += t.env.Now() - v.Born
+				t.LatencyCount++
+			}
+			if t.Deliver != nil {
+				t.Deliver(t.next, v)
 			}
 		}
-		finish(b, t.next)
 		t.next++
 	}
 }

@@ -1,0 +1,49 @@
+package bench
+
+// Allocation accounting for experiments. Unlike the worker pool in
+// runner.go, alloc profiling is strictly sequential: runtime.MemStats is
+// process-global, so overlapping experiments would attribute each other's
+// garbage. cmd/repro exposes this through -allocs, which is how the
+// BENCH_protocol.json before/after numbers are produced.
+
+import (
+	"io"
+	"runtime"
+	"time"
+)
+
+// AllocResult is the allocation profile of one experiment run.
+type AllocResult struct {
+	ID string `json:"id"`
+	// Mallocs is the number of heap objects allocated during the run.
+	Mallocs uint64 `json:"mallocs"`
+	// TotalAlloc is the number of heap bytes allocated during the run.
+	TotalAlloc uint64 `json:"total_alloc_bytes"`
+	// WallMS is the host wall-clock for the run in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// SHA256 is the output hash, so an alloc run doubles as a
+	// determinism check against the golden pins.
+	SHA256 string `json:"sha256"`
+}
+
+// ProfileAllocs runs e once and returns its allocation profile. The
+// experiment's text output is discarded (only hashed). A GC runs before
+// the measurement so garbage from earlier experiments is not charged to
+// this one; Mallocs/TotalAlloc deltas themselves are unaffected by GC
+// (both counters are monotonic).
+func ProfileAllocs(e Experiment) AllocResult {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	sum := e.Hash(io.Discard)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return AllocResult{
+		ID:         e.ID,
+		Mallocs:    after.Mallocs - before.Mallocs,
+		TotalAlloc: after.TotalAlloc - before.TotalAlloc,
+		WallMS:     float64(wall) / 1e6,
+		SHA256:     sum,
+	}
+}

@@ -24,10 +24,12 @@ type pump struct {
 	env     proto.Env
 	seq     int64
 	stopped bool
+	tickFn  func() // bound once: ticks fire at MHz aggregate, no per-tick closure
 }
 
 func (p *pump) Start(env proto.Env) {
 	p.env = env
+	p.tickFn = p.tick
 	p.tick()
 }
 
@@ -49,7 +51,7 @@ func (p *pump) tick() {
 	if p.jitter {
 		interval += time.Duration(p.env.Rand().Int63n(int64(interval)/4 + 1))
 	}
-	p.env.After(interval, p.tick)
+	proto.AfterFree(p.env, interval, p.tickFn)
 }
 
 // abResult summarizes one atomic broadcast run, observed at a probe
@@ -76,7 +78,8 @@ const (
 // learners, offering `offered` bits/s of msgSize messages from one
 // proposer node (plus more proposers when offered exceeds one NIC).
 func runMRing(nRing, nLearn, msgSize int, offered float64, lc lan.Config, disk bool, dur time.Duration) abResult {
-	cfg := ringpaxos.MConfig{Group: 1, DiskSync: disk}
+	// Learners only bump counters at delivery, so batch arrays can recycle.
+	cfg := ringpaxos.MConfig{Group: 1, DiskSync: disk, RecycleBatches: true}
 	for i := 0; i < nRing; i++ {
 		cfg.Ring = append(cfg.Ring, proto.NodeID(i))
 	}

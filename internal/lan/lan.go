@@ -128,13 +128,16 @@ func New(cfg Config, seed int64) *LAN {
 // work and disk completions) is one of these, so steady-state traffic
 // schedules no closures at all.
 const (
-	evTCPArrive   uint8 = iota + 1 // frame cleared dst's in-link: P1=msg, P2=conn, D=size
-	evTCPDeliver                   // rx CPU done, hand to handler + ack: P1=msg, P2=conn, D=size
-	evTCPAck                       // ack reached sender, window opens: P2=conn, D=size
-	evUDPArrive                    // datagram cleared in-link: P1=msg, P2=dst node, A=src id
-	evUDPDeliver                   // rx CPU done, drain buffer + hand over: P1=msg, P2=node, A=src id, D=size
-	evNodeDeliver                  // loopback delivery: P1=msg, P2=node, A=src id
-	evNodeFunc                     // down-gated completion (Work/DiskWrite): P1=func(), P2=node
+	evTCPArrive    uint8 = iota + 1 // frame cleared dst's in-link: P1=msg, P2=conn, D=size
+	evTCPDeliver                    // rx CPU done, hand to handler + ack: P1=msg, P2=conn, D=size
+	evTCPAck                        // ack reached sender, window opens: P2=conn, D=size
+	evUDPArrive                     // datagram cleared in-link: P1=msg, P2=dst node, A=src id, D=size
+	evUDPDeliver                    // rx CPU done, drain buffer + hand over: P1=msg, P2=node, A=src id, D=size
+	evNodeDeliver                   // loopback delivery: P1=msg, P2=node, A=src id
+	evNodeFunc                      // down-gated completion (Work/DiskWrite): P1=func(), P2=node
+	evNodeTimer                     // fire-and-forget protocol timer: P1=func()
+	evNodeTimerArg                  // fire-and-forget timer with argument: P1=func(int64), A=arg
+	evNodeFuncArg                   // down-gated Work completion with argument: P1=func(int64), P2=node, A=arg
 )
 
 // dispatch executes one typed event. It runs inside the kernel loop at the
@@ -148,7 +151,7 @@ func (l *LAN) dispatch(ev sim.TypedEvent) {
 	case evTCPAck:
 		ev.P2.(*conn).ack(int(ev.D))
 	case evUDPArrive:
-		ev.P2.(*Node).datagramArrive(proto.NodeID(ev.A), ev.P1.(proto.Message))
+		ev.P2.(*Node).datagramArrive(proto.NodeID(ev.A), ev.P1.(proto.Message), int(ev.D))
 	case evUDPDeliver:
 		n := ev.P2.(*Node)
 		n.udpQueued -= int(ev.D)
@@ -167,6 +170,17 @@ func (l *LAN) dispatch(ev sim.TypedEvent) {
 			return
 		}
 		ev.P1.(func())()
+	case evNodeTimer:
+		// Like After, timers keep firing while the node is down (I/O is
+		// suppressed at the Send/Receive gates instead).
+		ev.P1.(func())()
+	case evNodeTimerArg:
+		ev.P1.(func(int64))(ev.A)
+	case evNodeFuncArg:
+		if ev.P2.(*Node).down {
+			return
+		}
+		ev.P1.(func(int64))(ev.A)
 	}
 }
 
@@ -293,7 +307,11 @@ type Node struct {
 	stats Stats
 }
 
-var _ proto.Env = (*Node)(nil)
+var (
+	_ proto.Env          = (*Node)(nil)
+	_ proto.FreeTimerEnv = (*Node)(nil)
+	_ proto.FreeWorkEnv  = (*Node)(nil)
+)
 
 // conn models one reliable FIFO channel with a bounded in-flight window.
 // The send queue is a power-of-two ring buffer: popping advances head
@@ -500,7 +518,8 @@ func (c *conn) ack(size int) {
 	}
 }
 
-// SendUDP implements proto.Env: lossy datagram.
+// SendUDP implements proto.Env: lossy datagram. Size is computed once and
+// carried in the typed event, so the arrival leg does not recompute it.
 func (n *Node) SendUDP(to proto.NodeID, m proto.Message) {
 	if n.down {
 		return
@@ -509,14 +528,15 @@ func (n *Node) SendUDP(to proto.NodeID, m proto.Message) {
 	if dst == nil {
 		return
 	}
+	size := m.Size()
 	n.stats.MsgsSent++
-	n.stats.BytesSent += int64(m.Size())
+	n.stats.BytesSent += int64(size)
 	if dst == n {
 		n.deliverLocal(m)
 		return
 	}
-	rxEnd := n.transmitTo(dst, m.Size(), true)
-	n.lan.Sim.AtEvent(rxEnd, sim.TypedEvent{Kind: evUDPArrive, A: int64(n.id), P1: m, P2: dst})
+	rxEnd := n.transmitTo(dst, size, true)
+	n.lan.Sim.AtEvent(rxEnd, sim.TypedEvent{Kind: evUDPArrive, A: int64(n.id), D: int64(size), P1: m, P2: dst})
 }
 
 // Multicast implements proto.Env: switch-replicated datagram. The sender's
@@ -548,17 +568,17 @@ func (n *Node) Multicast(g proto.GroupID, m proto.Message) {
 		rxStart := max(arrive, dst.inFree)
 		dst.inFree = rxStart + txTime(size, dst.bandwidth())
 		rxEnd := dst.inFree
-		n.lan.Sim.AtEvent(rxEnd, sim.TypedEvent{Kind: evUDPArrive, A: int64(n.id), P1: m, P2: dst})
+		n.lan.Sim.AtEvent(rxEnd, sim.TypedEvent{Kind: evUDPArrive, A: int64(n.id), D: int64(size), P1: m, P2: dst})
 	}
 }
 
 // datagramArrive applies the receive-buffer admission test and, if the frame
-// is admitted, schedules handler processing on the CPU.
-func (n *Node) datagramArrive(from proto.NodeID, m proto.Message) {
+// is admitted, schedules handler processing on the CPU. size was computed at
+// send time and rode in the typed event.
+func (n *Node) datagramArrive(from proto.NodeID, m proto.Message, size int) {
 	if n.down {
 		return
 	}
-	size := m.Size()
 	if n.lan.cfg.LossRate > 0 && n.lan.Sim.Rand().Float64() < n.lan.cfg.LossRate {
 		n.stats.MsgsDropped++
 		n.stats.BytesDropped += int64(size)
@@ -599,6 +619,19 @@ type timerAdapter struct{ t sim.Timer }
 
 func (a timerAdapter) Cancel() { a.t.Cancel() }
 
+// AfterFree implements proto.FreeTimerEnv: the callback is carried in a
+// typed kernel event, so scheduling performs no allocation (no closure, no
+// Timer box). Like After, the timer fires even while the node is down.
+func (n *Node) AfterFree(d time.Duration, fn func()) {
+	n.lan.Sim.AfterEvent(d, sim.TypedEvent{Kind: evNodeTimer, P1: fn})
+}
+
+// AfterFreeArg implements proto.FreeTimerEnv; arg rides in the event's
+// scalar field, so per-instance timers need no capturing closure.
+func (n *Node) AfterFreeArg(d time.Duration, fn func(int64), arg int64) {
+	n.lan.Sim.AfterEvent(d, sim.TypedEvent{Kind: evNodeTimerArg, P1: fn, A: arg})
+}
+
 // Work implements proto.Env: occupy core 0 for d, then run fn.
 func (n *Node) Work(d time.Duration, fn func()) {
 	n.WorkOn(0, d, fn)
@@ -610,6 +643,14 @@ func (n *Node) WorkOn(core int, d time.Duration, fn func()) {
 	d = time.Duration(float64(d) / n.nc.CPUScale)
 	done := n.reserveCore(core, n.lan.Sim.Now(), d)
 	n.lan.Sim.AtEvent(done, sim.TypedEvent{Kind: evNodeFunc, P1: fn, P2: n})
+}
+
+// WorkArg implements proto.FreeWorkEnv: Work on core 0 with a scalar
+// argument carried in the typed event — no per-call closure.
+func (n *Node) WorkArg(d time.Duration, fn func(int64), arg int64) {
+	d = time.Duration(float64(d) / n.nc.CPUScale)
+	done := n.reserveCore(0, n.lan.Sim.Now(), d)
+	n.lan.Sim.AtEvent(done, sim.TypedEvent{Kind: evNodeFuncArg, P1: fn, P2: n, A: arg})
 }
 
 // DiskWrite implements proto.Env: synchronous sequential write of size

@@ -24,14 +24,20 @@ import (
 )
 
 // RingMsg wraps an M-Ring Paxos message with its ring id so several rings
-// can share nodes (Chapter 5: "machines can be shared among rings").
+// can share nodes (Chapter 5: "machines can be shared among rings"). It is
+// sent as a pooled pointer: the receiving Node unwraps it and recycles the
+// envelope, except for multicast copies (MC), which fan out to several
+// receivers and belong to no one.
 type RingMsg struct {
 	Ring  int
 	Inner proto.Message
+	MC    bool
 }
 
 // Size implements proto.Message.
 func (m RingMsg) Size() int { return 4 + m.Inner.Size() }
+
+var ringMsgPool proto.MsgPool[RingMsg]
 
 // skipMark is the payload of a skip batch: it stands for N consecutive
 // empty consensus instances.
@@ -61,15 +67,32 @@ type ringEnv struct {
 }
 
 func (e ringEnv) Send(to proto.NodeID, m proto.Message) {
-	e.Env.Send(to, RingMsg{Ring: e.ring, Inner: m})
+	w := ringMsgPool.Get()
+	w.Ring, w.Inner = e.ring, m
+	e.Env.Send(to, w)
 }
 
 func (e ringEnv) SendUDP(to proto.NodeID, m proto.Message) {
-	e.Env.SendUDP(to, RingMsg{Ring: e.ring, Inner: m})
+	w := ringMsgPool.Get()
+	w.Ring, w.Inner = e.ring, m
+	e.Env.SendUDP(to, w)
 }
 
 func (e ringEnv) Multicast(g proto.GroupID, m proto.Message) {
-	e.Env.Multicast(g, RingMsg{Ring: e.ring, Inner: m})
+	w := ringMsgPool.Get()
+	w.Ring, w.Inner, w.MC = e.ring, m, true
+	e.Env.Multicast(g, w)
+}
+
+// AfterFree / AfterFreeArg forward the allocation-free timer path of the
+// underlying environment (the embedded interface would otherwise hide it
+// from type assertions).
+func (e ringEnv) AfterFree(d time.Duration, fn func()) {
+	proto.AfterFree(e.Env, d, fn)
+}
+
+func (e ringEnv) AfterFreeArg(d time.Duration, fn func(int64), arg int64) {
+	proto.AfterFreeArg(e.Env, d, fn, arg)
 }
 
 // Node hosts one process's roles across all rings: any number of ring
@@ -135,14 +158,18 @@ func (n *Node) Start(env proto.Env) {
 	}
 }
 
-// Receive implements proto.Handler: unwraps ring messages and dispatches.
+// Receive implements proto.Handler: unwraps ring messages, dispatches, and
+// recycles the unicast envelope (its final consumer is this node).
 func (n *Node) Receive(from proto.NodeID, m proto.Message) {
-	rm, ok := m.(RingMsg)
+	rm, ok := m.(*RingMsg)
 	if !ok {
 		return
 	}
 	if a, ok := n.agents[rm.Ring]; ok {
 		a.Receive(from, rm.Inner)
+	}
+	if !rm.MC {
+		ringMsgPool.Put(rm)
 	}
 }
 
@@ -157,8 +184,9 @@ type Pacer struct {
 	// Delta is the sampling interval.
 	Delta time.Duration
 
-	env   proto.Env
-	prevK int64
+	env    proto.Env
+	prevK  int64
+	tickFn func()
 }
 
 func (p *Pacer) start(env proto.Env) {
@@ -166,22 +194,23 @@ func (p *Pacer) start(env proto.Env) {
 	if p.Delta == 0 {
 		p.Delta = time.Millisecond
 	}
-	p.tick()
+	p.tickFn = p.tick
+	p.arm()
 }
 
+func (p *Pacer) arm() { proto.AfterFree(p.env, p.Delta, p.tickFn) }
+
 func (p *Pacer) tick() {
-	p.env.After(p.Delta, func() {
-		// µ = real instances started since the previous tick. prevK is
-		// resampled after proposing the skip so the skip instance itself
-		// never counts toward the next interval's rate.
-		mu := p.Agent.InstancesStarted() - p.prevK
-		target := int64(p.Lambda * p.Delta.Seconds())
-		if mu < target {
-			p.Agent.ProposeBatch(SkipBatch(target - mu))
-		}
-		p.prevK = p.Agent.InstancesStarted()
-		p.tick()
-	})
+	// µ = real instances started since the previous tick. prevK is
+	// resampled after proposing the skip so the skip instance itself
+	// never counts toward the next interval's rate.
+	mu := p.Agent.InstancesStarted() - p.prevK
+	target := int64(p.Lambda * p.Delta.Seconds())
+	if mu < target {
+		p.Agent.ProposeBatch(SkipBatch(target - mu))
+	}
+	p.prevK = p.Agent.InstancesStarted()
+	p.arm()
 }
 
 // Merger performs the deterministic merge of Chapter 5, Algorithm 1
@@ -197,7 +226,7 @@ type Merger struct {
 	Deliver core.DeliverFunc
 
 	rings  []int
-	queues map[int][]token
+	queues []tokenQueue // parallel to rings
 	cur    int
 	budget int64
 	busy   bool
@@ -218,6 +247,11 @@ type token struct {
 	val core.Batch
 }
 
+// tokenQueue is the merge buffer of one subscribed ring: a reusable FIFO,
+// since this is the learner buffer whose occupancy the λ experiments
+// measure — it must tolerate unbounded growth without allocating per token.
+type tokenQueue = core.FIFO[token]
+
 // NewMerger creates a merger over the given subscribed ring ids.
 func NewMerger(rings []int, m int64) *Merger {
 	sorted := append([]int(nil), rings...)
@@ -228,10 +262,20 @@ func NewMerger(rings []int, m int64) *Merger {
 	return &Merger{
 		M:             m,
 		rings:         sorted,
-		queues:        make(map[int][]token),
+		queues:        make([]tokenQueue, len(sorted)),
 		budget:        m,
 		ReceivedBytes: make(map[int]int64),
 	}
+}
+
+// queueOf returns the merge queue of ring id (rings are few; linear scan).
+func (mg *Merger) queueOf(ring int) *tokenQueue {
+	for i, r := range mg.rings {
+		if r == ring {
+			return &mg.queues[i]
+		}
+	}
+	return nil
 }
 
 func (mg *Merger) attach(ring int, a *ringpaxos.MAgent) {
@@ -254,7 +298,9 @@ func (mg *Merger) Push(ring int, b core.Batch) {
 	} else {
 		mg.ReceivedBytes[ring] += int64(b.Size())
 	}
-	mg.queues[ring] = append(mg.queues[ring], token{n: n, val: b})
+	if q := mg.queueOf(ring); q != nil {
+		q.Push(token{n: n, val: b})
+	}
 	mg.drain()
 }
 
@@ -262,8 +308,8 @@ func (mg *Merger) Push(ring int, b core.Batch) {
 // rings — the learner buffer whose overflow the λ experiments provoke.
 func (mg *Merger) Buffered() int {
 	n := 0
-	for _, q := range mg.queues {
-		n += len(q)
+	for i := range mg.queues {
+		n += mg.queues[i].Len()
 	}
 	return n
 }
@@ -275,39 +321,37 @@ func (mg *Merger) drain() {
 		return
 	}
 	for {
-		ring := mg.rings[mg.cur]
-		q := mg.queues[ring]
-		if len(q) == 0 {
+		q := &mg.queues[mg.cur]
+		if q.Len() == 0 {
 			return // block until the current ring makes progress
 		}
-		t := q[0]
+		t := q.Front()
 		use := t.n
 		if use > mg.budget {
 			use = mg.budget
 		}
 		t.n -= use
 		mg.budget -= use
-		if t.n == 0 {
-			mg.queues[ring] = q[1:]
-		} else {
-			q[0] = t
+		done := t.n == 0
+		val := t.val
+		if done {
+			q.Pop()
 		}
 		if mg.budget == 0 {
 			mg.cur = (mg.cur + 1) % len(mg.rings)
 			mg.budget = mg.M
 		}
-		if len(t.val.Vals) > 0 && t.n == 0 {
+		if len(val.Vals) > 0 && done {
 			if mg.ExecCost > 0 {
 				mg.busy = true
-				b := t.val
-				mg.env.Work(time.Duration(len(b.Vals))*mg.ExecCost, func() {
+				mg.env.Work(time.Duration(len(val.Vals))*mg.ExecCost, func() {
 					mg.busy = false
-					mg.deliverBatch(b)
+					mg.deliverBatch(val)
 					mg.drain()
 				})
 				return
 			}
-			mg.deliverBatch(t.val)
+			mg.deliverBatch(val)
 		}
 	}
 }

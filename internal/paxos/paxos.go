@@ -16,9 +16,16 @@
 //
 // The package also serves as the consensus substrate reused by the SMR and
 // baseline packages; Ring Paxos has its own package (internal/ringpaxos).
+//
+// Like internal/ringpaxos, the hot path stores per-instance state in
+// ring-indexed instance logs rather than maps, stages values in a reusable
+// slab, tracks Phase 2B quorums as bitmasks over the acceptor list, and
+// uses pooled pointer messages plus fire-and-forget timers, so the
+// steady-state data path performs no per-value allocation.
 package paxos
 
 import (
+	"math/bits"
 	"sort"
 	"time"
 
@@ -85,21 +92,28 @@ type (
 		Rnd   int64
 		Votes map[int64]vote
 	}
-	// msgPhase2A proposes Val in instance Inst at round Rnd.
+	// msgPhase2A proposes Val in instance Inst at round Rnd. It is sent
+	// as a pointer: the unicast configuration sends one message to every
+	// acceptor, and a pointer boxes once instead of once per receiver.
 	msgPhase2A struct {
 		Inst int64
 		Rnd  int64
 		Val  core.Batch
 	}
-	// msgPhase2B is an acceptor's vote.
+	// msgPhase2B is an acceptor's vote, pooled and recycled by the
+	// coordinator that consumes it.
 	msgPhase2B struct {
 		Inst int64
 		Rnd  int64
 	}
-	// msgDecision announces the decided batch of Inst.
+	// msgDecision announces the decided batch of Inst. Shared marks copies
+	// with more than one receiver (multicast, or unicast fan-out to the
+	// learner set), which must not be recycled by any one of them; only
+	// single-receiver gap-recovery retransmissions are pooled.
 	msgDecision struct {
-		Inst int64
-		Val  core.Batch
+		Inst   int64
+		Val    core.Batch
+		Shared bool
 	}
 	// msgLearnReq asks the coordinator to retransmit decisions from
 	// instance From on (learner gap recovery).
@@ -121,18 +135,25 @@ func (m msgPhase2B) Size() int  { return headerBytes }
 func (m msgDecision) Size() int { return headerBytes + m.Val.Size() }
 func (m msgLearnReq) Size() int { return headerBytes }
 
+var (
+	msgProposePool proto.MsgPool[MsgPropose]
+	phase2BPool    proto.MsgPool[msgPhase2B]
+	decisionPool   proto.MsgPool[msgDecision]
+)
+
 type vote struct {
 	rnd int64
 	val core.Batch
 }
 
-// coordInst is the coordinator's bookkeeping for one open instance.
+// coordInst is the coordinator's bookkeeping for one open instance. The 2B
+// quorum is a bitmask over Cfg.Acceptors; retransmission timers are
+// fire-and-forget and validate the instance when they fire.
 type coordInst struct {
 	rnd     int64
 	val     core.Batch
-	votes   map[proto.NodeID]bool
+	votes   uint64
 	decided bool
-	timer   proto.Timer
 }
 
 // Agent is one Paxos process. Its roles follow from the Config: it acts as
@@ -152,22 +173,25 @@ type Agent struct {
 	isCoord      bool
 	phase1Done   bool
 	crnd         int64
-	pending      []core.Value
+	pending      core.ValueSlab
 	pendingBytes int
-	batchTimer   proto.Timer
+	batchArmed   bool
 	next         int64
-	open         map[int64]*coordInst
-	log          map[int64]core.Batch // decided batches, for retransmission
+	open         core.InstLog[coordInst]
+	log          core.InstLog[core.Batch] // decided batches, for retransmission
 	promises     map[proto.NodeID]msgPhase1B
 
 	// acceptor state
 	rnd   int64
-	votes map[int64]vote
+	votes core.InstLog[vote]
 
 	// learner state
-	learned     map[int64]core.Batch
+	learned     core.InstLog[core.Batch]
 	nextDeliver int64
-	gapTimer    proto.Timer
+
+	batchFn    func()
+	retryFn    func(int64)
+	gapTimerFn func()
 }
 
 var _ proto.Handler = (*Agent)(nil)
@@ -176,11 +200,10 @@ var _ proto.Handler = (*Agent)(nil)
 func (a *Agent) Start(env proto.Env) {
 	a.env = env
 	a.Cfg.defaults()
-	a.open = make(map[int64]*coordInst)
-	a.log = make(map[int64]core.Batch)
-	a.votes = make(map[int64]vote)
-	a.learned = make(map[int64]core.Batch)
 	a.promises = make(map[proto.NodeID]msgPhase1B)
+	a.batchFn = func() { a.batchArmed = false; a.flush() }
+	a.retryFn = a.retryInstance
+	a.gapTimerFn = a.gapTick
 	if env.ID() == a.Cfg.Coordinator {
 		a.BecomeCoordinator(1)
 	}
@@ -205,6 +228,16 @@ func (a *Agent) isLearner() bool {
 		}
 	}
 	return false
+}
+
+// acceptorBit returns the quorum-bitmask bit of acceptor id, or 0.
+func (a *Agent) acceptorBit(id proto.NodeID) uint64 {
+	for i, acc := range a.Cfg.Acceptors {
+		if acc == id {
+			return 1 << uint(i)
+		}
+	}
+	return 0
 }
 
 // BecomeCoordinator makes this agent start Phase 1 with a round number
@@ -239,26 +272,32 @@ func (a *Agent) Propose(v core.Value) {
 		a.enqueue(v)
 		return
 	}
-	a.env.Send(a.Cfg.Coordinator, MsgPropose{V: v})
+	m := msgProposePool.Get()
+	m.V = v
+	a.env.Send(a.Cfg.Coordinator, m)
 }
 
 // Receive implements proto.Handler.
 func (a *Agent) Receive(from proto.NodeID, m proto.Message) {
 	switch msg := m.(type) {
-	case MsgPropose:
+	case *MsgPropose:
 		if a.isCoord {
 			a.enqueue(msg.V)
 		}
+		msgProposePool.Put(msg)
 	case msgPhase1A:
 		a.onPhase1A(from, msg)
 	case msgPhase1B:
 		a.onPhase1B(from, msg)
-	case msgPhase2A:
+	case *msgPhase2A:
 		a.onPhase2A(from, msg)
-	case msgPhase2B:
+	case *msgPhase2B:
 		a.onPhase2B(from, msg)
-	case msgDecision:
+	case *msgDecision:
 		a.onDecision(msg)
+		if !msg.Shared {
+			decisionPool.Put(msg)
+		}
 	case msgLearnReq:
 		a.onLearnReq(from, msg)
 	}
@@ -267,17 +306,15 @@ func (a *Agent) Receive(from proto.NodeID, m proto.Message) {
 // --- coordinator ---
 
 func (a *Agent) enqueue(v core.Value) {
-	a.pending = append(a.pending, v)
+	a.pending.Push(v)
 	a.pendingBytes += v.Bytes
 	if a.pendingBytes >= a.Cfg.BatchBytes {
 		a.flush()
 		return
 	}
-	if a.batchTimer == nil {
-		a.batchTimer = a.env.After(a.Cfg.BatchDelay, func() {
-			a.batchTimer = nil
-			a.flush()
-		})
+	if !a.batchArmed {
+		a.batchArmed = true
+		proto.AfterFree(a.env, a.Cfg.BatchDelay, a.batchFn)
 	}
 }
 
@@ -286,30 +323,33 @@ func (a *Agent) flush() {
 	if !a.isCoord || !a.phase1Done {
 		return
 	}
-	for len(a.pending) > 0 && len(a.open) < a.Cfg.Window {
+	for a.pending.Len() > 0 && a.open.Len() < a.Cfg.Window {
 		n := 0
 		bytes := 0
-		for n < len(a.pending) && bytes < a.Cfg.BatchBytes {
-			bytes += a.pending[n].Bytes
+		for n < a.pending.Len() && bytes < a.Cfg.BatchBytes {
+			bytes += a.pending.At(n).Bytes
 			n++
 		}
-		batch := core.Batch{Vals: append([]core.Value(nil), a.pending[:n]...)}
-		a.pending = a.pending[n:]
+		vals := make([]core.Value, n)
+		for i := range vals {
+			vals[i] = a.pending.At(i)
+		}
+		a.pending.PopFront(n)
 		a.pendingBytes -= bytes
-		a.startInstance(batch)
+		a.startInstance(core.Batch{Vals: vals})
 	}
 }
 
 func (a *Agent) startInstance(b core.Batch) {
 	inst := a.next
 	a.next++
-	ci := &coordInst{rnd: a.crnd, val: b, votes: make(map[proto.NodeID]bool)}
-	a.open[inst] = ci
+	ci, _ := a.open.Put(inst)
+	*ci = coordInst{rnd: a.crnd, val: b}
 	a.sendPhase2A(inst, ci)
 }
 
 func (a *Agent) sendPhase2A(inst int64, ci *coordInst) {
-	m := msgPhase2A{Inst: inst, Rnd: ci.rnd, Val: ci.val}
+	m := &msgPhase2A{Inst: inst, Rnd: ci.rnd, Val: ci.val}
 	if a.Cfg.Multicast {
 		// Acceptors and learners are subscribed; learners buffer the value
 		// until the decision arrives.
@@ -319,11 +359,14 @@ func (a *Agent) sendPhase2A(inst int64, ci *coordInst) {
 			a.env.Send(id, m)
 		}
 	}
-	ci.timer = a.env.After(a.Cfg.Retry, func() {
-		if cur, ok := a.open[inst]; ok && !cur.decided {
-			a.sendPhase2A(inst, cur)
-		}
-	})
+	proto.AfterFreeArg(a.env, a.Cfg.Retry, a.retryFn, inst)
+}
+
+// retryInstance re-sends an instance's 2A if it is still undecided.
+func (a *Agent) retryInstance(inst int64) {
+	if ci, ok := a.open.Get(inst); ok && !ci.decided {
+		a.sendPhase2A(inst, ci)
+	}
 }
 
 func (a *Agent) onPhase1B(from proto.NodeID, m msgPhase1B) {
@@ -339,7 +382,7 @@ func (a *Agent) onPhase1B(from proto.NodeID, m msgPhase1B) {
 	adopt := make(map[int64]vote)
 	for _, p := range a.promises {
 		for inst, v := range p.Votes {
-			if _, done := a.log[inst]; done {
+			if a.log.Has(inst) {
 				continue
 			}
 			if cur, ok := adopt[inst]; !ok || v.rnd > cur.rnd {
@@ -356,32 +399,38 @@ func (a *Agent) onPhase1B(from proto.NodeID, m msgPhase1B) {
 		if inst >= a.next {
 			a.next = inst + 1
 		}
-		ci := &coordInst{rnd: a.crnd, val: adopt[inst].val, votes: make(map[proto.NodeID]bool)}
-		a.open[inst] = ci
+		ci, _ := a.open.Put(inst)
+		*ci = coordInst{rnd: a.crnd, val: adopt[inst].val}
 		a.sendPhase2A(inst, ci)
 	}
 	a.flush()
 }
 
-func (a *Agent) onPhase2B(from proto.NodeID, m msgPhase2B) {
+func (a *Agent) onPhase2B(from proto.NodeID, m *msgPhase2B) {
+	inst, rnd := m.Inst, m.Rnd
+	phase2BPool.Put(m)
 	if !a.isCoord {
 		return
 	}
-	ci, ok := a.open[m.Inst]
-	if !ok || ci.decided || m.Rnd != ci.rnd {
+	ci, ok := a.open.Get(inst)
+	if !ok || ci.decided || rnd != ci.rnd {
 		return
 	}
-	ci.votes[from] = true
-	if len(ci.votes) < a.Cfg.Quorum() {
+	bit := a.acceptorBit(from)
+	if ci.votes&bit != 0 {
+		return
+	}
+	ci.votes |= bit
+	if bits.OnesCount64(ci.votes) < a.Cfg.Quorum() {
 		return
 	}
 	ci.decided = true
-	if ci.timer != nil {
-		ci.timer.Cancel()
-	}
-	a.log[m.Inst] = ci.val
-	delete(a.open, m.Inst)
-	dec := msgDecision{Inst: m.Inst, Val: ci.val}
+	val := ci.val
+	le, _ := a.log.Put(inst)
+	*le = val
+	a.open.Delete(inst)
+	dec := decisionPool.Get()
+	dec.Inst, dec.Val, dec.Shared = inst, val, true
 	if a.Cfg.Multicast {
 		a.env.Multicast(a.Cfg.Group, dec)
 	} else {
@@ -396,7 +445,7 @@ func (a *Agent) onPhase2B(from proto.NodeID, m msgPhase2B) {
 		a.onDecision(dec)
 	}
 	if a.OnDecide != nil {
-		a.OnDecide(m.Inst)
+		a.OnDecide(inst)
 	}
 	a.flush()
 }
@@ -407,11 +456,13 @@ func (a *Agent) onLearnReq(from proto.NodeID, m msgLearnReq) {
 	}
 	// Retransmit up to a handful of decisions per request to bound load.
 	for inst, sent := m.From, 0; sent < 64; inst, sent = inst+1, sent+1 {
-		b, ok := a.log[inst]
+		b, ok := a.log.Get(inst)
 		if !ok {
 			break
 		}
-		a.env.Send(from, msgDecision{Inst: inst, Val: b})
+		dec := decisionPool.Get()
+		dec.Inst, dec.Val = inst, *b
+		a.env.Send(from, dec)
 	}
 }
 
@@ -425,18 +476,15 @@ func (a *Agent) onPhase1A(from proto.NodeID, m msgPhase1A) {
 		return
 	}
 	a.rnd = m.Rnd
-	reply := msgPhase1B{Rnd: a.rnd, Votes: make(map[int64]vote, len(a.votes))}
-	for inst, v := range a.votes {
-		reply.Votes[inst] = v
-	}
+	reply := msgPhase1B{Rnd: a.rnd, Votes: make(map[int64]vote, a.votes.Len())}
+	a.votes.Range(func(inst int64, v *vote) bool {
+		reply.Votes[inst] = *v
+		return true
+	})
 	a.env.Send(from, reply)
 }
 
-func (a *Agent) onPhase2A(from proto.NodeID, m msgPhase2A) {
-	if a.isLearner() {
-		// Learners buffer proposed values; they learn them on decision.
-		// (Used by speculative delivery in internal/smr.)
-	}
+func (a *Agent) onPhase2A(from proto.NodeID, m *msgPhase2A) {
 	if !a.isAcceptor() {
 		return
 	}
@@ -444,43 +492,49 @@ func (a *Agent) onPhase2A(from proto.NodeID, m msgPhase2A) {
 		return
 	}
 	a.rnd = m.Rnd
-	a.votes[m.Inst] = vote{rnd: m.Rnd, val: m.Val}
-	send := func() {
-		mb := msgPhase2B{Inst: m.Inst, Rnd: m.Rnd}
-		if a.Cfg.Multicast {
-			a.env.SendUDP(from, mb)
-		} else {
-			a.env.Send(from, mb)
-		}
-	}
+	v, _ := a.votes.Put(m.Inst)
+	*v = vote{rnd: m.Rnd, val: m.Val}
 	if a.Cfg.DiskSync {
-		a.env.DiskWrite(m.Val.Size()+headerBytes, send)
+		inst, rnd := m.Inst, m.Rnd
+		a.env.DiskWrite(m.Val.Size()+headerBytes, func() { a.sendPhase2B(from, inst, rnd) })
 	} else {
-		send()
+		a.sendPhase2B(from, m.Inst, m.Rnd)
+	}
+}
+
+func (a *Agent) sendPhase2B(to proto.NodeID, inst, rnd int64) {
+	mb := phase2BPool.Get()
+	mb.Inst, mb.Rnd = inst, rnd
+	if a.Cfg.Multicast {
+		a.env.SendUDP(to, mb)
+	} else {
+		a.env.Send(to, mb)
 	}
 }
 
 // --- learner ---
 
-func (a *Agent) onDecision(m msgDecision) {
+func (a *Agent) onDecision(m *msgDecision) {
 	if !a.isLearner() {
 		return
 	}
 	if m.Inst < a.nextDeliver {
 		return // duplicate
 	}
-	if _, ok := a.learned[m.Inst]; ok {
+	e, existed := a.learned.Put(m.Inst)
+	if existed {
 		return
 	}
-	a.learned[m.Inst] = m.Val
+	*e = m.Val
 	for {
-		b, ok := a.learned[a.nextDeliver]
+		b, ok := a.learned.Get(a.nextDeliver)
 		if !ok {
 			break
 		}
-		delete(a.learned, a.nextDeliver)
+		val := *b
+		a.learned.Delete(a.nextDeliver)
 		if a.Deliver != nil {
-			for _, v := range b.Vals {
+			for _, v := range val.Vals {
 				a.Deliver(a.nextDeliver, v)
 			}
 		}
@@ -490,12 +544,14 @@ func (a *Agent) onDecision(m msgDecision) {
 
 // armGapTimer periodically asks the coordinator for missing decisions.
 func (a *Agent) armGapTimer() {
-	a.gapTimer = a.env.After(a.Cfg.Retry, func() {
-		if len(a.learned) > 0 || a.stalled() {
-			a.env.Send(a.Cfg.Coordinator, msgLearnReq{From: a.nextDeliver})
-		}
-		a.armGapTimer()
-	})
+	proto.AfterFree(a.env, a.Cfg.Retry, a.gapTimerFn)
+}
+
+func (a *Agent) gapTick() {
+	if a.learned.Len() > 0 || a.stalled() {
+		a.env.Send(a.Cfg.Coordinator, msgLearnReq{From: a.nextDeliver})
+	}
+	a.armGapTimer()
 }
 
 // stalled reports whether this learner might be missing decisions: it is

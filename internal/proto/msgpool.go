@@ -1,0 +1,46 @@
+package proto
+
+import "sync"
+
+// MsgPool is a typed free list for pointer-shaped wire messages.
+//
+// A value-typed message costs one heap allocation every time it is boxed
+// into the Message interface — once per Send, and once per hop for
+// messages that are forwarded along a ring. Pointer-typed messages box for
+// free, travel through any number of forwards without reallocation, and —
+// when the protocol knows which process consumes the message last — can be
+// recycled here for the next send.
+//
+// The contract: exactly one process owns a message at a time. Whoever
+// calls Put must be the message's final consumer (the coordinator draining
+// a proposal, the last hop of a decision's ring revolution, the client
+// reading its reply) and must not touch it afterward. Messages that fan
+// out to several receivers (multicast) must never be Put — receivers
+// cannot tell who is last — and are simply dropped for the GC, which is
+// what makes a lost or down-node message safe too: the pool is an
+// optimization, never an obligation.
+//
+// MsgPool is backed by sync.Pool so the parallel experiment runner can
+// share one pool per message type across concurrently running simulations.
+type MsgPool[T any] struct {
+	p sync.Pool
+}
+
+// Get returns a zeroed *T, recycled when possible.
+func (p *MsgPool[T]) Get() *T {
+	if v := p.p.Get(); v != nil {
+		return v.(*T)
+	}
+	return new(T)
+}
+
+// Put recycles m, zeroing it so payload references are released while it
+// sits in the pool. Put(nil) is a no-op.
+func (p *MsgPool[T]) Put(m *T) {
+	if m == nil {
+		return
+	}
+	var zero T
+	*m = zero
+	p.p.Put(m)
+}

@@ -71,6 +71,65 @@ type Env interface {
 	DiskWrite(size int, fn func())
 }
 
+// FreeTimerEnv is the optional interface for allocation-free fire-and-forget
+// timers. Env.After costs two small heap objects per call (the callback
+// closure and the Timer box) — irrelevant for rare protocol timers, but
+// steady-state ticks (batch flush, retransmission scans, traffic-generator
+// pacing) fire at megahertz rates in aggregate. AfterFree schedules a
+// pre-existing func value without returning a handle, and AfterFreeArg
+// additionally passes a scalar argument so per-instance timers need no
+// capturing closure. Callers hold the func in a field assigned once at
+// Start; passing a method value inline would allocate the very closure the
+// interface exists to avoid.
+type FreeTimerEnv interface {
+	AfterFree(d time.Duration, fn func())
+	AfterFreeArg(d time.Duration, fn func(int64), arg int64)
+}
+
+// AfterFree schedules fn to run on env's actor after d, without a cancel
+// handle. On environments implementing FreeTimerEnv it allocates nothing;
+// elsewhere it falls back to After.
+func AfterFree(env Env, d time.Duration, fn func()) {
+	if fe, ok := env.(FreeTimerEnv); ok {
+		fe.AfterFree(d, fn)
+		return
+	}
+	env.After(d, fn)
+}
+
+// AfterFreeArg schedules fn(arg) to run on env's actor after d. See
+// AfterFree.
+func AfterFreeArg(env Env, d time.Duration, fn func(int64), arg int64) {
+	if fe, ok := env.(FreeTimerEnv); ok {
+		fe.AfterFreeArg(d, fn, arg)
+		return
+	}
+	env.After(d, func() { fn(arg) })
+}
+
+// FreeWorkEnv is the optional interface for allocation-free Work
+// completions carrying a scalar argument. Beyond avoiding the per-call
+// closure, the argument lets callers that pair queued state with
+// completions (pending replies, scheduler admissions) tag each completion
+// with a monotonic id — which keeps the pairing correct even if a
+// completion is dropped (the substrate discards completions addressed to a
+// crashed node): the next surviving completion identifies and retires the
+// orphaned entries.
+type FreeWorkEnv interface {
+	WorkArg(d time.Duration, fn func(int64), arg int64)
+}
+
+// WorkArg occupies env's CPU for d, then runs fn(arg). On environments
+// implementing FreeWorkEnv it allocates nothing; elsewhere it falls back
+// to Work with a capturing closure.
+func WorkArg(env Env, d time.Duration, fn func(int64), arg int64) {
+	if we, ok := env.(FreeWorkEnv); ok {
+		we.WorkArg(d, fn, arg)
+		return
+	}
+	env.Work(d, func() { fn(arg) })
+}
+
 // MultiCore is the optional interface environments with multiple CPU cores
 // implement; core 0 also handles messages. Protocols that exploit
 // parallelism (P-SMR) type-assert for it and fall back to Work.

@@ -107,10 +107,16 @@ func (c *Client) issue() {
 	})
 }
 
-// Receive implements proto.Handler.
+// Receive implements proto.Handler. The client is the reply's single
+// consumer, so the envelope goes back to the pool either way.
 func (c *Client) Receive(_ proto.NodeID, m proto.Message) {
-	rep, ok := m.(msgReply)
-	if !ok || rep.Client != c.ID || rep.Seq != c.seq {
+	rep, ok := m.(*msgReply)
+	if !ok {
+		return
+	}
+	match := rep.Client == c.ID && rep.Seq == c.seq
+	replyPool.Put(rep)
+	if !match {
 		return
 	}
 	c.Completed++
@@ -176,9 +182,13 @@ func (d *Deployment) newReplica(i int) *Replica {
 // instance carries every command in a single total order.
 func (d *Deployment) deploySingleRing() {
 	cfg := d.Cfg
+	// Single-ring replicas consume each value synchronously in OnValue, so
+	// batch arrays can recycle; the multi-ring deployment must not (its
+	// mergers buffer batches unboundedly when a ring outruns λ).
 	mcfg := ringpaxos.MConfig{
-		Ring:  []proto.NodeID{acceptorBase, acceptorBase + 1},
-		Group: 500,
+		Ring:           []proto.NodeID{acceptorBase, acceptorBase + 1},
+		Group:          500,
+		RecycleBatches: true,
 	}
 	for i := 0; i < cfg.Replicas; i++ {
 		mcfg.Learners = append(mcfg.Learners, proto.NodeID(replicaBase+i))

@@ -19,7 +19,11 @@
 // into one class per worker; a command's classes determine independence.
 package psmr
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/proto"
+)
 
 // Mode selects the replication/execution architecture.
 type Mode int
@@ -59,7 +63,8 @@ type Command struct {
 	Seq     int64
 }
 
-// msgReply answers the client.
+// msgReply answers the client. Replies are pooled pointers: the replica is
+// the producer, the addressed client the single consumer that recycles.
 type msgReply struct {
 	Client int64
 	Seq    int64
@@ -67,6 +72,8 @@ type msgReply struct {
 
 // Size implements proto.Message.
 func (m msgReply) Size() int { return 64 }
+
+var replyPool proto.MsgPool[msgReply]
 
 // KVStore is the deterministic service: an in-memory map whose commands
 // cost OpCost of CPU each.

@@ -11,6 +11,11 @@ import (
 // Replica executes ordered commands under one of the four execution models.
 // Cores: core 0 handles protocol messages and (for SDPE) the scheduler;
 // workers run on cores 1..Workers.
+//
+// Execution completions are allocation-free: each lane (the serial lane,
+// every P-SMR worker, the barrier, each pooled SDPE command) owns one
+// pre-bound completion callback, and the command being executed is parked
+// in the lane's state instead of being captured by a closure.
 type Replica struct {
 	// Mode is the execution model.
 	Mode Mode
@@ -37,28 +42,47 @@ type Replica struct {
 
 	// P-SMR per-worker streams.
 	workers []*workerState
-	// SDPE scheduler state: per class, FIFO of pending commands.
-	classQ  map[int][]*sdpeCmd
-	running int
+	// SDPE scheduler state: per class, FIFO of pending commands; admitQ
+	// holds commands whose scheduler examination is in flight on core 0.
+	classQ   map[int]*core.FIFO[*sdpeCmd]
+	admitQ   core.FIFO[admission]
+	admitID  int64
+	sdpeFree []*sdpeCmd
 
 	// Sequential/Pipelined serial lane bookkeeping.
 	serialBusy  bool
-	serialQueue []Command
+	serialQueue core.FIFO[Command]
+	serialCur   Command
+
+	admitFn      func(int64)
+	serialDoneFn func()
+	barrierFn    func()
 }
 
 // workerState is one P-SMR worker's merged stream and barrier status.
 type workerState struct {
-	queue   []Command
+	queue   core.FIFO[Command]
 	busy    bool
-	atSync  bool // parked at the head sync command
+	cur     Command // the independent command executing on this worker
+	atSync  bool    // parked at the head sync command
 	syncSeq int64
 	syncCli int64
+	doneFn  func()
 }
 
-// sdpeCmd is one scheduled SDPE command.
+// sdpeCmd is one scheduled SDPE command. Instances are pooled per replica;
+// doneFn is bound to the instance once, so a command's whole schedule →
+// execute → finish cycle allocates nothing after warm-up.
 type sdpeCmd struct {
 	cmd     Command
 	started bool
+	doneFn  func()
+}
+
+// admission is a command awaiting its SDPE scheduler examination.
+type admission struct {
+	id  int64
+	cmd Command
 }
 
 // OnValue feeds one ordered value into the replica's execution engine. The
@@ -72,15 +96,20 @@ func (r *Replica) OnValue(worker int, v core.Value) {
 	}
 	switch r.Mode {
 	case Sequential, Pipelined:
-		r.serialQueue = append(r.serialQueue, c)
+		r.serialQueue.Push(c)
 		r.pumpSerial()
 	case SDPE:
 		// The scheduler examines every command serially on core 0 before
 		// workers may run it — SDPE's structural bottleneck (§6.2.4).
-		r.env.Work(r.SchedCost, func() { r.sdpeAdmit(c) })
+		// Scheduler completions on core 0 are FIFO and carry a monotonic
+		// id, so the admit queue pairs each completion with its command
+		// without a closure and survives completions dropped while the
+		// node is down.
+		r.admitID++
+		r.admitQ.Push(admission{id: r.admitID, cmd: c})
+		proto.WorkArg(r.env, r.SchedCost, r.admitFn, r.admitID)
 	case PSMR:
-		w := r.workers[worker]
-		w.queue = append(w.queue, c)
+		r.workers[worker].queue.Push(c)
 		r.pumpWorker(worker)
 	}
 }
@@ -110,9 +139,15 @@ func (r *Replica) Start(env proto.Env) {
 	}
 	r.workers = make([]*workerState, r.Workers)
 	for i := range r.workers {
-		r.workers[i] = &workerState{}
+		w := &workerState{}
+		wi := i
+		w.doneFn = func() { r.workerDone(wi) }
+		r.workers[i] = w
 	}
-	r.classQ = make(map[int][]*sdpeCmd)
+	r.classQ = make(map[int]*core.FIFO[*sdpeCmd])
+	r.admitFn = r.completeAdmit
+	r.serialDoneFn = r.serialDone
+	r.barrierFn = r.barrierDone
 }
 
 func (r *Replica) responsible(c Command) bool {
@@ -121,7 +156,9 @@ func (r *Replica) responsible(c Command) bool {
 
 func (r *Replica) reply(c Command) {
 	if r.responsible(c) {
-		r.env.Send(r.ClientNode(c.Client), msgReply{Client: c.Client, Seq: c.Seq})
+		m := replyPool.Get()
+		m.Client, m.Seq = c.Client, c.Seq
+		r.env.Send(r.ClientNode(c.Client), m)
 	}
 }
 
@@ -131,33 +168,74 @@ func (r *Replica) cost(c Command) time.Duration { return r.Store.OpCost }
 // --- Sequential / Pipelined ---
 
 func (r *Replica) pumpSerial() {
-	if r.serialBusy || len(r.serialQueue) == 0 {
+	if r.serialBusy || r.serialQueue.Len() == 0 {
 		return
 	}
-	c := r.serialQueue[0]
-	r.serialQueue = r.serialQueue[1:]
+	c := r.serialQueue.Pop()
+	r.serialCur = c
 	r.serialBusy = true
 	r.Store.Execute(c)
 	core := 0
 	if r.Mode == Pipelined {
 		core = 1 // execution thread separate from protocol thread (§6.2.3)
 	}
-	proto.WorkOn(r.env, core, r.cost(c), func() {
-		r.ExecutedCmds++
-		r.reply(c)
-		r.serialBusy = false
-		r.pumpSerial()
-	})
+	proto.WorkOn(r.env, core, r.cost(c), r.serialDoneFn)
+}
+
+func (r *Replica) serialDone() {
+	r.ExecutedCmds++
+	r.reply(r.serialCur)
+	r.serialCur = Command{}
+	r.serialBusy = false
+	r.pumpSerial()
 }
 
 // --- SDPE (§6.2.4) ---
 
+// getSdpeCmd takes a command record off the free list; its completion
+// callback was bound at first allocation and survives recycling.
+func (r *Replica) getSdpeCmd() *sdpeCmd {
+	if n := len(r.sdpeFree); n > 0 {
+		sc := r.sdpeFree[n-1]
+		r.sdpeFree[n-1] = nil
+		r.sdpeFree = r.sdpeFree[:n-1]
+		return sc
+	}
+	sc := &sdpeCmd{}
+	sc.doneFn = func() { r.sdpeFinish(sc) }
+	return sc
+}
+
+func (r *Replica) classQueue(cl int) *core.FIFO[*sdpeCmd] {
+	q := r.classQ[cl]
+	if q == nil {
+		q = &core.FIFO[*sdpeCmd]{}
+		r.classQ[cl] = q
+	}
+	return q
+}
+
+// completeAdmit is the scheduler-examination completion: it retires
+// admissions orphaned by dropped completions, then admits the one the
+// completion belongs to.
+func (r *Replica) completeAdmit(id int64) {
+	for r.admitQ.Len() > 0 {
+		a := r.admitQ.Pop()
+		if a.id == id {
+			r.sdpeAdmit(a.cmd)
+			return
+		}
+	}
+}
+
 // sdpeAdmit enqueues c on every class it touches; it may start when it
 // heads all of them (conflict-serializable in delivery order).
 func (r *Replica) sdpeAdmit(c Command) {
-	sc := &sdpeCmd{cmd: c}
+	sc := r.getSdpeCmd()
+	sc.cmd = c
+	sc.started = false
 	for _, cl := range c.Classes {
-		r.classQ[cl] = append(r.classQ[cl], sc)
+		r.classQueue(cl).Push(sc)
 	}
 	r.sdpeTryStart(sc)
 }
@@ -168,26 +246,30 @@ func (r *Replica) sdpeTryStart(sc *sdpeCmd) {
 	}
 	for _, cl := range sc.cmd.Classes {
 		q := r.classQ[cl]
-		if len(q) == 0 || q[0] != sc {
+		if q.Len() == 0 || *q.Front() != sc {
 			return
 		}
 	}
 	sc.started = true
 	r.Store.Execute(sc.cmd)
 	core := 1 + (sc.cmd.Classes[0] % r.Workers)
-	proto.WorkOn(r.env, core, r.cost(sc.cmd), func() {
-		r.ExecutedCmds++
-		r.reply(sc.cmd)
-		for _, cl := range sc.cmd.Classes {
-			r.classQ[cl] = r.classQ[cl][1:]
+	proto.WorkOn(r.env, core, r.cost(sc.cmd), sc.doneFn)
+}
+
+func (r *Replica) sdpeFinish(sc *sdpeCmd) {
+	r.ExecutedCmds++
+	r.reply(sc.cmd)
+	for _, cl := range sc.cmd.Classes {
+		r.classQ[cl].Pop()
+	}
+	// Newly unblocked heads may start.
+	for _, cl := range sc.cmd.Classes {
+		if q := r.classQ[cl]; q.Len() > 0 {
+			r.sdpeTryStart(*q.Front())
 		}
-		// Newly unblocked heads may start.
-		for _, cl := range sc.cmd.Classes {
-			if q := r.classQ[cl]; len(q) > 0 {
-				r.sdpeTryStart(q[0])
-			}
-		}
-	})
+	}
+	sc.cmd = Command{}
+	r.sdpeFree = append(r.sdpeFree, sc)
 }
 
 // --- P-SMR (§6.3) ---
@@ -198,10 +280,10 @@ func (r *Replica) sdpeTryStart(sc *sdpeCmd) {
 // worker executes it while the others wait (Figure 6.2).
 func (r *Replica) pumpWorker(wi int) {
 	w := r.workers[wi]
-	if w.busy || w.atSync || len(w.queue) == 0 {
+	if w.busy || w.atSync || w.queue.Len() == 0 {
 		return
 	}
-	c := w.queue[0]
+	c := *w.queue.Front()
 	if len(c.Classes) > 1 {
 		w.atSync = true
 		w.syncSeq, w.syncCli = c.Seq, c.Client
@@ -209,19 +291,27 @@ func (r *Replica) pumpWorker(wi int) {
 		r.tryBarrier()
 		return
 	}
-	w.queue = w.queue[1:]
+	w.queue.Pop()
+	w.cur = c
 	w.busy = true
 	r.Store.Execute(c)
-	proto.WorkOn(r.env, 1+wi, r.cost(c), func() {
-		r.ExecutedCmds++
-		r.reply(c)
-		w.busy = false
-		r.pumpWorker(wi)
-	})
+	proto.WorkOn(r.env, 1+wi, r.cost(c), w.doneFn)
+}
+
+func (r *Replica) workerDone(wi int) {
+	w := r.workers[wi]
+	r.ExecutedCmds++
+	r.reply(w.cur)
+	w.cur = Command{}
+	w.busy = false
+	r.pumpWorker(wi)
 }
 
 // tryBarrier fires when every worker is parked at the same dependent
-// command; worker 0's core executes it and all workers resume.
+// command; worker 0's core executes it and all workers resume. The command
+// stays at every worker's queue head while it executes (workers are all
+// parked, so the heads cannot move), which lets the completion re-read it
+// instead of capturing it.
 func (r *Replica) tryBarrier() {
 	var ref *workerState
 	for _, w := range r.workers {
@@ -236,17 +326,20 @@ func (r *Replica) tryBarrier() {
 			return
 		}
 	}
-	c := r.workers[0].queue[0]
+	c := *r.workers[0].queue.Front()
 	r.Store.Execute(c)
-	proto.WorkOn(r.env, 1, r.cost(c), func() {
-		r.ExecutedCmds++
-		r.reply(c)
-		for wi, w := range r.workers {
-			w.queue = w.queue[1:]
-			w.atSync = false
-			r.pumpWorker(wi)
-		}
-	})
+	proto.WorkOn(r.env, 1, r.cost(c), r.barrierFn)
+}
+
+func (r *Replica) barrierDone() {
+	c := *r.workers[0].queue.Front()
+	r.ExecutedCmds++
+	r.reply(c)
+	for wi, w := range r.workers {
+		w.queue.Pop()
+		w.atSync = false
+		r.pumpWorker(wi)
+	}
 }
 
 // mergerFor builds the deterministic merge feeding worker wi: its own ring

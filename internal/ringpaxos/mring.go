@@ -12,6 +12,17 @@
 // window of outstanding instances, recover lost messages by retransmission,
 // garbage-collect acceptor state using learner versions, and implement the
 // learner-driven flow control of §3.3.6.
+//
+// # Hot-path design
+//
+// The steady-state data path is allocation-free: per-instance records live
+// in ring-indexed instance logs (core.InstLog) instead of maps, batch
+// backing arrays come from a per-agent free list (core.BatchPool) and are
+// recycled when the learner-version garbage collection trims the instance,
+// periodic and per-instance timers use the environment's allocation-free
+// fire-and-forget path (proto.AfterFree), and the messages that travel hop
+// by hop around the ring (proposals, Phase 2B) are pooled pointers
+// recycled by their final consumer.
 package ringpaxos
 
 import (
@@ -68,6 +79,16 @@ type MConfig struct {
 	// Speculative delivers values to learners at Phase 2A receipt, before
 	// they are decided (Chapter 4 speculative execution).
 	Speculative bool
+	// RecycleBatches lets the coordinator return batch backing arrays to
+	// its free list once the learner-version garbage collection trims the
+	// instance (plus one quarantine round). Enable it only when every
+	// learner consumes delivered batches synchronously — i.e. Deliver /
+	// SpecDeliver / DeliverBatch callbacks do not retain the batch's Vals
+	// slice past their return. Deployments that feed a Multi-Ring Paxos
+	// merger must leave it off: the deterministic merge buffers batches
+	// unboundedly when a ring outruns λ (the Chapter 5 overflow regime),
+	// long past any garbage-collection horizon.
+	RecycleBatches bool
 }
 
 func (c *MConfig) defaults() {
@@ -91,20 +112,54 @@ func (c *MConfig) defaults() {
 // Coordinator returns the coordinator (last ring position).
 func (c MConfig) Coordinator() proto.NodeID { return c.Ring[len(c.Ring)-1] }
 
-// logEntry is an acceptor/coordinator record of one instance.
+// msgProposePool recycles proposal envelopes: a proposal is created at the
+// proposing node and consumed exactly once, by the coordinator that drains
+// it into a batch.
+var msgProposePool proto.MsgPool[MsgPropose]
+
+// phase2BPool recycles Phase 2B messages, which travel the ring hop by hop
+// and are consumed either by the coordinator (deciding) or by an acceptor
+// that holds them while its Phase 2A is outstanding.
+var phase2BPool proto.MsgPool[mPhase2B]
+
+// logEntry is an acceptor/coordinator record of one instance, stored
+// in-place in the acceptor's instance log. A vid of zero means the entry
+// only parks a Phase 2B (the 2A has not arrived); such entries behave as
+// absent everywhere except the 2B-resume path.
 type logEntry struct {
 	vid     core.ValueID
 	val     core.Batch
+	bytes   int // cached val.Size(), so accounting never re-walks the batch
 	mask    uint64
 	decided bool
+	pooled  bool // val.Vals came from this agent's pool; recycle on GC
+
+	diskDone bool
+	// Parked Phase 2B (Task 5's v-vid check), formerly a separate map.
+	has2B  bool
+	p2bRnd int64
+	p2bVID core.ValueID
 }
 
 // openInst is the coordinator's bookkeeping for an in-flight instance.
+// Retransmission timers are fire-and-forget: they look the instance up when
+// they fire and no-op if it has decided, so no cancel handle is kept.
 type openInst struct {
-	vid   core.ValueID
-	val   core.Batch
-	mask  uint64
-	timer proto.Timer
+	vid    core.ValueID
+	val    core.Batch
+	mask   uint64
+	pooled bool
+}
+
+// learnEntry merges the learner's value and decision tables: one record per
+// undelivered instance, holding whichever halves have arrived.
+type learnEntry struct {
+	vid     core.ValueID
+	val     core.Batch
+	mask    uint64
+	hasVal  bool
+	decided bool
+	decMask uint64
 }
 
 // MAgent is one M-Ring Paxos process. Roles follow from the configuration:
@@ -135,9 +190,10 @@ type MAgent struct {
 	promises     map[proto.NodeID]mPhase1B
 	pending      []core.Value
 	pendingBytes int
-	batchTimer   proto.Timer
+	batchArmed   bool
 	next         int64
-	open         map[int64]*openInst
+	open         core.InstLog[openInst]
+	pool         core.BatchPool
 	window       int
 	lastSlow     time.Duration
 	decidedQ     []int64
@@ -145,19 +201,17 @@ type MAgent struct {
 	timersArmed  bool
 
 	// --- acceptor state ---
-	rnd       int64
-	maxInst   int64
-	ring      []proto.NodeID
-	store     map[int64]*logEntry
-	storeByte int
-	pending2B map[int64]mPhase2B
-	diskDone  map[int64]bool
-	versions  map[proto.NodeID]int64
-	gcFloor   int64
+	rnd        int64
+	maxInst    int64
+	ring       []proto.NodeID
+	store      core.InstLog[logEntry]
+	storeByte  int
+	versions   map[proto.NodeID]int64
+	gcFloor    int64
+	quarantine [][]core.Value // trimmed pooled arrays awaiting one more GC round
 
 	// --- learner state ---
-	values       map[int64]*logEntry
-	decided      map[int64]uint64 // inst -> partition mask (decided)
+	insts        core.InstLog[learnEntry]
 	nextDeliver  int64
 	maxDecided   int64
 	backlog      int
@@ -165,6 +219,16 @@ type MAgent struct {
 	askCoord     bool
 	lastFrontier int64
 	myParts      uint64
+
+	// Pre-bound timer callbacks, assigned once at Start so the periodic
+	// paths schedule existing func values instead of allocating closures.
+	batchFn       func()
+	retryFn       func(int64)
+	decFlushFn    func()
+	winRecFn      func()
+	learnRetryFn  func()
+	versionFn     func()
+	notifyResetFn func()
 
 	// DeliveredBytes/DeliveredMsgs count application payload delivered at
 	// this learner.
@@ -187,14 +251,15 @@ func (a *MAgent) Start(env proto.Env) {
 	a.window = a.Cfg.Window
 	a.maxInst = -1
 	a.ring = a.Cfg.Ring
-	a.open = make(map[int64]*openInst)
-	a.store = make(map[int64]*logEntry)
-	a.pending2B = make(map[int64]mPhase2B)
-	a.diskDone = make(map[int64]bool)
-	a.values = make(map[int64]*logEntry)
-	a.decided = make(map[int64]uint64)
 	a.versions = make(map[proto.NodeID]int64)
 	a.promises = make(map[proto.NodeID]mPhase1B)
+	a.batchFn = func() { a.batchArmed = false; a.flush() }
+	a.retryFn = a.retryInstance
+	a.decFlushFn = a.decisionFlushTick
+	a.winRecFn = a.windowRecoveryTick
+	a.learnRetryFn = a.learnerRetryTick
+	a.versionFn = a.versionTick
+	a.notifyResetFn = func() { a.notified = false }
 	a.myParts = ^uint64(0)
 	if a.Cfg.LearnerParts != nil {
 		if m, ok := a.Cfg.LearnerParts[env.ID()]; ok {
@@ -289,7 +354,7 @@ func (a *MAgent) ProposeBatch(b core.Batch) {
 	if !a.isCoord || !a.phase1Done {
 		return
 	}
-	a.startInstance(b, 0)
+	a.startInstance(b, 0, false)
 }
 
 // InstancesStarted returns how many consensus instances this coordinator
@@ -302,23 +367,26 @@ func (a *MAgent) Propose(v core.Value) {
 		a.enqueue(v)
 		return
 	}
-	a.env.Send(a.Cfg.Coordinator(), MsgPropose{V: v})
+	m := msgProposePool.Get()
+	m.V = v
+	a.env.Send(a.Cfg.Coordinator(), m)
 }
 
 // Receive implements proto.Handler.
 func (a *MAgent) Receive(from proto.NodeID, m proto.Message) {
 	switch msg := m.(type) {
-	case MsgPropose:
+	case *MsgPropose:
 		if a.isCoord {
 			a.enqueue(msg.V)
 		}
+		msgProposePool.Put(msg)
 	case mPhase1A:
 		a.onPhase1A(from, msg)
 	case mPhase1B:
 		a.onPhase1B(from, msg)
 	case mPhase2A:
 		a.onPhase2A(msg)
-	case mPhase2B:
+	case *mPhase2B:
 		a.onPhase2B(msg)
 	case mDecision:
 		a.onDecisions(msg.Insts, msg.Masks)
@@ -342,11 +410,9 @@ func (a *MAgent) enqueue(v core.Value) {
 		a.flush()
 		return
 	}
-	if a.batchTimer == nil {
-		a.batchTimer = a.env.After(a.Cfg.BatchDelay, func() {
-			a.batchTimer = nil
-			a.flush()
-		})
+	if !a.batchArmed {
+		a.batchArmed = true
+		proto.AfterFree(a.env, a.Cfg.BatchDelay, a.batchFn)
 	}
 }
 
@@ -357,9 +423,19 @@ func (a *MAgent) flush() {
 	if !a.isCoord || !a.phase1Done {
 		return
 	}
-	for len(a.pending) > 0 && len(a.open) < a.window {
+	for len(a.pending) > 0 && a.open.Len() < a.window {
 		mask := a.pending[0].PartMask
-		var batch []core.Value
+		// Pre-count the batch so the pool hands out a right-sized array
+		// (sizing by the whole backlog would inflate pooled arrays under
+		// overload).
+		n, b := 0, 0
+		for _, v := range a.pending {
+			if b < a.Cfg.BatchBytes && v.PartMask == mask {
+				n++
+				b += v.Bytes
+			}
+		}
+		batch := a.pool.Get(n)
 		bytes := 0
 		rest := a.pending[:0]
 		for _, v := range a.pending {
@@ -372,15 +448,20 @@ func (a *MAgent) flush() {
 		}
 		a.pending = rest
 		a.pendingBytes -= bytes
-		a.startInstance(core.Batch{Vals: batch}, mask)
+		a.startInstance(core.Batch{Vals: batch}, mask, a.Cfg.RecycleBatches)
 	}
 }
 
-func (a *MAgent) startInstance(b core.Batch, mask uint64) {
+// startInstance opens the next instance for b. pooled marks batches whose
+// backing array belongs to this agent's pool and returns there on GC.
+func (a *MAgent) startInstance(b core.Batch, mask uint64, pooled bool) {
 	inst := a.next
 	a.next++
-	oi := &openInst{vid: core.ValueID(a.crnd<<32 | inst), val: b, mask: mask}
-	a.open[inst] = oi
+	oi, _ := a.open.Put(inst)
+	oi.vid = core.ValueID(a.crnd<<32 | inst)
+	oi.val = b
+	oi.mask = mask
+	oi.pooled = pooled
 	a.sendPhase2A(inst, oi)
 }
 
@@ -406,11 +487,15 @@ func (a *MAgent) sendPhase2A(inst int64, oi *openInst) {
 			}
 		}
 	}
-	oi.timer = a.env.After(a.Cfg.Retry, func() {
-		if cur, ok := a.open[inst]; ok {
-			a.sendPhase2A(inst, cur)
-		}
-	})
+	proto.AfterFreeArg(a.env, a.Cfg.Retry, a.retryFn, inst)
+}
+
+// retryInstance is the fire-and-forget retransmission timer: it no-ops if
+// the instance decided in the meantime.
+func (a *MAgent) retryInstance(inst int64) {
+	if oi, ok := a.open.Get(inst); ok {
+		a.sendPhase2A(inst, oi)
+	}
 }
 
 func (a *MAgent) onPhase1B(from proto.NodeID, m mPhase1B) {
@@ -433,7 +518,7 @@ func (a *MAgent) onPhase1B(from proto.NodeID, m mPhase1B) {
 	adopt := make(map[int64]vote)
 	for _, p := range a.promises {
 		for inst, v := range p.Votes {
-			if e, ok := a.store[inst]; ok && e.decided {
+			if e, ok := a.store.Get(inst); ok && e.decided {
 				continue
 			}
 			if cur, ok := adopt[inst]; !ok || v.rnd > cur.rnd {
@@ -450,8 +535,11 @@ func (a *MAgent) onPhase1B(from proto.NodeID, m mPhase1B) {
 		if inst >= a.next {
 			a.next = inst + 1
 		}
-		oi := &openInst{vid: core.ValueID(a.crnd<<32 | inst), val: adopt[inst].val}
-		a.open[inst] = oi
+		oi, _ := a.open.Put(inst)
+		oi.vid = core.ValueID(a.crnd<<32 | inst)
+		oi.val = adopt[inst].val
+		oi.mask = 0
+		oi.pooled = false
 		a.sendPhase2A(inst, oi)
 	}
 	a.flush()
@@ -465,35 +553,39 @@ func (a *MAgent) onPhase1B(from proto.NodeID, m mPhase1B) {
 // armDecisionFlush periodically multicasts pending decision ids when there
 // is no Phase 2A traffic to piggyback them on.
 func (a *MAgent) armDecisionFlush() {
-	a.env.After(2*a.Cfg.BatchDelay, func() {
-		if !a.isCoord {
-			return
-		}
-		if len(a.decidedQ) > 0 {
-			a.env.Multicast(a.Cfg.Group, mDecision{Insts: a.decidedQ, Masks: a.decidedQM})
-			a.decidedQ, a.decidedQM = nil, nil
-		}
-		a.armDecisionFlush()
-	})
+	proto.AfterFree(a.env, 2*a.Cfg.BatchDelay, a.decFlushFn)
+}
+
+func (a *MAgent) decisionFlushTick() {
+	if !a.isCoord {
+		return
+	}
+	if len(a.decidedQ) > 0 {
+		a.env.Multicast(a.Cfg.Group, mDecision{Insts: a.decidedQ, Masks: a.decidedQM})
+		a.decidedQ, a.decidedQM = nil, nil
+	}
+	a.armDecisionFlush()
 }
 
 // armWindowRecovery slowly restores the window after flow-control slowdowns
 // (§3.3.6: the coordinator gradually increases its window when it stops
 // receiving notifications).
 func (a *MAgent) armWindowRecovery() {
-	a.env.After(100*time.Millisecond, func() {
-		if !a.isCoord {
-			return
+	proto.AfterFree(a.env, 100*time.Millisecond, a.winRecFn)
+}
+
+func (a *MAgent) windowRecoveryTick() {
+	if !a.isCoord {
+		return
+	}
+	if a.window < a.Cfg.Window && a.env.Now()-a.lastSlow > 300*time.Millisecond {
+		a.window += max(1, a.window/4)
+		if a.window > a.Cfg.Window {
+			a.window = a.Cfg.Window
 		}
-		if a.window < a.Cfg.Window && a.env.Now()-a.lastSlow > 300*time.Millisecond {
-			a.window += max(1, a.window/4)
-			if a.window > a.Cfg.Window {
-				a.window = a.Cfg.Window
-			}
-			a.flush()
-		}
-		a.armWindowRecovery()
-	})
+		a.flush()
+	}
+	a.armWindowRecovery()
 }
 
 func (a *MAgent) onSlowDown(m mSlowDown) {
@@ -510,20 +602,19 @@ func (a *MAgent) onSlowDown(m mSlowDown) {
 
 // decide finishes an instance at the coordinator.
 func (a *MAgent) decide(inst int64) {
-	oi, ok := a.open[inst]
+	oi, ok := a.open.Get(inst)
 	if !ok {
 		return
 	}
-	if oi.timer != nil {
-		oi.timer.Cancel()
-	}
-	delete(a.open, inst)
-	e := a.ensureStore(inst)
-	e.vid, e.val, e.mask, e.decided = oi.vid, oi.val, oi.mask, true
+	vid, val, mask, pooled := oi.vid, oi.val, oi.mask, oi.pooled
+	a.open.Delete(inst)
+	e, _ := a.store.Put(inst)
+	e.vid, e.val, e.bytes, e.mask, e.decided = vid, val, val.Size(), mask, true
+	e.pooled = pooled
 	a.decidedQ = append(a.decidedQ, inst)
-	a.decidedQM = append(a.decidedQM, oi.mask)
+	a.decidedQM = append(a.decidedQM, mask)
 	if a.isLearner() {
-		a.learnDecision(inst, oi.mask)
+		a.learnDecision(inst, mask)
 	}
 	a.flush()
 }
@@ -542,21 +633,13 @@ func (a *MAgent) onPhase1A(from proto.NodeID, m mPhase1A) {
 		return
 	}
 	reply := mPhase1B{Rnd: a.rnd, MaxInst: a.maxInst, Votes: make(map[int64]vote)}
-	for inst, e := range a.store {
+	a.store.Range(func(inst int64, e *logEntry) bool {
 		if e.vid != 0 {
 			reply.Votes[inst] = vote{rnd: a.rnd, vid: e.vid, val: e.val}
 		}
-	}
+		return true
+	})
 	a.env.Send(from, reply)
-}
-
-func (a *MAgent) ensureStore(inst int64) *logEntry {
-	e, ok := a.store[inst]
-	if !ok {
-		e = &logEntry{}
-		a.store[inst] = e
-	}
-	return e
 }
 
 func (a *MAgent) onPhase2A(m mPhase2A) {
@@ -574,29 +657,49 @@ func (a *MAgent) onPhase2A(m mPhase2A) {
 		return
 	}
 	a.rnd = m.Rnd
+	if m.Inst < a.gcFloor {
+		// A straggling duplicate of a trimmed instance (every learner
+		// already applied it): re-creating its store entry below the GC
+		// floor would leave a permanent ghost in the instance ring, since
+		// garbage collection never looks below the floor again.
+		return
+	}
 	if m.Inst > a.maxInst {
 		a.maxInst = m.Inst
 	}
-	e := a.ensureStore(m.Inst)
+	size := m.Val.Size()
+	e, _ := a.store.Put(m.Inst)
 	if !e.decided {
-		a.storeByte += m.Val.Size() - e.val.Size()
-		e.vid, e.val, e.mask = m.VID, m.Val, m.Mask()
-	}
-	proceed := func() {
-		a.diskDone[m.Inst] = true
-		idx := a.ringIndex()
-		if idx == 0 {
-			a.forward2B(mPhase2B{Inst: m.Inst, Rnd: m.Rnd, VID: m.VID})
-		} else if p, ok := a.pending2B[m.Inst]; ok && p.VID == m.VID {
-			delete(a.pending2B, m.Inst)
-			a.onPhase2B(p)
-		}
+		a.storeByte += size - e.bytes
+		e.vid, e.val, e.bytes, e.mask = m.VID, m.Val, size, m.Mask()
 	}
 	if a.Cfg.DiskSync {
 		// All ring acceptors write in parallel at 2A delivery (§3.5.5).
-		a.env.DiskWrite(m.Val.Size()+headerBytes, proceed)
+		inst, rnd, vid := m.Inst, m.Rnd, m.VID
+		a.env.DiskWrite(size+headerBytes, func() { a.phase2AProceed(inst, rnd, vid) })
 	} else {
-		proceed()
+		a.phase2AProceed(m.Inst, m.Rnd, m.VID)
+	}
+}
+
+// phase2AProceed runs once the 2A's value is locally stable: the first ring
+// position originates the 2B, later positions release a parked one.
+func (a *MAgent) phase2AProceed(inst, rnd int64, vid core.ValueID) {
+	if inst < a.gcFloor {
+		return // trimmed while the disk write was in flight
+	}
+	e, _ := a.store.Put(inst)
+	e.diskDone = true
+	idx := a.ringIndex()
+	if idx == 0 {
+		p := phase2BPool.Get()
+		p.Inst, p.Rnd, p.VID = inst, rnd, vid
+		a.forward2B(p)
+	} else if e.has2B && e.p2bVID == vid {
+		p := phase2BPool.Get()
+		p.Inst, p.Rnd, p.VID = inst, e.p2bRnd, e.p2bVID
+		e.has2B = false
+		a.onPhase2B(p)
 	}
 }
 
@@ -608,25 +711,36 @@ func (m mPhase2A) Mask() uint64 {
 	return m.Val.Vals[0].PartMask
 }
 
-func (a *MAgent) forward2B(m mPhase2B) {
+func (a *MAgent) forward2B(m *mPhase2B) {
 	idx := a.ringIndex()
 	if idx < 0 {
+		phase2BPool.Put(m)
 		return
 	}
 	if idx == len(a.ring)-1 {
 		// Coordinator: the 2B has traversed the whole m-quorum.
-		a.decide(m.Inst)
+		inst := m.Inst
+		phase2BPool.Put(m)
+		a.decide(inst)
 		return
 	}
 	a.env.Send(a.successor(idx), m)
 }
 
-func (a *MAgent) onPhase2B(m mPhase2B) {
-	e, ok := a.store[m.Inst]
-	if !ok || e.vid != m.VID || (a.Cfg.DiskSync && !a.diskDone[m.Inst]) {
-		// Haven't ip-delivered the value yet (or still persisting): hold the
+func (a *MAgent) onPhase2B(m *mPhase2B) {
+	if m.Inst < a.gcFloor {
+		// Straggler for a trimmed (globally applied) instance: parking it
+		// would ghost an entry below the GC floor forever.
+		phase2BPool.Put(m)
+		return
+	}
+	e, ok := a.store.Get(m.Inst)
+	if !ok || e.vid == 0 || e.vid != m.VID || (a.Cfg.DiskSync && !e.diskDone) {
+		// Haven't ip-delivered the value yet (or still persisting): park the
 		// 2B; it resumes when the 2A arrives (Task 5's v-vid check).
-		a.pending2B[m.Inst] = m
+		p, _ := a.store.Put(m.Inst)
+		p.has2B, p.p2bRnd, p.p2bVID = true, m.Rnd, m.VID
+		phase2BPool.Put(m)
 		return
 	}
 	a.forward2B(m)
@@ -634,7 +748,7 @@ func (a *MAgent) onPhase2B(m mPhase2B) {
 
 func (a *MAgent) onRetransmitReq(from proto.NodeID, m mRetransmitReq) {
 	for _, inst := range m.Insts {
-		if e, ok := a.store[inst]; ok && e.vid != 0 {
+		if e, ok := a.store.Get(inst); ok && e.vid != 0 {
 			a.env.Send(from, mRetransmit{Inst: inst, VID: e.vid, Val: e.val, Mask: e.mask, Decided: e.decided})
 		}
 	}
@@ -662,12 +776,28 @@ func (a *MAgent) onVersion(m mVersion) {
 			minV = v
 		}
 	}
-	for inst := a.gcFloor; inst <= minV; inst++ {
-		if e, ok := a.store[inst]; ok {
-			a.storeByte -= e.val.Size()
-			delete(a.store, inst)
+	if minV >= a.gcFloor {
+		// Quarantine-then-recycle: arrays trimmed by the PREVIOUS pass go
+		// back to the pool now, a full version round later. At trim time
+		// every learner has reported the instance applied, but a learner
+		// that hands batches to a downstream consumer (the Multi-Ring Paxos
+		// merge) may still be holding the array for a short while; one
+		// extra GC round (≥ GCInterval) retires that window before reuse.
+		for _, vals := range a.quarantine {
+			a.pool.Put(vals)
 		}
-		delete(a.diskDone, inst)
+		a.quarantine = a.quarantine[:0]
+	}
+	for inst := a.gcFloor; inst <= minV; inst++ {
+		if e, ok := a.store.Get(inst); ok {
+			if e.vid != 0 {
+				a.storeByte -= e.bytes
+			}
+			if e.pooled {
+				a.quarantine = append(a.quarantine, e.val.Vals)
+			}
+			a.store.Delete(inst)
+		}
 	}
 	if minV >= a.gcFloor {
 		a.gcFloor = minV + 1
@@ -684,11 +814,11 @@ func (a *MAgent) learnValue(inst int64, vid core.ValueID, val core.Batch, mask u
 	if inst < a.nextDeliver {
 		return
 	}
-	e, ok := a.values[inst]
-	if ok && e.vid == vid {
+	e, _ := a.insts.Put(inst)
+	if e.hasVal && e.vid == vid {
 		return
 	}
-	a.values[inst] = &logEntry{vid: vid, val: val, mask: mask}
+	e.vid, e.val, e.mask, e.hasVal = vid, val, mask, true
 	if a.Cfg.Speculative && a.SpecDeliver != nil {
 		for _, v := range val.Vals {
 			a.SpecDeliver(inst, v)
@@ -701,10 +831,11 @@ func (a *MAgent) learnDecision(inst int64, mask uint64) {
 	if inst < a.nextDeliver {
 		return
 	}
-	if _, ok := a.decided[inst]; ok {
+	e, _ := a.insts.Put(inst)
+	if e.decided {
 		return
 	}
-	a.decided[inst] = mask
+	e.decided, e.decMask = true, mask
 	if inst > a.maxDecided {
 		a.maxDecided = inst
 	}
@@ -720,12 +851,12 @@ func (a *MAgent) onDecisions(insts []int64, masks []uint64) {
 		if masks != nil {
 			mask = masks[i]
 		}
-		if e, ok := a.store[inst]; ok {
+		if e, ok := a.store.Get(inst); ok && e.vid != 0 {
 			e.decided = true
 			mask = e.mask
 		}
 		if a.isLearner() {
-			if e, ok := a.values[inst]; ok {
+			if e, ok := a.insts.Get(inst); ok && e.hasVal {
 				mask = e.mask
 			}
 			a.learnDecision(inst, mask)
@@ -750,61 +881,65 @@ func (a *MAgent) onRetransmit(m mRetransmit) {
 // messages").
 func (a *MAgent) tryDeliver() {
 	for {
-		mask, dec := a.decided[a.nextDeliver]
-		if !dec {
+		e, ok := a.insts.Get(a.nextDeliver)
+		if !ok || !e.decided {
 			return
 		}
-		e, ok := a.values[a.nextDeliver]
-		if !ok {
-			if mask != 0 && mask&a.myParts == 0 {
+		if !e.hasVal {
+			if e.decMask != 0 && e.decMask&a.myParts == 0 {
 				// Not our partition: skip without a value.
-				delete(a.decided, a.nextDeliver)
+				a.insts.Delete(a.nextDeliver)
 				a.nextDeliver++
 				continue
 			}
 			return // value lost; gap recovery will fetch it
 		}
 		inst := a.nextDeliver
-		delete(a.decided, inst)
-		delete(a.values, inst)
+		val := e.val
+		a.insts.Delete(inst)
 		a.nextDeliver++
 		a.backlog++
 		a.maybeNotifySlow()
-		a.process(inst, e)
+		a.process(inst, val)
 	}
 }
 
 // process models command execution at the learner: each instance occupies
 // the node's CPU for ExecCost per value before the next one is handled.
-func (a *MAgent) process(inst int64, e *logEntry) {
-	finish := func() {
-		a.backlog--
-		if a.Confirm != nil {
-			a.Confirm(inst)
-		}
-		if a.DeliverBatch != nil {
-			a.DeliverBatch(inst, e.val)
-		}
-		for _, v := range e.val.Vals {
-			a.DeliveredBytes += int64(v.Bytes)
-			a.DeliveredMsgs++
-			if v.Born != 0 {
-				lat := a.env.Now() - v.Born
-				a.LatencySum += lat
-				a.LatencyCount++
-				if a.Latencies != nil {
-					*a.Latencies = append(*a.Latencies, lat)
-				}
-			}
-			if a.Deliver != nil {
-				a.Deliver(inst, v)
-			}
-		}
+// The batch is copied out of the instance log before the log slot is
+// recycled, so the deferred completion reads stable data.
+func (a *MAgent) process(inst int64, val core.Batch) {
+	if a.Cfg.ExecCost > 0 && len(val.Vals) > 0 {
+		a.env.Work(time.Duration(len(val.Vals))*a.Cfg.ExecCost, func() {
+			a.finishInstance(inst, val)
+		})
+		return
 	}
-	if a.Cfg.ExecCost > 0 && len(e.val.Vals) > 0 {
-		a.env.Work(time.Duration(len(e.val.Vals))*a.Cfg.ExecCost, finish)
-	} else {
-		finish()
+	a.finishInstance(inst, val)
+}
+
+func (a *MAgent) finishInstance(inst int64, val core.Batch) {
+	a.backlog--
+	if a.Confirm != nil {
+		a.Confirm(inst)
+	}
+	if a.DeliverBatch != nil {
+		a.DeliverBatch(inst, val)
+	}
+	for _, v := range val.Vals {
+		a.DeliveredBytes += int64(v.Bytes)
+		a.DeliveredMsgs++
+		if v.Born != 0 {
+			lat := a.env.Now() - v.Born
+			a.LatencySum += lat
+			a.LatencyCount++
+			if a.Latencies != nil {
+				*a.Latencies = append(*a.Latencies, lat)
+			}
+		}
+		if a.Deliver != nil {
+			a.Deliver(inst, v)
+		}
 	}
 }
 
@@ -816,23 +951,27 @@ func (a *MAgent) maybeNotifySlow() {
 	}
 	a.notified = true
 	a.env.Send(a.preferential(), mSlowDown{Backlog: a.backlog})
-	a.env.After(50*time.Millisecond, func() { a.notified = false })
+	proto.AfterFree(a.env, 50*time.Millisecond, a.notifyResetFn)
 }
 
 // armLearnerTimers starts gap recovery and version reporting.
 func (a *MAgent) armLearnerTimers() {
-	a.env.After(a.Cfg.Retry, func() {
-		a.requestMissing()
-		a.armLearnerTimers()
-	})
+	proto.AfterFree(a.env, a.Cfg.Retry, a.learnRetryFn)
 	a.armVersionTimer()
 }
 
+func (a *MAgent) learnerRetryTick() {
+	a.requestMissing()
+	a.armLearnerTimers()
+}
+
 func (a *MAgent) armVersionTimer() {
-	a.env.After(a.Cfg.GCInterval, func() {
-		a.env.Send(a.preferential(), mVersion{Learner: a.env.ID(), Inst: a.nextDeliver - 1})
-		a.armVersionTimer()
-	})
+	proto.AfterFree(a.env, a.Cfg.GCInterval, a.versionFn)
+}
+
+func (a *MAgent) versionTick() {
+	a.env.Send(a.preferential(), mVersion{Learner: a.env.ID(), Inst: a.nextDeliver - 1})
+	a.armVersionTimer()
 }
 
 // requestMissing asks for instances that block the delivery frontier (lost
@@ -851,9 +990,8 @@ func (a *MAgent) requestMissing() {
 	}
 	var miss []int64
 	for inst := a.nextDeliver; inst <= hi && len(miss) < 48; inst++ {
-		_, dec := a.decided[inst]
-		_, hasVal := a.values[inst]
-		if !dec || !hasVal {
+		e, ok := a.insts.Get(inst)
+		if !ok || !e.decided || !e.hasVal {
 			miss = append(miss, inst)
 		}
 	}

@@ -62,6 +62,16 @@ func (c *UConfig) defaults() {
 // Coordinator returns the first acceptor in the ring.
 func (c UConfig) Coordinator() proto.NodeID { return c.Ring[0] }
 
+// uPhase2Pool and uDecisionPool recycle the two messages that pipeline
+// around the ring. Each message has exactly one holder at a time — it is
+// forwarded pointer-identical from hop to hop — and is recycled by its
+// final consumer (the acceptor that converts a Phase 2 into a decision;
+// the hop where a decision's revolution completes).
+var (
+	uPhase2Pool   proto.MsgPool[uPhase2]
+	uDecisionPool proto.MsgPool[uDecision]
+)
+
 // UAgent is one U-Ring Paxos process.
 type UAgent struct {
 	Cfg UConfig
@@ -75,19 +85,19 @@ type UAgent struct {
 	phase1Done   bool
 	crnd         int64
 	promises     map[proto.NodeID]uPhase1B
-	pending      []core.Value
+	pending      core.ValueSlab
 	pendingBytes int
-	batchTimer   proto.Timer
+	batchArmed   bool
+	batchFn      func()
 	next         int64
 	openCount    int
-	timersArmed  bool
 
 	// acceptor state
 	rnd   int64
-	votes map[int64]vote
+	votes core.InstLog[vote]
 
 	// learner state
-	learned     map[int64]core.Batch
+	learned     core.InstLog[core.Batch]
 	nextDeliver int64
 
 	// DeliveredBytes/DeliveredMsgs count application payload delivered at
@@ -105,9 +115,8 @@ var _ proto.Handler = (*UAgent)(nil)
 func (a *UAgent) Start(env proto.Env) {
 	a.env = env
 	a.Cfg.defaults()
-	a.votes = make(map[int64]vote)
-	a.learned = make(map[int64]core.Batch)
 	a.promises = make(map[proto.NodeID]uPhase1B)
+	a.batchFn = func() { a.batchArmed = false; a.flush() }
 	if env.ID() == a.Cfg.Coordinator() {
 		a.becomeCoordinator(1)
 	}
@@ -173,15 +182,18 @@ func (a *UAgent) Propose(v core.Value) {
 		a.enqueue(v)
 		return
 	}
-	a.env.Send(a.succ(), MsgPropose{V: v})
+	m := msgProposePool.Get()
+	m.V = v
+	a.env.Send(a.succ(), m)
 }
 
 // Receive implements proto.Handler.
 func (a *UAgent) Receive(from proto.NodeID, m proto.Message) {
 	switch msg := m.(type) {
-	case MsgPropose:
+	case *MsgPropose:
 		if a.isCoord {
 			a.enqueue(msg.V)
+			msgProposePool.Put(msg)
 		} else {
 			a.env.Send(a.succ(), msg)
 		}
@@ -189,9 +201,9 @@ func (a *UAgent) Receive(from proto.NodeID, m proto.Message) {
 		a.onPhase1A(from, msg)
 	case uPhase1B:
 		a.onPhase1B(from, msg)
-	case uPhase2:
+	case *uPhase2:
 		a.onPhase2(msg)
-	case uDecision:
+	case *uDecision:
 		a.onDecision(msg)
 	}
 }
@@ -199,17 +211,15 @@ func (a *UAgent) Receive(from proto.NodeID, m proto.Message) {
 // --- coordinator ---
 
 func (a *UAgent) enqueue(v core.Value) {
-	a.pending = append(a.pending, v)
+	a.pending.Push(v)
 	a.pendingBytes += v.Bytes
 	if a.pendingBytes >= a.Cfg.BatchBytes {
 		a.flush()
 		return
 	}
-	if a.batchTimer == nil {
-		a.batchTimer = a.env.After(a.Cfg.BatchDelay, func() {
-			a.batchTimer = nil
-			a.flush()
-		})
+	if !a.batchArmed {
+		a.batchArmed = true
+		proto.AfterFree(a.env, a.Cfg.BatchDelay, a.batchFn)
 	}
 }
 
@@ -217,16 +227,19 @@ func (a *UAgent) flush() {
 	if !a.isCoord || !a.phase1Done {
 		return
 	}
-	for len(a.pending) > 0 && a.openCount < a.Cfg.Window {
+	for a.pending.Len() > 0 && a.openCount < a.Cfg.Window {
 		n, bytes := 0, 0
-		for n < len(a.pending) && bytes < a.Cfg.BatchBytes {
-			bytes += a.pending[n].Bytes
+		for n < a.pending.Len() && bytes < a.Cfg.BatchBytes {
+			bytes += a.pending.At(n).Bytes
 			n++
 		}
-		batch := core.Batch{Vals: append([]core.Value(nil), a.pending[:n]...)}
-		a.pending = a.pending[n:]
+		vals := make([]core.Value, n)
+		for i := range vals {
+			vals[i] = a.pending.At(i)
+		}
+		a.pending.PopFront(n)
 		a.pendingBytes -= bytes
-		a.startInstance(batch)
+		a.startInstance(core.Batch{Vals: vals})
 	}
 }
 
@@ -236,8 +249,10 @@ func (a *UAgent) startInstance(b core.Batch) {
 	a.openCount++
 	vid := core.ValueID(a.crnd<<32 | inst)
 	// The coordinator votes itself and sends the combined 2A/2B onward.
-	a.votes[inst] = vote{rnd: a.crnd, vid: vid, val: b}
-	m := uPhase2{Inst: inst, Rnd: a.crnd, VID: vid, Val: b}
+	v, _ := a.votes.Put(inst)
+	*v = vote{rnd: a.crnd, vid: vid, val: b}
+	m := uPhase2Pool.Get()
+	m.Inst, m.Rnd, m.VID, m.Val = inst, a.crnd, vid, b
 	if a.Cfg.DiskSync {
 		a.env.DiskWrite(b.Size()+headerBytes, func() { a.forwardPhase2(m) })
 	} else {
@@ -245,10 +260,11 @@ func (a *UAgent) startInstance(b core.Batch) {
 	}
 }
 
-func (a *UAgent) forwardPhase2(m uPhase2) {
+func (a *UAgent) forwardPhase2(m *uPhase2) {
 	if a.Cfg.NumAcceptors == 1 {
 		// Degenerate single-acceptor ring: decide immediately.
 		a.sendDecision(m)
+		uPhase2Pool.Put(m)
 		return
 	}
 	a.env.Send(a.succ(), m)
@@ -260,9 +276,10 @@ func (a *UAgent) onPhase1A(from proto.NodeID, m uPhase1A) {
 	}
 	a.rnd = m.Rnd
 	reply := uPhase1B{Rnd: a.rnd, Votes: make(map[int64]vote)}
-	for inst, v := range a.votes {
-		reply.Votes[inst] = v
-	}
+	a.votes.Range(func(inst int64, v *vote) bool {
+		reply.Votes[inst] = *v
+		return true
+	})
 	a.env.Send(from, reply)
 }
 
@@ -289,7 +306,7 @@ func (a *UAgent) onPhase1B(from proto.NodeID, m uPhase1B) {
 	}
 	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
 	for _, inst := range insts {
-		if _, delivered := a.learned[inst]; delivered || inst < a.nextDeliver {
+		if a.learned.Has(inst) || inst < a.nextDeliver {
 			continue
 		}
 		if inst >= a.next {
@@ -297,54 +314,65 @@ func (a *UAgent) onPhase1B(from proto.NodeID, m uPhase1B) {
 		}
 		a.openCount++
 		vid := core.ValueID(a.crnd<<32 | inst)
-		v := adopt[inst]
-		a.votes[inst] = vote{rnd: a.crnd, vid: vid, val: v.val}
-		a.forwardPhase2(uPhase2{Inst: inst, Rnd: a.crnd, VID: vid, Val: v.val})
+		av := adopt[inst]
+		v, _ := a.votes.Put(inst)
+		*v = vote{rnd: a.crnd, vid: vid, val: av.val}
+		m := uPhase2Pool.Get()
+		m.Inst, m.Rnd, m.VID, m.Val = inst, a.crnd, vid, av.val
+		a.forwardPhase2(m)
 	}
 	a.flush()
 }
 
 // --- acceptor (Task 4) ---
 
-func (a *UAgent) onPhase2(m uPhase2) {
+func (a *UAgent) onPhase2(m *uPhase2) {
 	if !a.isAcceptor() || a.isCoord {
+		uPhase2Pool.Put(m)
 		return
 	}
 	if m.Rnd < a.rnd {
+		uPhase2Pool.Put(m)
 		return
 	}
 	a.rnd = m.Rnd
-	a.votes[m.Inst] = vote{rnd: m.Rnd, vid: m.VID, val: m.Val}
-	proceed := func() {
-		if a.lastAcceptor() {
-			a.sendDecision(m)
-		} else {
-			a.env.Send(a.succ(), m)
-		}
-	}
+	v, _ := a.votes.Put(m.Inst)
+	*v = vote{rnd: m.Rnd, vid: m.VID, val: m.Val}
 	if a.Cfg.DiskSync {
-		a.env.DiskWrite(m.Val.Size()+headerBytes, proceed)
+		a.env.DiskWrite(m.Val.Size()+headerBytes, func() { a.phase2Proceed(m) })
 	} else {
-		proceed()
+		a.phase2Proceed(m)
+	}
+}
+
+func (a *UAgent) phase2Proceed(m *uPhase2) {
+	if a.lastAcceptor() {
+		a.sendDecision(m)
+		uPhase2Pool.Put(m)
+	} else {
+		a.env.Send(a.succ(), m)
 	}
 }
 
 // sendDecision starts the decision's revolution around the ring (Task 5).
-func (a *UAgent) sendDecision(m uPhase2) {
-	d := uDecision{Inst: m.Inst, VID: m.VID, Val: m.Val, Hops: 0}
+func (a *UAgent) sendDecision(m *uPhase2) {
+	d := uDecisionPool.Get()
+	d.Inst, d.VID, d.Val, d.Hops = m.Inst, m.VID, m.Val, 0
 	a.deliverLocal(d)
 	a.releaseWindow()
 	if len(a.Cfg.Ring) > 1 {
 		a.forwardDecision(d)
+	} else {
+		uDecisionPool.Put(d)
 	}
 }
 
 // --- decision circulation and delivery ---
 
-func (a *UAgent) onDecision(m uDecision) {
+func (a *UAgent) onDecision(m *uDecision) {
 	if len(m.Val.Vals) == 0 {
 		// Value was stripped upstream: acceptors already hold it.
-		if v, ok := a.votes[m.Inst]; ok && v.vid == m.VID {
+		if v, ok := a.votes.Get(m.Inst); ok && v.vid == m.VID {
 			m.Val = v.val
 		}
 	}
@@ -352,6 +380,7 @@ func (a *UAgent) onDecision(m uDecision) {
 	a.releaseWindow()
 	m.Hops++
 	if m.Hops >= len(a.Cfg.Ring)-1 {
+		uDecisionPool.Put(m)
 		return // full revolution complete
 	}
 	// A slow learner delays this forward naturally: its CPU is busy
@@ -366,7 +395,7 @@ func (a *UAgent) onDecision(m uDecision) {
 // the chosen-value ends at the predecessor of the process that has proposed
 // the chosen value", Task 5; the coordinator piggybacks new proposals on the
 // circulating decision).
-func (a *UAgent) forwardDecision(m uDecision) {
+func (a *UAgent) forwardDecision(m *uDecision) {
 	nextIdx := (a.ringIndex() + 1) % len(a.Cfg.Ring)
 	if nextIdx < a.Cfg.NumAcceptors {
 		m.Val = core.Batch{}
@@ -386,50 +415,55 @@ func (a *UAgent) releaseWindow() {
 }
 
 // deliverLocal records and, in instance order, delivers a decision.
-func (a *UAgent) deliverLocal(m uDecision) {
+func (a *UAgent) deliverLocal(m *uDecision) {
 	if !a.isLearner() {
 		return
 	}
 	if m.Inst < a.nextDeliver {
 		return
 	}
-	if _, ok := a.learned[m.Inst]; ok {
+	e, existed := a.learned.Put(m.Inst)
+	if existed {
 		return
 	}
-	a.learned[m.Inst] = m.Val
+	*e = m.Val
 	a.drain()
 }
 
 func (a *UAgent) drain() {
 	for {
-		b, ok := a.learned[a.nextDeliver]
+		e, ok := a.learned.Get(a.nextDeliver)
 		if !ok {
 			return
 		}
 		inst := a.nextDeliver
-		delete(a.learned, inst)
+		b := *e
+		a.learned.Delete(inst)
 		a.nextDeliver++
-		finish := func() {
-			for _, v := range b.Vals {
-				a.DeliveredBytes += int64(v.Bytes)
-				a.DeliveredMsgs++
-				if v.Born != 0 {
-					lat := a.env.Now() - v.Born
-					a.LatencySum += lat
-					a.LatencyCount++
-					if a.Latencies != nil {
-						*a.Latencies = append(*a.Latencies, lat)
-					}
-				}
-				if a.Deliver != nil {
-					a.Deliver(inst, v)
-				}
+		if a.Cfg.ExecCost > 0 && len(b.Vals) > 0 {
+			a.env.Work(time.Duration(len(b.Vals))*a.Cfg.ExecCost, func() {
+				a.finishBatch(inst, b)
+			})
+			continue
+		}
+		a.finishBatch(inst, b)
+	}
+}
+
+func (a *UAgent) finishBatch(inst int64, b core.Batch) {
+	for _, v := range b.Vals {
+		a.DeliveredBytes += int64(v.Bytes)
+		a.DeliveredMsgs++
+		if v.Born != 0 {
+			lat := a.env.Now() - v.Born
+			a.LatencySum += lat
+			a.LatencyCount++
+			if a.Latencies != nil {
+				*a.Latencies = append(*a.Latencies, lat)
 			}
 		}
-		if a.Cfg.ExecCost > 0 && len(b.Vals) > 0 {
-			a.env.Work(time.Duration(len(b.Vals))*a.Cfg.ExecCost, finish)
-		} else {
-			finish()
+		if a.Deliver != nil {
+			a.Deliver(inst, v)
 		}
 	}
 }

@@ -109,7 +109,8 @@ type Client struct {
 	Submit func(v core.Value)
 	// Workload generates requests.
 	Workload Workload
-	// Partitions is the number of state partitions (≤1 means none);
+	// Partitions is the number of state partitions (≤1 means none; at most
+	// 64, the width of the partition bitmasks used throughout);
 	// PartitionSpan is the key width of each partition.
 	Partitions    int
 	PartitionSpan int64
@@ -123,9 +124,11 @@ type Client struct {
 
 	seq     int64
 	waiting int
-	got     map[int]bool
+	gotMask uint64 // replied sub-queries of the current request, by Sub bit
 	started time.Duration
 	scanned int
+	subs    [][]Command // reusable split buffer; sub-slices escape, it doesn't
+	issueFn func()
 
 	// Completed counts finished requests; LatencySum accumulates their
 	// response times.
@@ -138,8 +141,9 @@ var _ proto.Handler = (*Client)(nil)
 // Start implements proto.Handler.
 func (c *Client) Start(env proto.Env) {
 	c.env = env
+	c.issueFn = c.issue
 	// Stagger client start to avoid a synchronized burst.
-	env.After(time.Duration(env.Rand().Intn(1000))*time.Microsecond, c.issue)
+	proto.AfterFree(env, time.Duration(env.Rand().Intn(1000))*time.Microsecond, c.issueFn)
 }
 
 func (c *Client) issue() {
@@ -148,7 +152,7 @@ func (c *Client) issue() {
 	c.started = c.env.Now()
 	subs := c.split(cs)
 	c.waiting = len(subs)
-	c.got = make(map[int]bool, len(subs))
+	c.gotMask = 0
 	c.scanned = 0
 	for i, sub := range subs {
 		for j := range sub {
@@ -171,21 +175,21 @@ func (c *Client) issue() {
 
 // split breaks a request into per-partition sub-commands (§4.2.2). Updates
 // touch one partition; a query spanning several partitions becomes one
-// sub-query per partition.
+// sub-query per partition. The returned outer slice is the client's
+// reusable buffer — only the sub-command slices travel in values.
 func (c *Client) split(cs []Command) [][]Command {
-	if c.Partitions <= 1 {
-		return [][]Command{cs}
-	}
-	if cs[0].Op != OpQuery {
-		return [][]Command{cs}
+	c.subs = c.subs[:0]
+	if c.Partitions <= 1 || cs[0].Op != OpQuery {
+		c.subs = append(c.subs, cs)
+		return c.subs
 	}
 	q := cs[0]
 	first := int(q.Min / c.PartitionSpan)
 	last := int(q.Max / c.PartitionSpan)
 	if first == last {
-		return [][]Command{cs}
+		c.subs = append(c.subs, cs)
+		return c.subs
 	}
-	var subs [][]Command
 	for p := first; p <= last; p++ {
 		lo, hi := q.Min, q.Max
 		pLo, pHi := int64(p)*c.PartitionSpan, int64(p+1)*c.PartitionSpan-1
@@ -195,9 +199,9 @@ func (c *Client) split(cs []Command) [][]Command {
 		if hi > pHi {
 			hi = pHi
 		}
-		subs = append(subs, []Command{{Op: OpQuery, Min: lo, Max: hi}})
+		c.subs = append(c.subs, []Command{{Op: OpQuery, Min: lo, Max: hi}})
 	}
-	return subs
+	return c.subs
 }
 
 func (c *Client) partitionOf(cmd Command) int {
@@ -212,15 +216,21 @@ func (c *Client) partitionOf(cmd Command) int {
 	return p
 }
 
-// Receive implements proto.Handler.
+// Receive implements proto.Handler. The client is each reply's single
+// consumer and recycles its envelope.
 func (c *Client) Receive(_ proto.NodeID, m proto.Message) {
-	rep, ok := m.(MsgReply)
-	if !ok || rep.Client != c.ID || rep.Seq != c.seq || c.waiting == 0 || c.got[rep.Sub] {
+	rep, ok := m.(*MsgReply)
+	if !ok {
 		return
 	}
-	c.got[rep.Sub] = true
+	client, seq, sub, scanned := rep.Client, rep.Seq, rep.Sub, rep.Reply.Scanned
+	replyPool.Put(rep)
+	if client != c.ID || seq != c.seq || c.waiting == 0 || c.gotMask&(1<<uint(sub)) != 0 {
+		return
+	}
+	c.gotMask |= 1 << uint(sub)
 	c.waiting--
-	c.scanned += rep.Reply.Scanned
+	c.scanned += scanned
 	if c.waiting > 0 {
 		return
 	}
@@ -230,7 +240,7 @@ func (c *Client) Receive(_ proto.NodeID, m proto.Message) {
 		c.OnComplete(c.seq, c.scanned)
 	}
 	if c.Think > 0 {
-		c.env.After(c.Think, c.issue)
+		proto.AfterFree(c.env, c.Think, c.issueFn)
 		return
 	}
 	c.issue()

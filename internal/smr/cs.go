@@ -8,15 +8,27 @@ import (
 )
 
 // MsgRequest carries a client request directly to a stand-alone server (the
-// non-replicated client-server baseline of §4.4.3).
+// non-replicated client-server baseline of §4.4.3). Requests are pooled
+// pointers: the server is the single consumer and recycles them.
 type MsgRequest struct{ V core.Value }
 
 // Size implements proto.Message.
 func (m MsgRequest) Size() int { return m.V.Bytes }
 
+var requestPool proto.MsgPool[MsgRequest]
+
+// NewRequest wraps v in a pooled request envelope.
+func NewRequest(v core.Value) *MsgRequest {
+	m := requestPool.Get()
+	m.V = v
+	return m
+}
+
 // CSServer is the stand-alone, non-replicated server baseline: clients send
 // commands straight to it, execution is immediate (no ordering layer), and
-// it answers every request itself.
+// it answers every request itself. Replies queue behind the modeled
+// execution time; Work completions are FIFO, so the pending-reply queue
+// needs no per-request closures.
 type CSServer struct {
 	// Service is the local state machine.
 	Service Service
@@ -27,6 +39,9 @@ type CSServer struct {
 
 	// ExecutedCmds counts executed commands.
 	ExecutedCmds int64
+
+	replyQ  replyQueue
+	replyFn func(int64)
 }
 
 var _ proto.Handler = (*CSServer)(nil)
@@ -37,31 +52,37 @@ func (s *CSServer) Start(env proto.Env) {
 	if s.ClientNode == nil {
 		s.ClientNode = func(c int64) proto.NodeID { return proto.NodeID(c) }
 	}
+	s.replyFn = s.completeReply
+}
+
+func (s *CSServer) completeReply(id int64) {
+	if p, ok := s.replyQ.complete(id); ok {
+		s.env.Send(p.to, p.m)
+	}
 }
 
 // Receive implements proto.Handler.
 func (s *CSServer) Receive(_ proto.NodeID, m proto.Message) {
-	req, ok := m.(MsgRequest)
+	req, ok := m.(*MsgRequest)
 	if !ok {
 		return
 	}
 	cs := commands(req.V)
+	requestPool.Put(req)
 	if len(cs) == 0 {
 		return
 	}
 	var cost time.Duration
 	var last Reply
 	for _, c := range cs {
-		rep, _ := s.Service.Execute(c)
+		rep := apply(s.Service, c)
 		cost += s.Service.Cost(c, rep)
 		last = rep
 		s.ExecutedCmds++
 	}
 	c0 := cs[0]
-	s.env.Work(cost, func() {
-		s.env.Send(s.ClientNode(c0.Client), MsgReply{
-			Client: c0.Client, Seq: c0.Seq, Sub: c0.Sub,
-			Bytes: replyBytes(cs), Reply: last,
-		})
-	})
+	rm := replyPool.Get()
+	rm.Client, rm.Seq, rm.Sub, rm.Bytes, rm.Reply = c0.Client, c0.Seq, c0.Sub, replyBytes(cs), last
+	id := s.replyQ.add(pendingReply{send: true, to: s.ClientNode(c0.Client), m: rm})
+	proto.WorkArg(s.env, cost, s.replyFn, id)
 }

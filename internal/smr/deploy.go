@@ -61,6 +61,12 @@ func Deploy(cfg DeployConfig, lc lan.Config, seed int64) *Deployment {
 	if cfg.Partitions == 0 {
 		cfg.Partitions = 1
 	}
+	if cfg.Partitions > 64 {
+		// The whole partitioned design is 64-bound: core.Value.PartMask,
+		// MConfig.LearnerParts and the client's sub-reply tracking are all
+		// uint64 bitmasks (the paper evaluates at most 4 partitions).
+		panic("smr: Partitions > 64 is not supported (partition sets are uint64 bitmasks)")
+	}
 	if cfg.KeysPerPartition == 0 {
 		cfg.KeysPerPartition = 1 << 20
 	}
@@ -87,7 +93,7 @@ func (d *Deployment) deployCS() {
 			Think:    cfg.Think,
 		}
 		node := d.LAN.AddNode(id, cl)
-		cl.Submit = func(v core.Value) { node.Send(csServerNode, MsgRequest{V: v}) }
+		cl.Submit = func(v core.Value) { node.Send(csServerNode, NewRequest(v)) }
 		d.Clients = append(d.Clients, cl)
 	}
 }
@@ -96,7 +102,10 @@ func (d *Deployment) deploySMR() {
 	cfg := d.Cfg
 	// One M-Ring Paxos instance orders everything; partitioned mode uses
 	// one multicast group per partition plus the decision group (§4.2.2).
-	mcfg := ringpaxos.MConfig{Group: 500}
+	// Replicas copy commands out of delivered values synchronously (the
+	// speculative path retains the Payload command slice, never the batch
+	// array), so batch storage can recycle.
+	mcfg := ringpaxos.MConfig{Group: 500, RecycleBatches: true}
 	for i := 0; i < cfg.RingSize; i++ {
 		mcfg.Ring = append(mcfg.Ring, proto.NodeID(acceptorBase+i))
 	}

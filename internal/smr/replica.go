@@ -17,7 +17,9 @@ const (
 	QueryReplyBytes = 8 << 10
 )
 
-// MsgReply carries a command result back to the client.
+// MsgReply carries a command result back to the client. Replies are pooled
+// pointers: produced by the answering replica (or the stand-alone server),
+// consumed and recycled by the addressed client.
 type MsgReply struct {
 	Client int64
 	Seq    int64
@@ -28,6 +30,48 @@ type MsgReply struct {
 
 // Size implements proto.Message.
 func (m MsgReply) Size() int { return m.Bytes }
+
+var replyPool proto.MsgPool[MsgReply]
+
+// pendingReply parks a finished command's answer while its modeled
+// execution time elapses on the CPU. Work completions on a core are FIFO
+// and each carries its entry's monotonic id, so the queue pairs every
+// completion with its reply without closures — and survives dropped
+// completions (a crashed node discards in-flight Work): the next surviving
+// completion retires any orphaned entries in front of it.
+type pendingReply struct {
+	id   int64
+	send bool
+	to   proto.NodeID
+	m    *MsgReply
+}
+
+// replyQueue is the pending-reply FIFO shared by Replica and CSServer.
+type replyQueue struct {
+	q      core.FIFO[pendingReply]
+	nextID int64
+}
+
+// add parks p and returns the id its Work completion must present.
+func (rq *replyQueue) add(p pendingReply) int64 {
+	rq.nextID++
+	p.id = rq.nextID
+	rq.q.Push(p)
+	return p.id
+}
+
+// complete pops the entry with the given id, discarding (and recycling)
+// entries whose completions were dropped while the node was down.
+func (rq *replyQueue) complete(id int64) (pendingReply, bool) {
+	for rq.q.Len() > 0 {
+		p := rq.q.Pop()
+		if p.id == id {
+			return p, true
+		}
+		replyPool.Put(p.m) // orphaned by a dropped completion
+	}
+	return pendingReply{}, false
+}
 
 // Replica is one state-machine replica: a learner of an M-Ring Paxos
 // instance that executes delivered commands against a local Service and
@@ -64,6 +108,10 @@ type Replica struct {
 	// speculative bookkeeping
 	specLog   []*specEntry
 	confirmed int // prefix of specLog whose order is confirmed
+
+	// non-speculative completion queue (FIFO with Work completions)
+	replyQ  replyQueue
+	replyFn func(int64)
 }
 
 // specEntry records one speculatively executed instance.
@@ -95,7 +143,14 @@ func (r *Replica) Start(env proto.Env) {
 	} else {
 		r.Agent.Deliver = r.onDeliver
 	}
+	r.replyFn = r.completeReply
 	r.Agent.Start(env)
+}
+
+func (r *Replica) completeReply(id int64) {
+	if p, ok := r.replyQ.complete(id); ok && p.send {
+		r.env.Send(p.to, p.m)
+	}
 }
 
 // Receive implements proto.Handler.
@@ -139,18 +194,20 @@ func (r *Replica) onDeliver(_ int64, v core.Value) {
 	var cost time.Duration
 	var last Reply
 	for _, c := range cs {
-		rep, _ := r.Service.Execute(c)
+		rep := apply(r.Service, c)
 		cost += r.Service.Cost(c, rep)
 		last = rep
 		r.ExecutedCmds++
 	}
 	c0 := cs[0]
-	reply := MsgReply{Client: c0.Client, Seq: c0.Seq, Sub: c0.Sub, Bytes: replyBytes(cs), Reply: last}
-	r.env.Work(cost, func() {
-		if resp {
-			r.env.Send(r.ClientNode(c0.Client), reply)
-		}
-	})
+	p := pendingReply{send: resp}
+	if resp {
+		m := replyPool.Get()
+		m.Client, m.Seq, m.Sub, m.Bytes, m.Reply = c0.Client, c0.Seq, c0.Sub, replyBytes(cs), last
+		p.to, p.m = r.ClientNode(c0.Client), m
+	}
+	id := r.replyQ.add(p)
+	proto.WorkArg(r.env, cost, r.replyFn, id)
 }
 
 // --- speculative path (§4.2.1) ---
@@ -247,10 +304,10 @@ func (r *Replica) maybeReply(e *specEntry) {
 	if !r.responsible(c0) {
 		return
 	}
-	r.env.Send(r.ClientNode(c0.Client), MsgReply{
-		Client: c0.Client, Seq: c0.Seq, Sub: c0.Sub,
-		Bytes: replyBytes(e.cmds), Reply: e.replies[len(e.replies)-1],
-	})
+	m := replyPool.Get()
+	m.Client, m.Seq, m.Sub = c0.Client, c0.Seq, c0.Sub
+	m.Bytes, m.Reply = replyBytes(e.cmds), e.replies[len(e.replies)-1]
+	r.env.Send(r.ClientNode(c0.Client), m)
 }
 
 // trim drops fully processed prefix entries to bound memory.
