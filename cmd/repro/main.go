@@ -10,6 +10,8 @@
 //	repro -all -json             machine-readable per-experiment summary
 //	repro -update-golden         re-pin the golden output hashes
 //	repro -verify-golden         check every experiment against its pin
+//	repro -allocs fig4.3         alloc-profile experiments sequentially
+//	repro -check-allocs ci/budgets.json  enforce allocation/heap ceilings
 //
 // Experiment text goes to stdout in registry order (byte-identical for any
 // -jobs value); per-experiment wall-clock and the run summary go to stderr
@@ -68,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	verifyGolden := fs.Bool("verify-golden", false, "run all deterministic experiments and compare against the golden hashes")
 	goldenDir := fs.String("golden-dir", bench.DefaultGoldenDir, "golden hash directory (relative to the repository root)")
 	allocs := fs.String("allocs", "", "comma-separated experiment ids to alloc-profile sequentially (JSON on stdout)")
+	checkAllocs := fs.String("check-allocs", "", "budget file (e.g. ci/budgets.json): alloc-profile each budgeted experiment and fail on any exceeded ceiling")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -80,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	switch {
+	case *checkAllocs != "":
+		return runCheckAllocs(stdout, stderr, *checkAllocs)
 	case *allocs != "":
 		return runAllocs(stdout, stderr, *allocs)
 	case *list:
@@ -227,6 +232,34 @@ func runAllocs(stdout, stderr io.Writer, ids string) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
+	return 0
+}
+
+// runCheckAllocs is CI's allocation gate: it profiles every experiment
+// named in the budget file sequentially and fails when any ceiling —
+// malloc count for the figure reproductions, live-heap peak or live-log
+// span for the soak workloads — is exceeded. The profiles are emitted as
+// JSON on stdout so a failing run leaves the numbers behind.
+func runCheckAllocs(stdout, stderr io.Writer, path string) int {
+	budgets, err := bench.ReadBudgets(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	results, bad := bench.CheckAllocs(budgets, stderr)
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintln(stderr, "BUDGET EXCEEDED: "+b)
+		}
+		return 1
+	}
+	fmt.Fprintf(stderr, "all %d budgets hold\n", len(budgets))
 	return 0
 }
 

@@ -2,8 +2,12 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/bench"
 )
 
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -136,5 +140,100 @@ func TestAllocsUnknownExperiment(t *testing.T) {
 	code, _, errw := runCLI(t, "-allocs", "fig99.9")
 	if code != 1 || !strings.Contains(errw, "unknown experiment") {
 		t.Fatalf("exit %d stderr %q, want unknown-experiment failure", code, errw)
+	}
+}
+
+// writeBudgets drops a budget file into a temp dir and returns its path.
+func writeBudgets(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "budgets.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckAllocsWithinBudget(t *testing.T) {
+	// tab3.1 is analytic; any generous malloc ceiling holds.
+	path := writeBudgets(t, `[{"id": "tab3.1", "max_mallocs": 100000000}]`)
+	code, out, errw := runCLI(t, "-check-allocs", path)
+	if code != 0 {
+		t.Fatalf("-check-allocs exit %d, stderr %s", code, errw)
+	}
+	if !strings.Contains(errw, "all 1 budgets hold") || !strings.Contains(errw, "ok   tab3.1") {
+		t.Errorf("stderr %q lacks the verdicts", errw)
+	}
+	var results []struct {
+		ID      string `json:"id"`
+		Mallocs uint64 `json:"mallocs"`
+	}
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, out)
+	}
+	if len(results) != 1 || results[0].ID != "tab3.1" || results[0].Mallocs == 0 {
+		t.Fatalf("unexpected results: %+v", results)
+	}
+}
+
+func TestCheckAllocsExceededBudgetExits1(t *testing.T) {
+	path := writeBudgets(t, `[{"id": "tab3.1", "max_mallocs": 1}]`)
+	code, _, errw := runCLI(t, "-check-allocs", path)
+	if code != 1 {
+		t.Fatalf("-check-allocs exit %d with a 1-malloc budget, want 1", code)
+	}
+	if !strings.Contains(errw, "BUDGET EXCEEDED") || !strings.Contains(errw, "tab3.1") {
+		t.Errorf("stderr %q lacks the violation", errw)
+	}
+}
+
+func TestCheckAllocsBadFile(t *testing.T) {
+	if code, _, _ := runCLI(t, "-check-allocs", "no/such/budgets.json"); code != 1 {
+		t.Fatalf("missing budget file exit %d, want 1", code)
+	}
+	path := writeBudgets(t, `[{"id": "fig99.9", "max_mallocs": 5}]`)
+	code, _, errw := runCLI(t, "-check-allocs", path)
+	if code != 1 || !strings.Contains(errw, "unknown experiment") {
+		t.Fatalf("exit %d stderr %q, want unknown-experiment failure", code, errw)
+	}
+}
+
+// repoRoot walks up from the test's working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoBudgetFilesParse keeps the in-repo CI budget files honest: both
+// must parse and name only registered experiments (the soak file's heap
+// ceilings can only be asserted by actually running 10 s soaks, which CI
+// does; here we check the files' shape).
+func TestRepoBudgetFilesParse(t *testing.T) {
+	for _, rel := range []string{"ci/budgets.json", "ci/soak-budgets.json"} {
+		path := filepath.Join(repoRoot(t), rel)
+		budgets, err := bench.ReadBudgets(path)
+		if err != nil {
+			t.Fatalf("%s: %v", rel, err)
+		}
+		for _, b := range budgets {
+			if _, ok := bench.Get(b.ID); !ok {
+				t.Errorf("%s names unknown experiment %q", rel, b.ID)
+			}
+			if b.MaxMallocs == 0 && b.MaxHeapAllocPeak == 0 && b.MaxLiveLogPeak == 0 {
+				t.Errorf("%s: %s has no enforceable ceiling", rel, b.ID)
+			}
+		}
 	}
 }

@@ -28,6 +28,11 @@ type SPaxos struct {
 	// GCJitter, when positive, injects random pauses that model the JVM
 	// garbage-collection variability observed in §3.5.4.
 	GCJitter time.Duration
+	// GCInterval enables the shared learner-version log GC (§3.3.7) on the
+	// inner Paxos agent that orders request ids: replicas report applied
+	// instances, the leader trims its decision log and acceptor vote logs.
+	// Zero disables it (the seed behavior the pinned figures rely on).
+	GCInterval time.Duration
 	// Deliver is invoked for every value in delivery order.
 	Deliver core.DeliverFunc
 
@@ -88,6 +93,7 @@ func (s *SPaxos) Start(env proto.Env) {
 			Coordinator: s.Replicas[0],
 			Acceptors:   s.Replicas,
 			Learners:    s.Replicas,
+			GCInterval:  s.GCInterval,
 		},
 		Deliver: func(_ int64, v core.Value) { s.onOrdered(core.ValueID(v.ID)) },
 	}
@@ -228,4 +234,12 @@ func (s *SPaxos) drain() {
 		}
 		s.seq++
 	}
+}
+
+// LiveLogLen reports how many per-request and per-instance records this
+// replica currently retains: the inner Paxos logs plus the dissemination
+// tables (request payloads, ack masks, stability flags, the ordered-id
+// queue). Soak workloads sample it to prove memory stays flat.
+func (s *SPaxos) LiveLogLen() int {
+	return s.inner.LiveLogLen() + len(s.reqs) + len(s.acks) + len(s.stable) + s.ordered.Len()
 }

@@ -4,10 +4,14 @@ package bench
 // runner.go, alloc profiling is strictly sequential: runtime.MemStats is
 // process-global, so overlapping experiments would attribute each other's
 // garbage. cmd/repro exposes this through -allocs, which is how the
-// BENCH_protocol.json before/after numbers are produced.
+// BENCH_protocol.json before/after numbers are produced, and through
+// -check-allocs, the CI budget gate.
 
 import (
+	"encoding/json"
+	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 )
@@ -24,14 +28,27 @@ type AllocResult struct {
 	// SHA256 is the output hash, so an alloc run doubles as a
 	// determinism check against the golden pins.
 	SHA256 string `json:"sha256"`
+
+	// Soak experiments additionally report steady-state occupancy: the
+	// peak/final live heap bytes sampled (after forced GC) at each soak
+	// checkpoint of the GC-enabled run, and the peak/final count of live
+	// per-instance log records (deterministic, also golden-pinned via the
+	// experiment text). Zero for non-soak experiments.
+	HeapAllocPeak uint64 `json:"heap_alloc_peak_bytes,omitempty"`
+	HeapAllocEnd  uint64 `json:"heap_alloc_end_bytes,omitempty"`
+	LiveLogPeak   int    `json:"live_log_peak,omitempty"`
+	LiveLogEnd    int    `json:"live_log_end,omitempty"`
 }
 
 // ProfileAllocs runs e once and returns its allocation profile. The
 // experiment's text output is discarded (only hashed). A GC runs before
 // the measurement so garbage from earlier experiments is not charged to
 // this one; Mallocs/TotalAlloc deltas themselves are unaffected by GC
-// (both counters are monotonic).
+// (both counters are monotonic). Soak experiments get per-checkpoint
+// heap sampling enabled for the duration of the run.
 func ProfileAllocs(e Experiment) AllocResult {
+	SetSoakSampling(true)
+	defer SetSoakSampling(false)
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -39,11 +56,83 @@ func ProfileAllocs(e Experiment) AllocResult {
 	sum := e.Hash(io.Discard)
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
-	return AllocResult{
+	r := AllocResult{
 		ID:         e.ID,
 		Mallocs:    after.Mallocs - before.Mallocs,
 		TotalAlloc: after.TotalAlloc - before.TotalAlloc,
 		WallMS:     float64(wall) / 1e6,
 		SHA256:     sum,
 	}
+	if s, ok := TakeSoakStats(e.ID); ok {
+		r.HeapAllocPeak = s.HeapAllocPeak
+		r.HeapAllocEnd = s.HeapAllocEnd
+		r.LiveLogPeak = s.LiveLogPeak
+		r.LiveLogEnd = s.LiveLogEnd
+	}
+	return r
+}
+
+// AllocBudget is one entry of a CI budget file (see ci/budgets.json): a
+// hard ceiling on an experiment's allocation behavior. Zero-valued limits
+// are not checked, so one file can mix malloc budgets for figure
+// reproductions with heap ceilings for soak workloads.
+type AllocBudget struct {
+	ID string `json:"id"`
+	// MaxMallocs bounds heap objects allocated over the whole run.
+	MaxMallocs uint64 `json:"max_mallocs,omitempty"`
+	// MaxHeapAllocPeak bounds the live heap (bytes, sampled after forced
+	// GC at every soak checkpoint): the flat-memory assertion. A protocol
+	// whose logs grow with elapsed time again blows through it.
+	MaxHeapAllocPeak uint64 `json:"max_heap_alloc_peak_bytes,omitempty"`
+	// MaxLiveLogPeak bounds the deterministic count of live per-instance
+	// log records at any soak checkpoint.
+	MaxLiveLogPeak int `json:"max_live_log_peak,omitempty"`
+}
+
+// ReadBudgets parses a budget file.
+func ReadBudgets(path string) ([]AllocBudget, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var budgets []AllocBudget
+	if err := json.Unmarshal(b, &budgets); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(budgets) == 0 {
+		return nil, fmt.Errorf("%s: no budgets", path)
+	}
+	return budgets, nil
+}
+
+// CheckAllocs profiles every budgeted experiment sequentially and returns
+// one line per violated ceiling (empty = all within budget). Progress and
+// per-check verdicts go to logw.
+func CheckAllocs(budgets []AllocBudget, logw io.Writer) ([]AllocResult, []string) {
+	var results []AllocResult
+	var bad []string
+	for _, budget := range budgets {
+		e, ok := Get(budget.ID)
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: unknown experiment", budget.ID))
+			continue
+		}
+		r := ProfileAllocs(e)
+		results = append(results, r)
+		check := func(name string, got, limit uint64) {
+			if limit == 0 {
+				return
+			}
+			if got > limit {
+				bad = append(bad, fmt.Sprintf("%s: %s %d exceeds budget %d", r.ID, name, got, limit))
+				fmt.Fprintf(logw, "FAIL %-12s %s %d > %d\n", r.ID, name, got, limit)
+				return
+			}
+			fmt.Fprintf(logw, "ok   %-12s %s %d (budget %d)\n", r.ID, name, got, limit)
+		}
+		check("mallocs", r.Mallocs, budget.MaxMallocs)
+		check("heap_alloc_peak_bytes", r.HeapAllocPeak, budget.MaxHeapAllocPeak)
+		check("live_log_peak", uint64(r.LiveLogPeak), uint64(budget.MaxLiveLogPeak))
+	}
+	return results, bad
 }

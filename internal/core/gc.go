@@ -1,0 +1,95 @@
+package core
+
+// VersionTracker is the protocol-agnostic half of the learner-version
+// garbage collection of §3.3.7: every consumer of a replicated log (a
+// learner, a replica) periodically reports the highest instance it has
+// applied; once every expected consumer has reported, the minimum across
+// reports is a global trim floor — no process will ever again need an
+// instance at or below it, so per-instance logs (acceptor vote rings,
+// coordinator decision logs, learner reorder buffers) can drop that prefix
+// and hand pooled batch arrays back to their BatchPool.
+//
+// M-Ring Paxos grew this logic privately; the tracker extracts it so
+// U-Ring Paxos and basic Paxos/S-Paxos can bound their logs the same way.
+// Reports are stored in a small flat slice — consumer sets are a handful of
+// nodes — so tracking allocates only on first report from a new consumer
+// and the minimum is computed without map iteration.
+//
+// The zero value is an empty tracker with floor 0, ready to use.
+type VersionTracker struct {
+	entries []versionEntry
+	floor   int64
+}
+
+type versionEntry struct {
+	id      int64
+	version int64
+}
+
+// Report records consumer id's applied version, overwriting any previous
+// report (mirroring the map-store semantics the M-Ring implementation had:
+// a circulating stale report may transiently lower a recorded version; the
+// floor only ever moves forward regardless).
+func (t *VersionTracker) Report(id, version int64) {
+	for i := range t.entries {
+		if t.entries[i].id == id {
+			t.entries[i].version = version
+			return
+		}
+	}
+	t.entries = append(t.entries, versionEntry{id: id, version: version})
+}
+
+// Version returns the recorded version for id.
+func (t *VersionTracker) Version(id int64) (int64, bool) {
+	for i := range t.entries {
+		if t.entries[i].id == id {
+			return t.entries[i].version, true
+		}
+	}
+	return 0, false
+}
+
+// Reporters returns how many distinct consumers have reported.
+func (t *VersionTracker) Reporters() int { return len(t.entries) }
+
+// Floor returns the current trim floor: every instance below it has been
+// trimmed (or was never retained). Instances >= Floor() are still live.
+func (t *VersionTracker) Floor() int64 { return t.floor }
+
+// SetFloor raises the trim floor to f (never lowers it). A coordinator
+// taking over after a failover seeds its tracker with the highest floor
+// its Phase 1 quorum reports, so it neither resurrects trimmed instances
+// nor rescans the trimmed prefix on its first Advance.
+func (t *VersionTracker) SetFloor(f int64) {
+	if f > t.floor {
+		t.floor = f
+	}
+}
+
+// Advance computes the trimmable range. When at least expect consumers
+// have reported and their minimum reported version min is at or past the
+// floor, it returns [lo, hi] = [old floor, min] inclusive, moves the floor
+// to min+1 and reports ok. Otherwise (missing reporters, or a stale
+// minimum behind the floor) it returns ok=false and the floor is
+// unchanged. The caller deletes instances lo..hi from its logs.
+func (t *VersionTracker) Advance(expect int) (lo, hi int64, ok bool) {
+	// No reports yet means no minimum to take, whatever expect says — the
+	// sentinel min below would otherwise hand the caller a ~2^62-instance
+	// trim range.
+	if len(t.entries) == 0 || len(t.entries) < expect {
+		return 0, 0, false
+	}
+	min := int64(1<<62 - 1)
+	for i := range t.entries {
+		if t.entries[i].version < min {
+			min = t.entries[i].version
+		}
+	}
+	if min < t.floor {
+		return 0, 0, false
+	}
+	lo, hi = t.floor, min
+	t.floor = min + 1
+	return lo, hi, true
+}

@@ -1,0 +1,74 @@
+package core
+
+import "testing"
+
+func TestVersionTrackerAdvance(t *testing.T) {
+	var vt VersionTracker
+	if _, _, ok := vt.Advance(2); ok {
+		t.Fatal("advanced with no reports")
+	}
+	// expect == 0 with no reports must not yield the sentinel-min range.
+	if _, _, ok := vt.Advance(0); ok {
+		t.Fatal("advanced an empty tracker with expect 0")
+	}
+	vt.Report(1, 5)
+	if _, _, ok := vt.Advance(2); ok {
+		t.Fatal("advanced with one of two reporters")
+	}
+	vt.Report(2, 9)
+	lo, hi, ok := vt.Advance(2)
+	if !ok || lo != 0 || hi != 5 {
+		t.Fatalf("Advance = (%d, %d, %v), want (0, 5, true)", lo, hi, ok)
+	}
+	if vt.Floor() != 6 {
+		t.Fatalf("floor %d after trim to 5, want 6", vt.Floor())
+	}
+	// No news: min (5) is now behind the floor.
+	if _, _, ok := vt.Advance(2); ok {
+		t.Fatal("advanced without new reports")
+	}
+	// The slower consumer catches up; the floor moves to the new minimum.
+	vt.Report(1, 9)
+	lo, hi, ok = vt.Advance(2)
+	if !ok || lo != 6 || hi != 9 || vt.Floor() != 10 {
+		t.Fatalf("Advance = (%d, %d, %v) floor %d, want (6, 9, true) floor 10", lo, hi, ok, vt.Floor())
+	}
+}
+
+// TestVersionTrackerStragglerHoldsFloor is the core of the straggler
+// guarantee: one consumer stuck at an old version pins the floor for the
+// whole group, no matter how far ahead the others run.
+func TestVersionTrackerStragglerHoldsFloor(t *testing.T) {
+	var vt VersionTracker
+	vt.Report(1, 3)
+	vt.Report(2, 1000)
+	vt.Report(3, 1000000)
+	if _, hi, ok := vt.Advance(3); !ok || hi != 3 {
+		t.Fatalf("hi = %d, want the straggler's version 3", hi)
+	}
+	// Repeated fast-consumer reports must not move the floor past the
+	// straggler.
+	vt.Report(2, 2000)
+	vt.Report(3, 2000000)
+	if _, _, ok := vt.Advance(3); ok {
+		t.Fatal("floor advanced past the straggler")
+	}
+	if vt.Floor() != 4 {
+		t.Fatalf("floor %d, want 4 (straggler at 3)", vt.Floor())
+	}
+}
+
+func TestVersionTrackerReportOverwrites(t *testing.T) {
+	var vt VersionTracker
+	vt.Report(7, 10)
+	vt.Report(7, 4) // a stale circulating report may lower the record
+	if v, ok := vt.Version(7); !ok || v != 4 {
+		t.Fatalf("Version = (%d, %v), want (4, true)", v, ok)
+	}
+	if vt.Reporters() != 1 {
+		t.Fatalf("Reporters = %d, want 1", vt.Reporters())
+	}
+	if _, ok := vt.Version(8); ok {
+		t.Fatal("unknown consumer reported a version")
+	}
+}

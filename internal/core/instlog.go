@@ -96,6 +96,22 @@ func (l *InstLog[T]) Delete(inst int64) bool {
 	return true
 }
 
+// Trim deletes every entry in the inclusive instance range [lo, hi],
+// invoking drop (when non-nil) on each live record just before removal so
+// the owner can release or recycle what the record holds. It is the
+// shared back half of the learner-version garbage collection: a
+// VersionTracker.Advance range maps straight onto it.
+func (l *InstLog[T]) Trim(lo, hi int64, drop func(inst int64, v *T)) {
+	for inst := lo; inst <= hi; inst++ {
+		if v, ok := l.Get(inst); ok {
+			if drop != nil {
+				drop(inst, v)
+			}
+			l.Delete(inst)
+		}
+	}
+}
+
 // Range calls f for every live entry until f returns false. Iteration
 // order is slot order — deterministic for a given insertion history, unlike
 // a map — but not instance order; callers that need instance order (none of

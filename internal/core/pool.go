@@ -116,6 +116,43 @@ func (p *BatchPool) Put(s []Value) {
 	p.classes[c] = append(p.classes[c], s)
 }
 
+// DrainBatch moves the next consensus batch out of a staging slab: up to
+// maxBytes of the oldest staged values (always at least one), copied into
+// an array drawn from pool when pooled, else freshly allocated. It
+// returns the batch and its payload byte size. Every batching coordinator
+// without partition-aware grouping (U-Ring, basic Paxos) builds its
+// batches through this one helper, so the pooling contract lives in a
+// single place.
+func DrainBatch(pending *ValueSlab, pool *BatchPool, pooled bool, maxBytes int) (Batch, int) {
+	n, bytes := 0, 0
+	for n < pending.Len() && bytes < maxBytes {
+		bytes += pending.At(n).Bytes
+		n++
+	}
+	var vals []Value
+	if pooled {
+		vals = pool.Get(n)
+	} else {
+		vals = make([]Value, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		vals = append(vals, pending.At(i))
+	}
+	pending.PopFront(n)
+	return Batch{Vals: vals}, bytes
+}
+
+// Recycle puts every array in q back into the pool and returns q reset to
+// length zero, ready to collect the next quarantine round. It is the
+// "quarantine-then-recycle" step every garbage-collecting protocol runs at
+// the top of a trim pass.
+func (p *BatchPool) Recycle(q [][]Value) [][]Value {
+	for _, vals := range q {
+		p.Put(vals)
+	}
+	return q[:0]
+}
+
 // poolClass returns the smallest class whose arrays hold n values.
 func poolClass(n int) int {
 	if n < 2 {

@@ -1,0 +1,355 @@
+package paxos
+
+// Garbage-collection edge cases for basic Paxos, mirroring the M-Ring and
+// U-Ring coverage: the coordinator's decision log and the acceptors' vote
+// logs must trim once every learner reports an instance applied, a
+// straggler learner must pin the trim floor, and straggling messages or
+// retransmission requests for trimmed instances must neither resurrect
+// state nor serve garbage.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lan"
+	"repro/internal/proto"
+)
+
+// fakeEnv is a minimal proto.Env recording sends for direct unit tests.
+type fakeEnv struct {
+	id    proto.NodeID
+	now   time.Duration
+	rng   *rand.Rand
+	sends []fakeSend
+}
+
+type fakeSend struct {
+	to proto.NodeID
+	m  proto.Message
+}
+
+func (e *fakeEnv) ID() proto.NodeID                      { return e.id }
+func (e *fakeEnv) Now() time.Duration                    { return e.now }
+func (e *fakeEnv) Rand() *rand.Rand                      { return e.rng }
+func (e *fakeEnv) Send(to proto.NodeID, m proto.Message) { e.sends = append(e.sends, fakeSend{to, m}) }
+func (e *fakeEnv) SendUDP(to proto.NodeID, m proto.Message) {
+	e.sends = append(e.sends, fakeSend{to, m})
+}
+func (e *fakeEnv) Multicast(g proto.GroupID, m proto.Message) {
+	e.sends = append(e.sends, fakeSend{-1, m})
+}
+func (e *fakeEnv) After(d time.Duration, fn func()) proto.Timer { return fakeTimer{} }
+func (e *fakeEnv) Work(d time.Duration, fn func())              { fn() }
+func (e *fakeEnv) DiskWrite(size int, fn func())                { fn() }
+
+type fakeTimer struct{}
+
+func (fakeTimer) Cancel() {}
+
+// deployGC wires the standard test deployment with the given GC interval.
+func deployGC(t testing.TB, gcInterval time.Duration, seed int64) *deployment {
+	t.Helper()
+	d := &deployment{
+		l:      lan.New(lan.DefaultConfig(), seed),
+		agents: make(map[proto.NodeID]*Agent),
+		deliv:  make(map[proto.NodeID][]core.ValueID),
+	}
+	for i := 0; i < 3; i++ {
+		d.cfg.Acceptors = append(d.cfg.Acceptors, proto.NodeID(i))
+	}
+	for i := 0; i < 2; i++ {
+		d.learners = append(d.learners, proto.NodeID(100+i))
+	}
+	d.cfg.Coordinator = 0
+	d.cfg.Learners = d.learners
+	d.cfg.GCInterval = gcInterval
+	d.cfg.RecycleBatches = gcInterval > 0
+	for _, id := range append(append([]proto.NodeID{}, d.cfg.Acceptors...), d.learners...) {
+		node := id
+		a := &Agent{Cfg: d.cfg}
+		a.Deliver = func(inst int64, v core.Value) {
+			d.deliv[node] = append(d.deliv[node], v.ID)
+		}
+		d.agents[id] = a
+		d.l.AddNode(id, a)
+	}
+	d.client = &Agent{Cfg: d.cfg}
+	d.agents[200] = d.client
+	d.l.AddNode(200, d.client)
+	d.l.Start()
+	return d
+}
+
+// TestPaxosGCBoundsLogs runs the same deployment with and without GC:
+// with it, the coordinator's decision log and every vote log drain once
+// the learners have applied and reported; without it they retain one
+// entry per instance. Delivery must be identical either way.
+func TestPaxosGCBoundsLogs(t *testing.T) {
+	run := func(gcInterval time.Duration) *deployment {
+		d := deployGC(t, gcInterval, 1)
+		d.propose(200)
+		d.l.Run(2 * time.Second)
+		return d
+	}
+	gc := run(10 * time.Millisecond)
+	plain := run(0)
+	coord := gc.agents[0]
+	if n := coord.log.Len(); n != 0 {
+		t.Errorf("coordinator retains %d decision-log entries after quiescent GC, want 0", n)
+	}
+	for _, id := range gc.cfg.Acceptors {
+		if n := gc.agents[id].votes.Len(); n != 0 {
+			t.Errorf("acceptor %d retains %d votes after quiescent GC, want 0", id, n)
+		}
+	}
+	if plain.agents[0].log.Len() == 0 || plain.agents[1].votes.Len() == 0 {
+		t.Fatal("control run leaked nothing: the GC assertions above are vacuous")
+	}
+	for _, id := range gc.learners {
+		got, want := gc.deliv[id], plain.deliv[id]
+		if len(got) != len(want) || len(got) == 0 {
+			t.Fatalf("learner %d delivered %d values with GC, %d without", id, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("learner %d order diverged at %d: %d vs %d", id, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// newCoordinator returns a phase-1-complete coordinator on a fake
+// environment, with decided instances 0..n-1 in its retransmission log.
+func newCoordinator(n int64) (*Agent, *fakeEnv) {
+	env := &fakeEnv{id: 0, rng: rand.New(rand.NewSource(1))}
+	a := &Agent{Cfg: Config{
+		Coordinator: 0,
+		Acceptors:   []proto.NodeID{0, 1, 2},
+		Learners:    []proto.NodeID{100, 101},
+		GCInterval:  50 * time.Millisecond,
+	}}
+	a.Start(env)
+	for inst := int64(0); inst < n; inst++ {
+		le, _ := a.log.Put(inst)
+		*le = logRec{val: core.Batch{Vals: []core.Value{{ID: core.ValueID(inst), Bytes: 64}}}}
+	}
+	env.sends = nil
+	return a, env
+}
+
+// TestPaxosStragglerLearnerHoldsFloor checks the coordinator-side floor:
+// one learner stuck at an old version pins the decision log, and no
+// TrimFloor is broadcast past it.
+func TestPaxosStragglerLearnerHoldsFloor(t *testing.T) {
+	a, env := newCoordinator(10)
+	a.onVersionReport(proto.VersionReport{From: 100, Inst: 9})
+	if a.log.Len() != 10 || len(env.sends) != 0 {
+		t.Fatalf("trimmed with a learner unreported: %d entries, %d sends", a.log.Len(), len(env.sends))
+	}
+	a.onVersionReport(proto.VersionReport{From: 101, Inst: 2}) // the straggler
+	if a.log.Len() != 7 {
+		t.Fatalf("log %d entries after straggler at 2, want 7 (3..9 live)", a.log.Len())
+	}
+	var floors []int64
+	for _, s := range env.sends {
+		if tf, ok := s.m.(proto.TrimFloor); ok {
+			floors = append(floors, tf.Inst)
+		}
+	}
+	if len(floors) != 2 || floors[0] != 2 || floors[1] != 2 {
+		t.Fatalf("TrimFloor(2) should reach both peer acceptors, got %v", floors)
+	}
+	// The fast learner running further ahead must not move the floor.
+	env.sends = nil
+	a.onVersionReport(proto.VersionReport{From: 100, Inst: 50})
+	if a.log.Len() != 7 || len(env.sends) != 0 {
+		t.Fatalf("floor passed the straggler: %d entries, %d sends", a.log.Len(), len(env.sends))
+	}
+	// Straggler catches up.
+	a.onVersionReport(proto.VersionReport{From: 101, Inst: 9})
+	if a.log.Len() != 0 {
+		t.Fatalf("log %d entries after full catch-up, want 0", a.log.Len())
+	}
+}
+
+// TestPaxosLearnReqAcrossTrimHorizon asks the coordinator to retransmit
+// from below and from above the floor: trimmed instances serve nothing
+// (the floor proves every learner already applied them), live ones are
+// served in order.
+func TestPaxosLearnReqAcrossTrimHorizon(t *testing.T) {
+	a, env := newCoordinator(10)
+	a.onVersionReport(proto.VersionReport{From: 100, Inst: 4})
+	a.onVersionReport(proto.VersionReport{From: 101, Inst: 4})
+	env.sends = nil
+	a.onLearnReq(100, msgLearnReq{From: 2}) // entirely below the floor
+	if len(env.sends) != 0 {
+		t.Fatalf("served %d decisions from below the trim floor", len(env.sends))
+	}
+	a.onLearnReq(100, msgLearnReq{From: 7})
+	var served []int64
+	for _, s := range env.sends {
+		if d, ok := s.m.(*msgDecision); ok {
+			served = append(served, d.Inst)
+		}
+	}
+	if len(served) != 3 || served[0] != 7 || served[1] != 8 || served[2] != 9 {
+		t.Fatalf("served %v, want [7 8 9]", served)
+	}
+}
+
+// TestPaxosVersionReportFollowsCoordinator checks that learner-side GC
+// survives a coordinator change: version reports (and gap requests) go to
+// whichever node most recently sent a decision, not to the static config
+// entry — otherwise a failover would silently disable trimming forever.
+func TestPaxosVersionReportFollowsCoordinator(t *testing.T) {
+	env := &fakeEnv{id: 100, rng: rand.New(rand.NewSource(1))}
+	a := &Agent{Cfg: Config{
+		Coordinator: 0,
+		Acceptors:   []proto.NodeID{0, 1, 2},
+		Learners:    []proto.NodeID{100},
+		GCInterval:  50 * time.Millisecond,
+	}}
+	a.Start(env)
+	env.sends = nil
+	a.versionTick()
+	if len(env.sends) != 1 || env.sends[0].to != 0 {
+		t.Fatalf("initial report went to %+v, want node 0", env.sends)
+	}
+	// Node 1 took over and is now the one sending decisions.
+	a.Receive(1, &msgDecision{Inst: 0, Shared: true,
+		Val: core.Batch{Vals: []core.Value{{ID: 1, Bytes: 64}}}})
+	env.sends = nil
+	a.versionTick()
+	if len(env.sends) != 1 || env.sends[0].to != 1 {
+		t.Fatalf("post-failover report went to %+v, want node 1", env.sends)
+	}
+	env.sends = nil
+	a.gapTick()
+	if len(env.sends) != 1 || env.sends[0].to != 1 {
+		t.Fatalf("post-failover gap request went to %+v, want node 1", env.sends)
+	}
+}
+
+// TestPaxosFailoverSkipsTrimmedVotes covers the failover-after-trim race:
+// a new coordinator whose Phase 1 quorum still holds votes for trimmed
+// instances (its TrimFloor raced the coordinator change) must not
+// resurrect them — acceptors that trimmed an instance drop its 2A without
+// replying, so a resurrected instance would retry forever and pin a
+// window slot. The promise's Floor field is the filter.
+func TestPaxosFailoverSkipsTrimmedVotes(t *testing.T) {
+	env := &fakeEnv{id: 1, rng: rand.New(rand.NewSource(1))}
+	a := &Agent{Cfg: Config{
+		Coordinator: 0, // node 1 takes over manually
+		Acceptors:   []proto.NodeID{0, 1, 2},
+		Learners:    []proto.NodeID{100, 101},
+		GCInterval:  50 * time.Millisecond,
+	}}
+	a.Start(env)
+	a.BecomeCoordinator(2)
+	env.sends = nil
+	vote5 := vote{rnd: 1 << 10, val: core.Batch{Vals: []core.Value{{ID: 5, Bytes: 64}}}}
+	vote9 := vote{rnd: 1 << 10, val: core.Batch{Vals: []core.Value{{ID: 9, Bytes: 64}}}}
+	// Acceptor 0 already trimmed through instance 7; acceptor 2 has not
+	// processed the TrimFloor yet and still promises a vote for 5.
+	a.onPhase1B(0, msgPhase1B{Rnd: a.crnd, Floor: 8, Votes: map[int64]vote{9: vote9}})
+	a.onPhase1B(2, msgPhase1B{Rnd: a.crnd, Floor: 0, Votes: map[int64]vote{5: vote5, 9: vote9}})
+	var reopened []int64
+	for _, s := range env.sends {
+		if m, ok := s.m.(*msgPhase2A); ok {
+			reopened = append(reopened, m.Inst)
+		}
+	}
+	if len(reopened) == 0 {
+		t.Fatal("the live vote (instance 9) was not re-proposed")
+	}
+	for _, inst := range reopened {
+		if inst < 8 {
+			t.Fatalf("trimmed instance %d resurrected after failover (2As for %v)", inst, reopened)
+		}
+	}
+	if a.open.Has(5) {
+		t.Fatal("trimmed instance 5 occupies a window slot")
+	}
+	if !a.open.Has(9) {
+		t.Fatal("live instance 9 not re-opened")
+	}
+	if a.gc.Floor() != 8 {
+		t.Fatalf("new coordinator floor %d, want the quorum's highest floor 8", a.gc.Floor())
+	}
+}
+
+// TestPaxosQuiescentFailoverResumesAboveFloor covers the harder failover
+// case: the quorum reports a trim floor but holds NO surviving votes (the
+// system was quiescent when the coordinator died). The new coordinator
+// must resume instance numbering at the floor — numbering from 0 would
+// propose instances every acceptor silently drops, livelocking fresh
+// traffic forever.
+func TestPaxosQuiescentFailoverResumesAboveFloor(t *testing.T) {
+	env := &fakeEnv{id: 0, rng: rand.New(rand.NewSource(1))}
+	a := &Agent{Cfg: Config{
+		Coordinator: 0,
+		Acceptors:   []proto.NodeID{0, 1, 2},
+		Learners:    []proto.NodeID{100},
+		GCInterval:  50 * time.Millisecond,
+	}}
+	a.Start(env)
+	a.onPhase1B(1, msgPhase1B{Rnd: a.crnd, Floor: 7, Votes: map[int64]vote{}})
+	a.onPhase1B(2, msgPhase1B{Rnd: a.crnd, Floor: 7, Votes: map[int64]vote{}})
+	if !a.phase1Done {
+		t.Fatal("phase 1 incomplete with a quorum of promises")
+	}
+	env.sends = nil
+	a.Propose(core.Value{ID: 1, Bytes: 64})
+	a.flush()
+	var opened []int64
+	for _, s := range env.sends {
+		if m, ok := s.m.(*msgPhase2A); ok {
+			opened = append(opened, m.Inst)
+		}
+	}
+	if len(opened) == 0 || opened[0] != 7 {
+		t.Fatalf("first post-failover instance opened at %v, want 7 (the adopted floor)", opened)
+	}
+}
+
+// TestPaxosTrimmedInstanceStragglerNoGhost delivers a straggling Phase 2A
+// for a trimmed instance to an acceptor: it must not re-create a vote
+// below the floor (a permanent ghost) and must not answer with a 2B.
+func TestPaxosTrimmedInstanceStragglerNoGhost(t *testing.T) {
+	env := &fakeEnv{id: 1, rng: rand.New(rand.NewSource(1))}
+	a := &Agent{Cfg: Config{
+		Coordinator: 0,
+		Acceptors:   []proto.NodeID{0, 1, 2},
+		Learners:    []proto.NodeID{100},
+		GCInterval:  50 * time.Millisecond,
+	}}
+	a.Start(env)
+	for inst := int64(0); inst < 5; inst++ {
+		a.onPhase2A(0, &msgPhase2A{Inst: inst, Rnd: 1 << 10,
+			Val: core.Batch{Vals: []core.Value{{ID: core.ValueID(inst), Bytes: 64}}}})
+	}
+	if a.votes.Len() != 5 {
+		t.Fatalf("vote log %d entries, want 5", a.votes.Len())
+	}
+	a.onTrimFloor(proto.TrimFloor{Inst: 4})
+	if a.votes.Len() != 0 {
+		t.Fatalf("vote log %d entries after TrimFloor(4), want 0", a.votes.Len())
+	}
+	env.sends = nil
+	a.onPhase2A(0, &msgPhase2A{Inst: 2, Rnd: 1 << 10,
+		Val: core.Batch{Vals: []core.Value{{ID: 2, Bytes: 64}}}})
+	if a.votes.Len() != 0 {
+		t.Fatal("straggler 2A resurrected a trimmed instance")
+	}
+	if len(env.sends) != 0 {
+		t.Fatalf("straggler 2A for a trimmed instance answered with %d sends", len(env.sends))
+	}
+	// A live instance above the floor still votes normally.
+	a.onPhase2A(0, &msgPhase2A{Inst: 7, Rnd: 1 << 10,
+		Val: core.Batch{Vals: []core.Value{{ID: 7, Bytes: 64}}}})
+	if !a.votes.Has(7) || len(env.sends) != 1 {
+		t.Fatal("live instance above the floor rejected")
+	}
+}

@@ -58,6 +58,20 @@ type Config struct {
 	// DiskSync makes acceptors persist their vote to stable storage before
 	// answering Phase 2A (Recoverable mode, §3.5.5).
 	DiskSync bool
+	// GCInterval enables the shared learner-version garbage collection
+	// (§3.3.7, extracted from M-Ring Paxos): every GCInterval each learner
+	// sends a proto.VersionReport to the coordinator; once every learner
+	// has reported, the coordinator trims its decision log up to the
+	// minimum reported instance and broadcasts a proto.TrimFloor so
+	// acceptors trim their vote logs too. Zero disables GC — the seed
+	// behavior, which the pinned figure reproductions rely on — and both
+	// logs then grow by one entry per consensus instance forever.
+	GCInterval time.Duration
+	// RecycleBatches lets the coordinator draw batch backing arrays from
+	// its free list and reclaim them when garbage collection trims the
+	// instance (plus one quarantine round). Requires GCInterval > 0 and
+	// learners that consume delivered batches synchronously.
+	RecycleBatches bool
 }
 
 func (c *Config) defaults() {
@@ -87,10 +101,15 @@ type (
 	// msgPhase1A opens round Rnd on all instances.
 	msgPhase1A struct{ Rnd int64 }
 	// msgPhase1B is an acceptor's promise, carrying its votes for all
-	// undecided instances.
+	// undecided instances. Floor is the acceptor's garbage-collection trim
+	// floor: a new coordinator must not resurrect votes below the highest
+	// floor its quorum reports, because acceptors that already trimmed an
+	// instance drop its Phase 2A forever (the below-floor ghost guard), so
+	// a resurrected instance could retry without ever reaching quorum.
 	msgPhase1B struct {
 		Rnd   int64
 		Votes map[int64]vote
+		Floor int64
 	}
 	// msgPhase2A proposes Val in instance Inst at round Rnd. It is sent
 	// as a pointer: the unicast configuration sends one message to every
@@ -154,6 +173,14 @@ type coordInst struct {
 	val     core.Batch
 	votes   uint64
 	decided bool
+	pooled  bool // val.Vals came from this agent's pool; recycle on GC
+}
+
+// logRec is one decided instance retained by the coordinator for learner
+// gap recovery, until garbage collection proves every learner applied it.
+type logRec struct {
+	val    core.Batch
+	pooled bool
 }
 
 // Agent is one Paxos process. Its roles follow from the Config: it acts as
@@ -178,20 +205,36 @@ type Agent struct {
 	batchArmed   bool
 	next         int64
 	open         core.InstLog[coordInst]
-	log          core.InstLog[core.Batch] // decided batches, for retransmission
+	log          core.InstLog[logRec] // decided batches, for retransmission
 	promises     map[proto.NodeID]msgPhase1B
+	pool         core.BatchPool
+
+	// garbage-collection state (shared subsystem, §3.3.7): the coordinator
+	// tracks learner versions and owns the trim floor; acceptors follow the
+	// TrimFloor messages it broadcasts.
+	gc         core.VersionTracker
+	quarantine [][]core.Value // trimmed pooled arrays awaiting one more GC round
 
 	// acceptor state
-	rnd   int64
-	votes core.InstLog[vote]
+	rnd      int64
+	votes    core.InstLog[vote]
+	accFloor int64 // instances below it are trimmed from the vote log
 
 	// learner state
 	learned     core.InstLog[core.Batch]
 	nextDeliver int64
+	// coordHint is where learner-side requests (gap recovery, version
+	// reports) go: the static Cfg.Coordinator until a decision arrives
+	// from somewhere else. Only the active coordinator sends decisions, so
+	// the sender doubles as a liveness hint — after a failover, reports
+	// follow the new coordinator instead of chasing the dead one (which
+	// would quietly disable garbage collection forever).
+	coordHint proto.NodeID
 
 	batchFn    func()
 	retryFn    func(int64)
 	gapTimerFn func()
+	versionFn  func()
 }
 
 var _ proto.Handler = (*Agent)(nil)
@@ -204,11 +247,16 @@ func (a *Agent) Start(env proto.Env) {
 	a.batchFn = func() { a.batchArmed = false; a.flush() }
 	a.retryFn = a.retryInstance
 	a.gapTimerFn = a.gapTick
+	a.versionFn = a.versionTick
+	a.coordHint = a.Cfg.Coordinator
 	if env.ID() == a.Cfg.Coordinator {
 		a.BecomeCoordinator(1)
 	}
 	if a.isLearner() {
 		a.armGapTimer()
+		if a.Cfg.GCInterval > 0 {
+			proto.AfterFree(a.env, a.Cfg.GCInterval, a.versionFn)
+		}
 	}
 }
 
@@ -294,12 +342,17 @@ func (a *Agent) Receive(from proto.NodeID, m proto.Message) {
 	case *msgPhase2B:
 		a.onPhase2B(from, msg)
 	case *msgDecision:
+		a.coordHint = from
 		a.onDecision(msg)
 		if !msg.Shared {
 			decisionPool.Put(msg)
 		}
 	case msgLearnReq:
 		a.onLearnReq(from, msg)
+	case proto.VersionReport:
+		a.onVersionReport(msg)
+	case proto.TrimFloor:
+		a.onTrimFloor(msg)
 	}
 }
 
@@ -324,27 +377,18 @@ func (a *Agent) flush() {
 		return
 	}
 	for a.pending.Len() > 0 && a.open.Len() < a.Cfg.Window {
-		n := 0
-		bytes := 0
-		for n < a.pending.Len() && bytes < a.Cfg.BatchBytes {
-			bytes += a.pending.At(n).Bytes
-			n++
-		}
-		vals := make([]core.Value, n)
-		for i := range vals {
-			vals[i] = a.pending.At(i)
-		}
-		a.pending.PopFront(n)
+		pooled := a.Cfg.RecycleBatches && a.Cfg.GCInterval > 0
+		b, bytes := core.DrainBatch(&a.pending, &a.pool, pooled, a.Cfg.BatchBytes)
 		a.pendingBytes -= bytes
-		a.startInstance(core.Batch{Vals: vals})
+		a.startInstance(b, pooled)
 	}
 }
 
-func (a *Agent) startInstance(b core.Batch) {
+func (a *Agent) startInstance(b core.Batch, pooled bool) {
 	inst := a.next
 	a.next++
 	ci, _ := a.open.Put(inst)
-	*ci = coordInst{rnd: a.crnd, val: b}
+	*ci = coordInst{rnd: a.crnd, val: b, pooled: pooled}
 	a.sendPhase2A(inst, ci)
 }
 
@@ -379,10 +423,28 @@ func (a *Agent) onPhase1B(from proto.NodeID, m msgPhase1B) {
 	}
 	a.phase1Done = true
 	// Adopt the highest-round vote per undecided instance; re-propose it.
+	// Votes below the quorum's highest trim floor (or our own) belong to
+	// instances every learner has applied; acceptors that trimmed them
+	// drop below-floor 2As without replying, so re-opening such an
+	// instance could spin in retryInstance forever, pinning a window slot.
+	floor := a.accFloor
+	for _, p := range a.promises {
+		if p.Floor > floor {
+			floor = p.Floor
+		}
+	}
+	a.gc.SetFloor(floor)
+	if floor > a.next {
+		// Trimmed instances leave no votes behind: without this, a
+		// quiescent failover (no surviving votes at or past the floor)
+		// would restart numbering below the floor, where acceptors drop
+		// every 2A — fresh instances could never decide.
+		a.next = floor
+	}
 	adopt := make(map[int64]vote)
 	for _, p := range a.promises {
 		for inst, v := range p.Votes {
-			if a.log.Has(inst) {
+			if inst < floor || a.log.Has(inst) {
 				continue
 			}
 			if cur, ok := adopt[inst]; !ok || v.rnd > cur.rnd {
@@ -427,7 +489,7 @@ func (a *Agent) onPhase2B(from proto.NodeID, m *msgPhase2B) {
 	ci.decided = true
 	val := ci.val
 	le, _ := a.log.Put(inst)
-	*le = val
+	*le = logRec{val: val, pooled: ci.pooled}
 	a.open.Delete(inst)
 	dec := decisionPool.Get()
 	dec.Inst, dec.Val, dec.Shared = inst, val, true
@@ -455,13 +517,15 @@ func (a *Agent) onLearnReq(from proto.NodeID, m msgLearnReq) {
 		return
 	}
 	// Retransmit up to a handful of decisions per request to bound load.
+	// Trimmed instances are never requested: the trim floor only advances
+	// past an instance after every learner has reported it applied.
 	for inst, sent := m.From, 0; sent < 64; inst, sent = inst+1, sent+1 {
 		b, ok := a.log.Get(inst)
 		if !ok {
 			break
 		}
 		dec := decisionPool.Get()
-		dec.Inst, dec.Val = inst, *b
+		dec.Inst, dec.Val = inst, b.val
 		a.env.Send(from, dec)
 	}
 }
@@ -476,7 +540,7 @@ func (a *Agent) onPhase1A(from proto.NodeID, m msgPhase1A) {
 		return
 	}
 	a.rnd = m.Rnd
-	reply := msgPhase1B{Rnd: a.rnd, Votes: make(map[int64]vote, a.votes.Len())}
+	reply := msgPhase1B{Rnd: a.rnd, Votes: make(map[int64]vote, a.votes.Len()), Floor: a.accFloor}
 	a.votes.Range(func(inst int64, v *vote) bool {
 		reply.Votes[inst] = *v
 		return true
@@ -489,6 +553,12 @@ func (a *Agent) onPhase2A(from proto.NodeID, m *msgPhase2A) {
 		return
 	}
 	if m.Rnd < a.rnd {
+		return
+	}
+	if m.Inst < a.accFloor {
+		// Straggler for a trimmed (globally applied) instance: re-creating
+		// its vote below the trim floor would leave a permanent ghost in
+		// the instance ring, since TrimFloor never looks below it again.
 		return
 	}
 	a.rnd = m.Rnd
@@ -549,7 +619,7 @@ func (a *Agent) armGapTimer() {
 
 func (a *Agent) gapTick() {
 	if a.learned.Len() > 0 || a.stalled() {
-		a.env.Send(a.Cfg.Coordinator, msgLearnReq{From: a.nextDeliver})
+		a.env.Send(a.coordHint, msgLearnReq{From: a.nextDeliver})
 	}
 	a.armGapTimer()
 }
@@ -559,5 +629,70 @@ func (a *Agent) gapTick() {
 // simply ignored).
 func (a *Agent) stalled() bool { return true }
 
+// --- garbage collection (shared subsystem, §3.3.7) ---
+
+// versionTick reports this learner's applied version to the coordinator,
+// which owns the trim floor.
+func (a *Agent) versionTick() {
+	m := proto.VersionReport{From: a.env.ID(), Inst: a.nextDeliver - 1}
+	if a.isCoord {
+		a.onVersionReport(m)
+	} else {
+		a.env.Send(a.coordHint, m)
+	}
+	proto.AfterFree(a.env, a.Cfg.GCInterval, a.versionFn)
+}
+
+// onVersionReport runs on the coordinator: once every learner has
+// reported, it trims its decision log up to the minimum applied instance
+// and tells acceptors to trim their vote logs. Arrays owned by the batch
+// pool are quarantined for one GC round before reuse, exactly like M-Ring
+// Paxos: retransmitted decisions already in flight may still reference a
+// batch the log no longer needs.
+func (a *Agent) onVersionReport(m proto.VersionReport) {
+	if !a.isCoord {
+		return
+	}
+	a.gc.Report(int64(m.From), m.Inst)
+	lo, hi, ok := a.gc.Advance(len(a.Cfg.Learners))
+	if !ok {
+		return
+	}
+	a.quarantine = a.pool.Recycle(a.quarantine)
+	a.log.Trim(lo, hi, func(_ int64, b *logRec) {
+		if b.pooled {
+			a.quarantine = append(a.quarantine, b.val.Vals)
+		}
+	})
+	tf := proto.TrimFloor{Inst: hi}
+	for _, id := range a.Cfg.Acceptors {
+		if id == a.env.ID() {
+			a.onTrimFloor(tf)
+			continue
+		}
+		a.env.Send(id, tf)
+	}
+}
+
+// onTrimFloor runs on acceptors: every consumer has applied instances up
+// to m.Inst, so the votes backing them can never be needed again.
+func (a *Agent) onTrimFloor(m proto.TrimFloor) {
+	if !a.isAcceptor() {
+		return
+	}
+	a.votes.Trim(a.accFloor, m.Inst, nil)
+	if m.Inst >= a.accFloor {
+		a.accFloor = m.Inst + 1
+	}
+}
+
 // NextDeliver returns the next undelivered instance (learner progress).
 func (a *Agent) NextDeliver() int64 { return a.nextDeliver }
+
+// LiveLogLen reports how many per-instance records this agent currently
+// retains across all of its instance logs (coordinator window and decision
+// log, acceptor vote log, learner reorder buffer). Soak workloads sample
+// it to prove garbage collection keeps log occupancy flat.
+func (a *Agent) LiveLogLen() int {
+	return a.open.Len() + a.log.Len() + a.votes.Len() + a.learned.Len()
+}

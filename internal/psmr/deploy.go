@@ -135,6 +135,10 @@ type DeployConfig struct {
 	// DependentPct and Zipf parameterize the workload.
 	DependentPct int
 	Zipf         float64
+	// GCInterval overrides the ordering rings' learner-version garbage
+	// collection interval (§3.3.7); zero keeps the M-Ring default, so the
+	// pinned figure reproductions are untouched.
+	GCInterval time.Duration
 }
 
 // Deployment is a wired P-SMR (or baseline) cluster.
@@ -189,6 +193,7 @@ func (d *Deployment) deploySingleRing() {
 		Ring:           []proto.NodeID{acceptorBase, acceptorBase + 1},
 		Group:          500,
 		RecycleBatches: true,
+		GCInterval:     cfg.GCInterval,
 	}
 	for i := 0; i < cfg.Replicas; i++ {
 		mcfg.Learners = append(mcfg.Learners, proto.NodeID(replicaBase+i))
@@ -232,7 +237,8 @@ func (d *Deployment) deployMultiRing() {
 				proto.NodeID(acceptorBase + r*10),
 				proto.NodeID(acceptorBase + r*10 + 1),
 			},
-			Group: proto.GroupID(500 + r),
+			Group:      proto.GroupID(500 + r),
+			GCInterval: cfg.GCInterval,
 		}
 		for i := 0; i < cfg.Replicas; i++ {
 			ringCfgs[r].Learners = append(ringCfgs[r].Learners, proto.NodeID(replicaBase+i))

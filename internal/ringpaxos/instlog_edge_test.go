@@ -148,8 +148,8 @@ func TestAcceptorTrimAndRetransmit(t *testing.T) {
 		t.Fatalf("store %d entries, %d bytes", a.store.Len(), a.StoreBytes())
 	}
 	// Both learners report version 4: instances 0..4 trim.
-	a.onVersion(mVersion{Learner: 100, Inst: 4, Hops: 1})
-	a.onVersion(mVersion{Learner: 101, Inst: 4, Hops: 1})
+	a.onVersion(proto.VersionReport{From: 100, Inst: 4, Hops: 1})
+	a.onVersion(proto.VersionReport{From: 101, Inst: 4, Hops: 1})
 	if a.store.Len() != 3 {
 		t.Fatalf("store %d entries after GC, want 3", a.store.Len())
 	}

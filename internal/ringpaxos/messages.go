@@ -64,16 +64,11 @@ type (
 		Decided bool
 	}
 	// mSlowDown is a learner flow-control notification, forwarded along
-	// the ring to the coordinator (§3.3.6).
+	// the ring to the coordinator (§3.3.6). Learner applied-version
+	// reports for garbage collection (§3.3.7) use the shared
+	// proto.VersionReport message; acceptors circulate it once around the
+	// ring so every acceptor sees every learner's version.
 	mSlowDown struct{ Backlog int }
-	// mVersion reports a learner's applied version for garbage collection
-	// (§3.3.7); acceptors circulate it once around the ring so every
-	// acceptor sees every learner's version.
-	mVersion struct {
-		Learner proto.NodeID
-		Inst    int64
-		Hops    int
-	}
 
 	// uPhase2 is the combined Phase 2A/2B message of U-Ring Paxos
 	// (Algorithm 3): it travels through the acceptor segment of the ring.
@@ -93,11 +88,15 @@ type (
 		Hops int
 	}
 	// uPhase1A / uPhase1B run U-Ring's (infrequent, pre-executed) Phase 1
-	// over direct channels.
+	// over direct channels. Floor carries the acceptor's garbage-collection
+	// trim floor so a new coordinator never resurrects a vote another
+	// acceptor already trimmed (such an instance would stall mid-ring at
+	// that acceptor's floor guard and pin a window slot forever).
 	uPhase1A struct{ Rnd int64 }
 	uPhase1B struct {
 		Rnd   int64
 		Votes map[int64]vote
+		Floor int64
 	}
 )
 
@@ -105,6 +104,10 @@ type vote struct {
 	rnd int64
 	vid core.ValueID
 	val core.Batch
+	// pooled marks votes whose batch backing array came from the owning
+	// agent's BatchPool (only ever set by the U-Ring coordinator); the
+	// array is recycled when garbage collection trims the instance.
+	pooled bool
 }
 
 // Size implements proto.Message for each wire type.
@@ -125,7 +128,6 @@ func (m mDecision) Size() int      { return headerBytes + 8*len(m.Insts) + 8*len
 func (m mRetransmitReq) Size() int { return headerBytes + 8*len(m.Insts) }
 func (m mRetransmit) Size() int    { return headerBytes + m.Val.Size() }
 func (m mSlowDown) Size() int      { return headerBytes }
-func (m mVersion) Size() int       { return headerBytes }
 func (m uPhase2) Size() int        { return headerBytes + m.Val.Size() }
 func (m uDecision) Size() int {
 	return headerBytes + m.Val.Size()

@@ -201,13 +201,14 @@ type MAgent struct {
 	timersArmed  bool
 
 	// --- acceptor state ---
-	rnd        int64
-	maxInst    int64
-	ring       []proto.NodeID
-	store      core.InstLog[logEntry]
-	storeByte  int
-	versions   map[proto.NodeID]int64
-	gcFloor    int64
+	rnd       int64
+	maxInst   int64
+	ring      []proto.NodeID
+	store     core.InstLog[logEntry]
+	storeByte int
+	// versions tracks learner-reported applied instances and the trim
+	// floor (§3.3.7) through the shared garbage-collection subsystem.
+	versions   core.VersionTracker
 	quarantine [][]core.Value // trimmed pooled arrays awaiting one more GC round
 
 	// --- learner state ---
@@ -251,7 +252,6 @@ func (a *MAgent) Start(env proto.Env) {
 	a.window = a.Cfg.Window
 	a.maxInst = -1
 	a.ring = a.Cfg.Ring
-	a.versions = make(map[proto.NodeID]int64)
 	a.promises = make(map[proto.NodeID]mPhase1B)
 	a.batchFn = func() { a.batchArmed = false; a.flush() }
 	a.retryFn = a.retryInstance
@@ -396,7 +396,7 @@ func (a *MAgent) Receive(from proto.NodeID, m proto.Message) {
 		a.onRetransmit(msg)
 	case mSlowDown:
 		a.onSlowDown(msg)
-	case mVersion:
+	case proto.VersionReport:
 		a.onVersion(msg)
 	}
 }
@@ -657,7 +657,7 @@ func (a *MAgent) onPhase2A(m mPhase2A) {
 		return
 	}
 	a.rnd = m.Rnd
-	if m.Inst < a.gcFloor {
+	if m.Inst < a.versions.Floor() {
 		// A straggling duplicate of a trimmed instance (every learner
 		// already applied it): re-creating its store entry below the GC
 		// floor would leave a permanent ghost in the instance ring, since
@@ -685,7 +685,7 @@ func (a *MAgent) onPhase2A(m mPhase2A) {
 // phase2AProceed runs once the 2A's value is locally stable: the first ring
 // position originates the 2B, later positions release a parked one.
 func (a *MAgent) phase2AProceed(inst, rnd int64, vid core.ValueID) {
-	if inst < a.gcFloor {
+	if inst < a.versions.Floor() {
 		return // trimmed while the disk write was in flight
 	}
 	e, _ := a.store.Put(inst)
@@ -728,7 +728,7 @@ func (a *MAgent) forward2B(m *mPhase2B) {
 }
 
 func (a *MAgent) onPhase2B(m *mPhase2B) {
-	if m.Inst < a.gcFloor {
+	if m.Inst < a.versions.Floor() {
 		// Straggler for a trimmed (globally applied) instance: parking it
 		// would ghost an entry below the GC floor forever.
 		phase2BPool.Put(m)
@@ -754,59 +754,49 @@ func (a *MAgent) onRetransmitReq(from proto.NodeID, m mRetransmitReq) {
 	}
 }
 
-func (a *MAgent) onVersion(m mVersion) {
-	if v, ok := a.versions[m.Learner]; ok && v >= m.Inst {
+func (a *MAgent) onVersion(m proto.VersionReport) {
+	if v, ok := a.versions.Version(int64(m.From)); ok && v >= m.Inst {
 		// Stale or already-circulated report.
 		if m.Hops >= len(a.ring)-1 {
 			return
 		}
 	}
-	a.versions[m.Learner] = m.Inst
+	a.versions.Report(int64(m.From), m.Inst)
 	// Circulate once around the ring so every acceptor sees every version.
 	if i := a.ringIndex(); i >= 0 && m.Hops < len(a.ring)-1 {
 		m.Hops++
 		a.env.Send(a.ring[(i+1)%len(a.ring)], m)
 	}
-	if len(a.versions) < len(a.Cfg.Learners) {
+	lo, hi, ok := a.versions.Advance(len(a.Cfg.Learners))
+	if !ok {
 		return
 	}
-	minV := int64(1<<62 - 1)
-	for _, v := range a.versions {
-		if v < minV {
-			minV = v
+	// Quarantine-then-recycle: arrays trimmed by the PREVIOUS pass go
+	// back to the pool now, a full version round later. At trim time
+	// every learner has reported the instance applied, but a learner
+	// that hands batches to a downstream consumer (the Multi-Ring Paxos
+	// merge) may still be holding the array for a short while; one
+	// extra GC round (≥ GCInterval) retires that window before reuse.
+	a.quarantine = a.pool.Recycle(a.quarantine)
+	a.store.Trim(lo, hi, func(_ int64, e *logEntry) {
+		if e.vid != 0 {
+			a.storeByte -= e.bytes
 		}
-	}
-	if minV >= a.gcFloor {
-		// Quarantine-then-recycle: arrays trimmed by the PREVIOUS pass go
-		// back to the pool now, a full version round later. At trim time
-		// every learner has reported the instance applied, but a learner
-		// that hands batches to a downstream consumer (the Multi-Ring Paxos
-		// merge) may still be holding the array for a short while; one
-		// extra GC round (≥ GCInterval) retires that window before reuse.
-		for _, vals := range a.quarantine {
-			a.pool.Put(vals)
+		if e.pooled {
+			a.quarantine = append(a.quarantine, e.val.Vals)
 		}
-		a.quarantine = a.quarantine[:0]
-	}
-	for inst := a.gcFloor; inst <= minV; inst++ {
-		if e, ok := a.store.Get(inst); ok {
-			if e.vid != 0 {
-				a.storeByte -= e.bytes
-			}
-			if e.pooled {
-				a.quarantine = append(a.quarantine, e.val.Vals)
-			}
-			a.store.Delete(inst)
-		}
-	}
-	if minV >= a.gcFloor {
-		a.gcFloor = minV + 1
-	}
+	})
 }
 
 // StoreBytes reports the bytes of batch payload currently held by this
 // acceptor (the circular-buffer occupancy of §3.5.2).
 func (a *MAgent) StoreBytes() int { return a.storeByte }
+
+// LiveLogLen reports how many per-instance records this agent currently
+// retains across all of its instance logs (acceptor store, coordinator
+// window, learner reorder buffer). Soak workloads sample it to prove the
+// garbage collection keeps log occupancy flat over elapsed time.
+func (a *MAgent) LiveLogLen() int { return a.store.Len() + a.open.Len() + a.insts.Len() }
 
 // --- learner ---
 
@@ -970,7 +960,7 @@ func (a *MAgent) armVersionTimer() {
 }
 
 func (a *MAgent) versionTick() {
-	a.env.Send(a.preferential(), mVersion{Learner: a.env.ID(), Inst: a.nextDeliver - 1})
+	a.env.Send(a.preferential(), proto.VersionReport{From: a.env.ID(), Inst: a.nextDeliver - 1})
 	a.armVersionTimer()
 }
 

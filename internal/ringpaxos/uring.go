@@ -39,6 +39,19 @@ type UConfig struct {
 	// U-Ring Paxos flow control lets a learner process a decision BEFORE
 	// forwarding it (§3.3.6), so a slow learner backpressures the ring.
 	ExecCost time.Duration
+	// GCInterval enables the shared learner-version garbage collection
+	// (§3.3.7, extracted from M-Ring Paxos): every GCInterval each learner
+	// pipelines a proto.VersionReport around the ring; once every learner
+	// has reported, acceptors trim their vote logs up to the minimum
+	// reported instance. Zero disables GC — the seed behavior, which the
+	// pinned figure reproductions rely on — and vote logs then grow by one
+	// entry per consensus instance forever.
+	GCInterval time.Duration
+	// RecycleBatches lets the coordinator draw batch backing arrays from
+	// its free list and reclaim them when garbage collection trims the
+	// instance (plus one quarantine round). Requires GCInterval > 0 and
+	// learners that consume delivered batches synchronously.
+	RecycleBatches bool
 }
 
 func (c *UConfig) defaults() {
@@ -91,10 +104,18 @@ type UAgent struct {
 	batchFn      func()
 	next         int64
 	openCount    int
+	pool         core.BatchPool
 
 	// acceptor state
 	rnd   int64
 	votes core.InstLog[vote]
+
+	// garbage-collection state (shared subsystem, §3.3.7): every ring
+	// process tracks learner versions — reports pipeline around the whole
+	// ring — and trims its vote log when the floor advances.
+	gc         core.VersionTracker
+	quarantine [][]core.Value // trimmed pooled arrays awaiting one more GC round
+	versionFn  func()
 
 	// learner state
 	learned     core.InstLog[core.Batch]
@@ -117,8 +138,12 @@ func (a *UAgent) Start(env proto.Env) {
 	a.Cfg.defaults()
 	a.promises = make(map[proto.NodeID]uPhase1B)
 	a.batchFn = func() { a.batchArmed = false; a.flush() }
+	a.versionFn = a.versionTick
 	if env.ID() == a.Cfg.Coordinator() {
 		a.becomeCoordinator(1)
+	}
+	if a.Cfg.GCInterval > 0 && a.isLearner() {
+		proto.AfterFree(a.env, a.Cfg.GCInterval, a.versionFn)
 	}
 }
 
@@ -205,6 +230,8 @@ func (a *UAgent) Receive(from proto.NodeID, m proto.Message) {
 		a.onPhase2(msg)
 	case *uDecision:
 		a.onDecision(msg)
+	case proto.VersionReport:
+		a.onVersionReport(msg)
 	}
 }
 
@@ -228,29 +255,21 @@ func (a *UAgent) flush() {
 		return
 	}
 	for a.pending.Len() > 0 && a.openCount < a.Cfg.Window {
-		n, bytes := 0, 0
-		for n < a.pending.Len() && bytes < a.Cfg.BatchBytes {
-			bytes += a.pending.At(n).Bytes
-			n++
-		}
-		vals := make([]core.Value, n)
-		for i := range vals {
-			vals[i] = a.pending.At(i)
-		}
-		a.pending.PopFront(n)
+		pooled := a.Cfg.RecycleBatches && a.Cfg.GCInterval > 0
+		b, bytes := core.DrainBatch(&a.pending, &a.pool, pooled, a.Cfg.BatchBytes)
 		a.pendingBytes -= bytes
-		a.startInstance(core.Batch{Vals: vals})
+		a.startInstance(b, pooled)
 	}
 }
 
-func (a *UAgent) startInstance(b core.Batch) {
+func (a *UAgent) startInstance(b core.Batch, pooled bool) {
 	inst := a.next
 	a.next++
 	a.openCount++
 	vid := core.ValueID(a.crnd<<32 | inst)
 	// The coordinator votes itself and sends the combined 2A/2B onward.
 	v, _ := a.votes.Put(inst)
-	*v = vote{rnd: a.crnd, vid: vid, val: b}
+	*v = vote{rnd: a.crnd, vid: vid, val: b, pooled: pooled}
 	m := uPhase2Pool.Get()
 	m.Inst, m.Rnd, m.VID, m.Val = inst, a.crnd, vid, b
 	if a.Cfg.DiskSync {
@@ -275,7 +294,7 @@ func (a *UAgent) onPhase1A(from proto.NodeID, m uPhase1A) {
 		return
 	}
 	a.rnd = m.Rnd
-	reply := uPhase1B{Rnd: a.rnd, Votes: make(map[int64]vote)}
+	reply := uPhase1B{Rnd: a.rnd, Votes: make(map[int64]vote), Floor: a.gc.Floor()}
 	a.votes.Range(func(inst int64, v *vote) bool {
 		reply.Votes[inst] = *v
 		return true
@@ -292,6 +311,17 @@ func (a *UAgent) onPhase1B(from proto.NodeID, m uPhase1B) {
 		return
 	}
 	a.phase1Done = true
+	// Adopt the quorum's highest trim floor first: the floor guard below
+	// then filters votes for instances some acceptor already trimmed.
+	for _, p := range a.promises {
+		a.gc.SetFloor(p.Floor)
+	}
+	if f := a.gc.Floor(); f > a.next {
+		// Resume numbering above the trimmed prefix: a fresh instance
+		// below the floor would ghost in our own vote ring and stall
+		// mid-ring at any acceptor that already trimmed it.
+		a.next = f
+	}
 	adopt := make(map[int64]vote)
 	for _, p := range a.promises {
 		for inst, v := range p.Votes {
@@ -306,7 +336,10 @@ func (a *UAgent) onPhase1B(from proto.NodeID, m uPhase1B) {
 	}
 	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
 	for _, inst := range insts {
-		if a.learned.Has(inst) || inst < a.nextDeliver {
+		if a.learned.Has(inst) || inst < a.nextDeliver || inst < a.gc.Floor() {
+			// Delivered here, or globally applied and trimmed: acceptors
+			// that trimmed the instance drop its Phase 2 at the floor
+			// guard, so re-opening it could never complete its ring pass.
 			continue
 		}
 		if inst >= a.next {
@@ -332,6 +365,14 @@ func (a *UAgent) onPhase2(m *uPhase2) {
 		return
 	}
 	if m.Rnd < a.rnd {
+		uPhase2Pool.Put(m)
+		return
+	}
+	if m.Inst < a.gc.Floor() {
+		// Straggler for a trimmed (globally applied) instance: re-creating
+		// its vote below the GC floor would leave a permanent ghost in the
+		// instance ring, since garbage collection never looks below the
+		// floor again.
 		uPhase2Pool.Put(m)
 		return
 	}
@@ -468,5 +509,55 @@ func (a *UAgent) finishBatch(inst int64, b core.Batch) {
 	}
 }
 
+// --- garbage collection (shared subsystem, §3.3.7) ---
+
+// versionTick reports this learner's applied version. The report is
+// recorded locally, then pipelined around the ring like every other U-Ring
+// message, so each process — in particular every acceptor — sees every
+// learner's version without any extra fan-out.
+func (a *UAgent) versionTick() {
+	v := a.nextDeliver - 1
+	a.gc.Report(int64(a.env.ID()), v)
+	a.trimLogs()
+	if len(a.Cfg.Ring) > 1 {
+		a.env.Send(a.succ(), proto.VersionReport{From: a.env.ID(), Inst: v})
+	}
+	proto.AfterFree(a.env, a.Cfg.GCInterval, a.versionFn)
+}
+
+// onVersionReport records a circulating report and forwards it until it
+// has completed one revolution (the originator recorded itself at send).
+func (a *UAgent) onVersionReport(m proto.VersionReport) {
+	a.gc.Report(int64(m.From), m.Inst)
+	a.trimLogs()
+	m.Hops++
+	if m.Hops < len(a.Cfg.Ring)-1 {
+		a.env.Send(a.succ(), m)
+	}
+}
+
+// trimLogs drops vote-log entries for globally applied instances once
+// every learner has reported. Arrays owned by the coordinator's batch pool
+// are quarantined for one GC round before reuse, exactly like M-Ring
+// Paxos: a learner's deferred ExecCost completion may still be reading a
+// batch it already counted as applied.
+func (a *UAgent) trimLogs() {
+	lo, hi, ok := a.gc.Advance(len(a.Cfg.Learners))
+	if !ok {
+		return
+	}
+	a.quarantine = a.pool.Recycle(a.quarantine)
+	a.votes.Trim(lo, hi, func(_ int64, v *vote) {
+		if v.pooled {
+			a.quarantine = append(a.quarantine, v.val.Vals)
+		}
+	})
+}
+
 // NextDeliver returns the learner's delivery frontier.
 func (a *UAgent) NextDeliver() int64 { return a.nextDeliver }
+
+// LiveLogLen reports how many per-instance records this agent currently
+// retains (acceptor vote log plus learner reorder buffer). Soak workloads
+// sample it to prove garbage collection keeps log occupancy flat.
+func (a *UAgent) LiveLogLen() int { return a.votes.Len() + a.learned.Len() }

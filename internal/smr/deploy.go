@@ -41,6 +41,10 @@ type DeployConfig struct {
 	CS bool
 	// Think is the optional client think time.
 	Think time.Duration
+	// GCInterval overrides the ordering ring's learner-version garbage
+	// collection interval (§3.3.7); zero keeps the M-Ring default, so the
+	// pinned figure reproductions are untouched.
+	GCInterval time.Duration
 }
 
 // Deployment is a wired cluster ready to run.
@@ -105,7 +109,7 @@ func (d *Deployment) deploySMR() {
 	// Replicas copy commands out of delivered values synchronously (the
 	// speculative path retains the Payload command slice, never the batch
 	// array), so batch storage can recycle.
-	mcfg := ringpaxos.MConfig{Group: 500, RecycleBatches: true}
+	mcfg := ringpaxos.MConfig{Group: 500, RecycleBatches: true, GCInterval: cfg.GCInterval}
 	for i := 0; i < cfg.RingSize; i++ {
 		mcfg.Ring = append(mcfg.Ring, proto.NodeID(acceptorBase+i))
 	}
