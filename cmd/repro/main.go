@@ -8,8 +8,9 @@
 //	repro -all                   run everything on a worker pool
 //	repro -all -jobs 1           force the sequential path
 //	repro -all -json             machine-readable per-experiment summary
-//	repro -update-golden         re-pin the golden output hashes
-//	repro -verify-golden         check every experiment against its pin
+//	repro -update-golden         re-pin the golden hashes (output + delivery)
+//	repro -verify-golden         check every experiment's output hash pin
+//	repro -verify-deliv          check every experiment's delivery-sequence pin
 //	repro -allocs fig4.3         alloc-profile experiments sequentially
 //	repro -check-allocs ci/budgets.json  enforce allocation/heap ceilings
 //
@@ -38,12 +39,25 @@ func main() {
 // jsonResult is the machine-readable per-experiment record emitted by
 // -json.
 type jsonResult struct {
-	ID     string  `json:"id"`
-	Title  string  `json:"title"`
-	SHA256 string  `json:"sha256,omitempty"`
-	Bytes  int     `json:"bytes"`
-	WallMS float64 `json:"wall_ms"`
-	Error  string  `json:"error,omitempty"`
+	ID          string  `json:"id"`
+	Title       string  `json:"title"`
+	SHA256      string  `json:"sha256,omitempty"`
+	DelivSHA256 string  `json:"deliv_sha256,omitempty"`
+	Bytes       int     `json:"bytes"`
+	WallMS      float64 `json:"wall_ms"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// jsonExperiment is the machine-readable record emitted by -list -json.
+// RepinnedNote carries the audit trail of the most recent deliberate
+// output-golden re-pin, so reviewers can tell re-pinned artifacts apart
+// from untouched ones without archaeology.
+type jsonExperiment struct {
+	ID           string `json:"id"`
+	Title        string `json:"title"`
+	Volatile     bool   `json:"volatile,omitempty"`
+	Repinned     bool   `json:"repinned,omitempty"`
+	RepinnedNote string `json:"repinned_note,omitempty"`
 }
 
 type jsonSummary struct {
@@ -66,8 +80,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	all := fs.Bool("all", false, "run every experiment")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker pool size for -all and golden runs (<1 means GOMAXPROCS)")
 	jsonOut := fs.Bool("json", false, "with -all: emit a JSON run summary on stdout instead of experiment text")
-	updateGolden := fs.Bool("update-golden", false, "regenerate the golden output hashes for all deterministic experiments")
-	verifyGolden := fs.Bool("verify-golden", false, "run all deterministic experiments and compare against the golden hashes")
+	updateGolden := fs.Bool("update-golden", false, "regenerate the golden hashes (output AND delivery) for all deterministic experiments")
+	verifyGolden := fs.Bool("verify-golden", false, "run all deterministic experiments and compare against the golden output hashes")
+	verifyDeliv := fs.Bool("verify-deliv", false, "run all deterministic experiments and compare against the delivery-sequence pins (combines with -verify-golden)")
 	goldenDir := fs.String("golden-dir", bench.DefaultGoldenDir, "golden hash directory (relative to the repository root)")
 	allocs := fs.String("allocs", "", "comma-separated experiment ids to alloc-profile sequentially (JSON on stdout)")
 	checkAllocs := fs.String("check-allocs", "", "budget file (e.g. ci/budgets.json): alloc-profile each budgeted experiment and fail on any exceeded ceiling")
@@ -77,8 +92,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
-	if *jsonOut && !*all {
-		fmt.Fprintln(stderr, "-json only applies to -all")
+	if *jsonOut && !*all && !*list {
+		fmt.Fprintln(stderr, "-json only applies to -all or -list")
 		return 2
 	}
 
@@ -88,11 +103,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *allocs != "":
 		return runAllocs(stdout, stderr, *allocs)
 	case *list:
-		for _, e := range bench.All() {
-			fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
-		}
-		return 0
-	case *updateGolden, *verifyGolden:
+		return runList(stdout, stderr, *jsonOut)
+	case *updateGolden, *verifyGolden, *verifyDeliv:
 		exps := bench.GoldenExperiments()
 		if *exp != "" {
 			// Re-pin or check a single experiment after a targeted change.
@@ -107,7 +119,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			exps = []bench.Experiment{e}
 		}
-		return goldenRun(stdout, stderr, bench.ResolveGoldenDir(*goldenDir), *jobs, *updateGolden, exps)
+		return goldenRun(stdout, stderr, bench.ResolveGoldenDir(*goldenDir), *jobs, *updateGolden, *verifyGolden, *verifyDeliv, exps)
 	case *all:
 		return runAll(stdout, stderr, *jobs, *jsonOut)
 	case *exp != "":
@@ -186,7 +198,7 @@ func runAll(stdout, stderr io.Writer, jobs int, jsonOut bool) int {
 		}
 		for _, r := range results {
 			jr := jsonResult{ID: r.ID, Title: r.Title, SHA256: r.SHA256,
-				Bytes: r.Bytes, WallMS: float64(r.Wall) / 1e6}
+				DelivSHA256: r.DelivSHA256, Bytes: r.Bytes, WallMS: float64(r.Wall) / 1e6}
 			if r.Err != nil {
 				jr.Error = r.Err.Error()
 			}
@@ -263,9 +275,41 @@ func runCheckAllocs(stdout, stderr io.Writer, path string) int {
 	return 0
 }
 
+// runList prints the experiment registry; with jsonOut it emits one JSON
+// record per experiment including re-pin provenance notes.
+func runList(stdout, stderr io.Writer, jsonOut bool) int {
+	if jsonOut {
+		var out []jsonExperiment
+		for _, e := range bench.All() {
+			je := jsonExperiment{ID: e.ID, Title: e.Title, Volatile: e.Volatile}
+			if note, ok := bench.RepinNote(e.ID); ok {
+				je.Repinned, je.RepinnedNote = true, note
+			}
+			out = append(out, je)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+	for _, e := range bench.All() {
+		mark := ""
+		if note, ok := bench.RepinNote(e.ID); ok {
+			mark = "  [re-pinned: " + note + "]"
+		}
+		fmt.Fprintf(stdout, "%-10s %s%s\n", e.ID, e.Title, mark)
+	}
+	return 0
+}
+
 // goldenRun regenerates (update=true) or verifies the golden hashes for
-// the given experiments.
-func goldenRun(stdout, stderr io.Writer, dir string, jobs int, update bool, exps []bench.Experiment) int {
+// the given experiments. verifyOut checks the output-hash layer,
+// verifyDeliv the delivery-sequence layer; updates always pin both, from
+// the same simulation pass.
+func goldenRun(stdout, stderr io.Writer, dir string, jobs int, update, verifyOut, verifyDeliv bool, exps []bench.Experiment) int {
 	start := time.Now()
 	results := bench.Run(exps, bench.Options{Jobs: jobs, OnResult: func(r bench.Result) {
 		if r.Err != nil {
@@ -285,16 +329,34 @@ func goldenRun(stdout, stderr io.Writer, dir string, jobs int, update bool, exps
 				fmt.Fprintln(stderr, err)
 				return 1
 			}
+			if err := bench.WriteDelivGolden(dir, r.ID, r.DelivSHA256); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
 		}
-		fmt.Fprintf(stdout, "pinned %d golden hashes under %s\n", len(results), dir)
+		fmt.Fprintf(stdout, "pinned %d golden hashes (output + delivery) under %s\n", len(results), dir)
 		return 0
 	}
-	if bad := bench.VerifyGolden(dir, results); len(bad) > 0 {
+	var bad []string
+	if verifyOut {
+		bad = append(bad, bench.VerifyGolden(dir, results)...)
+	}
+	if verifyDeliv {
+		bad = append(bad, bench.VerifyDelivGolden(dir, results)...)
+	}
+	if len(bad) > 0 {
 		for _, b := range bad {
 			fmt.Fprintln(stderr, b)
 		}
 		return 1
 	}
-	fmt.Fprintf(stdout, "all %d experiments match their golden hashes\n", len(results))
+	gates := "output"
+	switch {
+	case verifyOut && verifyDeliv:
+		gates = "output + delivery"
+	case verifyDeliv:
+		gates = "delivery"
+	}
+	fmt.Fprintf(stdout, "all %d experiments match their golden hashes (%s)\n", len(results), gates)
 	return 0
 }

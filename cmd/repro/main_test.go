@@ -67,10 +67,42 @@ func TestJobsFlagParsing(t *testing.T) {
 	}
 }
 
-func TestJSONRequiresAll(t *testing.T) {
+func TestJSONRequiresAllOrList(t *testing.T) {
 	code, _, errw := runCLI(t, "-exp", "tab3.1", "-json")
-	if code != 2 || !strings.Contains(errw, "-json only applies to -all") {
+	if code != 2 || !strings.Contains(errw, "-json only applies to -all or -list") {
 		t.Fatalf("-exp -json exit %d, stderr %q; want usage error", code, errw)
+	}
+}
+
+func TestListJSONCarriesProvenance(t *testing.T) {
+	code, out, errw := runCLI(t, "-list", "-json")
+	if code != 0 {
+		t.Fatalf("-list -json exit %d, stderr %s", code, errw)
+	}
+	var exps []struct {
+		ID           string `json:"id"`
+		Title        string `json:"title"`
+		Repinned     bool   `json:"repinned"`
+		RepinnedNote string `json:"repinned_note"`
+	}
+	if err := json.Unmarshal([]byte(out), &exps); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, out)
+	}
+	byID := map[string]bool{}
+	for _, e := range exps {
+		byID[e.ID] = true
+		if note, ok := bench.RepinNote(e.ID); ok {
+			if !e.Repinned || e.RepinnedNote != note {
+				t.Errorf("%s: provenance note missing from -list -json (%+v)", e.ID, e)
+			}
+		} else if e.Repinned {
+			t.Errorf("%s marked repinned without a note in the registry", e.ID)
+		}
+	}
+	for _, id := range []string{"fig3.2", "soak.mring", "tab6.1"} {
+		if !byID[id] {
+			t.Errorf("-list -json missing %s", id)
+		}
 	}
 }
 
@@ -110,6 +142,36 @@ func TestGoldenUpdateAndVerifyRoundTrip(t *testing.T) {
 	code, _, errw = runCLI(t, "-verify-golden", "-exp", "tab6.1", "-golden-dir", dir)
 	if code != 1 || !strings.Contains(errw, "no golden file") {
 		t.Fatalf("-verify-golden on unpinned experiment: exit %d, stderr %q", code, errw)
+	}
+}
+
+func TestDelivGoldenUpdateAndVerifyRoundTrip(t *testing.T) {
+	// -update-golden pins both layers from one run; -verify-deliv checks
+	// only the delivery layer; both gates compose in one invocation.
+	dir := t.TempDir()
+	code, out, errw := runCLI(t, "-update-golden", "-exp", "tab3.1", "-golden-dir", dir)
+	if code != 0 || !strings.Contains(out, "output + delivery") {
+		t.Fatalf("-update-golden exit %d, out %q, err %q", code, out, errw)
+	}
+	if _, err := bench.ReadDelivGolden(dir, "tab3.1"); err != nil {
+		t.Fatalf("-update-golden left no delivery pin: %v", err)
+	}
+	code, out, _ = runCLI(t, "-verify-deliv", "-exp", "tab3.1", "-golden-dir", dir)
+	if code != 0 || !strings.Contains(out, "golden hashes (delivery)") {
+		t.Fatalf("-verify-deliv exit %d, out %q", code, out)
+	}
+	code, out, _ = runCLI(t, "-verify-golden", "-verify-deliv", "-exp", "tab3.1", "-golden-dir", dir)
+	if code != 0 || !strings.Contains(out, "(output + delivery)") {
+		t.Fatalf("combined verify exit %d, out %q", code, out)
+	}
+	// A corrupted delivery pin must fail the delivery gate with the
+	// louder delivery-specific diagnosis.
+	if err := bench.WriteDelivGolden(dir, "tab3.1", strings.Repeat("0", 64)); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errw = runCLI(t, "-verify-deliv", "-exp", "tab3.1", "-golden-dir", dir)
+	if code != 1 || !strings.Contains(errw, "DELIVERY SEQUENCE diverged") {
+		t.Fatalf("tampered delivery pin: exit %d, stderr %q", code, errw)
 	}
 }
 

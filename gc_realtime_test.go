@@ -1,0 +1,67 @@
+package repro
+
+import (
+	"testing"
+	"time"
+)
+
+// replicatedLogSpan drives a 3-node realtime ReplicatedLog under
+// sustained appends for roughly dur of wall time, stops the cluster, and
+// returns the total live per-instance log span across all agents plus
+// the probe node's delivery count. The cluster is stopped before any
+// agent state is read, so the read races nothing.
+func replicatedLogSpan(t *testing.T, gc time.Duration, dur time.Duration) (span int, delivered int) {
+	t.Helper()
+	c := NewCluster(7)
+	var probe int
+	log := NewReplicatedLog(c, LogConfig{
+		Nodes:      []NodeID{1, 2, 3},
+		BatchDelay: time.Millisecond,
+		GCInterval: gc,
+		Deliver: func(node NodeID, _ int64, _ Value) {
+			if node == 1 {
+				probe++
+			}
+		},
+	})
+	c.Start()
+	deadline := time.Now().Add(dur)
+	for i := 0; time.Now().Before(deadline); i++ {
+		log.Propose(NodeID(i%3+1), Value{ID: ValueID(i + 1), Bytes: 64})
+		time.Sleep(time.Millisecond)
+	}
+	// Let in-flight instances decide and (when enabled) a final few GC
+	// rounds trim behind them before the snapshot.
+	time.Sleep(200 * time.Millisecond)
+	c.Stop()
+	for _, id := range []NodeID{1, 2, 3} {
+		span += log.Agent(id).LiveLogLen()
+	}
+	return span, probe
+}
+
+// TestRealtimeLogGCBoundsVoteLogSpan covers the realtime GCInterval
+// plumbing end to end: with the zero-value (default) LogConfig the
+// shared learner-version GC is on and the live vote-log span stays
+// bounded under sustained appends; GCInterval -1 reproduces the old
+// pre-plumbing behavior, retaining one record per instance forever.
+// Wall-clock timing is inherently noisy, so the assertions compare the
+// two runs against each other with generous margins rather than pinning
+// absolute counts.
+func TestRealtimeLogGCBoundsVoteLogSpan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives ~1.5s of wall-clock cluster time; timing-sensitive under -short CI contention")
+	}
+	const dur = 700 * time.Millisecond
+	bounded, deliveredOn := replicatedLogSpan(t, 0, dur)
+	leaky, deliveredOff := replicatedLogSpan(t, -1, dur)
+	if deliveredOn == 0 || deliveredOff == 0 {
+		t.Fatalf("no deliveries (on=%d off=%d): the log never made progress", deliveredOn, deliveredOff)
+	}
+	if leaky < 60 {
+		t.Fatalf("control run retained only %d records: not enough instances to judge boundedness", leaky)
+	}
+	if bounded > leaky/3 {
+		t.Fatalf("default config retains %d live log records vs %d without GC: vote logs are not bounded", bounded, leaky)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lan"
+	"repro/internal/paxos"
 	"repro/internal/proto"
 )
 
@@ -232,6 +233,24 @@ func newSP(n int, seed int64) *spRig {
 	}
 	r.l.Start()
 	return r
+}
+
+// TestSPaxosGCDefaultsOn pins the on-by-default contract end to end: a
+// zero-value SPaxos resolves its inner ordering agent to the nonzero
+// default GC interval; only the explicit negative opts out. The bounded
+// inner log under the default is covered by the soak.spaxos workload.
+func TestSPaxosGCDefaultsOn(t *testing.T) {
+	r := newSP(3, 1)
+	if got := r.nodes[0].GCIntervalEffective(); got != paxos.DefaultGCInterval {
+		t.Errorf("zero-value SPaxos resolved inner GCInterval to %v, want %v", got, paxos.DefaultGCInterval)
+	}
+	l := lan.New(lan.DefaultConfig(), 1)
+	off := &SPaxos{Replicas: []proto.NodeID{0, 1, 2}, GCInterval: -1}
+	l.AddNode(0, off)
+	l.Start()
+	if got := off.GCIntervalEffective(); got != 0 {
+		t.Errorf("GCInterval -1 resolved to %v, want 0 (off)", got)
+	}
 }
 
 func TestSPaxosTotalOrder(t *testing.T) {

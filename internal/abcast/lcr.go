@@ -37,6 +37,10 @@ type LCR struct {
 	DiskSync bool
 	// Deliver is invoked for every value in delivery order.
 	Deliver core.DeliverFunc
+	// Trace, if set, folds this process's delivered command sequence into
+	// a delivery-equivalence digest (see core.DelivTrace). Pure
+	// observation: it sends nothing and consumes no simulated time.
+	Trace *core.DelivTrace
 
 	env proto.Env
 
@@ -254,6 +258,12 @@ func (l *LCR) drain() {
 		}
 		b := e.val
 		l.learned.Delete(l.next)
+		if l.Trace != nil {
+			now := l.env.Now()
+			for _, v := range b.Vals {
+				l.Trace.Note(now, l.next, v)
+			}
+		}
 		for _, v := range b.Vals {
 			l.DeliveredBytes += int64(v.Bytes)
 			l.DeliveredMsgs++

@@ -28,13 +28,19 @@ type SPaxos struct {
 	// GCJitter, when positive, injects random pauses that model the JVM
 	// garbage-collection variability observed in §3.5.4.
 	GCJitter time.Duration
-	// GCInterval enables the shared learner-version log GC (§3.3.7) on the
-	// inner Paxos agent that orders request ids: replicas report applied
-	// instances, the leader trims its decision log and acceptor vote logs.
-	// Zero disables it (the seed behavior the pinned figures rely on).
+	// GCInterval is the shared learner-version log GC period (§3.3.7) of
+	// the inner Paxos agent that orders request ids: replicas report
+	// applied instances, the leader trims its decision log and acceptor
+	// vote logs. Zero resolves to the inner agent's default — GC is ON by
+	// default; a negative value disables it (the pre-default seed
+	// behavior: the inner logs grow forever).
 	GCInterval time.Duration
 	// Deliver is invoked for every value in delivery order.
 	Deliver core.DeliverFunc
+	// Trace, if set, folds this replica's delivered command sequence into
+	// a delivery-equivalence digest (see core.DelivTrace). Pure
+	// observation: it sends nothing and consumes no simulated time.
+	Trace *core.DelivTrace
 
 	env   proto.Env
 	inner *paxos.Agent
@@ -229,11 +235,25 @@ func (s *SPaxos) drain() {
 			s.LatencySum += s.env.Now() - v.Born
 			s.LatencyCount++
 		}
+		if s.Trace != nil {
+			s.Trace.Note(s.env.Now(), s.seq, v)
+		}
 		if s.Deliver != nil {
 			s.Deliver(s.seq, v)
 		}
 		s.seq++
 	}
+}
+
+// GCIntervalEffective returns the garbage-collection period the inner
+// ordering agent resolved at Start: the nonzero default for a zero
+// config, 0 when explicitly disabled with a negative interval. Before
+// Start nothing is resolved yet and it returns the raw configured value.
+func (s *SPaxos) GCIntervalEffective() time.Duration {
+	if s.inner == nil {
+		return s.GCInterval
+	}
+	return s.inner.Cfg.GCInterval
 }
 
 // LiveLogLen reports how many per-request and per-instance records this

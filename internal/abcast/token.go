@@ -28,6 +28,10 @@ type TokenRing struct {
 	DaemonCost time.Duration
 	// Deliver is invoked for every value in delivery order.
 	Deliver core.DeliverFunc
+	// Trace, if set, folds this process's delivered command sequence into
+	// a delivery-equivalence digest (see core.DelivTrace). Pure
+	// observation: it sends nothing and consumes no simulated time.
+	Trace *core.DelivTrace
 
 	env proto.Env
 
@@ -211,6 +215,12 @@ func (t *TokenRing) drain() {
 		b := *e
 		// Keep a bounded history for token-driven retransmission.
 		t.learned.Delete(t.next - 1024)
+		if t.Trace != nil {
+			now := t.env.Now()
+			for _, v := range b.Vals {
+				t.Trace.Note(now, t.next, v)
+			}
+		}
 		for _, v := range b.Vals {
 			t.DeliveredBytes += int64(v.Bytes)
 			t.DeliveredMsgs++

@@ -25,8 +25,16 @@ type Experiment struct {
 	ID string
 	// Title describes the artifact.
 	Title string
-	// Run regenerates it, writing human-readable series to w.
+	// Run regenerates it, writing human-readable series to w. For
+	// registered experiments it is synthesized from Traced with no
+	// recorder, so external callers (benchmarks, smoke tests) keep the
+	// one-argument shape.
 	Run func(w io.Writer)
+	// Traced regenerates the artifact while folding every learner's
+	// delivered command sequence into rec (nil rec records nothing).
+	// All registered experiments provide it; it is what the worker pool
+	// runs so output and delivery hashes come from the same simulation.
+	Traced func(w io.Writer, rec *DelivRecorder)
 	// Volatile marks an experiment whose output is legitimately not
 	// byte-stable across runs (none today: every registered experiment is
 	// deterministic for a fixed seed). Volatile experiments are excluded
@@ -39,19 +47,32 @@ type Experiment struct {
 // path the worker pool (and through it the golden-file suite) runs every
 // experiment through: anything that changes a single output byte changes
 // the hash.
-func (e Experiment) Hash(w io.Writer) string {
+func (e Experiment) Hash(w io.Writer) string { return e.hashTraced(w, nil) }
+
+// hashTraced is Hash with a delivery recorder attached to the same run.
+func (e Experiment) hashTraced(w io.Writer, rec *DelivRecorder) string {
 	h := sha256.New()
-	if w == nil {
-		e.Run(h)
+	out := io.Writer(h)
+	if w != nil {
+		out = io.MultiWriter(h, w)
+	}
+	if e.Traced != nil {
+		e.Traced(out, rec)
 	} else {
-		e.Run(io.MultiWriter(h, w))
+		e.Run(out)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
 var registry []Experiment
 
-func register(e Experiment) { registry = append(registry, e) }
+func register(e Experiment) {
+	if e.Run == nil && e.Traced != nil {
+		tr := e.Traced
+		e.Run = func(w io.Writer) { tr(w, nil) }
+	}
+	registry = append(registry, e)
+}
 
 // All returns every registered experiment, sorted by ID.
 func All() []Experiment {

@@ -1,0 +1,137 @@
+package bench
+
+// This file holds the delivery-equivalence golden layer: a second,
+// schedule-invariant regression net next to the byte-level output hashes.
+//
+// The output goldens pin every byte an experiment prints, which also pins
+// incidental message schedules (batch boundaries, retransmission timing,
+// GC version traffic). The delivery goldens pin only what the paper's
+// protocols actually guarantee: the agreed delivery sequence at every
+// learner. Each experiment run carries a DelivRecorder; every deployment
+// the experiment builds registers its learners, and each learner folds
+// its delivered (instance id, value id, value size) sequence — in
+// delivery order, nothing else — into a streaming SHA-256
+// (core.DelivTrace). The per-learner digests combine, in registration
+// order, into one experiment-level digest pinned under
+// testdata/golden/<id>.deliv.sha256.
+//
+// Traces stop at DelivWindow of simulated time, before the first
+// garbage-collection version report can fire (protocol GC intervals are
+// >= 50ms). Within that window the discrete-event schedule is provably
+// unaffected by GC-interval defaults and GC-timer arming changes — extra
+// timers only shift kernel sequence numbers uniformly, never the relative
+// order of earlier events — so a schedule-changing fix that preserves the
+// agreed delivery sequence leaves every .deliv.sha256 byte-identical
+// while the output goldens move.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// DelivWindow bounds every delivery trace to the schedule-invariant
+// prefix: strictly before the earliest instant at which any protocol's
+// garbage-collection version reporting (interval >= 50ms) can first
+// perturb the event schedule.
+const DelivWindow = 45 * time.Millisecond
+
+// DelivRecorder accumulates the per-learner delivery traces of one
+// experiment run. A nil recorder is fully functional as a no-op, so
+// harness code can wire traces unconditionally.
+type DelivRecorder struct {
+	deps   int
+	scopes []delivScope
+}
+
+type delivScope struct {
+	key string
+	tr  *core.DelivTrace
+}
+
+// Deployment opens the next deployment scope (experiments that sweep a
+// parameter build many deployments; scopes are numbered in build order,
+// which is deterministic for a registered experiment).
+func (r *DelivRecorder) Deployment() *DelivDeployment {
+	if r == nil {
+		return nil
+	}
+	d := &DelivDeployment{r: r, idx: r.deps}
+	r.deps++
+	return d
+}
+
+// DelivDeployment hands out learner traces inside one deployment scope.
+type DelivDeployment struct {
+	r   *DelivRecorder
+	idx int
+}
+
+// Learner registers a delivery trace for the learner at node id.
+func (d *DelivDeployment) Learner(id proto.NodeID) *core.DelivTrace {
+	if d == nil {
+		return nil
+	}
+	return d.add(fmt.Sprintf("d%d/L%d", d.idx, id))
+}
+
+// LearnerRing registers a trace for one of a learner's per-ring agents
+// (Multi-Ring Paxos / P-SMR deployments).
+func (d *DelivDeployment) LearnerRing(id proto.NodeID, ring int) *core.DelivTrace {
+	if d == nil {
+		return nil
+	}
+	return d.add(fmt.Sprintf("d%d/L%d/r%d", d.idx, id, ring))
+}
+
+func (d *DelivDeployment) add(key string) *core.DelivTrace {
+	tr := core.NewDelivTrace(DelivWindow)
+	d.r.scopes = append(d.r.scopes, delivScope{key: key, tr: tr})
+	return tr
+}
+
+// Lines renders one "scope sha256 count" line per registered learner, in
+// registration order — the preimage of Digest, exposed for debugging a
+// divergence.
+func (r *DelivRecorder) Lines() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, len(r.scopes))
+	for i, s := range r.scopes {
+		out[i] = fmt.Sprintf("%s %s %d", s.key, s.tr.Sum(), s.tr.Count())
+	}
+	return out
+}
+
+// Count sums the recorded deliveries across every learner.
+func (r *DelivRecorder) Count() int64 {
+	if r == nil {
+		return 0
+	}
+	var n int64
+	for _, s := range r.scopes {
+		n += s.tr.Count()
+	}
+	return n
+}
+
+// Digest combines every learner's digest into the experiment-level
+// delivery-equivalence hash that .deliv.sha256 files pin. A nil recorder
+// has no digest (""), which verification skips — distinct from a live
+// recorder that legitimately saw no learners.
+func (r *DelivRecorder) Digest() string {
+	if r == nil {
+		return ""
+	}
+	h := sha256.New()
+	for _, ln := range r.Lines() {
+		h.Write([]byte(ln))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lan"
+	"repro/internal/proto"
+	"repro/internal/ringpaxos"
+)
+
+// TestDelivRecorderDeterministic runs a real delivery-producing experiment
+// twice and checks the delivery digest is reproducible and non-trivial —
+// the property every .deliv.sha256 pin rests on.
+func TestDelivRecorderDeterministic(t *testing.T) {
+	e, ok := Get("tab3.3")
+	if !ok {
+		t.Fatal("tab3.3 not registered")
+	}
+	run := func() (string, int64, []string) {
+		rec := &DelivRecorder{}
+		e.Traced(io.Discard, rec)
+		return rec.Digest(), rec.Count(), rec.Lines()
+	}
+	d1, n1, lines := run()
+	d2, n2, _ := run()
+	if d1 != d2 || n1 != n2 {
+		t.Fatalf("delivery digest not reproducible: %s (%d) vs %s (%d)", d1, n1, d2, n2)
+	}
+	if n1 == 0 {
+		t.Fatalf("experiment recorded no deliveries: %v", lines)
+	}
+}
+
+// TestRepinNote exercises the provenance accessor with a seeded entry so
+// the positive path is covered even when no re-pin is in flight.
+func TestRepinNote(t *testing.T) {
+	outputRepins["fig0.0-test"] = "seeded note"
+	defer delete(outputRepins, "fig0.0-test")
+	if note, ok := RepinNote("fig0.0-test"); !ok || note != "seeded note" {
+		t.Fatalf("RepinNote = %q, %v", note, ok)
+	}
+	if _, ok := RepinNote("never-repinned"); ok {
+		t.Fatal("RepinNote invented a note")
+	}
+}
+
+// TestDelivRecorderNilSafe checks the whole recording surface is a no-op
+// on a nil recorder, which is how Experiment.Run (no recorder) executes.
+func TestDelivRecorderNilSafe(t *testing.T) {
+	var rec *DelivRecorder
+	dep := rec.Deployment()
+	if tr := dep.Learner(7); tr != nil {
+		t.Fatal("nil recorder handed out a live trace")
+	}
+	if tr := dep.LearnerRing(7, 1); tr != nil {
+		t.Fatal("nil recorder handed out a live ring trace")
+	}
+	if rec.Count() != 0 || rec.Lines() != nil {
+		t.Fatal("nil recorder reports recorded state")
+	}
+}
+
+// TestGCDefaultDeliveryEquivalence is the keystone of the GC-on-by-default
+// re-pin: for a representative figure-style deployment of each protocol
+// whose default flipped (U-Ring, basic Paxos, S-Paxos) plus M-Ring (whose
+// version-timer organization changed), the delivery trace recorded under
+// the default (GC on) is line-for-line identical to the trace recorded
+// with GC explicitly off (-1). Garbage collection may only reshuffle
+// message schedules after the trace window closes; it must never touch
+// what the learners deliver inside it.
+func TestGCDefaultDeliveryEquivalence(t *testing.T) {
+	// Short measured windows: the trace closes at DelivWindow anyway, the
+	// run only has to reach past the first GC rounds (>= 50ms).
+	const dur = 100 * time.Millisecond
+	lc := lan.DefaultConfig()
+	protocols := []struct {
+		name   string
+		deploy func(gc time.Duration, rec *DelivRecorder)
+	}{
+		// The exact figure deployments, via the shared harness runners,
+		// with only the GC knob swept.
+		{"uring", func(gc time.Duration, rec *DelivRecorder) {
+			runURing(rec, gc, 3, 32<<10, 900e6, lc, false, dur) // fig3.11 shape
+		}},
+		{"paxos", func(gc time.Duration, rec *DelivRecorder) {
+			runPaxos(rec, gc, 3, 5, 4<<10, true, 100e6, lc, dur) // Libpaxos shape
+		}},
+		{"spaxos", func(gc time.Duration, rec *DelivRecorder) {
+			runSPaxos(rec, gc, 3, 32<<10, 400e6, lc, dur) // tab3.2 shape
+		}},
+		{"mring", func(gc time.Duration, rec *DelivRecorder) {
+			runMRing(rec, gc, 3, 5, 8<<10, 850e6, lc, false, dur) // fig3.10 shape
+		}},
+	}
+	for _, pr := range protocols {
+		t.Run(pr.name, func(t *testing.T) {
+			trace := func(gc time.Duration) ([]string, int64) {
+				rec := &DelivRecorder{}
+				pr.deploy(gc, rec)
+				return rec.Lines(), rec.Count()
+			}
+			on, nOn := trace(0)    // zero-value: GC on by default
+			off, nOff := trace(-1) // explicit escape hatch: GC off
+			if nOn == 0 {
+				t.Fatal("no deliveries recorded inside the trace window")
+			}
+			if nOn != nOff || !reflect.DeepEqual(on, off) {
+				t.Fatalf("delivery traces diverge between GC default and GC off:\n on (%d): %v\noff (%d): %v",
+					nOn, on, nOff, off)
+			}
+		})
+	}
+}
+
+// TestDeliveryPrefixAgreement is the protocol-level invariant behind the
+// delivery goldens, checked live rather than against a pin: in a uniform
+// deployment (every learner subscribes to everything), all learners'
+// delivered value sequences agree on their common prefix — learners may
+// lag, but never disagree.
+func TestDeliveryPrefixAgreement(t *testing.T) {
+	cfg := ringpaxos.UConfig{}
+	const n = 4
+	for i := 0; i < n; i++ {
+		cfg.Ring = append(cfg.Ring, proto.NodeID(i))
+		cfg.Learners = append(cfg.Learners, proto.NodeID(i))
+	}
+	l := lan.New(lan.DefaultConfig(), 1)
+	seqs := make([][]core.ValueID, n)
+	for i := 0; i < n; i++ {
+		i := i
+		a := &ringpaxos.UAgent{Cfg: cfg}
+		a.Deliver = func(_ int64, v core.Value) { seqs[i] = append(seqs[i], v.ID) }
+		var hs []proto.Handler
+		hs = append(hs, a)
+		if i == 0 {
+			hs = append(hs, &pump{size: 1 << 10, rate: 50e6, submit: a.Propose})
+		}
+		l.AddNode(proto.NodeID(i), proto.Multi(hs...))
+	}
+	l.Start()
+	l.Run(150 * time.Millisecond)
+	min := len(seqs[0])
+	for _, s := range seqs {
+		if len(s) == 0 {
+			t.Fatal("a learner delivered nothing")
+		}
+		if len(s) < min {
+			min = len(s)
+		}
+	}
+	for i := 1; i < n; i++ {
+		for k := 0; k < min; k++ {
+			if seqs[i][k] != seqs[0][k] {
+				t.Fatalf("learner %d diverges from learner 0 at position %d: %d vs %d",
+					i, k, seqs[i][k], seqs[0][k])
+			}
+		}
+	}
+}

@@ -12,21 +12,21 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "fig3.2", Title: "one-to-many: unicast vs multicast vs pipeline", Run: runFig3_2})
-	register(Experiment{ID: "fig3.3", Title: "packet loss vs aggregate rate, 1/2/5 multicast senders", Run: runFig3_3})
-	register(Experiment{ID: "fig3.4", Title: "many-to-one: pipeline vs unicast across packet sizes", Run: runFig3_4})
-	register(Experiment{ID: "fig3.7", Title: "Ring Paxos vs other atomic broadcast protocols", Run: runFig3_7})
-	register(Experiment{ID: "tab3.2", Title: "protocol efficiency at 10 receivers", Run: runTab3_2})
-	register(Experiment{ID: "fig3.8", Title: "impact of processes in the ring", Run: runFig3_8})
-	register(Experiment{ID: "fig3.9", Title: "impact of synchronous disk writes", Run: runFig3_9})
-	register(Experiment{ID: "fig3.10", Title: "message size impact on M-Ring Paxos", Run: runFig3_10})
-	register(Experiment{ID: "fig3.11", Title: "message size impact on U-Ring Paxos", Run: runFig3_11})
-	register(Experiment{ID: "fig3.12", Title: "socket buffer size impact on M-Ring Paxos", Run: runFig3_12})
-	register(Experiment{ID: "fig3.13", Title: "socket buffer size impact on U-Ring Paxos", Run: runFig3_13})
-	register(Experiment{ID: "fig3.14", Title: "flow control trace with a slow learner", Run: runFig3_14})
-	register(Experiment{ID: "tab3.3", Title: "CPU and memory per role, M-Ring Paxos", Run: runTab3_3})
-	register(Experiment{ID: "tab3.4", Title: "CPU and memory per role, U-Ring Paxos", Run: runTab3_4})
-	register(Experiment{ID: "tab3.1", Title: "analytic comparison of atomic broadcast algorithms", Run: runTab3_1})
+	register(Experiment{ID: "fig3.2", Title: "one-to-many: unicast vs multicast vs pipeline", Traced: runFig3_2})
+	register(Experiment{ID: "fig3.3", Title: "packet loss vs aggregate rate, 1/2/5 multicast senders", Traced: runFig3_3})
+	register(Experiment{ID: "fig3.4", Title: "many-to-one: pipeline vs unicast across packet sizes", Traced: runFig3_4})
+	register(Experiment{ID: "fig3.7", Title: "Ring Paxos vs other atomic broadcast protocols", Traced: runFig3_7})
+	register(Experiment{ID: "tab3.2", Title: "protocol efficiency at 10 receivers", Traced: runTab3_2})
+	register(Experiment{ID: "fig3.8", Title: "impact of processes in the ring", Traced: runFig3_8})
+	register(Experiment{ID: "fig3.9", Title: "impact of synchronous disk writes", Traced: runFig3_9})
+	register(Experiment{ID: "fig3.10", Title: "message size impact on M-Ring Paxos", Traced: runFig3_10})
+	register(Experiment{ID: "fig3.11", Title: "message size impact on U-Ring Paxos", Traced: runFig3_11})
+	register(Experiment{ID: "fig3.12", Title: "socket buffer size impact on M-Ring Paxos", Traced: runFig3_12})
+	register(Experiment{ID: "fig3.13", Title: "socket buffer size impact on U-Ring Paxos", Traced: runFig3_13})
+	register(Experiment{ID: "fig3.14", Title: "flow control trace with a slow learner", Traced: runFig3_14})
+	register(Experiment{ID: "tab3.3", Title: "CPU and memory per role, M-Ring Paxos", Traced: runTab3_3})
+	register(Experiment{ID: "tab3.4", Title: "CPU and memory per role, U-Ring Paxos", Traced: runTab3_4})
+	register(Experiment{ID: "tab3.1", Title: "analytic comparison of atomic broadcast algorithms", Traced: runTab3_1})
 }
 
 // counter collects received bytes at a plain receiver.
@@ -53,7 +53,7 @@ func (f *forwarder) Receive(_ proto.NodeID, m proto.Message) {
 	}
 }
 
-func runFig3_2(w io.Writer) {
+func runFig3_2(w io.Writer, _ *DelivRecorder) {
 	t := newTable("Fig 3.2 — one-to-many, 8 KB packets: per-receiver Mbps (sender CPU %)",
 		"receivers", "unicast", "multicast", "pipeline")
 	size := 8 << 10
@@ -126,7 +126,7 @@ func runFig3_2(w io.Writer) {
 	t.print(w)
 }
 
-func runFig3_3(w io.Writer) {
+func runFig3_3(w io.Writer, _ *DelivRecorder) {
 	t := newTable("Fig 3.3 — multicast loss%% vs aggregate rate (14 receivers)",
 		"rate Mbps", "1 sender", "2 senders", "5 senders")
 	size := 8 << 10
@@ -176,7 +176,7 @@ func runFig3_3(w io.Writer) {
 	t.print(w)
 }
 
-func runFig3_4(w io.Writer) {
+func runFig3_4(w io.Writer, _ *DelivRecorder) {
 	t := newTable("Fig 3.4 — many-to-one (4 senders): receiver Mbps / receiver CPU %",
 		"packet", "unicast", "pipeline")
 	for _, size := range []int{512, 1 << 10, 2 << 10, 4 << 10, 8 << 10} {
@@ -249,38 +249,38 @@ var bestMsgSize = map[string]int{
 	"S-Paxos": 32 << 10, "Spread": 16 << 10, "PFSB": 200, "Libpaxos": 4 << 10,
 }
 
-func protoTput(name string, receivers int) abResult {
+func protoTput(rec *DelivRecorder, name string, receivers int) abResult {
 	lc := lan.DefaultConfig()
 	size := bestMsgSize[name]
 	levels := []float64{300e6, 600e6, 900e6}
 	switch name {
 	case "M-Ring Paxos":
 		return bestOf(levels, func(o float64) abResult {
-			return runMRing(3, receivers, size, o, lc, false, 0)
+			return runMRing(rec, 0, 3, receivers, size, o, lc, false, 0)
 		})
 	case "U-Ring Paxos":
 		return bestOf(levels, func(o float64) abResult {
-			return runURing(receivers, size, o, lc, false, 0)
+			return runURing(rec, 0, receivers, size, o, lc, false, 0)
 		})
 	case "LCR":
 		return bestOf(levels, func(o float64) abResult {
-			return runLCR(receivers, size, o, lc, false, 0)
+			return runLCR(rec, receivers, size, o, lc, false, 0)
 		})
 	case "S-Paxos":
 		return bestOf(levels, func(o float64) abResult {
-			return runSPaxos(receivers, size, o, lc, 0)
+			return runSPaxos(rec, 0, receivers, size, o, lc, 0)
 		})
 	case "Spread":
 		return bestOf(levels, func(o float64) abResult {
-			return runToken(receivers, size, o, lc, 0)
+			return runToken(rec, receivers, size, o, lc, 0)
 		})
 	case "Libpaxos":
 		return bestOf([]float64{50e6, 100e6, 200e6}, func(o float64) abResult {
-			return runPaxos(3, receivers, size, true, o, lc, 0)
+			return runPaxos(rec, 0, 3, receivers, size, true, o, lc, 0)
 		})
 	case "PFSB":
 		return bestOf([]float64{20e6, 50e6, 100e6}, func(o float64) abResult {
-			return runPaxos(3, receivers, size, false, o, lc, 0)
+			return runPaxos(rec, 0, 3, receivers, size, false, o, lc, 0)
 		})
 	}
 	return abResult{}
@@ -288,7 +288,7 @@ func protoTput(name string, receivers int) abResult {
 
 var fig37Protocols = []string{"M-Ring Paxos", "U-Ring Paxos", "LCR", "Libpaxos", "S-Paxos", "Spread", "PFSB"}
 
-func runFig3_7(w io.Writer) {
+func runFig3_7(w io.Writer, rec *DelivRecorder) {
 	t := newTable("Fig 3.7 — max throughput (Mbps) vs number of receivers",
 		append([]string{"protocol"}, "5", "10", "20")...)
 	t2 := newTable("Fig 3.7 (right) — messages/second delivered",
@@ -297,7 +297,7 @@ func runFig3_7(w io.Writer) {
 		row := []any{p}
 		row2 := []any{p}
 		for _, n := range []int{5, 10, 20} {
-			r := protoTput(p, n)
+			r := protoTput(rec, p, n)
 			row = append(row, fmt.Sprintf("%.0f", r.Mbps))
 			row2 = append(row2, fmt.Sprintf("%.0f", r.MsgsSec))
 		}
@@ -310,24 +310,24 @@ func runFig3_7(w io.Writer) {
 	t2.print(w)
 }
 
-func runTab3_2(w io.Writer) {
+func runTab3_2(w io.Writer, rec *DelivRecorder) {
 	t := newTable("Tab 3.2 — efficiency at 10 receivers (paper: LCR 91%, U-RP 90%, M-RP 90%, S-Paxos 31%, Spread 18%, PFSB 4%, Libpaxos 3%)",
 		"protocol", "msg size", "Mbps", "efficiency")
 	for _, p := range fig37Protocols {
-		r := protoTput(p, 10)
+		r := protoTput(rec, p, 10)
 		t.row(p, fmt.Sprintf("%d", bestMsgSize[p]), fmt.Sprintf("%.0f", r.Mbps), pct(r.Mbps, 1000))
 	}
 	t.print(w)
 }
 
-func runFig3_8(w io.Writer) {
+func runFig3_8(w io.Writer, rec *DelivRecorder) {
 	t := newTable("Fig 3.8 — throughput (Mbps) and latency vs ring size",
 		"processes", "M-RP", "U-RP", "LCR", "lat M-RP", "lat U-RP", "lat LCR")
 	lc := lan.DefaultConfig()
 	for _, n := range []int{3, 5, 10, 20, 30} {
-		m := runMRing(n, 5, 8<<10, 850e6, lc, false, 0)
-		u := runURing(n, 32<<10, 900e6, lc, false, 0)
-		l := runLCR(n, 32<<10, 900e6, lc, false, 0)
+		m := runMRing(rec, 0, n, 5, 8<<10, 850e6, lc, false, 0)
+		u := runURing(rec, 0, n, 32<<10, 900e6, lc, false, 0)
+		l := runLCR(rec, n, 32<<10, 900e6, lc, false, 0)
 		t.row(n,
 			fmt.Sprintf("%.0f", m.Mbps), fmt.Sprintf("%.0f", u.Mbps), fmt.Sprintf("%.0f", l.Mbps),
 			m.Lat, u.Lat, l.Lat)
@@ -336,24 +336,24 @@ func runFig3_8(w io.Writer) {
 	t.print(w)
 }
 
-func runFig3_9(w io.Writer) {
+func runFig3_9(w io.Writer, rec *DelivRecorder) {
 	t := newTable("Fig 3.9 — synchronous disk writes: latency vs ring size (throughput disk-bound ~270 Mbps)",
 		"processes", "M-RP Mbps", "M-RP lat", "U-RP lat", "LCR lat")
 	lc := lan.DefaultConfig()
 	for _, n := range []int{3, 5, 7, 9, 11} {
-		m := runMRing(n, 3, 8<<10, 200e6, lc, true, 0)
-		u := runURing(n, 32<<10, 200e6, lc, true, 0)
-		l := runLCR(n, 32<<10, 200e6, lc, true, 0)
+		m := runMRing(rec, 0, n, 3, 8<<10, 200e6, lc, true, 0)
+		u := runURing(rec, 0, n, 32<<10, 200e6, lc, true, 0)
+		l := runLCR(rec, n, 32<<10, 200e6, lc, true, 0)
 		t.row(n, fmt.Sprintf("%.0f", m.Mbps), m.Lat, u.Lat, l.Lat)
 	}
 	t.note("paper: all disk-bound at ~270 Mbps; M-RP lowest latency (parallel writes), U-RP/LCR sequential along ring")
 	t.print(w)
 }
 
-func runFig3_10(w io.Writer) { msgSizeSweep(w, true) }
-func runFig3_11(w io.Writer) { msgSizeSweep(w, false) }
+func runFig3_10(w io.Writer, rec *DelivRecorder) { msgSizeSweep(w, rec, true) }
+func runFig3_11(w io.Writer, rec *DelivRecorder) { msgSizeSweep(w, rec, false) }
 
-func msgSizeSweep(w io.Writer, mring bool) {
+func msgSizeSweep(w io.Writer, rec *DelivRecorder, mring bool) {
 	name, fig := "U-Ring Paxos", "3.11"
 	sizes := []int{200, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 32 << 10}
 	if mring {
@@ -366,9 +366,9 @@ func msgSizeSweep(w io.Writer, mring bool) {
 	for _, s := range sizes {
 		var r abResult
 		if mring {
-			r = runMRing(3, 5, s, 900e6, lc, false, 0)
+			r = runMRing(rec, 0, 3, 5, s, 900e6, lc, false, 0)
 		} else {
-			r = runURing(3, s, 900e6, lc, false, 0)
+			r = runURing(rec, 0, 3, s, 900e6, lc, false, 0)
 		}
 		t.row(fmt.Sprintf("%dB", s), fmt.Sprintf("%.0f", r.Mbps), r.Lat,
 			fmt.Sprintf("%.0f", r.MsgsSec), fmt.Sprintf("%.0f", r.InstSec))
@@ -377,10 +377,10 @@ func msgSizeSweep(w io.Writer, mring bool) {
 	t.print(w)
 }
 
-func runFig3_12(w io.Writer) { bufSweep(w, true) }
-func runFig3_13(w io.Writer) { bufSweep(w, false) }
+func runFig3_12(w io.Writer, rec *DelivRecorder) { bufSweep(w, rec, true) }
+func runFig3_13(w io.Writer, rec *DelivRecorder) { bufSweep(w, rec, false) }
 
-func bufSweep(w io.Writer, mring bool) {
+func bufSweep(w io.Writer, rec *DelivRecorder, mring bool) {
 	name, fig := "U-Ring Paxos", "3.13"
 	if mring {
 		name, fig = "M-Ring Paxos", "3.12"
@@ -392,10 +392,10 @@ func bufSweep(w io.Writer, mring bool) {
 		var r abResult
 		if mring {
 			lc.UDPBuf = buf
-			r = runMRing(3, 5, 8<<10, 900e6, lc, false, 0)
+			r = runMRing(rec, 0, 3, 5, 8<<10, 900e6, lc, false, 0)
 		} else {
 			lc.TCPBuf = buf
-			r = runURing(3, 32<<10, 900e6, lc, false, 0)
+			r = runURing(rec, 0, 3, 32<<10, 900e6, lc, false, 0)
 		}
 		t.row(fmt.Sprintf("%dK", buf>>10), fmt.Sprintf("%.0f", r.Mbps), r.Lat)
 	}
@@ -403,7 +403,7 @@ func bufSweep(w io.Writer, mring bool) {
 	t.print(w)
 }
 
-func runFig3_14(w io.Writer) {
+func runFig3_14(w io.Writer, rec *DelivRecorder) {
 	// Flow-control trace: a slow learner between t=2s and t=4s of a 6s run.
 	cfg := ringpaxos.MConfig{
 		Ring:          []proto.NodeID{0, 1},
@@ -413,12 +413,16 @@ func runFig3_14(w io.Writer) {
 		ExecCost:      1 * time.Microsecond,
 	}
 	l := lan.New(lan.DefaultConfig(), 1)
+	dep := rec.Deployment()
 	agents := map[proto.NodeID]*ringpaxos.MAgent{}
 	for _, id := range []proto.NodeID{0, 1, 100, 101, 102} {
 		a := &ringpaxos.MAgent{Cfg: cfg}
 		agents[id] = a
 		l.AddNode(id, a)
 		l.Subscribe(1, id)
+	}
+	for _, id := range cfg.Learners {
+		agents[id].Trace = dep.Learner(id)
 	}
 	prop := &ringpaxos.MAgent{Cfg: cfg}
 	p := &pump{size: 8 << 10, rate: 800e6, submit: prop.Propose}
@@ -449,10 +453,11 @@ func runFig3_14(w io.Writer) {
 	t.print(w)
 }
 
-func runTab3_3(w io.Writer) {
+func runTab3_3(w io.Writer, rec *DelivRecorder) {
 	lc := lan.DefaultConfig()
 	cfg := ringpaxos.MConfig{Ring: []proto.NodeID{0, 1, 2}, Learners: []proto.NodeID{100}, Group: 1}
 	l := lan.New(lc, 1)
+	dep := rec.Deployment()
 	agents := map[proto.NodeID]*ringpaxos.MAgent{}
 	for _, id := range []proto.NodeID{0, 1, 2, 100} {
 		a := &ringpaxos.MAgent{Cfg: cfg}
@@ -460,6 +465,7 @@ func runTab3_3(w io.Writer) {
 		l.AddNode(id, a)
 		l.Subscribe(1, id)
 	}
+	agents[100].Trace = dep.Learner(100)
 	prop := &ringpaxos.MAgent{Cfg: cfg}
 	p := &pump{size: 8 << 10, rate: 900e6, submit: prop.Propose}
 	l.AddNode(200, proto.Multi(prop, p))
@@ -482,7 +488,7 @@ func runTab3_3(w io.Writer) {
 	t.print(w)
 }
 
-func runTab3_4(w io.Writer) {
+func runTab3_4(w io.Writer, rec *DelivRecorder) {
 	lc := lan.DefaultConfig()
 	cfg := ringpaxos.UConfig{}
 	for i := 0; i < 3; i++ {
@@ -490,9 +496,11 @@ func runTab3_4(w io.Writer) {
 		cfg.Learners = append(cfg.Learners, proto.NodeID(i))
 	}
 	l := lan.New(lc, 1)
+	dep := rec.Deployment()
 	agents := make([]*ringpaxos.UAgent, 3)
 	for i := 0; i < 3; i++ {
 		agents[i] = &ringpaxos.UAgent{Cfg: cfg}
+		agents[i].Trace = dep.Learner(proto.NodeID(i))
 		p := &pump{size: 32 << 10, rate: 300e6, submit: agents[i].Propose}
 		l.AddNode(proto.NodeID(i), proto.Multi(agents[i], p))
 	}
@@ -512,7 +520,7 @@ func runTab3_4(w io.Writer) {
 	t.print(w)
 }
 
-func runTab3_1(w io.Writer) {
+func runTab3_1(w io.Writer, _ *DelivRecorder) {
 	t := newTable("Tab 3.1 — analytic comparison (f = tolerated failures)",
 		"algorithm", "class", "comm steps", "processes", "synchrony")
 	rows := [][]string{

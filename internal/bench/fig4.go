@@ -6,18 +6,19 @@ import (
 	"time"
 
 	"repro/internal/lan"
+	"repro/internal/proto"
 	"repro/internal/smr"
 )
 
 func init() {
-	register(Experiment{ID: "fig4.3", Title: "cost of replication: CS vs SMR across workloads", Run: runFig4_3})
-	register(Experiment{ID: "fig4.4", Title: "cost of replication: throughput vs replicas", Run: runFig4_4})
-	register(Experiment{ID: "fig4.5", Title: "speculative execution, query workload", Run: runFig4_5})
-	register(Experiment{ID: "fig4.6", Title: "speculative execution, batched updates", Run: runFig4_6})
-	register(Experiment{ID: "fig4.7", Title: "state partitioning speedup (no cross-partition)", Run: runFig4_7})
-	register(Experiment{ID: "fig4.8", Title: "cross-partition queries, 2 replicas/partition", Run: runFig4_8})
-	register(Experiment{ID: "fig4.9", Title: "cross-partition queries, 3 replicas/partition", Run: runFig4_9})
-	register(Experiment{ID: "fig4.10", Title: "speculation + partitioning combined", Run: runFig4_10})
+	register(Experiment{ID: "fig4.3", Title: "cost of replication: CS vs SMR across workloads", Traced: runFig4_3})
+	register(Experiment{ID: "fig4.4", Title: "cost of replication: throughput vs replicas", Traced: runFig4_4})
+	register(Experiment{ID: "fig4.5", Title: "speculative execution, query workload", Traced: runFig4_5})
+	register(Experiment{ID: "fig4.6", Title: "speculative execution, batched updates", Traced: runFig4_6})
+	register(Experiment{ID: "fig4.7", Title: "state partitioning speedup (no cross-partition)", Traced: runFig4_7})
+	register(Experiment{ID: "fig4.8", Title: "cross-partition queries, 2 replicas/partition", Traced: runFig4_8})
+	register(Experiment{ID: "fig4.9", Title: "cross-partition queries, 3 replicas/partition", Traced: runFig4_9})
+	register(Experiment{ID: "fig4.10", Title: "speculation + partitioning combined", Traced: runFig4_10})
 }
 
 const smrKeys = 100_000
@@ -43,12 +44,24 @@ func smrWorkload(kind string, parts int) func(int) smr.Workload {
 	}
 }
 
-func smrRun(cfg smr.DeployConfig, seed int64) (float64, time.Duration) {
+func smrRun(rec *DelivRecorder, cfg smr.DeployConfig, seed int64) (float64, time.Duration) {
 	d := smr.Deploy(cfg, lan.DefaultConfig(), seed)
+	attachSMRTraces(rec, d)
 	return d.Measure(300*time.Millisecond, 700*time.Millisecond)
 }
 
-func runFig4_3(w io.Writer) {
+// attachSMRTraces registers every replica's ordering agent with the
+// delivery recorder (replica index as the scope key; CS deployments have
+// no replicas and record an empty scope). Safe after Deploy: deliveries
+// only happen once the LAN runs.
+func attachSMRTraces(rec *DelivRecorder, d *smr.Deployment) {
+	dep := rec.Deployment()
+	for i, r := range d.Replicas {
+		r.Agent.Trace = dep.Learner(proto.NodeID(i))
+	}
+}
+
+func runFig4_3(w io.Writer, rec *DelivRecorder) {
 	for _, wl := range []string{"queries", "single", "batch"} {
 		t := newTable(fmt.Sprintf("Fig 4.3 — CS vs SMR, %s workload: Kcps / latency vs clients", wl),
 			"clients", "CS", "CS lat", "SMR", "SMR lat")
@@ -56,10 +69,10 @@ func runFig4_3(w io.Writer) {
 			base := smr.DeployConfig{Clients: n, KeysPerPartition: smrKeys, Workload: smrWorkload(wl, 1)}
 			cs := base
 			cs.CS = true
-			t1, l1 := smrRun(cs, 1)
+			t1, l1 := smrRun(rec, cs, 1)
 			rep := base
 			rep.Replicas = 2
-			t2, l2 := smrRun(rep, 1)
+			t2, l2 := smrRun(rec, rep, 1)
 			t.row(n, fmt.Sprintf("%.1f", t1/1000), l1, fmt.Sprintf("%.1f", t2/1000), l2)
 		}
 		t.note("paper: replication costs latency at every load; throughput parity except single updates")
@@ -67,7 +80,7 @@ func runFig4_3(w io.Writer) {
 	}
 }
 
-func runFig4_4(w io.Writer) {
+func runFig4_4(w io.Writer, rec *DelivRecorder) {
 	t := newTable("Fig 4.4 — throughput (Kcps) vs number of replicas, 40 clients",
 		"servers", "queries", "ins/del single", "ins/del batch")
 	for _, reps := range []int{0, 1, 2, 4, 8} {
@@ -82,7 +95,7 @@ func runFig4_4(w io.Writer) {
 			} else {
 				cfg.Replicas = reps
 			}
-			tput, _ := smrRun(cfg, 2)
+			tput, _ := smrRun(rec, cfg, 2)
 			row = append(row, fmt.Sprintf("%.1f", tput/1000))
 		}
 		t.row(row...)
@@ -91,24 +104,24 @@ func runFig4_4(w io.Writer) {
 	t.print(w)
 }
 
-func specSweep(w io.Writer, fig, wl string) {
+func specSweep(w io.Writer, rec *DelivRecorder, fig, wl string) {
 	t := newTable(fmt.Sprintf("Fig %s — speculative execution, %s workload: Kcps / latency", fig, wl),
 		"replicas", "SMR", "SMR lat", "speculative", "spec lat")
 	for _, reps := range []int{1, 2, 4, 8} {
 		cfg := smr.DeployConfig{Clients: 30, Replicas: reps, KeysPerPartition: smrKeys, Workload: smrWorkload(wl, 1)}
-		t1, l1 := smrRun(cfg, 3)
+		t1, l1 := smrRun(rec, cfg, 3)
 		cfg.Speculative = true
-		t2, l2 := smrRun(cfg, 3)
+		t2, l2 := smrRun(rec, cfg, 3)
 		t.row(reps, fmt.Sprintf("%.1f", t1/1000), l1, fmt.Sprintf("%.1f", t2/1000), l2)
 	}
 	t.note("paper: speculation trims response time (up to 16.2 percent); throughput follows by Little law")
 	t.print(w)
 }
 
-func runFig4_5(w io.Writer) { specSweep(w, "4.5", "queries") }
-func runFig4_6(w io.Writer) { specSweep(w, "4.6", "batch") }
+func runFig4_5(w io.Writer, rec *DelivRecorder) { specSweep(w, rec, "4.5", "queries") }
+func runFig4_6(w io.Writer, rec *DelivRecorder) { specSweep(w, rec, "4.6", "batch") }
 
-func runFig4_7(w io.Writer) {
+func runFig4_7(w io.Writer, rec *DelivRecorder) {
 	t := newTable("Fig 4.7 — partitioning speedup over SMR (no cross-partition commands)",
 		"config", "queries Kcps", "speedup", "batch Kcps", "speedup")
 	var baseQ, baseB float64
@@ -117,11 +130,11 @@ func runFig4_7(w io.Writer) {
 		if parts > 1 {
 			name = fmt.Sprintf("%d partitions", parts)
 		}
-		q, _ := smrRun(smr.DeployConfig{
+		q, _ := smrRun(rec, smr.DeployConfig{
 			Clients: 64, Replicas: 2, Partitions: parts, KeysPerPartition: smrKeys,
 			Workload: smrWorkload("queries", parts),
 		}, 4)
-		b, _ := smrRun(smr.DeployConfig{
+		b, _ := smrRun(rec, smr.DeployConfig{
 			Clients: 64, Replicas: 2, Partitions: parts, KeysPerPartition: smrKeys,
 			Workload: smrWorkload("batch", parts),
 		}, 4)
@@ -135,7 +148,7 @@ func runFig4_7(w io.Writer) {
 	t.print(w)
 }
 
-func crossSweep(w io.Writer, fig string, reps int) {
+func crossSweep(w io.Writer, rec *DelivRecorder, fig string, reps int) {
 	t := newTable(fmt.Sprintf("Fig %s — cross-partition query %%%% sweep, 2 partitions x %d replicas (64 clients)", fig, reps),
 		"cross %", "Kcps", "latency", "reply Mbps/replica")
 	for _, cross := range []int{0, 25, 50, 75, 100} {
@@ -147,6 +160,7 @@ func crossSweep(w io.Writer, fig string, reps int) {
 				}
 			},
 		}, lan.DefaultConfig(), 5)
+		attachSMRTraces(rec, d)
 		d.Run(300 * time.Millisecond)
 		rep0 := d.LAN.Node(2000)
 		sent0 := rep0.Stats().BytesSent
@@ -159,15 +173,15 @@ func crossSweep(w io.Writer, fig string, reps int) {
 	t.print(w)
 }
 
-func runFig4_8(w io.Writer) { crossSweep(w, "4.8", 2) }
-func runFig4_9(w io.Writer) { crossSweep(w, "4.9", 3) }
+func runFig4_8(w io.Writer, rec *DelivRecorder) { crossSweep(w, rec, "4.8", 2) }
+func runFig4_9(w io.Writer, rec *DelivRecorder) { crossSweep(w, rec, "4.9", 3) }
 
-func runFig4_10(w io.Writer) {
+func runFig4_10(w io.Writer, rec *DelivRecorder) {
 	t := newTable("Fig 4.10 — speculation + partitioning: improvement over plain partitioned SMR",
 		"cross %", "tput gain", "latency cut")
 	for _, cross := range []int{0, 25, 50, 75, 100} {
 		mk := func(spec bool) (float64, time.Duration) {
-			return smrRun(smr.DeployConfig{
+			return smrRun(rec, smr.DeployConfig{
 				Clients: 48, Replicas: 2, Partitions: 2, Speculative: spec,
 				KeysPerPartition: smrKeys,
 				Workload: func(int) smr.Workload {

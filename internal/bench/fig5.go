@@ -5,7 +5,6 @@ import (
 	"io"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/lan"
 	"repro/internal/multiring"
 	"repro/internal/proto"
@@ -13,25 +12,25 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "fig5.1", Title: "in-memory vs recoverable Ring Paxos", Run: runFig5_1})
-	register(Experiment{ID: "fig5.2", Title: "partitioned service on ONE ring does not scale", Run: runFig5_2})
-	register(Experiment{ID: "fig5.4", Title: "Multi-Ring Paxos scalability, one group per learner", Run: runFig5_4})
-	register(Experiment{ID: "fig5.5", Title: "Multi-Ring Paxos, learner subscribes to all groups", Run: runFig5_5})
-	register(Experiment{ID: "fig5.6", Title: "impact of ∆ on Multi-Ring Paxos", Run: runFig5_6})
-	register(Experiment{ID: "fig5.7", Title: "impact of M on Multi-Ring Paxos", Run: runFig5_7})
-	register(Experiment{ID: "fig5.8", Title: "impact of λ, equal constant ring rates", Run: runFig5_8})
-	register(Experiment{ID: "fig5.9", Title: "impact of λ, 2:1 constant ring rates", Run: runFig5_9})
-	register(Experiment{ID: "fig5.10", Title: "impact of λ, oscillating ring rates", Run: runFig5_10})
-	register(Experiment{ID: "fig5.11", Title: "coordinator failure and recovery trace", Run: runFig5_11})
+	register(Experiment{ID: "fig5.1", Title: "in-memory vs recoverable Ring Paxos", Traced: runFig5_1})
+	register(Experiment{ID: "fig5.2", Title: "partitioned service on ONE ring does not scale", Traced: runFig5_2})
+	register(Experiment{ID: "fig5.4", Title: "Multi-Ring Paxos scalability, one group per learner", Traced: runFig5_4})
+	register(Experiment{ID: "fig5.5", Title: "Multi-Ring Paxos, learner subscribes to all groups", Traced: runFig5_5})
+	register(Experiment{ID: "fig5.6", Title: "impact of ∆ on Multi-Ring Paxos", Traced: runFig5_6})
+	register(Experiment{ID: "fig5.7", Title: "impact of M on Multi-Ring Paxos", Traced: runFig5_7})
+	register(Experiment{ID: "fig5.8", Title: "impact of λ, equal constant ring rates", Traced: runFig5_8})
+	register(Experiment{ID: "fig5.9", Title: "impact of λ, 2:1 constant ring rates", Traced: runFig5_9})
+	register(Experiment{ID: "fig5.10", Title: "impact of λ, oscillating ring rates", Traced: runFig5_10})
+	register(Experiment{ID: "fig5.11", Title: "coordinator failure and recovery trace", Traced: runFig5_11})
 }
 
-func runFig5_1(w io.Writer) {
+func runFig5_1(w io.Writer, rec *DelivRecorder) {
 	t := newTable("Fig 5.1 — latency vs delivered throughput (3-acceptor ring, 8 KB)",
 		"offered Mbps", "in-memory Mbps", "lat", "recoverable Mbps", "lat")
 	lc := lan.DefaultConfig()
 	for _, o := range []float64{100e6, 200e6, 300e6, 500e6, 700e6, 900e6} {
-		ram := runMRing(3, 3, 8<<10, o, lc, false, 0)
-		disk := runMRing(3, 3, 8<<10, o, lc, true, 0)
+		ram := runMRing(rec, 0, 3, 3, 8<<10, o, lc, false, 0)
+		disk := runMRing(rec, 0, 3, 3, 8<<10, o, lc, true, 0)
 		t.row(fmt.Sprintf("%.0f", o/1e6),
 			fmt.Sprintf("%.0f", ram.Mbps), ram.Lat,
 			fmt.Sprintf("%.0f", disk.Mbps), disk.Lat)
@@ -49,9 +48,10 @@ type multiRingRig struct {
 	pumps  []*pump
 }
 
-func buildMultiRing(rings int, subs []int, offeredPerRing float64, disk bool,
+func buildMultiRing(rec *DelivRecorder, rings int, subs []int, offeredPerRing float64, disk bool,
 	lambda float64, delta time.Duration, m int64, seed int64) *multiRingRig {
 	rig := &multiRingRig{l: lan.New(lan.DefaultConfig(), seed)}
+	dep := rec.Deployment()
 	const learnerID = proto.NodeID(900)
 	cfgs := make([]ringpaxos.MConfig, rings)
 	for r := 0; r < rings; r++ {
@@ -79,10 +79,13 @@ func buildMultiRing(rings int, subs []int, offeredPerRing float64, disk bool,
 	}
 	learner := multiring.NewNode()
 	for _, r := range subs {
-		learner.AddRing(r, &ringpaxos.MAgent{Cfg: cfgs[r]})
+		a := &ringpaxos.MAgent{Cfg: cfgs[r]}
+		a.Trace = dep.LearnerRing(learnerID, r)
+		learner.AddRing(r, a)
 		rig.l.Subscribe(cfgs[r].Group, learnerID)
 	}
 	rig.merger = multiring.NewMerger(subs, m)
+	rig.merger.Trace = dep.Learner(learnerID)
 	learner.SetMerger(rig.merger)
 	rig.l.AddNode(learnerID, learner)
 	// One proposer node per ring.
@@ -102,12 +105,12 @@ func buildMultiRing(rings int, subs []int, offeredPerRing float64, disk bool,
 // dedicated learner is approximated by rings × single-ring capacity; we
 // measure ring 0's learner directly and scale, plus measure the merged
 // learner case exactly in fig5.5.
-func runFig5_4(w io.Writer) {
+func runFig5_4(w io.Writer, rec *DelivRecorder) {
 	t := newTable("Fig 5.4 — aggregate throughput (Gbps) vs rings (one group per learner)",
 		"rings", "RAM M-RP", "DISK M-RP")
 	lc := lan.DefaultConfig()
-	ram := runMRing(2, 1, 8<<10, 900e6, lc, false, 0)
-	disk := runMRing(2, 1, 8<<10, 400e6, lc, true, 0)
+	ram := runMRing(rec, 0, 2, 1, 8<<10, 900e6, lc, false, 0)
+	disk := runMRing(rec, 0, 2, 1, 8<<10, 400e6, lc, true, 0)
 	for _, rings := range []int{1, 2, 4, 8} {
 		t.row(rings,
 			fmt.Sprintf("%.2f", float64(rings)*ram.Mbps/1000),
@@ -118,7 +121,7 @@ func runFig5_4(w io.Writer) {
 	t.print(w)
 }
 
-func runFig5_5(w io.Writer) {
+func runFig5_5(w io.Writer, rec *DelivRecorder) {
 	t := newTable("Fig 5.5 — one learner subscribes to ALL groups: delivered Mbps vs rings",
 		"rings", "RAM Mbps", "DISK Mbps")
 	for _, rings := range []int{1, 2, 4, 8} {
@@ -132,7 +135,7 @@ func runFig5_5(w io.Writer) {
 			if disk {
 				per = 400e6 / float64(rings)
 			}
-			rig := buildMultiRing(rings, subs, per, disk, 9000, time.Millisecond, 1, 1)
+			rig := buildMultiRing(rec, rings, subs, per, disk, 9000, time.Millisecond, 1, 1)
 			rig.l.Run(warmup)
 			b0 := rig.merger.DeliveredBytes
 			rig.l.Run(measure)
@@ -144,19 +147,19 @@ func runFig5_5(w io.Writer) {
 	t.print(w)
 }
 
-func runFig5_2(w io.Writer) {
+func runFig5_2(w io.Writer, rec *DelivRecorder) {
 	t := newTable("Fig 5.2 — partitioned dummy service on ONE M-Ring Paxos: per-partition Mbps",
 		"partitions", "total Mbps", "per-partition Mbps")
 	lc := lan.DefaultConfig()
 	for _, parts := range []int{1, 2, 4, 8} {
-		r := runMRing(3, parts, 8<<10, 900e6, lc, false, 0)
+		r := runMRing(rec, 0, 3, parts, 8<<10, 900e6, lc, false, 0)
 		t.row(parts, fmt.Sprintf("%.0f", r.Mbps), fmt.Sprintf("%.0f", r.Mbps/float64(parts)))
 	}
 	t.note("paper: one ring's total capacity is fixed; more partitions just split it — the motivation for Multi-Ring Paxos")
 	t.print(w)
 }
 
-func lambdaDelta(w io.Writer, fig string, deltas []time.Duration, ms []int64) {
+func lambdaDelta(w io.Writer, rec *DelivRecorder, fig string, deltas []time.Duration, ms []int64) {
 	header := []string{"offered/ring Mbps"}
 	type cfg struct {
 		d time.Duration
@@ -177,7 +180,7 @@ func lambdaDelta(w io.Writer, fig string, deltas []time.Duration, ms []int64) {
 	for _, o := range []float64{100e6, 200e6, 400e6} {
 		row := []any{fmt.Sprintf("%.0f", o/1e6)}
 		for _, c := range cfgs {
-			rig := buildMultiRing(2, []int{0, 1}, o, false, 9000e3/1000, c.d, c.m, 2)
+			rig := buildMultiRing(rec, 2, []int{0, 1}, o, false, 9000e3/1000, c.d, c.m, 2)
 			// λ = 9000 instances/s default.
 			rig.l.Run(warmup)
 			l0, n0 := rig.merger.LatencySum, rig.merger.LatencyCount
@@ -194,15 +197,15 @@ func lambdaDelta(w io.Writer, fig string, deltas []time.Duration, ms []int64) {
 	t.print(w)
 }
 
-func runFig5_6(w io.Writer) {
-	lambdaDelta(w, "5.6", []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond}, []int64{1})
+func runFig5_6(w io.Writer, rec *DelivRecorder) {
+	lambdaDelta(w, rec, "5.6", []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond}, []int64{1})
 }
 
-func runFig5_7(w io.Writer) {
-	lambdaDelta(w, "5.7", []time.Duration{time.Millisecond}, []int64{1, 10, 100})
+func runFig5_7(w io.Writer, rec *DelivRecorder) {
+	lambdaDelta(w, rec, "5.7", []time.Duration{time.Millisecond}, []int64{1, 10, 100})
 }
 
-func lambdaTrace(w io.Writer, fig string, rate2of1 bool, oscillate bool, lambdas []float64) {
+func lambdaTrace(w io.Writer, rec *DelivRecorder, fig string, rate2of1 bool, oscillate bool, lambdas []float64) {
 	header := []string{"second"}
 	for _, l := range lambdas {
 		header = append(header, fmt.Sprintf("λ=%.0f", l))
@@ -214,7 +217,7 @@ func lambdaTrace(w io.Writer, fig string, rate2of1 bool, oscillate bool, lambdas
 		results[i] = []string{fmt.Sprint(i + 1)}
 	}
 	for _, lambda := range lambdas {
-		rig := buildMultiRing(2, []int{0, 1}, 300e6, false, lambda, time.Millisecond, 1, 3)
+		rig := buildMultiRing(rec, 2, []int{0, 1}, 300e6, false, lambda, time.Millisecond, 1, 3)
 		if rate2of1 {
 			rig.pumps[1].rate = 150e6
 		}
@@ -250,12 +253,18 @@ func lambdaTrace(w io.Writer, fig string, rate2of1 bool, oscillate bool, lambdas
 	t.print(w)
 }
 
-func runFig5_8(w io.Writer)  { lambdaTrace(w, "5.8", false, false, []float64{0, 1000, 5000}) }
-func runFig5_9(w io.Writer)  { lambdaTrace(w, "5.9", true, false, []float64{1000, 5000, 9000}) }
-func runFig5_10(w io.Writer) { lambdaTrace(w, "5.10", true, true, []float64{5000, 9000, 12000}) }
+func runFig5_8(w io.Writer, rec *DelivRecorder) {
+	lambdaTrace(w, rec, "5.8", false, false, []float64{0, 1000, 5000})
+}
+func runFig5_9(w io.Writer, rec *DelivRecorder) {
+	lambdaTrace(w, rec, "5.9", true, false, []float64{1000, 5000, 9000})
+}
+func runFig5_10(w io.Writer, rec *DelivRecorder) {
+	lambdaTrace(w, rec, "5.10", true, true, []float64{5000, 9000, 12000})
+}
 
-func runFig5_11(w io.Writer) {
-	rig := buildMultiRing(2, []int{0, 1}, 250e6, false, 5000, time.Millisecond, 1, 4)
+func runFig5_11(w io.Writer, rec *DelivRecorder) {
+	rig := buildMultiRing(rec, 2, []int{0, 1}, 250e6, false, 5000, time.Millisecond, 1, 4)
 	coord1 := rig.l.Node(proto.NodeID(11)) // ring 1's coordinator
 	t := newTable("Fig 5.11 — ring-1 coordinator fails at t=1s, recovers at t=2s: learner Mbps per 500ms",
 		"t(ms)", "received ring0", "received ring1", "delivered")
@@ -280,5 +289,3 @@ func runFig5_11(w io.Writer) {
 	t.note("paper: delivery stalls during the outage (merge blocks on the dead ring), then a catch-up burst flushes the buffer")
 	t.print(w)
 }
-
-var _ = core.Value{} // keep core import for future trace extensions

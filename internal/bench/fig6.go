@@ -5,33 +5,41 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/lan"
+	"repro/internal/proto"
 	"repro/internal/psmr"
 )
 
 func init() {
-	register(Experiment{ID: "fig6.3", Title: "P-SMR: independent commands vs baselines", Run: runFig6_3})
-	register(Experiment{ID: "fig6.4", Title: "P-SMR: dependent commands", Run: runFig6_4})
-	register(Experiment{ID: "fig6.5", Title: "P-SMR: mixed workloads", Run: runFig6_5})
-	register(Experiment{ID: "fig6.6", Title: "P-SMR scalability, uniform workload", Run: runFig6_6})
-	register(Experiment{ID: "fig6.7", Title: "P-SMR scalability, skewed workload", Run: runFig6_7})
-	register(Experiment{ID: "tab6.1", Title: "comparison of SMR parallelization approaches", Run: runTab6_1})
+	register(Experiment{ID: "fig6.3", Title: "P-SMR: independent commands vs baselines", Traced: runFig6_3})
+	register(Experiment{ID: "fig6.4", Title: "P-SMR: dependent commands", Traced: runFig6_4})
+	register(Experiment{ID: "fig6.5", Title: "P-SMR: mixed workloads", Traced: runFig6_5})
+	register(Experiment{ID: "fig6.6", Title: "P-SMR scalability, uniform workload", Traced: runFig6_6})
+	register(Experiment{ID: "fig6.7", Title: "P-SMR scalability, skewed workload", Traced: runFig6_7})
+	register(Experiment{ID: "tab6.1", Title: "comparison of SMR parallelization approaches", Traced: runTab6_1})
 }
 
-func psmrRun(cfg psmr.DeployConfig, seed int64) (float64, time.Duration) {
+func psmrRun(rec *DelivRecorder, cfg psmr.DeployConfig, seed int64) (float64, time.Duration) {
+	dep := rec.Deployment()
+	if dep != nil {
+		cfg.Trace = func(replica, ring int) *core.DelivTrace {
+			return dep.LearnerRing(proto.NodeID(replica), ring)
+		}
+	}
 	d := psmr.Deploy(cfg, lan.DefaultConfig(), seed)
 	return d.Measure(300*time.Millisecond, 700*time.Millisecond)
 }
 
 var psmrModes = []psmr.Mode{psmr.Sequential, psmr.Pipelined, psmr.SDPE, psmr.PSMR}
 
-func modeSweep(w io.Writer, fig string, depPct int) {
+func modeSweep(w io.Writer, rec *DelivRecorder, fig string, depPct int) {
 	t := newTable(fmt.Sprintf("Fig %s — Kcps (latency) vs clients, 4 workers, %d%%%% dependent commands", fig, depPct),
 		"mode", "40 clients", "120 clients", "240 clients")
 	for _, mode := range psmrModes {
 		row := []any{mode.String()}
 		for _, n := range []int{40, 120, 240} {
-			tput, lat := psmrRun(psmr.DeployConfig{
+			tput, lat := psmrRun(rec, psmr.DeployConfig{
 				Mode: mode, Workers: 4, Clients: n, DependentPct: depPct,
 			}, 1)
 			row = append(row, fmt.Sprintf("%.1f (%v)", tput/1000, lat.Round(50*time.Microsecond)))
@@ -47,16 +55,16 @@ func modeSweep(w io.Writer, fig string, depPct int) {
 	t.print(w)
 }
 
-func runFig6_3(w io.Writer) { modeSweep(w, "6.3", 0) }
-func runFig6_4(w io.Writer) { modeSweep(w, "6.4", 100) }
+func runFig6_3(w io.Writer, rec *DelivRecorder) { modeSweep(w, rec, "6.3", 0) }
+func runFig6_4(w io.Writer, rec *DelivRecorder) { modeSweep(w, rec, "6.4", 100) }
 
-func runFig6_5(w io.Writer) {
+func runFig6_5(w io.Writer, rec *DelivRecorder) {
 	t := newTable("Fig 6.5 — mixed workloads, 4 workers, 160 clients: Kcps vs dependent %",
 		"mode", "0%", "5%", "20%", "50%", "100%")
 	for _, mode := range []psmr.Mode{psmr.Sequential, psmr.SDPE, psmr.PSMR} {
 		row := []any{mode.String()}
 		for _, p := range []int{0, 5, 20, 50, 100} {
-			tput, _ := psmrRun(psmr.DeployConfig{Mode: mode, Workers: 4, Clients: 160, DependentPct: p}, 2)
+			tput, _ := psmrRun(rec, psmr.DeployConfig{Mode: mode, Workers: 4, Clients: 160, DependentPct: p}, 2)
 			row = append(row, fmt.Sprintf("%.1f", tput/1000))
 		}
 		t.row(row...)
@@ -65,20 +73,20 @@ func runFig6_5(w io.Writer) {
 	t.print(w)
 }
 
-func runFig6_6(w io.Writer) {
+func runFig6_6(w io.Writer, rec *DelivRecorder) {
 	t := newTable("Fig 6.6 — scalability, uniform workload: Kcps vs workers (240 clients)",
 		"workers", "P-SMR", "SDPE", "sequential")
 	for _, wk := range []int{1, 2, 4, 8} {
-		p, _ := psmrRun(psmr.DeployConfig{Mode: psmr.PSMR, Workers: wk, Clients: 240}, 3)
-		s, _ := psmrRun(psmr.DeployConfig{Mode: psmr.SDPE, Workers: wk, Clients: 240}, 3)
-		q, _ := psmrRun(psmr.DeployConfig{Mode: psmr.Sequential, Workers: wk, Clients: 240}, 3)
+		p, _ := psmrRun(rec, psmr.DeployConfig{Mode: psmr.PSMR, Workers: wk, Clients: 240}, 3)
+		s, _ := psmrRun(rec, psmr.DeployConfig{Mode: psmr.SDPE, Workers: wk, Clients: 240}, 3)
+		q, _ := psmrRun(rec, psmr.DeployConfig{Mode: psmr.Sequential, Workers: wk, Clients: 240}, 3)
 		t.row(wk, fmt.Sprintf("%.1f", p/1000), fmt.Sprintf("%.1f", s/1000), fmt.Sprintf("%.1f", q/1000))
 	}
 	t.note("paper: P-SMR grows near-linearly with workers; SDPE flattens at the scheduler; sequential is flat")
 	t.print(w)
 }
 
-func runFig6_7(w io.Writer) {
+func runFig6_7(w io.Writer, rec *DelivRecorder) {
 	t := newTable("Fig 6.7 — skewed (zipf) vs uniform class popularity: P-SMR Kcps (4 workers, 240 clients)",
 		"skew", "P-SMR", "SDPE")
 	for _, z := range []float64{0, 1.2, 2.0} {
@@ -86,15 +94,15 @@ func runFig6_7(w io.Writer) {
 		if z > 0 {
 			name = fmt.Sprintf("zipf s=%.1f", z)
 		}
-		p, _ := psmrRun(psmr.DeployConfig{Mode: psmr.PSMR, Workers: 4, Clients: 240, Zipf: z}, 4)
-		s, _ := psmrRun(psmr.DeployConfig{Mode: psmr.SDPE, Workers: 4, Clients: 240, Zipf: z}, 4)
+		p, _ := psmrRun(rec, psmr.DeployConfig{Mode: psmr.PSMR, Workers: 4, Clients: 240, Zipf: z}, 4)
+		s, _ := psmrRun(rec, psmr.DeployConfig{Mode: psmr.SDPE, Workers: 4, Clients: 240, Zipf: z}, 4)
 		t.row(name, fmt.Sprintf("%.1f", p/1000), fmt.Sprintf("%.1f", s/1000))
 	}
 	t.note("paper: skew concentrates load on one worker/ring and erodes P-SMR's scalability")
 	t.print(w)
 }
 
-func runTab6_1(w io.Writer) {
+func runTab6_1(w io.Writer, _ *DelivRecorder) {
 	t := newTable("Tab 6.1 — approaches to parallelizing SMR (qualitative, §6.2)",
 		"approach", "delivery", "execution", "serial bottleneck")
 	t.row("sequential SMR", "sequential", "sequential", "the single thread")

@@ -8,12 +8,12 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "fig7.2", Title: "peak performance of four Paxos libraries (cloud study)", Run: runFig7_2})
-	register(Experiment{ID: "fig7.3", Title: "S-Paxos in heterogeneous configurations", Run: runFig7_3})
-	register(Experiment{ID: "fig7.4", Title: "OpenReplica-style in heterogeneous configurations", Run: runFig7_4})
-	register(Experiment{ID: "fig7.5", Title: "U-Ring Paxos in heterogeneous configurations", Run: runFig7_5})
-	register(Experiment{ID: "fig7.6", Title: "Libpaxos in heterogeneous configurations", Run: runFig7_6})
-	register(Experiment{ID: "fig7.7", Title: "Libpaxos+ (batching) in heterogeneous configurations", Run: runFig7_7})
+	register(Experiment{ID: "fig7.2", Title: "peak performance of four Paxos libraries (cloud study)", Traced: runFig7_2})
+	register(Experiment{ID: "fig7.3", Title: "S-Paxos in heterogeneous configurations", Traced: runFig7_3})
+	register(Experiment{ID: "fig7.4", Title: "OpenReplica-style in heterogeneous configurations", Traced: runFig7_4})
+	register(Experiment{ID: "fig7.5", Title: "U-Ring Paxos in heterogeneous configurations", Traced: runFig7_5})
+	register(Experiment{ID: "fig7.6", Title: "Libpaxos in heterogeneous configurations", Traced: runFig7_6})
+	register(Experiment{ID: "fig7.7", Title: "Libpaxos+ (batching) in heterogeneous configurations", Traced: runFig7_7})
 }
 
 // The Chapter 7 study runs the four open-source library architectures on
@@ -24,7 +24,7 @@ func init() {
 //   - OpenReplica        -> basic unicast Paxos, no batching (per client op)
 //   - U-Ring Paxos       -> internal/ringpaxos.UAgent
 //   - Libpaxos/Libpaxos+ -> basic multicast Paxos without/with batching
-func runFig7_2(w io.Writer) {
+func runFig7_2(w io.Writer, rec *DelivRecorder) {
 	t := newTable("Fig 7.2 — peak throughput (Mbps) by message size, homogeneous cluster",
 		"library", "200B", "4KB", "32KB")
 	lc := lan.DefaultConfig()
@@ -34,16 +34,16 @@ func runFig7_2(w io.Writer) {
 			fmt.Sprintf("%.0f", f(4<<10).Mbps),
 			fmt.Sprintf("%.0f", f(32<<10).Mbps))
 	}
-	row("S-Paxos", func(s int) abResult { return runSPaxos(3, s, 400e6, lc, 0) })
+	row("S-Paxos", func(s int) abResult { return runSPaxos(rec, 0, 3, s, 400e6, lc, 0) })
 	row("OpenReplica-style", func(s int) abResult {
 		return bestOf([]float64{20e6, 60e6}, func(o float64) abResult {
-			return runPaxos(3, 3, s, false, o, lc, 0)
+			return runPaxos(rec, 0, 3, 3, s, false, o, lc, 0)
 		})
 	})
-	row("U-Ring Paxos", func(s int) abResult { return runURing(3, s, 900e6, lc, false, 0) })
+	row("U-Ring Paxos", func(s int) abResult { return runURing(rec, 0, 3, s, 900e6, lc, false, 0) })
 	row("Libpaxos", func(s int) abResult {
 		return bestOf([]float64{50e6, 150e6, 300e6}, func(o float64) abResult {
-			return runPaxos(3, 3, s, true, o, lc, 0)
+			return runPaxos(rec, 0, 3, 3, s, true, o, lc, 0)
 		})
 	})
 	t.note("paper: U-Ring Paxos peaks highest; S-Paxos benefits from large messages; unbatched libraries trail")
@@ -70,32 +70,32 @@ func hetero(w io.Writer, fig, name string, run func(lc lan.Config, slow int) abR
 // slowCfg communicates the slow node index to the runners via a package
 // variable consumed by lan deployment wrappers below. To stay simple the
 // heterogeneous runners rebuild deployments locally.
-func runFig7_3(w io.Writer) {
+func runFig7_3(w io.Writer, rec *DelivRecorder) {
 	hetero(w, "7.3", "S-Paxos", func(lc lan.Config, slow int) abResult {
-		return runSPaxosHet(3, 8<<10, 400e6, lc, slow)
+		return runSPaxosHet(rec, 3, 8<<10, 400e6, lc, slow)
 	})
 }
 
-func runFig7_4(w io.Writer) {
+func runFig7_4(w io.Writer, rec *DelivRecorder) {
 	hetero(w, "7.4", "OpenReplica-style (unicast, unbatched)", func(lc lan.Config, slow int) abResult {
-		return runPaxosHet(3, 3, 4<<10, false, 60e6, lc, slow)
+		return runPaxosHet(rec, 3, 3, 4<<10, false, 60e6, lc, slow)
 	})
 }
 
-func runFig7_5(w io.Writer) {
+func runFig7_5(w io.Writer, rec *DelivRecorder) {
 	hetero(w, "7.5", "U-Ring Paxos", func(lc lan.Config, slow int) abResult {
-		return runURingHet(3, 32<<10, 700e6, lc, slow)
+		return runURingHet(rec, 3, 32<<10, 700e6, lc, slow)
 	})
 }
 
-func runFig7_6(w io.Writer) {
+func runFig7_6(w io.Writer, rec *DelivRecorder) {
 	hetero(w, "7.6", "Libpaxos (multicast, unbatched)", func(lc lan.Config, slow int) abResult {
-		return runPaxosHet(3, 3, 4<<10, true, 150e6, lc, slow)
+		return runPaxosHet(rec, 3, 3, 4<<10, true, 150e6, lc, slow)
 	})
 }
 
-func runFig7_7(w io.Writer) {
+func runFig7_7(w io.Writer, rec *DelivRecorder) {
 	hetero(w, "7.7", "Libpaxos+ (multicast, batched)", func(lc lan.Config, slow int) abResult {
-		return runPaxosBatchedHet(3, 3, 4<<10, 300e6, lc, slow)
+		return runPaxosBatchedHet(rec, 3, 3, 4<<10, 300e6, lc, slow)
 	})
 }

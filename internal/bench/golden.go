@@ -1,11 +1,22 @@
 package bench
 
-// This file holds the golden-output regression support. Every
-// deterministic experiment's full text output is pinned by a SHA-256
-// stored under internal/bench/testdata/golden/<id>.sha256. The hashes are
-// verified by go test ./internal/bench (TestGoldenOutputs) and
-// regenerated with cmd/repro -update-golden after a deliberate model
-// change.
+// This file holds the two-layer golden regression support.
+//
+// Layer 1 (output): every deterministic experiment's full text output is
+// pinned by a SHA-256 under internal/bench/testdata/golden/<id>.sha256.
+// It also pins incidental message schedules, so it moves on any event
+// reordering and may be regenerated after a deliberate model change.
+//
+// Layer 2 (delivery): the same run's delivery-equivalence digest (see
+// deliv.go) is pinned under <id>.deliv.sha256. It captures only the
+// agreed per-learner delivery sequences in the schedule-invariant window,
+// so it must survive schedule-only changes untouched; a delivery-pin
+// change means the protocol's ordering contract (or the experiment's
+// deployment shape) changed and needs explicit justification.
+//
+// Both layers are verified by go test ./internal/bench (TestGoldenOutputs
+// / TestDeliveryEquivalence) and by cmd/repro -verify-golden /
+// -verify-deliv; -update-golden regenerates both from one run.
 
 import (
 	"fmt"
@@ -48,28 +59,52 @@ func ResolveGoldenDir(dir string) string {
 	}
 }
 
-// GoldenPath returns the golden file for one experiment id.
+// GoldenPath returns the output golden file for one experiment id.
 func GoldenPath(dir, id string) string {
 	return filepath.Join(dir, id+".sha256")
 }
 
-// ReadGolden returns the pinned hash for id, or "" with os.ErrNotExist
-// wrapped when no golden file exists yet.
-func ReadGolden(dir, id string) (string, error) {
-	b, err := os.ReadFile(GoldenPath(dir, id))
+// DelivPath returns the delivery-equivalence golden file for one
+// experiment id.
+func DelivPath(dir, id string) string {
+	return filepath.Join(dir, id+".deliv.sha256")
+}
+
+func readPin(path string) (string, error) {
+	b, err := os.ReadFile(path)
 	if err != nil {
 		return "", err
 	}
 	return strings.TrimSpace(string(b)), nil
 }
 
-// WriteGolden pins hash as the golden output for id, creating dir as
-// needed.
-func WriteGolden(dir, id, hash string) error {
+func writePin(dir, path, hash string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	return os.WriteFile(GoldenPath(dir, id), []byte(hash+"\n"), 0o644)
+	return os.WriteFile(path, []byte(hash+"\n"), 0o644)
+}
+
+// ReadGolden returns the pinned output hash for id, or "" with
+// os.ErrNotExist wrapped when no golden file exists yet.
+func ReadGolden(dir, id string) (string, error) {
+	return readPin(GoldenPath(dir, id))
+}
+
+// WriteGolden pins hash as the golden output for id, creating dir as
+// needed.
+func WriteGolden(dir, id, hash string) error {
+	return writePin(dir, GoldenPath(dir, id), hash)
+}
+
+// ReadDelivGolden returns the pinned delivery digest for id.
+func ReadDelivGolden(dir, id string) (string, error) {
+	return readPin(DelivPath(dir, id))
+}
+
+// WriteDelivGolden pins hash as the delivery-equivalence golden for id.
+func WriteDelivGolden(dir, id, hash string) error {
+	return writePin(dir, DelivPath(dir, id), hash)
 }
 
 // GoldenExperiments returns every registered experiment that participates
@@ -84,8 +119,8 @@ func GoldenExperiments() []Experiment {
 	return out
 }
 
-// VerifyGolden compares results against the golden files in dir and
-// returns one line per divergence (missing file or hash mismatch).
+// VerifyGolden compares results against the output golden files in dir
+// and returns one line per divergence (missing file or hash mismatch).
 // Volatile experiments and failed results are the caller's concern; this
 // only inspects results that carry a hash.
 func VerifyGolden(dir string, results []Result) []string {
@@ -100,6 +135,27 @@ func VerifyGolden(dir string, results []Result) []string {
 			bad = append(bad, fmt.Sprintf("%s: no golden file (%v); run cmd/repro -update-golden", r.ID, err))
 		case want != r.SHA256:
 			bad = append(bad, fmt.Sprintf("%s: output diverged from golden\n  got:  %s\n  want: %s", r.ID, r.SHA256, want))
+		}
+	}
+	return bad
+}
+
+// VerifyDelivGolden compares results against the delivery-equivalence
+// pins in dir. A divergence here is stronger than an output divergence:
+// some learner's agreed delivery sequence (or an experiment's deployment
+// shape) changed, which no schedule-only refactor may do silently.
+func VerifyDelivGolden(dir string, results []Result) []string {
+	var bad []string
+	for _, r := range results {
+		if r.Err != nil || r.DelivSHA256 == "" {
+			continue
+		}
+		want, err := ReadDelivGolden(dir, r.ID)
+		switch {
+		case err != nil:
+			bad = append(bad, fmt.Sprintf("%s: no delivery golden (%v); run cmd/repro -update-golden", r.ID, err))
+		case want != r.DelivSHA256:
+			bad = append(bad, fmt.Sprintf("%s: DELIVERY SEQUENCE diverged from golden\n  got:  %s\n  want: %s", r.ID, r.DelivSHA256, want))
 		}
 	}
 	return bad

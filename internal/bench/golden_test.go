@@ -3,10 +3,34 @@ package bench
 import (
 	"os"
 	"strings"
+	"sync"
 	"testing"
 )
 
 const goldenDir = "testdata/golden"
+
+// goldenPoolResults regenerates the full evaluation exactly once per test
+// binary and shares the results between the output-hash and
+// delivery-equivalence suites, so running both gates costs one simulation
+// pass.
+var (
+	goldenPoolOnce sync.Once
+	goldenPoolRes  []Result
+)
+
+func goldenPoolResults(t *testing.T) []Result {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("regenerates the full evaluation (minutes of simulation)")
+	}
+	goldenPoolOnce.Do(func() { goldenPoolRes = Run(GoldenExperiments(), Options{}) })
+	for _, r := range goldenPoolRes {
+		if r.Err != nil {
+			t.Errorf("%s failed: %v", r.ID, r.Err)
+		}
+	}
+	return goldenPoolRes
+}
 
 // TestGoldenOutputs regenerates every deterministic experiment on the
 // worker pool and verifies each one's full text output against its pinned
@@ -16,31 +40,42 @@ const goldenDir = "testdata/golden"
 //
 //	go run ./cmd/repro -update-golden
 func TestGoldenOutputs(t *testing.T) {
-	if testing.Short() {
-		t.Skip("regenerates the full evaluation (minutes of simulation)")
+	for _, bad := range VerifyGolden(goldenDir, goldenPoolResults(t)) {
+		t.Error(bad)
 	}
-	exps := GoldenExperiments()
-	results := Run(exps, Options{})
-	for _, r := range results {
-		if r.Err != nil {
-			t.Errorf("%s failed: %v", r.ID, r.Err)
-		}
-	}
-	for _, bad := range VerifyGolden(goldenDir, results) {
+}
+
+// TestDeliveryEquivalence is the schedule-invariant gate: the same run's
+// per-learner delivered command sequences (instance id, value id, value
+// size, in delivery order, within the schedule-invariant window) must
+// match the pinned <id>.deliv.sha256 digests. Unlike the output pins,
+// these digests must survive changes that only reshuffle message
+// schedules — GC defaults, timer reorganizations, retransmission tuning.
+// A failure here means some learner's agreed delivery sequence (or an
+// experiment's deployment shape) changed; that needs explicit
+// justification, never a reflexive re-pin.
+func TestDeliveryEquivalence(t *testing.T) {
+	for _, bad := range VerifyDelivGolden(goldenDir, goldenPoolResults(t)) {
 		t.Error(bad)
 	}
 }
 
 // TestGoldenFilesMatchRegistry keeps testdata/golden and the registry in
-// sync: every deterministic experiment must have a pin, and every pin
-// must belong to a registered experiment (no stale files after a rename).
+// sync: every deterministic experiment must have both an output pin and a
+// delivery pin, and every pin on disk must belong to a registered
+// experiment (no stale files after a rename).
 func TestGoldenFilesMatchRegistry(t *testing.T) {
 	entries, err := os.ReadDir(goldenDir)
 	if err != nil {
 		t.Fatalf("golden dir missing: %v (run cmd/repro -update-golden)", err)
 	}
-	onDisk := map[string]bool{}
+	onDisk := map[string]bool{}      // output pins
+	delivOnDisk := map[string]bool{} // delivery pins
 	for _, e := range entries {
+		if id, ok := strings.CutSuffix(e.Name(), ".deliv.sha256"); ok {
+			delivOnDisk[id] = true
+			continue
+		}
 		id, ok := strings.CutSuffix(e.Name(), ".sha256")
 		if !ok {
 			t.Errorf("unexpected file %s in %s", e.Name(), goldenDir)
@@ -50,19 +85,25 @@ func TestGoldenFilesMatchRegistry(t *testing.T) {
 	}
 	for _, e := range GoldenExperiments() {
 		if !onDisk[e.ID] {
-			t.Errorf("experiment %s has no golden pin; run cmd/repro -update-golden", e.ID)
+			t.Errorf("experiment %s has no output golden pin; run cmd/repro -update-golden", e.ID)
+		}
+		if !delivOnDisk[e.ID] {
+			t.Errorf("experiment %s has no delivery golden pin; run cmd/repro -update-golden", e.ID)
 		}
 		delete(onDisk, e.ID)
-		h, err := ReadGolden(goldenDir, e.ID)
-		if err != nil {
-			continue
+		delete(delivOnDisk, e.ID)
+		if h, err := ReadGolden(goldenDir, e.ID); err == nil && len(h) != 64 {
+			t.Errorf("output pin for %s is not a sha256 hex digest: %q", e.ID, h)
 		}
-		if len(h) != 64 {
-			t.Errorf("golden pin for %s is not a sha256 hex digest: %q", e.ID, h)
+		if h, err := ReadDelivGolden(goldenDir, e.ID); err == nil && len(h) != 64 {
+			t.Errorf("delivery pin for %s is not a sha256 hex digest: %q", e.ID, h)
 		}
 	}
 	for id := range onDisk {
 		t.Errorf("stale golden pin %s.sha256: no such experiment", id)
+	}
+	for id := range delivOnDisk {
+		t.Errorf("stale delivery pin %s.deliv.sha256: no such experiment", id)
 	}
 }
 
@@ -114,6 +155,37 @@ func TestGoldenRoundTrip(t *testing.T) {
 		t.Fatalf("VerifyGolden reported %d divergences, want 2: %v", len(bad), bad)
 	}
 	if !strings.Contains(bad[0], "diverged") || !strings.Contains(bad[1], "no golden file") {
+		t.Errorf("unexpected divergence messages: %v", bad)
+	}
+}
+
+// TestDelivGoldenRoundTrip exercises the delivery-pin helpers: the two
+// layers live side by side in one directory without colliding.
+func TestDelivGoldenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const id = "fig9.9"
+	if err := WriteGolden(dir, id, "out-hash"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDelivGolden(dir, id, "deliv-hash"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadDelivGolden(dir, id); err != nil || got != "deliv-hash" {
+		t.Fatalf("ReadDelivGolden = %q, %v", got, err)
+	}
+	if got, _ := ReadGolden(dir, id); got != "out-hash" {
+		t.Fatalf("output pin clobbered by delivery pin: %q", got)
+	}
+	bad := VerifyDelivGolden(dir, []Result{
+		{ID: id, DelivSHA256: "deliv-hash"},  // match
+		{ID: id, DelivSHA256: "0000"},        // mismatch
+		{ID: "absent", DelivSHA256: "1111"},  // no pin
+		{ID: "failed" /* no deliv digest */}, // skipped
+	})
+	if len(bad) != 2 {
+		t.Fatalf("VerifyDelivGolden reported %d divergences, want 2: %v", len(bad), bad)
+	}
+	if !strings.Contains(bad[0], "DELIVERY SEQUENCE diverged") || !strings.Contains(bad[1], "no delivery golden") {
 		t.Errorf("unexpected divergence messages: %v", bad)
 	}
 }

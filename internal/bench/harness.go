@@ -77,9 +77,12 @@ const (
 // runMRing deploys M-Ring Paxos with nRing ring acceptors and nLearn
 // learners, offering `offered` bits/s of msgSize messages from one
 // proposer node (plus more proposers when offered exceeds one NIC).
-func runMRing(nRing, nLearn, msgSize int, offered float64, lc lan.Config, disk bool, dur time.Duration) abResult {
+func runMRing(rec *DelivRecorder, gc time.Duration, nRing, nLearn, msgSize int, offered float64, lc lan.Config, disk bool, dur time.Duration) abResult {
 	// Learners only bump counters at delivery, so batch arrays can recycle.
-	cfg := ringpaxos.MConfig{Group: 1, DiskSync: disk, RecycleBatches: true}
+	// gc is the GCInterval knob (0 = protocol default, negative = off);
+	// figures pass 0, the GC delivery-equivalence test sweeps it.
+	cfg := ringpaxos.MConfig{Group: 1, DiskSync: disk, RecycleBatches: true, GCInterval: gc}
+	dep := rec.Deployment()
 	for i := 0; i < nRing; i++ {
 		cfg.Ring = append(cfg.Ring, proto.NodeID(i))
 	}
@@ -93,6 +96,9 @@ func runMRing(nRing, nLearn, msgSize int, offered float64, lc lan.Config, disk b
 		agents[id] = a
 		l.AddNode(id, a)
 		l.Subscribe(1, id)
+	}
+	for _, id := range cfg.Learners {
+		agents[id].Trace = dep.Learner(id)
 	}
 	// Spread offered load over enough proposers that no proposer NIC
 	// saturates.
@@ -152,8 +158,9 @@ func totalDrops(l *lan.LAN, learners []proto.NodeID) int64 {
 
 // runURing deploys U-Ring Paxos with n processes (all proposer, acceptor
 // and learner), every process offering offered/n bits per second.
-func runURing(n, msgSize int, offered float64, lc lan.Config, disk bool, dur time.Duration) abResult {
-	cfg := ringpaxos.UConfig{DiskSync: disk}
+func runURing(rec *DelivRecorder, gc time.Duration, n, msgSize int, offered float64, lc lan.Config, disk bool, dur time.Duration) abResult {
+	cfg := ringpaxos.UConfig{DiskSync: disk, GCInterval: gc}
+	dep := rec.Deployment()
 	for i := 0; i < n; i++ {
 		cfg.Ring = append(cfg.Ring, proto.NodeID(i))
 		cfg.Learners = append(cfg.Learners, proto.NodeID(i))
@@ -163,6 +170,7 @@ func runURing(n, msgSize int, offered float64, lc lan.Config, disk bool, dur tim
 	var pumps []*pump
 	for i := 0; i < n; i++ {
 		agents[i] = &ringpaxos.UAgent{Cfg: cfg}
+		agents[i].Trace = dep.Learner(proto.NodeID(i))
 		var hs []proto.Handler
 		hs = append(hs, agents[i])
 		if i == 0 {
@@ -202,7 +210,8 @@ func runURing(n, msgSize int, offered float64, lc lan.Config, disk bool, dur tim
 }
 
 // runLCR deploys LCR with n processes, all broadcasting.
-func runLCR(n, msgSize int, offered float64, lc lan.Config, disk bool, dur time.Duration) abResult {
+func runLCR(rec *DelivRecorder, n, msgSize int, offered float64, lc lan.Config, disk bool, dur time.Duration) abResult {
+	dep := rec.Deployment()
 	var ring []proto.NodeID
 	for i := 0; i < n; i++ {
 		ring = append(ring, proto.NodeID(i))
@@ -212,6 +221,7 @@ func runLCR(n, msgSize int, offered float64, lc lan.Config, disk bool, dur time.
 	var pumps []*pump
 	for i := 0; i < n; i++ {
 		agents[i] = &abcast.LCR{Ring: ring, DiskSync: disk}
+		agents[i].Trace = dep.Learner(proto.NodeID(i))
 		p := &pump{size: msgSize, rate: offered / float64(n), submit: agents[i].Broadcast}
 		pumps = append(pumps, p)
 		l.AddNode(proto.NodeID(i), proto.Multi(agents[i], p))
@@ -239,7 +249,8 @@ func runLCR(n, msgSize int, offered float64, lc lan.Config, disk bool, dur time.
 }
 
 // runToken deploys the Totem-style token ring (Spread stand-in).
-func runToken(n, msgSize int, offered float64, lc lan.Config, dur time.Duration) abResult {
+func runToken(rec *DelivRecorder, n, msgSize int, offered float64, lc lan.Config, dur time.Duration) abResult {
+	dep := rec.Deployment()
 	var ring []proto.NodeID
 	for i := 0; i < n; i++ {
 		ring = append(ring, proto.NodeID(i))
@@ -249,6 +260,7 @@ func runToken(n, msgSize int, offered float64, lc lan.Config, dur time.Duration)
 	var pumps []*pump
 	for i := 0; i < n; i++ {
 		agents[i] = &abcast.TokenRing{Ring: ring, Group: 1, DaemonCost: 20 * time.Microsecond}
+		agents[i].Trace = dep.Learner(proto.NodeID(i))
 		p := &pump{size: msgSize, rate: offered / float64(n), submit: agents[i].Broadcast}
 		pumps = append(pumps, p)
 		// Spread daemons are the system's CPU bottleneck (Table 3.2: 18%
@@ -280,7 +292,8 @@ func runToken(n, msgSize int, offered float64, lc lan.Config, dur time.Duration)
 }
 
 // runSPaxos deploys S-Paxos with n replicas; clients spread over replicas.
-func runSPaxos(n, msgSize int, offered float64, lc lan.Config, dur time.Duration) abResult {
+func runSPaxos(rec *DelivRecorder, gc time.Duration, n, msgSize int, offered float64, lc lan.Config, dur time.Duration) abResult {
+	dep := rec.Deployment()
 	var reps []proto.NodeID
 	for i := 0; i < n; i++ {
 		reps = append(reps, proto.NodeID(i))
@@ -289,7 +302,8 @@ func runSPaxos(n, msgSize int, offered float64, lc lan.Config, dur time.Duration
 	agents := make([]*abcast.SPaxos, n)
 	var pumps []*pump
 	for i := 0; i < n; i++ {
-		agents[i] = &abcast.SPaxos{Replicas: reps, GCJitter: 2 * time.Millisecond}
+		agents[i] = &abcast.SPaxos{Replicas: reps, GCJitter: 2 * time.Millisecond, GCInterval: gc}
+		agents[i].Trace = dep.Learner(proto.NodeID(i))
 		p := &pump{size: msgSize, rate: offered / float64(n), submit: agents[i].Submit}
 		pumps = append(pumps, p)
 		// S-Paxos replicas are CPU-intensive (the paper measures ~270% of
@@ -320,8 +334,9 @@ func runSPaxos(n, msgSize int, offered float64, lc lan.Config, dur time.Duration
 }
 
 // runPaxos deploys basic Paxos: multicast wiring = Libpaxos, unicast = PFSB.
-func runPaxos(nAcc, nLearn, msgSize int, multicast bool, offered float64, lc lan.Config, dur time.Duration) abResult {
-	cfg := paxos.Config{Coordinator: 0, Multicast: multicast, Group: 1}
+func runPaxos(rec *DelivRecorder, gc time.Duration, nAcc, nLearn, msgSize int, multicast bool, offered float64, lc lan.Config, dur time.Duration) abResult {
+	cfg := paxos.Config{Coordinator: 0, Multicast: multicast, Group: 1, GCInterval: gc}
+	dep := rec.Deployment()
 	// The era's Libpaxos pipelines only a handful of instances, one of the
 	// reasons the paper measures it at ~3% efficiency.
 	cfg.Window = 4
@@ -337,8 +352,11 @@ func runPaxos(nAcc, nLearn, msgSize int, multicast bool, offered float64, lc lan
 	var latSum time.Duration
 	var latN int64
 	probeID := cfg.Learners[0]
-	for _, id := range append(append([]proto.NodeID{}, cfg.Acceptors...), cfg.Learners...) {
+	for i, id := range append(append([]proto.NodeID{}, cfg.Acceptors...), cfg.Learners...) {
 		a := &paxos.Agent{Cfg: cfg}
+		if i >= nAcc { // positions past the acceptors are the learners
+			a.Trace = dep.Learner(id)
+		}
 		if id == probeID {
 			node := id
 			_ = node

@@ -23,7 +23,8 @@ func nodeCfg(i, slow int) lan.NodeConfig {
 }
 
 // runSPaxosHet is runSPaxos with replica `slow` on a small instance.
-func runSPaxosHet(n, msgSize int, offered float64, lc lan.Config, slow int) abResult {
+func runSPaxosHet(rec *DelivRecorder, n, msgSize int, offered float64, lc lan.Config, slow int) abResult {
+	dep := rec.Deployment()
 	var reps []proto.NodeID
 	for i := 0; i < n; i++ {
 		reps = append(reps, proto.NodeID(i))
@@ -32,6 +33,7 @@ func runSPaxosHet(n, msgSize int, offered float64, lc lan.Config, slow int) abRe
 	agents := make([]*abcast.SPaxos, n)
 	for i := 0; i < n; i++ {
 		agents[i] = &abcast.SPaxos{Replicas: reps}
+		agents[i].Trace = dep.Learner(proto.NodeID(i))
 		p := &pump{size: msgSize, rate: offered / float64(n), submit: agents[i].Submit}
 		l.AddNodeWithConfig(proto.NodeID(i), proto.Multi(agents[i], p), nodeCfg(i, slow))
 	}
@@ -44,7 +46,8 @@ func runSPaxosHet(n, msgSize int, offered float64, lc lan.Config, slow int) abRe
 }
 
 // runURingHet is runURing with ring position `slow` on a small instance.
-func runURingHet(n, msgSize int, offered float64, lc lan.Config, slow int) abResult {
+func runURingHet(rec *DelivRecorder, n, msgSize int, offered float64, lc lan.Config, slow int) abResult {
+	dep := rec.Deployment()
 	cfg := ringpaxos.UConfig{}
 	for i := 0; i < n; i++ {
 		cfg.Ring = append(cfg.Ring, proto.NodeID(i))
@@ -54,6 +57,7 @@ func runURingHet(n, msgSize int, offered float64, lc lan.Config, slow int) abRes
 	agents := make([]*ringpaxos.UAgent, n)
 	for i := 0; i < n; i++ {
 		agents[i] = &ringpaxos.UAgent{Cfg: cfg}
+		agents[i].Trace = dep.Learner(proto.NodeID(i))
 		var hs []proto.Handler
 		hs = append(hs, agents[i])
 		if i == 0 {
@@ -71,18 +75,19 @@ func runURingHet(n, msgSize int, offered float64, lc lan.Config, slow int) abRes
 
 // runPaxosHet is runPaxos with acceptor `slow` on a small instance
 // (slow == 0 slows the leader).
-func runPaxosHet(nAcc, nLearn, msgSize int, multicast bool, offered float64, lc lan.Config, slow int) abResult {
-	return paxosHet(nAcc, nLearn, msgSize, multicast, offered, lc, slow, 0)
+func runPaxosHet(rec *DelivRecorder, nAcc, nLearn, msgSize int, multicast bool, offered float64, lc lan.Config, slow int) abResult {
+	return paxosHet(rec, nAcc, nLearn, msgSize, multicast, offered, lc, slow, 0)
 }
 
 // runPaxosBatchedHet is the Libpaxos+ variant: same protocol with batching
 // enabled at the coordinator (Chapter 7 proposes batching as the fix).
-func runPaxosBatchedHet(nAcc, nLearn, msgSize int, offered float64, lc lan.Config, slow int) abResult {
-	return paxosHet(nAcc, nLearn, msgSize, true, offered, lc, slow, 32<<10)
+func runPaxosBatchedHet(rec *DelivRecorder, nAcc, nLearn, msgSize int, offered float64, lc lan.Config, slow int) abResult {
+	return paxosHet(rec, nAcc, nLearn, msgSize, true, offered, lc, slow, 32<<10)
 }
 
-func paxosHet(nAcc, nLearn, msgSize int, multicast bool, offered float64, lc lan.Config, slow, batch int) abResult {
+func paxosHet(rec *DelivRecorder, nAcc, nLearn, msgSize int, multicast bool, offered float64, lc lan.Config, slow, batch int) abResult {
 	cfg := paxos.Config{Coordinator: 0, Multicast: multicast, Group: 1}
+	dep := rec.Deployment()
 	if batch > 0 {
 		cfg.BatchBytes = batch
 	} else {
@@ -101,6 +106,9 @@ func paxosHet(nAcc, nLearn, msgSize int, multicast bool, offered float64, lc lan
 	probeID := cfg.Learners[0]
 	for i, id := range append(append([]proto.NodeID{}, cfg.Acceptors...), cfg.Learners...) {
 		a := &paxos.Agent{Cfg: cfg}
+		if i >= nAcc {
+			a.Trace = dep.Learner(id)
+		}
 		if id == probeID {
 			a.Deliver = func(_ int64, v core.Value) { delivered += int64(v.Bytes) }
 		}

@@ -1,0 +1,21 @@
+package bench
+
+// outputRepins is the re-pin audit trail: one entry per experiment whose
+// OUTPUT golden hash was deliberately regenerated, with the PR-scoped
+// justification. cmd/repro -list surfaces these notes (text and JSON) so
+// a reviewer can audit which artifacts moved in a re-pin and why, long
+// after the commit that moved them. Delivery goldens have no entries
+// here on purpose: they are expected to survive re-pins byte-identical,
+// and a delivery change needs its own justification in the PR
+// description, not a one-liner.
+//
+// Entries describe the most recent deliberate re-pin only; a future
+// re-pin replaces the map wholesale (git history keeps the past).
+var outputRepins = map[string]string{}
+
+// RepinNote returns the provenance note for an experiment whose output
+// golden was re-pinned in the most recent deliberate re-pin.
+func RepinNote(id string) (string, bool) {
+	n, ok := outputRepins[id]
+	return n, ok
+}

@@ -14,9 +14,12 @@ type Result struct {
 	ID     string
 	Title  string
 	SHA256 string
-	Bytes  int
-	Wall   time.Duration // host wall-clock for this experiment
-	Err    error         // non-nil when the experiment panicked
+	// DelivSHA256 is the experiment-level delivery-equivalence digest
+	// (see DelivRecorder), captured from the same simulation as SHA256.
+	DelivSHA256 string
+	Bytes       int
+	Wall        time.Duration // host wall-clock for this experiment
+	Err         error         // non-nil when the experiment panicked
 
 	// Output is the experiment's full captured text. It is what SHA256
 	// hashes; emitting it in registry order makes a parallel run
@@ -92,21 +95,23 @@ func Run(exps []Experiment, opts Options) []Result {
 // runOne executes a single experiment through the Hash capture path with
 // panic containment. A panicking experiment keeps its partial output but
 // never carries a hash (a hash of partial output must not reach golden
-// updates).
+// updates) — neither the output hash nor the delivery digest.
 func runOne(e Experiment) (r Result) {
 	r.ID, r.Title = e.ID, e.Title
 	var buf bytes.Buffer
+	rec := &DelivRecorder{}
 	start := time.Now()
 	defer func() {
 		r.Wall = time.Since(start)
 		r.Output = buf.Bytes()
 		r.Bytes = buf.Len()
 		if p := recover(); p != nil {
-			r.SHA256 = ""
+			r.SHA256, r.DelivSHA256 = "", ""
 			r.Err = fmt.Errorf("experiment %s panicked: %v\n%s", e.ID, p, debug.Stack())
 		}
 	}()
-	r.SHA256 = e.Hash(&buf)
+	r.SHA256 = e.hashTraced(&buf, rec)
+	r.DelivSHA256 = rec.Digest()
 	return
 }
 

@@ -35,10 +35,10 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "soak.mring", Title: "M-Ring Paxos 10 s soak: live log records, GC on vs off", Run: runSoakMRing})
-	register(Experiment{ID: "soak.uring", Title: "U-Ring Paxos 10 s soak: live log records, GC on vs off", Run: runSoakURing})
-	register(Experiment{ID: "soak.paxos", Title: "basic Paxos 10 s soak: live log records, GC on vs off", Run: runSoakPaxos})
-	register(Experiment{ID: "soak.spaxos", Title: "S-Paxos 10 s soak: live log records, GC on vs off", Run: runSoakSPaxos})
+	register(Experiment{ID: "soak.mring", Title: "M-Ring Paxos 10 s soak: live log records, GC on vs off", Traced: runSoakMRing})
+	register(Experiment{ID: "soak.uring", Title: "U-Ring Paxos 10 s soak: live log records, GC on vs off", Traced: runSoakURing})
+	register(Experiment{ID: "soak.paxos", Title: "basic Paxos 10 s soak: live log records, GC on vs off", Traced: runSoakPaxos})
+	register(Experiment{ID: "soak.spaxos", Title: "S-Paxos 10 s soak: live log records, GC on vs off", Traced: runSoakSPaxos})
 }
 
 const (
@@ -163,13 +163,13 @@ func soakReport(w io.Writer, title string, on, off []soakSample) {
 
 // --- deployments ---
 
-// soakMRing wires the same M-Ring deployment the Chapter 3 figures use,
-// with a tamer Retry so the known learner timer-chain multiplication (see
-// ROADMAP) doesn't dominate a 10 s run, and returns its sampling hooks.
-func soakMRing(gcInterval time.Duration) (*lan.LAN, func() int, func() int64) {
+// soakMRing wires the same M-Ring deployment the Chapter 3 figures use
+// — default Retry included: the learner timer-chain multiplication that
+// once forced a tamer Retry here is fixed (one persistent version chain
+// per learner, see armLearnerTimers) — and returns its sampling hooks.
+func soakMRing(dep *DelivDeployment, gcInterval time.Duration) (*lan.LAN, func() int, func() int64) {
 	cfg := ringpaxos.MConfig{
 		Group:          1,
-		Retry:          100 * time.Millisecond,
 		GCInterval:     gcInterval,
 		RecycleBatches: true,
 	}
@@ -182,6 +182,9 @@ func soakMRing(gcInterval time.Duration) (*lan.LAN, func() int, func() int64) {
 		agents = append(agents, a)
 		l.AddNode(id, a)
 		l.Subscribe(1, id)
+	}
+	for i, id := range cfg.Learners {
+		agents[len(cfg.Ring)+i].Trace = dep.Learner(id)
 	}
 	prop := &ringpaxos.MAgent{Cfg: cfg}
 	p := &pump{size: 1024, rate: 20e6, submit: prop.Propose}
@@ -198,22 +201,24 @@ func soakMRing(gcInterval time.Duration) (*lan.LAN, func() int, func() int64) {
 	return l, live, func() int64 { return probe.DeliveredMsgs }
 }
 
-func runSoakMRing(w io.Writer) {
+func runSoakMRing(w io.Writer, rec *DelivRecorder) {
 	// M-Ring GC is always on (it predates the shared subsystem); the
-	// control pushes GCInterval past the horizon so no version report
-	// ever fires.
-	lOn, liveOn, delOn := soakMRing(0) // 0 = the 50 ms default
+	// control opts out with the explicit -1 interval.
+	lOn, liveOn, delOn := soakMRing(rec.Deployment(), 0) // 0 = the 50 ms default
 	on := soakRun(lOn, "soak.mring", liveOn, delOn)
-	lOff, liveOff, delOff := soakMRing(time.Hour)
+	lOff, liveOff, delOff := soakMRing(rec.Deployment(), -1)
 	off := soakRun(lOff, "", liveOff, delOff)
 	soakReport(w, "soak.mring — M-Ring Paxos, 20 Mbps of 1 KB values for 10 s", on, off)
 }
 
-func soakURing(gc bool) (*lan.LAN, func() int, func() int64) {
+func soakURing(dep *DelivDeployment, gc bool) (*lan.LAN, func() int, func() int64) {
+	// gc=true exercises the on-by-default path (zero GCInterval resolves
+	// to DefaultGCInterval); the control opts out with the explicit -1.
 	cfg := ringpaxos.UConfig{NumAcceptors: 3}
 	if gc {
-		cfg.GCInterval = 50 * time.Millisecond
 		cfg.RecycleBatches = true
+	} else {
+		cfg.GCInterval = -1
 	}
 	const n = 4
 	for i := 0; i < n; i++ {
@@ -224,6 +229,7 @@ func soakURing(gc bool) (*lan.LAN, func() int, func() int64) {
 	agents := make([]*ringpaxos.UAgent, n)
 	for i := 0; i < n; i++ {
 		agents[i] = &ringpaxos.UAgent{Cfg: cfg}
+		agents[i].Trace = dep.Learner(proto.NodeID(i))
 		var hs []proto.Handler
 		hs = append(hs, agents[i])
 		if i == 0 {
@@ -244,19 +250,22 @@ func soakURing(gc bool) (*lan.LAN, func() int, func() int64) {
 	return l, live, func() int64 { return probe.DeliveredMsgs }
 }
 
-func runSoakURing(w io.Writer) {
-	lOn, liveOn, delOn := soakURing(true)
+func runSoakURing(w io.Writer, rec *DelivRecorder) {
+	lOn, liveOn, delOn := soakURing(rec.Deployment(), true)
 	on := soakRun(lOn, "soak.uring", liveOn, delOn)
-	lOff, liveOff, delOff := soakURing(false)
+	lOff, liveOff, delOff := soakURing(rec.Deployment(), false)
 	off := soakRun(lOff, "", liveOff, delOff)
 	soakReport(w, "soak.uring — U-Ring Paxos (3 acceptors, 4-process ring), 20 Mbps of 1 KB values for 10 s", on, off)
 }
 
-func soakPaxos(gc bool) (*lan.LAN, func() int, func() int64) {
+func soakPaxos(dep *DelivDeployment, gc bool) (*lan.LAN, func() int, func() int64) {
+	// gc=true exercises the on-by-default path (zero GCInterval resolves
+	// to DefaultGCInterval); the control opts out with the explicit -1.
 	cfg := paxos.Config{Coordinator: 0}
 	if gc {
-		cfg.GCInterval = 50 * time.Millisecond
 		cfg.RecycleBatches = true
+	} else {
+		cfg.GCInterval = -1
 	}
 	cfg.Acceptors = []proto.NodeID{0, 1, 2}
 	cfg.Learners = []proto.NodeID{100, 101}
@@ -265,6 +274,9 @@ func soakPaxos(gc bool) (*lan.LAN, func() int, func() int64) {
 	var delivered int64
 	for i, id := range append(append([]proto.NodeID{}, cfg.Acceptors...), cfg.Learners...) {
 		a := &paxos.Agent{Cfg: cfg}
+		if i >= len(cfg.Acceptors) {
+			a.Trace = dep.Learner(id)
+		}
 		if i == len(cfg.Acceptors) { // first learner is the probe
 			a.Deliver = func(_ int64, v core.Value) { delivered++ }
 		}
@@ -285,22 +297,26 @@ func soakPaxos(gc bool) (*lan.LAN, func() int, func() int64) {
 	return l, live, func() int64 { return delivered }
 }
 
-func runSoakPaxos(w io.Writer) {
-	lOn, liveOn, delOn := soakPaxos(true)
+func runSoakPaxos(w io.Writer, rec *DelivRecorder) {
+	lOn, liveOn, delOn := soakPaxos(rec.Deployment(), true)
 	on := soakRun(lOn, "soak.paxos", liveOn, delOn)
-	lOff, liveOff, delOff := soakPaxos(false)
+	lOff, liveOff, delOff := soakPaxos(rec.Deployment(), false)
 	off := soakRun(lOff, "", liveOff, delOff)
 	soakReport(w, "soak.paxos — basic Paxos (3 acceptors, 2 learners, unicast), 10 Mbps of 512 B values for 10 s", on, off)
 }
 
-func soakSPaxos(gc bool) (*lan.LAN, func() int, func() int64) {
+func soakSPaxos(dep *DelivDeployment, gc bool) (*lan.LAN, func() int, func() int64) {
 	reps := []proto.NodeID{0, 1, 2}
 	l := lan.New(lan.DefaultConfig(), 1)
 	agents := make([]*abcast.SPaxos, len(reps))
 	for i := range reps {
+		// gc=true exercises the on-by-default path (zero GCInterval
+		// resolves to the inner agent's default); the control opts out
+		// with the explicit -1.
 		agents[i] = &abcast.SPaxos{Replicas: reps}
-		if gc {
-			agents[i].GCInterval = 50 * time.Millisecond
+		agents[i].Trace = dep.Learner(reps[i])
+		if !gc {
+			agents[i].GCInterval = -1
 		}
 		p := &pump{size: 512, rate: 10e6 / float64(len(reps)), submit: agents[i].Submit}
 		l.AddNode(reps[i], proto.Multi(agents[i], p))
@@ -317,10 +333,10 @@ func soakSPaxos(gc bool) (*lan.LAN, func() int, func() int64) {
 	return l, live, func() int64 { return probe.DeliveredMsgs }
 }
 
-func runSoakSPaxos(w io.Writer) {
-	lOn, liveOn, delOn := soakSPaxos(true)
+func runSoakSPaxos(w io.Writer, rec *DelivRecorder) {
+	lOn, liveOn, delOn := soakSPaxos(rec.Deployment(), true)
 	on := soakRun(lOn, "soak.spaxos", liveOn, delOn)
-	lOff, liveOff, delOff := soakSPaxos(false)
+	lOff, liveOff, delOff := soakSPaxos(rec.Deployment(), false)
 	off := soakRun(lOff, "", liveOff, delOff)
 	soakReport(w, "soak.spaxos — S-Paxos (3 replicas), 10 Mbps of 512 B values for 10 s", on, off)
 }

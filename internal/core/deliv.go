@@ -1,0 +1,69 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"time"
+)
+
+// DelivTrace folds one learner's delivered command sequence into a
+// streaming SHA-256: for every delivered value, in delivery order, it
+// hashes (consensus instance id, value id, value size). Nothing else —
+// no timestamps, no message or retransmission counts — so the digest
+// captures exactly the agreed delivery sequence, the invariant every
+// atomic broadcast protocol in this repository is judged by, and stays
+// byte-stable across changes that only reshuffle message schedules.
+//
+// A trace can be bounded to a prefix window of simulated time: deliveries
+// at or past `until` are ignored. The reproduction harness uses a window
+// that closes before the first garbage-collection version report can fire
+// (see bench.DelivWindow), which is what makes the digests invariant
+// under GC-interval and GC-timer changes.
+//
+// The trace is allocation-free per delivery (the scratch buffer lives in
+// the struct), so attaching one to a protocol hot path does not perturb
+// the allocation guards. All methods are safe on a nil receiver, which
+// lets call sites record unconditionally.
+type DelivTrace struct {
+	h     hash.Hash
+	until time.Duration
+	buf   [20]byte
+	n     int64
+}
+
+// NewDelivTrace returns an empty trace. until > 0 bounds recording to
+// deliveries strictly before that simulated instant; 0 records forever.
+func NewDelivTrace(until time.Duration) *DelivTrace {
+	return &DelivTrace{h: sha256.New(), until: until}
+}
+
+// Note folds one delivered value. now is the learner's local time at
+// delivery (used only to honor the window; it is never hashed).
+func (t *DelivTrace) Note(now time.Duration, inst int64, v Value) {
+	if t == nil || (t.until > 0 && now >= t.until) {
+		return
+	}
+	binary.LittleEndian.PutUint64(t.buf[0:8], uint64(inst))
+	binary.LittleEndian.PutUint64(t.buf[8:16], uint64(v.ID))
+	binary.LittleEndian.PutUint32(t.buf[16:20], uint32(v.Bytes))
+	t.h.Write(t.buf[:])
+	t.n++
+}
+
+// Count returns how many deliveries the trace has folded.
+func (t *DelivTrace) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Sum returns the hex SHA-256 of the folded sequence so far.
+func (t *DelivTrace) Sum() string {
+	if t == nil {
+		return ""
+	}
+	return hex.EncodeToString(t.h.Sum(nil))
+}

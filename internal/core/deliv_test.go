@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelivTraceDeterministic(t *testing.T) {
+	mk := func() *DelivTrace {
+		tr := NewDelivTrace(0)
+		for i := 0; i < 100; i++ {
+			tr.Note(time.Duration(i), int64(i/3), Value{ID: ValueID(i + 1), Bytes: 64})
+		}
+		return tr
+	}
+	a, b := mk(), mk()
+	if a.Sum() != b.Sum() || a.Count() != 100 {
+		t.Fatalf("identical sequences hash differently: %s vs %s (n=%d)", a.Sum(), b.Sum(), a.Count())
+	}
+	// Any field of any delivery changes the digest.
+	c := NewDelivTrace(0)
+	for i := 0; i < 100; i++ {
+		sz := 64
+		if i == 57 {
+			sz = 65
+		}
+		c.Note(time.Duration(i), int64(i/3), Value{ID: ValueID(i + 1), Bytes: sz})
+	}
+	if c.Sum() == a.Sum() {
+		t.Fatal("one-byte size change did not change the digest")
+	}
+}
+
+func TestDelivTraceWindow(t *testing.T) {
+	full := NewDelivTrace(0)
+	capped := NewDelivTrace(10 * time.Millisecond)
+	prefix := NewDelivTrace(0)
+	for i := 0; i < 50; i++ {
+		now := time.Duration(i) * time.Millisecond
+		v := Value{ID: ValueID(i + 1), Bytes: 8}
+		full.Note(now, int64(i), v)
+		capped.Note(now, int64(i), v)
+		if now < 10*time.Millisecond {
+			prefix.Note(now, int64(i), v)
+		}
+	}
+	if capped.Count() != 10 {
+		t.Fatalf("windowed trace folded %d deliveries, want 10", capped.Count())
+	}
+	if capped.Sum() != prefix.Sum() {
+		t.Fatal("windowed trace differs from the explicit prefix")
+	}
+	if capped.Sum() == full.Sum() {
+		t.Fatal("window had no effect")
+	}
+}
+
+func TestDelivTraceNilSafe(t *testing.T) {
+	var tr *DelivTrace
+	tr.Note(0, 1, Value{ID: 1}) // must not panic
+	if tr.Count() != 0 || tr.Sum() != "" {
+		t.Fatalf("nil trace reports %d/%q", tr.Count(), tr.Sum())
+	}
+}
+
+func TestDelivTraceAllocFree(t *testing.T) {
+	tr := NewDelivTrace(0)
+	v := Value{ID: 7, Bytes: 128}
+	avg := testing.AllocsPerRun(1000, func() { tr.Note(time.Millisecond, 3, v) })
+	if avg != 0 {
+		t.Fatalf("Note allocates %.2f objects/delivery, want 0", avg)
+	}
+}

@@ -224,12 +224,17 @@ type Merger struct {
 	ExecCost time.Duration
 	// Deliver receives every application value in merged order.
 	Deliver core.DeliverFunc
+	// Trace, if set, folds the merged delivery sequence into a
+	// delivery-equivalence digest (see core.DelivTrace). Pure observation:
+	// it sends nothing and consumes no simulated time.
+	Trace *core.DelivTrace
 
 	rings  []int
 	queues []tokenQueue // parallel to rings
 	cur    int
 	budget int64
 	busy   bool
+	seq    int64 // merged delivery counter, the Trace's instance axis
 
 	env proto.Env
 
@@ -364,6 +369,10 @@ func (mg *Merger) deliverBatch(b core.Batch) {
 			mg.LatencySum += mg.env.Now() - v.Born
 			mg.LatencyCount++
 		}
+		if mg.Trace != nil {
+			mg.Trace.Note(mg.env.Now(), mg.seq, v)
+		}
+		mg.seq++
 		if mg.Deliver != nil {
 			mg.Deliver(0, v)
 		}

@@ -48,6 +48,22 @@ type fakeTimer struct{}
 
 func (fakeTimer) Cancel() {}
 
+// TestGCIntervalDefaultsOn pins the on-by-default contract: a zero-value
+// Config resolves to the nonzero default interval, and only the explicit
+// negative opts out.
+func TestGCIntervalDefaultsOn(t *testing.T) {
+	var c Config
+	c.defaults()
+	if c.GCInterval != DefaultGCInterval {
+		t.Errorf("zero Config.GCInterval resolved to %v, want %v", c.GCInterval, DefaultGCInterval)
+	}
+	c = Config{GCInterval: -1}
+	c.defaults()
+	if c.GCInterval != 0 {
+		t.Errorf("negative Config.GCInterval resolved to %v, want 0 (off)", c.GCInterval)
+	}
+}
+
 // deployGC wires the standard test deployment with the given GC interval.
 func deployGC(t testing.TB, gcInterval time.Duration, seed int64) *deployment {
 	t.Helper()
@@ -94,7 +110,7 @@ func TestPaxosGCBoundsLogs(t *testing.T) {
 		return d
 	}
 	gc := run(10 * time.Millisecond)
-	plain := run(0)
+	plain := run(-1) // explicit off: zero now resolves to the on-by-default interval
 	coord := gc.agents[0]
 	if n := coord.log.Len(); n != 0 {
 		t.Errorf("coordinator retains %d decision-log entries after quiescent GC, want 0", n)

@@ -58,14 +58,16 @@ type Config struct {
 	// DiskSync makes acceptors persist their vote to stable storage before
 	// answering Phase 2A (Recoverable mode, §3.5.5).
 	DiskSync bool
-	// GCInterval enables the shared learner-version garbage collection
+	// GCInterval is the shared learner-version garbage collection period
 	// (§3.3.7, extracted from M-Ring Paxos): every GCInterval each learner
 	// sends a proto.VersionReport to the coordinator; once every learner
 	// has reported, the coordinator trims its decision log up to the
 	// minimum reported instance and broadcasts a proto.TrimFloor so
-	// acceptors trim their vote logs too. Zero disables GC — the seed
-	// behavior, which the pinned figure reproductions rely on — and both
-	// logs then grow by one entry per consensus instance forever.
+	// acceptors trim their vote logs too. Zero resolves to
+	// DefaultGCInterval — GC is ON by default, so library consumers get
+	// bounded memory without opting in. A negative value disables GC (the
+	// pre-default seed behavior: both logs grow by one entry per
+	// consensus instance forever).
 	GCInterval time.Duration
 	// RecycleBatches lets the coordinator draw batch backing arrays from
 	// its free list and reclaim them when garbage collection trims the
@@ -73,6 +75,10 @@ type Config struct {
 	// learners that consume delivered batches synchronously.
 	RecycleBatches bool
 }
+
+// DefaultGCInterval is the learner-version reporting period a zero
+// GCInterval resolves to; negative disables GC.
+const DefaultGCInterval = 50 * time.Millisecond
 
 func (c *Config) defaults() {
 	if c.Window == 0 {
@@ -86,6 +92,12 @@ func (c *Config) defaults() {
 	}
 	if c.Retry == 0 {
 		c.Retry = 20 * time.Millisecond
+	}
+	if c.GCInterval == 0 {
+		c.GCInterval = DefaultGCInterval
+	}
+	if c.GCInterval < 0 {
+		c.GCInterval = 0 // explicit off: no version timer is ever armed
 	}
 }
 
@@ -190,6 +202,10 @@ type logRec struct {
 type Agent struct {
 	Cfg     Config
 	Deliver core.DeliverFunc
+	// Trace, if set, folds this learner's delivered command sequence into
+	// a delivery-equivalence digest (see core.DelivTrace). Pure
+	// observation: it sends nothing and consumes no simulated time.
+	Trace *core.DelivTrace
 	// OnDecide, if set, is invoked on the coordinator when an instance
 	// decides (used by harnesses).
 	OnDecide func(inst int64)
@@ -603,6 +619,12 @@ func (a *Agent) onDecision(m *msgDecision) {
 		}
 		val := *b
 		a.learned.Delete(a.nextDeliver)
+		if a.Trace != nil {
+			now := a.env.Now()
+			for _, v := range val.Vals {
+				a.Trace.Note(now, a.nextDeliver, v)
+			}
+		}
 		if a.Deliver != nil {
 			for _, v := range val.Vals {
 				a.Deliver(a.nextDeliver, v)

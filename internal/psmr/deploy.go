@@ -137,8 +137,13 @@ type DeployConfig struct {
 	Zipf         float64
 	// GCInterval overrides the ordering rings' learner-version garbage
 	// collection interval (§3.3.7); zero keeps the M-Ring default, so the
-	// pinned figure reproductions are untouched.
+	// pinned figure reproductions are untouched. Negative disables GC.
 	GCInterval time.Duration
+	// Trace, when non-nil, supplies a delivery-equivalence trace for
+	// replica i's learner agent on ring r (r is always 0 in the
+	// single-ring modes). The bench harness wires it to pin per-learner
+	// delivered command sequences.
+	Trace func(replica, ring int) *core.DelivTrace
 }
 
 // Deployment is a wired P-SMR (or baseline) cluster.
@@ -207,6 +212,9 @@ func (d *Deployment) deploySingleRing() {
 		rep := d.newReplica(i)
 		agent := &ringpaxos.MAgent{Cfg: mcfg}
 		agent.Deliver = func(_ int64, v core.Value) { rep.OnValue(0, v) }
+		if cfg.Trace != nil {
+			agent.Trace = cfg.Trace(i, 0)
+		}
 		d.LAN.AddNodeWithConfig(id, proto.Multi(agent, rep),
 			lan.NodeConfig{Cores: cfg.Workers + 1})
 		d.LAN.Subscribe(mcfg.Group, id)
@@ -266,6 +274,9 @@ func (d *Deployment) deployMultiRing() {
 		agents := make([]*ringpaxos.MAgent, nRings)
 		for r := 0; r < nRings; r++ {
 			agents[r] = &ringpaxos.MAgent{Cfg: ringCfgs[r]}
+			if cfg.Trace != nil {
+				agents[r].Trace = cfg.Trace(i, r)
+			}
 			node.AddRing(r, agents[r])
 			d.LAN.Subscribe(ringCfgs[r].Group, id)
 		}

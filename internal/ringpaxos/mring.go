@@ -34,6 +34,12 @@ import (
 	"repro/internal/proto"
 )
 
+// DefaultGCInterval is the learner-version reporting period (§3.3.7)
+// both Ring Paxos variants resolve a zero GCInterval to. Garbage
+// collection is on by default everywhere; pass a negative interval for
+// the explicit opt-out.
+const DefaultGCInterval = 50 * time.Millisecond
+
 // MConfig configures an M-Ring Paxos deployment.
 type MConfig struct {
 	// Ring is the m-quorum of acceptors laid out as a directed logical
@@ -75,6 +81,10 @@ type MConfig struct {
 	// control.
 	FlowThreshold int
 	// GCInterval is how often learners report their version (§3.3.7).
+	// Zero resolves to DefaultGCInterval; a negative value disables
+	// version reporting entirely (acceptor stores then grow by one entry
+	// per instance forever — the explicit escape hatch for deployments
+	// that pin GC-free schedules).
 	GCInterval time.Duration
 	// Speculative delivers values to learners at Phase 2A receipt, before
 	// they are decided (Chapter 4 speculative execution).
@@ -105,7 +115,10 @@ func (c *MConfig) defaults() {
 		c.Retry = 20 * time.Millisecond
 	}
 	if c.GCInterval == 0 {
-		c.GCInterval = 50 * time.Millisecond
+		c.GCInterval = DefaultGCInterval
+	}
+	if c.GCInterval < 0 {
+		c.GCInterval = 0 // explicit off: no version timer is ever armed
 	}
 }
 
@@ -180,6 +193,10 @@ type MAgent struct {
 	// including empty/marker batches. Multi-Ring Paxos uses it to merge
 	// rings at consensus-instance granularity.
 	DeliverBatch func(inst int64, b core.Batch)
+	// Trace, if set, folds this learner's delivered command sequence into
+	// a delivery-equivalence digest (see core.DelivTrace). Pure
+	// observation: it sends nothing and consumes no simulated time.
+	Trace *core.DelivTrace
 
 	env proto.Env
 
@@ -910,6 +927,12 @@ func (a *MAgent) process(inst int64, val core.Batch) {
 
 func (a *MAgent) finishInstance(inst int64, val core.Batch) {
 	a.backlog--
+	if a.Trace != nil {
+		now := a.env.Now()
+		for _, v := range val.Vals {
+			a.Trace.Note(now, inst, v)
+		}
+	}
 	if a.Confirm != nil {
 		a.Confirm(inst)
 	}
@@ -944,15 +967,23 @@ func (a *MAgent) maybeNotifySlow() {
 	proto.AfterFree(a.env, 50*time.Millisecond, a.notifyResetFn)
 }
 
-// armLearnerTimers starts gap recovery and version reporting.
+// armLearnerTimers starts the learner's two persistent periodic timers,
+// once, at Start: the gap-recovery tick and — when GC is enabled — a
+// SINGLE version-report chain. Each chain re-arms only itself; the old
+// code re-armed the version chain from the retry tick as well, spawning a
+// fresh version chain every Retry, so version traffic grew linearly with
+// elapsed time (~50 chains per learner after one second at the default
+// Retry).
 func (a *MAgent) armLearnerTimers() {
 	proto.AfterFree(a.env, a.Cfg.Retry, a.learnRetryFn)
-	a.armVersionTimer()
+	if a.Cfg.GCInterval > 0 {
+		a.armVersionTimer()
+	}
 }
 
 func (a *MAgent) learnerRetryTick() {
 	a.requestMissing()
-	a.armLearnerTimers()
+	proto.AfterFree(a.env, a.Cfg.Retry, a.learnRetryFn)
 }
 
 func (a *MAgent) armVersionTimer() {

@@ -39,13 +39,14 @@ type UConfig struct {
 	// U-Ring Paxos flow control lets a learner process a decision BEFORE
 	// forwarding it (§3.3.6), so a slow learner backpressures the ring.
 	ExecCost time.Duration
-	// GCInterval enables the shared learner-version garbage collection
+	// GCInterval is the shared learner-version garbage collection period
 	// (§3.3.7, extracted from M-Ring Paxos): every GCInterval each learner
 	// pipelines a proto.VersionReport around the ring; once every learner
 	// has reported, acceptors trim their vote logs up to the minimum
-	// reported instance. Zero disables GC — the seed behavior, which the
-	// pinned figure reproductions rely on — and vote logs then grow by one
-	// entry per consensus instance forever.
+	// reported instance. Zero resolves to DefaultGCInterval — GC is ON by
+	// default, so library consumers get bounded memory without opting in.
+	// A negative value disables GC (the pre-default seed behavior: vote
+	// logs grow by one entry per consensus instance forever).
 	GCInterval time.Duration
 	// RecycleBatches lets the coordinator draw batch backing arrays from
 	// its free list and reclaim them when garbage collection trims the
@@ -70,6 +71,12 @@ func (c *UConfig) defaults() {
 	if c.NumAcceptors == 0 {
 		c.NumAcceptors = len(c.Ring)
 	}
+	if c.GCInterval == 0 {
+		c.GCInterval = DefaultGCInterval
+	}
+	if c.GCInterval < 0 {
+		c.GCInterval = 0 // explicit off: no version timer is ever armed
+	}
 }
 
 // Coordinator returns the first acceptor in the ring.
@@ -90,6 +97,10 @@ type UAgent struct {
 	Cfg UConfig
 	// Deliver is invoked on learners for every value in delivery order.
 	Deliver core.DeliverFunc
+	// Trace, if set, folds this learner's delivered command sequence into
+	// a delivery-equivalence digest (see core.DelivTrace). Pure
+	// observation: it sends nothing and consumes no simulated time.
+	Trace *core.DelivTrace
 
 	env proto.Env
 
@@ -492,6 +503,12 @@ func (a *UAgent) drain() {
 }
 
 func (a *UAgent) finishBatch(inst int64, b core.Batch) {
+	if a.Trace != nil {
+		now := a.env.Now()
+		for _, v := range b.Vals {
+			a.Trace.Note(now, inst, v)
+		}
+	}
 	for _, v := range b.Vals {
 		a.DeliveredBytes += int64(v.Bytes)
 		a.DeliveredMsgs++

@@ -29,7 +29,7 @@ func TestURingGCBoundsVoteLogs(t *testing.T) {
 		return d
 	}
 	gc := run(UConfig{GCInterval: 10 * time.Millisecond, RecycleBatches: true})
-	plain := run(UConfig{})
+	plain := run(UConfig{GCInterval: -1}) // explicit off: zero now resolves to the default
 	for i, a := range gc.agents {
 		if n := a.votes.Len(); n != 0 {
 			t.Errorf("agent %d retains %d votes after quiescent GC, want 0", i, n)

@@ -43,7 +43,7 @@ type DeployConfig struct {
 	Think time.Duration
 	// GCInterval overrides the ordering ring's learner-version garbage
 	// collection interval (§3.3.7); zero keeps the M-Ring default, so the
-	// pinned figure reproductions are untouched.
+	// pinned figure reproductions are untouched. Negative disables GC.
 	GCInterval time.Duration
 }
 

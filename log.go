@@ -24,6 +24,15 @@ type LogConfig struct {
 	Deliver func(node NodeID, inst int64, v Value)
 	// BatchDelay bounds how long small values wait for batching.
 	BatchDelay time.Duration
+	// GCInterval is the learner-version garbage collection period
+	// (§3.3.7): every node periodically reports its applied instance and
+	// vote-log entries below every node's report are trimmed, so a
+	// long-lived log holds a bounded window of instances instead of
+	// leaking one vote per append forever. Zero resolves to the U-Ring
+	// default (garbage collection is ON by default); a negative value
+	// disables it — the pre-plumbing behavior, kept only as an explicit
+	// escape hatch.
+	GCInterval time.Duration
 }
 
 // NewReplicatedLog adds the ring to the cluster. Call before
@@ -34,6 +43,7 @@ func NewReplicatedLog(c *Cluster, cfg LogConfig) *ReplicatedLog {
 		Ring:       cfg.Nodes,
 		Learners:   cfg.Nodes,
 		BatchDelay: cfg.BatchDelay,
+		GCInterval: cfg.GCInterval,
 	}
 	for _, id := range cfg.Nodes {
 		id := id
