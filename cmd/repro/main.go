@@ -45,6 +45,7 @@ type jsonResult struct {
 	DelivSHA256 string  `json:"deliv_sha256,omitempty"`
 	Bytes       int     `json:"bytes"`
 	WallMS      float64 `json:"wall_ms"`
+	Par         int     `json:"par,omitempty"`
 	Error       string  `json:"error,omitempty"`
 }
 
@@ -79,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	exp := fs.String("exp", "", "experiment id to run (e.g. fig3.7)")
 	all := fs.Bool("all", false, "run every experiment")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker pool size for -all and golden runs (<1 means GOMAXPROCS)")
+	par := fs.Int("par", 1, "logical processes per experiment (conservative-lookahead PDES; results are byte-identical to -par 1)")
 	jsonOut := fs.Bool("json", false, "with -all: emit a JSON run summary on stdout instead of experiment text")
 	updateGolden := fs.Bool("update-golden", false, "regenerate the golden hashes (output AND delivery) for all deterministic experiments")
 	verifyGolden := fs.Bool("verify-golden", false, "run all deterministic experiments and compare against the golden output hashes")
@@ -96,6 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "-json only applies to -all or -list")
 		return 2
 	}
+	bench.SetPar(*par)
 
 	switch {
 	case *checkAllocs != "":
@@ -198,7 +201,7 @@ func runAll(stdout, stderr io.Writer, jobs int, jsonOut bool) int {
 		}
 		for _, r := range results {
 			jr := jsonResult{ID: r.ID, Title: r.Title, SHA256: r.SHA256,
-				DelivSHA256: r.DelivSHA256, Bytes: r.Bytes, WallMS: float64(r.Wall) / 1e6}
+				DelivSHA256: r.DelivSHA256, Bytes: r.Bytes, WallMS: float64(r.Wall) / 1e6, Par: r.Par}
 			if r.Err != nil {
 				jr.Error = r.Err.Error()
 			}

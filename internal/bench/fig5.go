@@ -97,6 +97,16 @@ func buildMultiRing(rec *DelivRecorder, rings int, subs []int, offeredPerRing fl
 		rig.pumps = append(rig.pumps, p)
 		rig.l.AddNode(proto.NodeID(800+r), proto.Multi(prop, p))
 	}
+	if p := Par(); p > 1 {
+		// Ring r's acceptors (ids r*10, r*10+1, all < 100) share an LP; the
+		// merged learner (900) and the proposers (800+r) stay on LP 0.
+		rig.l.Partition(p, func(id proto.NodeID) int {
+			if id < 100 {
+				return 1 + (int(id)/10)%(p-1)
+			}
+			return 0
+		})
+	}
 	rig.l.Start()
 	return rig
 }

@@ -27,6 +27,7 @@ func psmrRun(rec *DelivRecorder, cfg psmr.DeployConfig, seed int64) (float64, ti
 			return dep.LearnerRing(proto.NodeID(replica), ring)
 		}
 	}
+	cfg.Par = Par()
 	d := psmr.Deploy(cfg, lan.DefaultConfig(), seed)
 	return d.Measure(300*time.Millisecond, 700*time.Millisecond)
 }

@@ -110,6 +110,16 @@ func runMRing(rec *DelivRecorder, gc time.Duration, nRing, nLearn, msgSize int, 
 		pumps = append(pumps, p)
 		l.AddNode(proto.NodeID(200+i), proto.Multi(prop, p))
 	}
+	if p := Par(); p > 1 {
+		// One ring: its acceptors (ids < nRing) form LP 1; learners (100+)
+		// and proposers (200+) keep LP 0.
+		l.Partition(p, func(id proto.NodeID) int {
+			if int(id) < nRing {
+				return 1
+			}
+			return 0
+		})
+	}
 	l.Start()
 	return measureMRing(l, agents, cfg, pumps, dur)
 }

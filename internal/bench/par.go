@@ -1,0 +1,23 @@
+package bench
+
+// Parallel-within-experiment setting, threaded from cmd/repro's -par flag
+// into every rig that supports PDES partitioning (see lan.Partition). The
+// experiment pool already parallelizes ACROSS experiments; this knob
+// additionally partitions the simulation INSIDE one experiment into
+// logical processes — one per ordering ring plus one for the shared
+// components — whose results are byte-identical to the sequential run.
+
+var parLPs = 1
+
+// SetPar sets the number of logical processes partition-capable rigs
+// request; n <= 1 restores sequential execution. Call before a pool run,
+// not during one.
+func SetPar(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parLPs = n
+}
+
+// Par reports the current parallel-within-experiment setting.
+func Par() int { return parLPs }

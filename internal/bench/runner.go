@@ -19,7 +19,10 @@ type Result struct {
 	DelivSHA256 string
 	Bytes       int
 	Wall        time.Duration // host wall-clock for this experiment
-	Err         error         // non-nil when the experiment panicked
+	// Par is the parallel-within-experiment setting the run used (logical
+	// processes requested per partition-capable deployment; 1 = sequential).
+	Par int
+	Err error // non-nil when the experiment panicked
 
 	// Output is the experiment's full captured text. It is what SHA256
 	// hashes; emitting it in registry order makes a parallel run
@@ -98,6 +101,7 @@ func Run(exps []Experiment, opts Options) []Result {
 // updates) — neither the output hash nor the delivery digest.
 func runOne(e Experiment) (r Result) {
 	r.ID, r.Title = e.ID, e.Title
+	r.Par = Par()
 	var buf bytes.Buffer
 	rec := &DelivRecorder{}
 	start := time.Now()

@@ -12,15 +12,31 @@ package btree
 // up to degree-1 keys.
 const degree = 64
 
+// Minimum occupancy: half-full nodes, the classic B+-tree bound. A node
+// that drops below it after a delete borrows from or merges with a sibling,
+// so the tree never accumulates near-empty leaves — and every merge feeds a
+// node into the tree's free-lists, where the next split reuses it (node and
+// slice capacity both), eliminating steady-state node churn in workloads
+// that delete as much as they insert.
+const (
+	minLeafKeys = (degree - 1) / 2
+	minChildren = degree / 2
+)
+
 // Tree is an in-memory B+-tree mapping int64 keys to int64 values.
 // The zero value is an empty tree ready to use.
 type Tree struct {
 	root *node
 	size int
+	// Merge-fed free-lists, chained through next: nodes recovered by
+	// delete-side merges, reused by insert-side splits.
+	freeLeaf     *node
+	freeInternal *node
 }
 
 // node is either internal (children non-nil) or a leaf (vals non-nil).
-// Leaves are chained through next for range scans.
+// Leaves are chained through next for range scans; free-listed nodes reuse
+// next as the free-list link.
 type node struct {
 	keys     []int64
 	children []*node
@@ -29,6 +45,45 @@ type node struct {
 }
 
 func (n *node) leaf() bool { return n.children == nil }
+
+// newLeaf takes a leaf off the free-list, or allocates one with full slice
+// capacity so its whole lifetime of splits and merges reallocates nothing.
+func (t *Tree) newLeaf() *node {
+	if n := t.freeLeaf; n != nil {
+		t.freeLeaf = n.next
+		n.next = nil
+		return n
+	}
+	return &node{keys: make([]int64, 0, degree), vals: make([]int64, 0, degree)}
+}
+
+// newInternal is newLeaf for internal nodes.
+func (t *Tree) newInternal() *node {
+	if n := t.freeInternal; n != nil {
+		t.freeInternal = n.next
+		n.next = nil
+		return n
+	}
+	return &node{keys: make([]int64, 0, degree), children: make([]*node, 0, degree+1)}
+}
+
+// freeNode empties n and pushes it on its free-list. Child pointers are
+// cleared so a free-listed node never retains a subtree.
+func (t *Tree) freeNode(n *node) {
+	n.keys = n.keys[:0]
+	if n.leaf() {
+		n.vals = n.vals[:0]
+		n.next = t.freeLeaf
+		t.freeLeaf = n
+		return
+	}
+	for i := range n.children {
+		n.children[i] = nil
+	}
+	n.children = n.children[:0]
+	n.next = t.freeInternal
+	t.freeInternal = n
+}
 
 // Len returns the number of stored pairs.
 func (t *Tree) Len() int { return t.size }
@@ -88,7 +143,10 @@ func (t *Tree) Get(key int64) (int64, bool) {
 // inserted.
 func (t *Tree) Insert(key, value int64) bool {
 	if t.root == nil {
-		t.root = &node{keys: []int64{key}, vals: []int64{value}}
+		r := t.newLeaf()
+		r.keys = append(r.keys, key)
+		r.vals = append(r.vals, value)
+		t.root = r
 		t.size = 1
 		return true
 	}
@@ -97,10 +155,10 @@ func (t *Tree) Insert(key, value int64) bool {
 		return false
 	}
 	if split != nil {
-		t.root = &node{
-			keys:     []int64{sepKey},
-			children: []*node{t.root, split},
-		}
+		r := t.newInternal()
+		r.keys = append(r.keys, sepKey)
+		r.children = append(r.children, t.root, split)
+		t.root = r
 	}
 	t.size++
 	return true
@@ -119,13 +177,12 @@ func (t *Tree) insert(n *node, key, value int64) (*node, int64, bool) {
 		if len(n.keys) < degree {
 			return nil, 0, true
 		}
-		// Split leaf.
+		// Split leaf, reusing a merged-away node when one is free.
 		mid := len(n.keys) / 2
-		right := &node{
-			keys: append([]int64(nil), n.keys[mid:]...),
-			vals: append([]int64(nil), n.vals[mid:]...),
-			next: n.next,
-		}
+		right := t.newLeaf()
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		right.next = n.next
 		n.keys = n.keys[:mid]
 		n.vals = n.vals[:mid]
 		n.next = right
@@ -144,12 +201,14 @@ func (t *Tree) insert(n *node, key, value int64) (*node, int64, bool) {
 	if len(n.children) <= degree {
 		return nil, 0, true
 	}
-	// Split internal node.
+	// Split internal node, reusing a merged-away node when one is free.
 	mid := len(n.keys) / 2
 	up := n.keys[mid]
-	right := &node{
-		keys:     append([]int64(nil), n.keys[mid+1:]...),
-		children: append([]*node(nil), n.children[mid+1:]...),
+	right := t.newInternal()
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	for j := mid + 1; j < len(n.children); j++ {
+		n.children[j] = nil // do not retain moved subtrees in the left node
 	}
 	n.keys = n.keys[:mid]
 	n.children = n.children[:mid+1]
@@ -171,23 +230,149 @@ func insertChildAt(s []*node, i int, v *node) []*node {
 }
 
 // Delete removes key, returning the deleted value and whether it existed.
-// Leaves are allowed to underflow (lazy deletion): range scans skip empty
-// leaves, and the tree's depth is bounded by the insertion history. This
-// matches the service's workloads, which keep tree size constant (§4.4.2).
+// Underflowing nodes borrow from or merge with a sibling on the way back up
+// the recursion; merged-away nodes land on the free-lists that feed splits,
+// so workloads that keep tree size constant (§4.4.2) recycle nodes instead
+// of churning the allocator.
 func (t *Tree) Delete(key int64) (int64, bool) {
-	n := t.findLeaf(key)
-	if n == nil {
+	if t.root == nil {
 		return 0, false
 	}
-	i := lowerBound(n.keys, key)
-	if i >= len(n.keys) || n.keys[i] != key {
+	v, ok := t.del(t.root, key)
+	if !ok {
 		return 0, false
 	}
-	v := n.vals[i]
-	n.keys = append(n.keys[:i], n.keys[i+1:]...)
-	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	// Collapse the root: an internal root with one child hands it the tree;
+	// an emptied leaf root leaves the tree empty.
+	if r := t.root; r.leaf() {
+		if len(r.keys) == 0 {
+			t.root = nil
+			t.freeNode(r)
+		}
+	} else if len(r.children) == 1 {
+		t.root = r.children[0]
+		t.freeNode(r)
+	}
 	t.size--
 	return v, true
+}
+
+// del removes key under n. A child left under minimum occupancy is repaired
+// by its parent here, so only the root may underflow (handled by Delete).
+func (t *Tree) del(n *node, key int64) (int64, bool) {
+	if n.leaf() {
+		i := lowerBound(n.keys, key)
+		if i >= len(n.keys) || n.keys[i] != key {
+			return 0, false
+		}
+		v := n.vals[i]
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return v, true
+	}
+	i := upperBound(n.keys, key)
+	v, ok := t.del(n.children[i], key)
+	if !ok {
+		return 0, false
+	}
+	t.rebalance(n, i)
+	return v, true
+}
+
+// rebalance repairs n.children[i] after a delete beneath it: nothing when
+// it still meets minimum occupancy, a borrow when an adjacent sibling has
+// spare keys, a merge (freeing one node) otherwise.
+func (t *Tree) rebalance(n *node, i int) {
+	c := n.children[i]
+	if c.leaf() {
+		if len(c.keys) >= minLeafKeys {
+			return
+		}
+	} else if len(c.children) >= minChildren {
+		return
+	}
+	if i > 0 {
+		left := n.children[i-1]
+		if spare(left) {
+			t.borrowFromLeft(n, i, left, c)
+		} else {
+			t.merge(n, i-1, left, c)
+		}
+		return
+	}
+	right := n.children[i+1]
+	if spare(right) {
+		t.borrowFromRight(n, i, c, right)
+	} else {
+		t.merge(n, i, c, right)
+	}
+}
+
+// spare reports whether n can give up a key without underflowing.
+func spare(n *node) bool {
+	if n.leaf() {
+		return len(n.keys) > minLeafKeys
+	}
+	return len(n.children) > minChildren
+}
+
+// borrowFromLeft moves left's last key into the front of c (children[i]);
+// the separator n.keys[i-1] updates (leaves) or rotates (internals).
+func (t *Tree) borrowFromLeft(n *node, i int, left, c *node) {
+	last := len(left.keys) - 1
+	if c.leaf() {
+		c.keys = insertAt(c.keys, 0, left.keys[last])
+		c.vals = insertAt(c.vals, 0, left.vals[last])
+		left.keys = left.keys[:last]
+		left.vals = left.vals[:last]
+		n.keys[i-1] = c.keys[0]
+		return
+	}
+	c.keys = insertAt(c.keys, 0, n.keys[i-1])
+	lc := len(left.children) - 1
+	c.children = insertChildAt(c.children, 0, left.children[lc])
+	n.keys[i-1] = left.keys[last]
+	left.keys = left.keys[:last]
+	left.children[lc] = nil
+	left.children = left.children[:lc]
+}
+
+// borrowFromRight moves right's first key onto the end of c (children[i]).
+func (t *Tree) borrowFromRight(n *node, i int, c, right *node) {
+	if c.leaf() {
+		c.keys = append(c.keys, right.keys[0])
+		c.vals = append(c.vals, right.vals[0])
+		right.keys = append(right.keys[:0], right.keys[1:]...)
+		right.vals = append(right.vals[:0], right.vals[1:]...)
+		n.keys[i] = right.keys[0]
+		return
+	}
+	c.keys = append(c.keys, n.keys[i])
+	c.children = append(c.children, right.children[0])
+	n.keys[i] = right.keys[0]
+	right.keys = append(right.keys[:0], right.keys[1:]...)
+	copy(right.children, right.children[1:])
+	right.children[len(right.children)-1] = nil
+	right.children = right.children[:len(right.children)-1]
+}
+
+// merge folds n.children[i+1] (right) into n.children[i] (left), removes
+// the separator n.keys[i], and free-lists the emptied right node.
+func (t *Tree) merge(n *node, i int, left, right *node) {
+	if left.leaf() {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	copy(n.children[i+1:], n.children[i+2:])
+	n.children[len(n.children)-1] = nil
+	n.children = n.children[:len(n.children)-1]
+	t.freeNode(right)
 }
 
 // Query returns the values of all keys in [min, max], in key order.

@@ -224,3 +224,177 @@ func BenchmarkQuery1000(b *testing.B) {
 		tr.Count(k, k+1000)
 	}
 }
+
+// check walks the tree verifying the structural invariants the rebalancing
+// delete must maintain: sorted keys, separator bounds, half-full minimum
+// occupancy below the root, uniform leaf depth, and a complete leaf chain.
+func check(t *testing.T, tr *Tree) {
+	t.Helper()
+	if tr.root == nil {
+		return
+	}
+	var leaves []*node
+	leafDepth := -1
+	var walk func(n *node, lo, hi int64, depth int, isRoot bool)
+	walk = func(n *node, lo, hi int64, depth int, isRoot bool) {
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] >= n.keys[i] {
+				t.Fatalf("unsorted keys at depth %d: %v", depth, n.keys)
+			}
+		}
+		for _, k := range n.keys {
+			if k < lo || k >= hi {
+				t.Fatalf("key %d outside separator bounds [%d,%d)", k, lo, hi)
+			}
+		}
+		if n.leaf() {
+			if !isRoot && len(n.keys) < minLeafKeys {
+				t.Fatalf("leaf underflow: %d keys < %d", len(n.keys), minLeafKeys)
+			}
+			if len(n.keys) >= degree {
+				t.Fatalf("leaf overflow: %d keys", len(n.keys))
+			}
+			if len(n.keys) != len(n.vals) {
+				t.Fatalf("leaf keys/vals mismatch: %d vs %d", len(n.keys), len(n.vals))
+			}
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				t.Fatalf("leaf at depth %d, expected %d", depth, leafDepth)
+			}
+			leaves = append(leaves, n)
+			return
+		}
+		if len(n.children) != len(n.keys)+1 {
+			t.Fatalf("internal fanout mismatch: %d children, %d keys", len(n.children), len(n.keys))
+		}
+		min := minChildren
+		if isRoot {
+			min = 2
+		}
+		if len(n.children) < min {
+			t.Fatalf("internal underflow: %d children < %d", len(n.children), min)
+		}
+		if len(n.children) > degree {
+			t.Fatalf("internal overflow: %d children", len(n.children))
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			walk(c, clo, chi, depth+1, false)
+		}
+	}
+	const inf = int64(1) << 62
+	walk(tr.root, -inf, inf, 0, true)
+	// The next-chain must visit exactly the in-order leaves.
+	i := 0
+	for n := tr.leftmost(); n != nil; n = n.next {
+		if i >= len(leaves) || n != leaves[i] {
+			t.Fatalf("leaf chain diverges from in-order walk at leaf %d", i)
+		}
+		i++
+	}
+	if i != len(leaves) {
+		t.Fatalf("leaf chain has %d leaves, walk found %d", i, len(leaves))
+	}
+}
+
+// TestDeleteInvariants hammers the tree through churn phases — grow, random
+// delete half, regrow, drain to empty — validating every invariant after
+// each phase and spot-checking during them.
+func TestDeleteInvariants(t *testing.T) {
+	var tr Tree
+	rng := rand.New(rand.NewSource(42))
+	keys := rng.Perm(20000)
+	for _, k := range keys {
+		tr.Insert(int64(k), int64(k)*3)
+	}
+	check(t, &tr)
+	for i, k := range keys[:10000] {
+		if v, ok := tr.Delete(int64(k)); !ok || v != int64(k)*3 {
+			t.Fatalf("delete %d: %d %v", k, v, ok)
+		}
+		if i%997 == 0 {
+			check(t, &tr)
+		}
+	}
+	check(t, &tr)
+	if tr.Len() != 10000 {
+		t.Fatalf("Len=%d after churn", tr.Len())
+	}
+	for _, k := range keys[:10000] {
+		tr.Insert(int64(k), int64(k)*5)
+	}
+	check(t, &tr)
+	for i, k := range keys {
+		if _, ok := tr.Delete(int64(k)); !ok {
+			t.Fatalf("drain: key %d missing", k)
+		}
+		if i%1499 == 0 {
+			check(t, &tr)
+		}
+	}
+	if tr.Len() != 0 || tr.root != nil {
+		t.Fatalf("tree not empty after drain: Len=%d root=%v", tr.Len(), tr.root)
+	}
+}
+
+// leftmost returns the head of the leaf chain (test helper for check).
+func (t *Tree) leftmost() *node {
+	n := t.root
+	for n != nil && !n.leaf() {
+		n = n.children[0]
+	}
+	return n
+}
+
+// freeLen counts the nodes on a free-list.
+func freeLen(head *node) int {
+	n := 0
+	for ; head != nil; head = head.next {
+		n++
+	}
+	return n
+}
+
+// TestFreeListRecycling pins the mechanism the satellite exists for: merges
+// feed nodes into the free-lists, and subsequent splits consume them instead
+// of allocating. (The end-to-end allocation reduction is gated by the fig4.3
+// malloc budget in ci/budgets.json.)
+func TestFreeListRecycling(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 50000; i++ {
+		tr.Insert(i, i)
+	}
+	if freeLen(tr.freeLeaf) != 0 || freeLen(tr.freeInternal) != 0 {
+		t.Fatal("free-lists non-empty before any delete")
+	}
+	// Drain a contiguous region: ascending deletes drive borrow-then-merge
+	// cascades, so merged-away leaves (and some internals) hit the lists.
+	for i := int64(10000); i < 30000; i++ {
+		tr.Delete(i)
+	}
+	leaves, internals := freeLen(tr.freeLeaf), freeLen(tr.freeInternal)
+	if leaves == 0 {
+		t.Fatal("20k contiguous deletes fed no leaves to the free-list")
+	}
+	if internals == 0 {
+		t.Fatal("20k contiguous deletes fed no internal nodes to the free-list")
+	}
+	// Refill: the splits must draw from the free-lists before allocating.
+	for i := int64(10000); i < 30000; i++ {
+		tr.Insert(i, i)
+	}
+	if got := freeLen(tr.freeLeaf); got >= leaves {
+		t.Fatalf("refill splits consumed no free leaves: %d before, %d after", leaves, got)
+	}
+	check(t, &tr)
+	if tr.Len() != 50000 {
+		t.Fatalf("Len=%d after churn cycle", tr.Len())
+	}
+}

@@ -1,0 +1,22 @@
+package core
+
+import "testing"
+
+func TestDecBufReleaseSemantics(t *testing.T) {
+	// Nil buffers (unarmed sends) must be releasable.
+	(*DecBuf)(nil).Release()
+
+	b := GetDecBuf()
+	b.Insts = append(b.Insts, 1, 2, 3)
+	b.Masks = append(b.Masks, 0, 0, 7)
+	b.Arm(3)
+	b.Release()
+	b.Release()
+	if len(b.Insts) != 3 || len(b.Masks) != 3 {
+		t.Fatal("buffer reset before its last receiver released it")
+	}
+	b.Release() // last receiver: resets and pools
+	if len(b.Insts) != 0 || len(b.Masks) != 0 {
+		t.Fatalf("buffer not reset by final release: %d ids, %d masks", len(b.Insts), len(b.Masks))
+	}
+}

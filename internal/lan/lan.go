@@ -101,13 +101,16 @@ type Stats struct {
 }
 
 // LAN is a simulated cluster. Create one with New, add nodes, subscribe
-// multicast groups, then Start and Run.
+// multicast groups, then Start and Run. Optionally call Partition between
+// the last Subscribe and Start to execute the cluster as parallel logical
+// processes under conservative lookahead (see Partition).
 type LAN struct {
 	Sim     *sim.Simulator
 	cfg     Config
 	nodes   map[proto.NodeID]*Node
 	groups  map[proto.GroupID]map[proto.NodeID]bool
 	members map[proto.GroupID][]proto.NodeID // sorted, invalidated on (un)subscribe
+	par     *par                             // non-nil once Partition engaged
 }
 
 // New creates an empty cluster with the given parameters and seed.
@@ -187,6 +190,220 @@ func (l *LAN) dispatch(ev sim.TypedEvent) {
 // Config returns the cluster-wide parameters.
 func (l *LAN) Config() Config { return l.cfg }
 
+// kern is the event kernel a node schedules into: the shared sequential
+// Simulator by default, or the node's own logical process once the cluster
+// is partitioned. The indirection is the whole node-side cost of PDES —
+// every scheduling call site is otherwise identical in both modes.
+type kern interface {
+	now() time.Duration
+	// xcall accounts for a scheduling call the substrate defers as a
+	// cross-partition record: the LP kernel logs it at its program position
+	// (or, outside a window, returns its exact rank); the sequential kernel
+	// never defers, so its implementation is unreachable.
+	xcall() uint64
+	atEvent(at time.Duration, ev sim.TypedEvent)
+	afterEvent(d time.Duration, ev sim.TypedEvent)
+	after(d time.Duration, fn func()) proto.Timer
+}
+
+type simKern struct{ s *sim.Simulator }
+
+func (k simKern) now() time.Duration                            { return k.s.Now() }
+func (k simKern) xcall() uint64                                 { return 0 }
+func (k simKern) atEvent(at time.Duration, ev sim.TypedEvent)   { k.s.AtEvent(at, ev) }
+func (k simKern) afterEvent(d time.Duration, ev sim.TypedEvent) { k.s.AfterEvent(d, ev) }
+func (k simKern) after(d time.Duration, fn func()) proto.Timer {
+	return timerAdapter{k.s.After(d, fn)}
+}
+
+type lpKern struct{ p *sim.LP }
+
+func (k lpKern) now() time.Duration                            { return k.p.Now() }
+func (k lpKern) xcall() uint64                                 { return k.p.NoteXCall() }
+func (k lpKern) atEvent(at time.Duration, ev sim.TypedEvent)   { k.p.AtEvent(at, ev) }
+func (k lpKern) afterEvent(d time.Duration, ev sim.TypedEvent) { k.p.AfterEvent(d, ev) }
+func (k lpKern) after(d time.Duration, fn func()) proto.Timer {
+	return lpTimerAdapter{k.p.After(d, fn)}
+}
+
+// Cross-partition record kinds.
+const (
+	xTCP uint8 = iota + 1 // reliable-channel frame awaiting in-link admission
+	xUDP                  // datagram frame awaiting in-link admission
+	xAck                  // TCP ack returning to the sender's partition
+)
+
+// xrec is one deferred inter-node interaction. In partitioned mode a send
+// charges only sender-owned resources inline; the receiver-side half —
+// in-link admission and scheduling into the destination's heap — is
+// deferred as an xrec and applied at the next window barrier, at the exact
+// position the window replay assigns its scheduling call (see
+// sim.ReplayWindow), which reproduces the sequential kernel's global send
+// order and in-link arithmetic.
+type xrec struct {
+	at time.Duration // arrival at dst's in-link (xTCP/xUDP) or ack firing time (xAck)
+	// rank is the call's exact sequential position when the send happened
+	// outside a window (handler Start, code between runs); 0 for in-window
+	// sends, whose position the barrier replay determines.
+	rank uint64
+	size int
+	kind uint8
+	src  proto.NodeID // xUDP: sending node (delivered to the handler)
+	dst  *Node        // xUDP: receiving node
+	c    *conn        // xTCP/xAck: the channel
+	msg  proto.Message
+}
+
+// par is the partitioned-execution state of a LAN.
+type par struct {
+	p   *sim.Par
+	lps []*sim.LP
+	seq uint64   // shared rank counter: the sequential kernel's seq, replayed
+	out [][]xrec // per-source-LP outboxes, in LP call order
+	off []int    // per-LP index of the first in-window record, per barrier
+}
+
+// Partition splits the cluster into nLP logical processes executed in
+// parallel under conservative lookahead: every window, each LP executes all
+// events below min(next event across LPs) + Latency on its own goroutine,
+// and inter-node traffic is exchanged at window barriers. lpOf maps a node
+// id to its LP in [0, nLP); out-of-range (or nil lpOf) means LP 0.
+//
+// Call after every AddNode/Subscribe and before Start. Determinism matches
+// the sequential kernel — outputs are byte-identical — because the one-way
+// wire latency lower-bounds every inter-node effect, so barrier-injected
+// events always land beyond the window that sent them, ordered by their
+// send instant.
+//
+// Partition reports whether partitioning engaged. It declines (and the
+// cluster runs sequentially, with identical results) when nLP < 2, when
+// the configuration has no lookahead (Latency <= 0), or when LossRate > 0
+// (random drops draw from the shared sequential RNG, whose consumption
+// order a parallel run cannot reproduce).
+func (l *LAN) Partition(nLP int, lpOf func(proto.NodeID) int) bool {
+	if l.par != nil {
+		panic("lan: Partition called twice")
+	}
+	if nLP < 2 || l.cfg.Latency <= 0 || l.cfg.LossRate > 0 {
+		return false
+	}
+	pr := &par{
+		lps: make([]*sim.LP, nLP),
+		out: make([][]xrec, nLP),
+		off: make([]int, nLP),
+	}
+	for i := range pr.lps {
+		pr.lps[i] = sim.NewLP()
+		pr.lps[i].SetDispatcher(l.dispatch)
+		pr.lps[i].SetSeqSource(&pr.seq)
+	}
+	for id, n := range l.nodes {
+		lp := 0
+		if lpOf != nil {
+			lp = lpOf(id)
+		}
+		if lp < 0 || lp >= nLP {
+			lp = 0
+		}
+		n.lp = lp
+		n.k = lpKern{pr.lps[lp]}
+	}
+	l.par = pr
+	pr.p = &sim.Par{LPs: pr.lps, Horizon: l.cfg.Latency, Barrier: l.drainOutboxes}
+	return true
+}
+
+// Partitions reports the number of logical processes the cluster runs as
+// (0 when sequential).
+func (l *LAN) Partitions() int {
+	if l.par == nil {
+		return 0
+	}
+	return len(l.par.lps)
+}
+
+// Overlap reports the mean number of LPs that executed events per
+// synchronization window — the concurrency the partitioning exposes, and
+// the speedup bound on a multi-core host. 0 when sequential.
+func (l *LAN) Overlap() float64 {
+	if l.par == nil {
+		return 0
+	}
+	return l.par.p.Overlap()
+}
+
+// ParStats reports (windows, activeLPsSummed, eventsExecuted) accumulated
+// across partitioned runs; zeros when sequential.
+func (l *LAN) ParStats() (windows, activeSum, eventSum uint64) {
+	if l.par == nil {
+		return 0, 0, 0
+	}
+	return l.par.p.Windows, l.par.p.ActiveSum, l.par.p.EventSum
+}
+
+// drainOutboxes is the Par barrier: single-threaded between windows, it
+// applies every partition's deferred inter-node records in their exact
+// sequential positions. Records produced outside a window (handler Start,
+// code between runs) carry pre-assigned ranks and always form a prefix of
+// their outbox — the previous window's records were consumed by the previous
+// barrier — so they apply first, in rank order. In-window records then apply
+// at the positions the window replay assigns them, interleaved with the
+// ranking of every LP-local scheduling call. In-link admissions therefore
+// happen in the sequential kernel's global order, reproducing its
+// reservation arithmetic, and each injected event carries its exact rank.
+func (l *LAN) drainOutboxes() {
+	pr := l.par
+	var pre []*xrec
+	for i := range pr.out {
+		n := 0
+		for j := range pr.out[i] {
+			if pr.out[i][j].rank == 0 {
+				break
+			}
+			pre = append(pre, &pr.out[i][j])
+			n++
+		}
+		pr.off[i] = n
+	}
+	if len(pre) > 0 {
+		sort.Slice(pre, func(i, j int) bool { return pre[i].rank < pre[j].rank })
+		for _, r := range pre {
+			l.applyXrec(r, r.rank)
+		}
+	}
+	sim.ReplayWindow(pr.lps, func(lp, x int, rank uint64) {
+		l.applyXrec(&pr.out[lp][pr.off[lp]+x], rank)
+	})
+	for i := range pr.out {
+		s := pr.out[i]
+		for j := range s {
+			s[j] = xrec{} // drop message/conn references before reuse
+		}
+		pr.out[i] = s[:0]
+	}
+}
+
+// applyXrec performs the receiver-side half of one deferred interaction, at
+// its replay position: in-link admission (arrival records) and injection
+// into the destination LP with the call's exact rank.
+func (l *LAN) applyXrec(r *xrec, rank uint64) {
+	pr := l.par
+	switch r.kind {
+	case xTCP:
+		dst := r.c.to
+		rxEnd := admit(dst, r.at, r.size)
+		pr.lps[dst.lp].Inject(rxEnd, rank,
+			sim.TypedEvent{Kind: evTCPArrive, D: int64(r.size), P1: r.msg, P2: r.c})
+	case xUDP:
+		rxEnd := admit(r.dst, r.at, r.size)
+		pr.lps[r.dst.lp].Inject(rxEnd, rank,
+			sim.TypedEvent{Kind: evUDPArrive, A: int64(r.src), D: int64(r.size), P1: r.msg, P2: r.dst})
+	case xAck:
+		pr.lps[r.c.from.lp].Inject(r.at, rank,
+			sim.TypedEvent{Kind: evTCPAck, D: int64(r.size), P2: r.c})
+	}
+}
+
 // AddNode installs handler h on a new node. It panics if id already exists
 // (a configuration bug, not a runtime condition).
 func (l *LAN) AddNode(id proto.NodeID, h proto.Handler) *Node {
@@ -212,6 +429,7 @@ func (l *LAN) AddNodeWithConfig(id proto.NodeID, h proto.Handler, nc NodeConfig)
 		lan:      l,
 		handler:  h,
 		nc:       nc,
+		k:        simKern{l.Sim},
 		coreFree: make([]time.Duration, nc.Cores),
 		conns:    make(map[proto.NodeID]*conn),
 	}
@@ -255,6 +473,12 @@ func (l *LAN) groupMembers(g proto.GroupID) []proto.NodeID {
 	if ids, ok := l.members[g]; ok {
 		return ids
 	}
+	if l.par != nil {
+		// Partitioned mode: the cache was sealed at Start and is read from
+		// LP goroutines; a group missing from it has no subscribers. Never
+		// mutate the shared map here.
+		return nil
+	}
 	set := l.groups[g]
 	ids := make([]proto.NodeID, 0, len(set))
 	for id := range set {
@@ -267,6 +491,20 @@ func (l *LAN) groupMembers(g proto.GroupID) []proto.NodeID {
 
 // Start invokes every handler's Start callback. Call once, before Run.
 func (l *LAN) Start() {
+	if l.par != nil {
+		// Seal the sorted-member cache: multicast fan-out runs on LP
+		// goroutines and must never write the shared map. Populate it
+		// directly — groupMembers itself refuses to mutate once l.par is
+		// set, so the seal must bypass its miss path.
+		for g, set := range l.groups {
+			ids := make([]proto.NodeID, 0, len(set))
+			for id := range set {
+				ids = append(ids, id)
+			}
+			sortNodeIDs(ids)
+			l.members[g] = ids
+		}
+	}
 	// Deterministic order: ascending node id.
 	ids := make([]proto.NodeID, 0, len(l.nodes))
 	for id := range l.nodes {
@@ -281,7 +519,14 @@ func (l *LAN) Start() {
 
 // Run advances the simulation by d of virtual time.
 func (l *LAN) Run(d time.Duration) {
-	l.Sim.RunUntil(l.Sim.Now() + d)
+	deadline := l.Sim.Now() + d
+	if l.par != nil {
+		l.par.p.RunUntil(deadline)
+	}
+	// Sequential execution — and, in partitioned mode, keeping the shared
+	// clock (the Now/Rand anchor read between runs) in step; the shared
+	// heap is empty then, since every node schedules into its LP.
+	l.Sim.RunUntil(deadline)
 }
 
 // Node is one simulated machine. It implements proto.Env for its handler.
@@ -290,6 +535,9 @@ type Node struct {
 	lan     *LAN
 	handler proto.Handler
 	nc      NodeConfig
+
+	k  kern // event kernel: the shared Simulator, or this node's LP
+	lp int  // logical-process index; 0 in sequential mode
 
 	down bool
 
@@ -311,6 +559,7 @@ var (
 	_ proto.Env          = (*Node)(nil)
 	_ proto.FreeTimerEnv = (*Node)(nil)
 	_ proto.FreeWorkEnv  = (*Node)(nil)
+	_ proto.GroupSizer   = (*Node)(nil)
 )
 
 // conn models one reliable FIFO channel with a bounded in-flight window.
@@ -359,8 +608,12 @@ func (c *conn) grow() {
 // ID implements proto.Env.
 func (n *Node) ID() proto.NodeID { return n.id }
 
-// Now implements proto.Env.
-func (n *Node) Now() time.Duration { return n.lan.Sim.Now() }
+// Now implements proto.Env. In partitioned mode this is the node's LP
+// clock, which trails the global window by less than the lookahead horizon.
+func (n *Node) Now() time.Duration { return n.k.now() }
+
+// GroupSize implements proto.GroupSizer: the number of subscribers of g.
+func (n *Node) GroupSize(g proto.GroupID) int { return len(n.lan.groupMembers(g)) }
 
 // Rand implements proto.Env.
 func (n *Node) Rand() *rand.Rand { return n.lan.Sim.Rand() }
@@ -420,22 +673,25 @@ func txTime(size int, bw float64) time.Duration {
 	return time.Duration(float64(size) * 8 / bw * float64(time.Second))
 }
 
-// transmitTo serializes a frame from n toward dst and returns the instant
-// the last bit clears dst's in-link. Sending CPU is charged on n.
-// payOut controls whether n's out-link is charged (multicast pays it once
-// for the whole group, before calling transmitTo per receiver).
-func (n *Node) transmitTo(dst *Node, size int, payOut bool) time.Duration {
-	now := n.lan.Sim.Now()
+// sendOut charges the sender-owned half of a transmission — sending CPU and
+// the out-link serialization — and returns the instant the frame's last bit
+// reaches the receiver's in-link (propagation included). Multicast calls it
+// once per group; unicast once per message. Only n's own state is touched,
+// so it is safe inside a partition window.
+func (n *Node) sendOut(size int) time.Duration {
+	now := n.k.now()
 	cpuDone := n.reserveCPU(now, n.cpuCost(size))
-	var outDone time.Duration
-	if payOut {
-		start := max(cpuDone, n.outFree)
-		n.outFree = start + txTime(size, n.bandwidth())
-		outDone = n.outFree
-	} else {
-		outDone = max(cpuDone, n.outFree)
-	}
-	arrive := outDone + n.lan.cfg.Latency
+	start := max(cpuDone, n.outFree)
+	n.outFree = start + txTime(size, n.bandwidth())
+	return n.outFree + n.lan.cfg.Latency
+}
+
+// admit reserves dst's in-link for a frame arriving at arrive and returns
+// the instant its last bit clears the link. This is the one receiver-side
+// coupling of a send: sequentially it runs inline after sendOut; in
+// partitioned mode it is deferred to the window barrier, where the merged
+// order across partitions reproduces the sequential reservation order.
+func admit(dst *Node, arrive time.Duration, size int) time.Duration {
 	rxStart := max(arrive, dst.inFree)
 	dst.inFree = rxStart + txTime(size, dst.bandwidth())
 	return dst.inFree
@@ -478,8 +734,14 @@ func (n *Node) pump(c *conn) {
 		c.inflight += size
 		n.stats.MsgsSent++
 		n.stats.BytesSent += int64(size)
-		rxEnd := n.transmitTo(c.to, size, true)
-		n.lan.Sim.AtEvent(rxEnd, sim.TypedEvent{Kind: evTCPArrive, D: int64(size), P1: m, P2: c})
+		arrive := n.sendOut(size)
+		if pr := n.lan.par; pr != nil {
+			pr.out[n.lp] = append(pr.out[n.lp],
+				xrec{kind: xTCP, at: arrive, rank: n.k.xcall(), size: size, c: c, msg: m})
+		} else {
+			rxEnd := admit(c.to, arrive, size)
+			n.k.atEvent(rxEnd, sim.TypedEvent{Kind: evTCPArrive, D: int64(size), P1: m, P2: c})
+		}
 	}
 }
 
@@ -493,8 +755,8 @@ func (c *conn) arrive(m proto.Message, size int) {
 	}
 	dst.stats.MsgsRecv++
 	dst.stats.BytesRecv += int64(size)
-	done := dst.reserveCPU(dst.lan.Sim.Now(), dst.cpuCost(size))
-	dst.lan.Sim.AtEvent(done, sim.TypedEvent{Kind: evTCPDeliver, D: int64(size), P1: m, P2: c})
+	done := dst.reserveCPU(dst.k.now(), dst.cpuCost(size))
+	dst.k.atEvent(done, sim.TypedEvent{Kind: evTCPDeliver, D: int64(size), P1: m, P2: c})
 }
 
 // deliver runs when the receiver's CPU finishes processing the message: it
@@ -505,9 +767,16 @@ func (c *conn) deliver(m proto.Message, size int) {
 		return
 	}
 	dst.handler.Receive(c.from.id, m)
-	// Ack travels back; window space frees at the sender.
-	ack := dst.lan.Sim.Now() + dst.lan.cfg.Latency
-	dst.lan.Sim.AtEvent(ack, sim.TypedEvent{Kind: evTCPAck, D: int64(size), P2: c})
+	// Ack travels back; window space frees at the sender. When the sender
+	// lives in another partition the ack crosses at the barrier (its firing
+	// time is a full latency away, so it always lands beyond the window).
+	ack := dst.k.now() + dst.lan.cfg.Latency
+	if pr := dst.lan.par; pr != nil && c.from.lp != dst.lp {
+		pr.out[dst.lp] = append(pr.out[dst.lp],
+			xrec{kind: xAck, at: ack, rank: dst.k.xcall(), size: size, c: c})
+	} else {
+		dst.k.atEvent(ack, sim.TypedEvent{Kind: evTCPAck, D: int64(size), P2: c})
+	}
 }
 
 // ack opens window space at the sender and restarts its pump.
@@ -535,8 +804,14 @@ func (n *Node) SendUDP(to proto.NodeID, m proto.Message) {
 		n.deliverLocal(m)
 		return
 	}
-	rxEnd := n.transmitTo(dst, size, true)
-	n.lan.Sim.AtEvent(rxEnd, sim.TypedEvent{Kind: evUDPArrive, A: int64(n.id), D: int64(size), P1: m, P2: dst})
+	arrive := n.sendOut(size)
+	if pr := n.lan.par; pr != nil {
+		pr.out[n.lp] = append(pr.out[n.lp],
+			xrec{kind: xUDP, at: arrive, rank: n.k.xcall(), size: size, src: n.id, dst: dst, msg: m})
+	} else {
+		rxEnd := admit(dst, arrive, size)
+		n.k.atEvent(rxEnd, sim.TypedEvent{Kind: evUDPArrive, A: int64(n.id), D: int64(size), P1: m, P2: dst})
+	}
 }
 
 // Multicast implements proto.Env: switch-replicated datagram. The sender's
@@ -548,13 +823,10 @@ func (n *Node) Multicast(g proto.GroupID, m proto.Message) {
 	size := m.Size()
 	n.stats.MsgsSent++
 	n.stats.BytesSent += int64(size)
-	// The frame leaves the sender once, after CPU cost.
-	now := n.lan.Sim.Now()
-	cpuDone := n.reserveCPU(now, n.cpuCost(size))
-	start := max(cpuDone, n.outFree)
-	n.outFree = start + txTime(size, n.bandwidth())
-	departure := n.outFree
-
+	// The frame leaves the sender once, after CPU cost; every member shares
+	// the same arrival instant at its in-link.
+	arrive := n.sendOut(size)
+	pr := n.lan.par
 	for _, id := range n.lan.groupMembers(g) {
 		dst := n.lan.nodes[id]
 		if dst == nil {
@@ -564,11 +836,16 @@ func (n *Node) Multicast(g proto.GroupID, m proto.Message) {
 			n.deliverLocal(m)
 			continue
 		}
-		arrive := departure + n.lan.cfg.Latency
-		rxStart := max(arrive, dst.inFree)
-		dst.inFree = rxStart + txTime(size, dst.bandwidth())
-		rxEnd := dst.inFree
-		n.lan.Sim.AtEvent(rxEnd, sim.TypedEvent{Kind: evUDPArrive, A: int64(n.id), D: int64(size), P1: m, P2: dst})
+		if pr != nil {
+			// Per-member records are appended — and their calls logged — in
+			// sorted member order, so the replay admits them consecutively,
+			// the same in-link reservation order as the sequential loop.
+			pr.out[n.lp] = append(pr.out[n.lp],
+				xrec{kind: xUDP, at: arrive, rank: n.k.xcall(), size: size, src: n.id, dst: dst, msg: m})
+		} else {
+			rxEnd := admit(dst, arrive, size)
+			n.k.atEvent(rxEnd, sim.TypedEvent{Kind: evUDPArrive, A: int64(n.id), D: int64(size), P1: m, P2: dst})
+		}
 	}
 }
 
@@ -595,15 +872,15 @@ func (n *Node) datagramArrive(from proto.NodeID, m proto.Message, size int) {
 	if n.udpQueued > n.udpQueuedMax {
 		n.udpQueuedMax = n.udpQueued
 	}
-	done := n.reserveCPU(n.lan.Sim.Now(), n.cpuCost(size))
-	n.lan.Sim.AtEvent(done, sim.TypedEvent{Kind: evUDPDeliver, A: int64(from), D: int64(size), P1: m, P2: n})
+	done := n.reserveCPU(n.k.now(), n.cpuCost(size))
+	n.k.atEvent(done, sim.TypedEvent{Kind: evUDPDeliver, A: int64(from), D: int64(size), P1: m, P2: n})
 }
 
 // deliverLocal hands a self-addressed message to the handler, paying CPU
 // but no network resources (loopback).
 func (n *Node) deliverLocal(m proto.Message) {
-	done := n.reserveCPU(n.lan.Sim.Now(), n.cpuCost(m.Size()))
-	n.lan.Sim.AtEvent(done, sim.TypedEvent{Kind: evNodeDeliver, A: int64(n.id), P1: m, P2: n})
+	done := n.reserveCPU(n.k.now(), n.cpuCost(m.Size()))
+	n.k.atEvent(done, sim.TypedEvent{Kind: evNodeDeliver, A: int64(n.id), P1: m, P2: n})
 }
 
 // After implements proto.Env. Timer callbacks keep firing while the node is
@@ -611,25 +888,28 @@ func (n *Node) deliverLocal(m proto.Message) {
 // (Send/Multicast/receive are all gated on down), so periodic protocol
 // timers resume their work transparently at recovery.
 func (n *Node) After(d time.Duration, fn func()) proto.Timer {
-	t := n.lan.Sim.After(d, fn)
-	return timerAdapter{t}
+	return n.k.after(d, fn)
 }
 
 type timerAdapter struct{ t sim.Timer }
 
 func (a timerAdapter) Cancel() { a.t.Cancel() }
 
+type lpTimerAdapter struct{ t sim.LPTimer }
+
+func (a lpTimerAdapter) Cancel() { a.t.Cancel() }
+
 // AfterFree implements proto.FreeTimerEnv: the callback is carried in a
 // typed kernel event, so scheduling performs no allocation (no closure, no
 // Timer box). Like After, the timer fires even while the node is down.
 func (n *Node) AfterFree(d time.Duration, fn func()) {
-	n.lan.Sim.AfterEvent(d, sim.TypedEvent{Kind: evNodeTimer, P1: fn})
+	n.k.afterEvent(d, sim.TypedEvent{Kind: evNodeTimer, P1: fn})
 }
 
 // AfterFreeArg implements proto.FreeTimerEnv; arg rides in the event's
 // scalar field, so per-instance timers need no capturing closure.
 func (n *Node) AfterFreeArg(d time.Duration, fn func(int64), arg int64) {
-	n.lan.Sim.AfterEvent(d, sim.TypedEvent{Kind: evNodeTimerArg, P1: fn, A: arg})
+	n.k.afterEvent(d, sim.TypedEvent{Kind: evNodeTimerArg, P1: fn, A: arg})
 }
 
 // Work implements proto.Env: occupy core 0 for d, then run fn.
@@ -641,16 +921,16 @@ func (n *Node) Work(d time.Duration, fn func()) {
 // own a core.
 func (n *Node) WorkOn(core int, d time.Duration, fn func()) {
 	d = time.Duration(float64(d) / n.nc.CPUScale)
-	done := n.reserveCore(core, n.lan.Sim.Now(), d)
-	n.lan.Sim.AtEvent(done, sim.TypedEvent{Kind: evNodeFunc, P1: fn, P2: n})
+	done := n.reserveCore(core, n.k.now(), d)
+	n.k.atEvent(done, sim.TypedEvent{Kind: evNodeFunc, P1: fn, P2: n})
 }
 
 // WorkArg implements proto.FreeWorkEnv: Work on core 0 with a scalar
 // argument carried in the typed event — no per-call closure.
 func (n *Node) WorkArg(d time.Duration, fn func(int64), arg int64) {
 	d = time.Duration(float64(d) / n.nc.CPUScale)
-	done := n.reserveCore(0, n.lan.Sim.Now(), d)
-	n.lan.Sim.AtEvent(done, sim.TypedEvent{Kind: evNodeFuncArg, P1: fn, P2: n, A: arg})
+	done := n.reserveCore(0, n.k.now(), d)
+	n.k.atEvent(done, sim.TypedEvent{Kind: evNodeFuncArg, P1: fn, P2: n, A: arg})
 }
 
 // DiskWrite implements proto.Env: synchronous sequential write of size
@@ -658,9 +938,9 @@ func (n *Node) WorkArg(d time.Duration, fn func(int64), arg int64) {
 func (n *Node) DiskWrite(size int, fn func()) {
 	cfg := n.lan.cfg
 	d := cfg.DiskLatency + txTime(size, cfg.DiskBandwidth)
-	start := max(n.lan.Sim.Now(), n.diskFree)
+	start := max(n.k.now(), n.diskFree)
 	n.diskFree = start + d
 	n.stats.DiskBytes += int64(size)
 	n.stats.DiskWrites++
-	n.lan.Sim.AtEvent(n.diskFree, sim.TypedEvent{Kind: evNodeFunc, P1: fn, P2: n})
+	n.k.atEvent(n.diskFree, sim.TypedEvent{Kind: evNodeFunc, P1: fn, P2: n})
 }

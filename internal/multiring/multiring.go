@@ -95,6 +95,10 @@ func (e ringEnv) AfterFreeArg(d time.Duration, fn func(int64), arg int64) {
 	proto.AfterFreeArg(e.Env, d, fn, arg)
 }
 
+// GroupSize forwards proto.GroupSizer (0 when the underlying environment
+// has none): ring agents stamp shared decision buffers with it.
+func (e ringEnv) GroupSize(g proto.GroupID) int { return proto.GroupSizeOf(e.Env, g) }
+
 // Node hosts one process's roles across all rings: any number of ring
 // agents (acceptor/coordinator/learner per ring), an optional skip Pacer
 // per coordinated ring, and an optional deterministic Merger when the

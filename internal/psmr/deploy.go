@@ -144,6 +144,11 @@ type DeployConfig struct {
 	// single-ring modes). The bench harness wires it to pin per-learner
 	// delivered command sequences.
 	Trace func(replica, ring int) *core.DelivTrace
+	// Par requests parallel-within-experiment execution with this many
+	// logical processes (conservative-lookahead PDES; see lan.Partition).
+	// Ordering rings spread over LPs 1..Par-1; replicas and clients share
+	// LP 0. Results are byte-identical to sequential; <= 1 disables.
+	Par int
 }
 
 // Deployment is a wired P-SMR (or baseline) cluster.
@@ -171,8 +176,26 @@ func Deploy(cfg DeployConfig, lc lan.Config, seed int64) *Deployment {
 	} else {
 		d.deploySingleRing()
 	}
+	if cfg.Par > 1 {
+		d.LAN.Partition(cfg.Par, d.lpOf)
+	}
 	d.LAN.Start()
 	return d
+}
+
+// lpOf assigns nodes to logical processes for partitioned runs: each
+// ordering ring's acceptors form (round-robin) an LP of their own — rings
+// are the near-independent components the paper's design isolates — while
+// replicas, clients and the mergers they host stay together on LP 0.
+func (d *Deployment) lpOf(id proto.NodeID) int {
+	if id < acceptorBase || id >= replicaBase {
+		return 0
+	}
+	if d.Cfg.Mode != PSMR {
+		return 1 // one ring: all acceptors in LP 1
+	}
+	r := int(id-acceptorBase) / 10
+	return 1 + r%(d.Cfg.Par-1)
 }
 
 // newReplica builds the execution engine for one replica index.

@@ -39,6 +39,10 @@ type (
 		Val          core.Batch
 		Decided      []int64
 		DecidedMasks []uint64
+		// decBuf, when non-nil, owns the Decided/DecidedMasks arrays; each
+		// receiver releases it after consuming (see core.DecBuf). Not part
+		// of the wire size.
+		decBuf *core.DecBuf
 	}
 	// mPhase2B travels along the ring; consensus is on value ids, so it
 	// carries no payload.
@@ -52,6 +56,8 @@ type (
 	mDecision struct {
 		Insts []int64
 		Masks []uint64
+		// decBuf: see mPhase2A.
+		decBuf *core.DecBuf
 	}
 	// mRetransmitReq asks a preferential acceptor for lost instances.
 	mRetransmitReq struct{ Insts []int64 }

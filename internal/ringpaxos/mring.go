@@ -213,9 +213,11 @@ type MAgent struct {
 	pool         core.BatchPool
 	window       int
 	lastSlow     time.Duration
-	decidedQ     []int64
-	decidedQM    []uint64
-	timersArmed  bool
+	// decQ accumulates decided instance ids between flushes. The buffer is
+	// pooled: once multicast, the last receiver recycles it (core.DecBuf),
+	// so a steady decision stream reuses the same few arrays.
+	decQ        *core.DecBuf
+	timersArmed bool
 
 	// --- acceptor state ---
 	rnd       int64
@@ -403,10 +405,12 @@ func (a *MAgent) Receive(from proto.NodeID, m proto.Message) {
 		a.onPhase1B(from, msg)
 	case mPhase2A:
 		a.onPhase2A(msg)
+		msg.decBuf.Release()
 	case *mPhase2B:
 		a.onPhase2B(msg)
 	case mDecision:
 		a.onDecisions(msg.Insts, msg.Masks)
+		msg.decBuf.Release()
 	case mRetransmitReq:
 		a.onRetransmitReq(from, msg)
 	case mRetransmit:
@@ -483,17 +487,19 @@ func (a *MAgent) startInstance(b core.Batch, mask uint64, pooled bool) {
 }
 
 func (a *MAgent) sendPhase2A(inst int64, oi *openInst) {
-	m := mPhase2A{Inst: inst, Rnd: a.crnd, VID: oi.vid, Val: oi.val,
-		Decided: a.decidedQ, DecidedMasks: a.decidedQM}
-	a.decidedQ, a.decidedQM = nil, nil
+	m := mPhase2A{Inst: inst, Rnd: a.crnd, VID: oi.vid, Val: oi.val}
+	if b := a.decQ; b != nil {
+		a.decQ = nil
+		m.Decided, m.DecidedMasks, m.decBuf = b.Insts, b.Masks, a.armDecBuf(b)
+	}
 	if len(a.Cfg.PartGroups) == 0 || oi.mask == 0 {
 		a.env.Multicast(a.Cfg.Group, m)
 	} else {
 		// Partitioned mode: one 2A per concerned partition group; decision
 		// ids travel on the decision group (§4.2.2), so don't piggyback.
 		if len(m.Decided) > 0 {
-			a.env.Multicast(a.Cfg.Group, mDecision{Insts: m.Decided, Masks: m.DecidedMasks})
-			m.Decided, m.DecidedMasks = nil, nil
+			a.env.Multicast(a.Cfg.Group, mDecision{Insts: m.Decided, Masks: m.DecidedMasks, decBuf: m.decBuf})
+			m.Decided, m.DecidedMasks, m.decBuf = nil, nil, nil
 		}
 		rem := oi.mask
 		for rem != 0 {
@@ -505,6 +511,18 @@ func (a *MAgent) sendPhase2A(inst int64, oi *openInst) {
 		}
 	}
 	proto.AfterFreeArg(a.env, a.Cfg.Retry, a.retryFn, inst)
+}
+
+// armDecBuf stamps b with the decision group's subscriber count so the
+// last receiver recycles it. Without a sizing environment it returns nil:
+// the id arrays still travel in the message but fall to the garbage
+// collector, exactly the pre-pooling behavior.
+func (a *MAgent) armDecBuf(b *core.DecBuf) *core.DecBuf {
+	if n := proto.GroupSizeOf(a.env, a.Cfg.Group); n > 0 {
+		b.Arm(n)
+		return b
+	}
+	return nil
 }
 
 // retryInstance is the fire-and-forget retransmission timer: it no-ops if
@@ -577,9 +595,9 @@ func (a *MAgent) decisionFlushTick() {
 	if !a.isCoord {
 		return
 	}
-	if len(a.decidedQ) > 0 {
-		a.env.Multicast(a.Cfg.Group, mDecision{Insts: a.decidedQ, Masks: a.decidedQM})
-		a.decidedQ, a.decidedQM = nil, nil
+	if b := a.decQ; b != nil {
+		a.decQ = nil
+		a.env.Multicast(a.Cfg.Group, mDecision{Insts: b.Insts, Masks: b.Masks, decBuf: a.armDecBuf(b)})
 	}
 	a.armDecisionFlush()
 }
@@ -628,8 +646,11 @@ func (a *MAgent) decide(inst int64) {
 	e, _ := a.store.Put(inst)
 	e.vid, e.val, e.bytes, e.mask, e.decided = vid, val, val.Size(), mask, true
 	e.pooled = pooled
-	a.decidedQ = append(a.decidedQ, inst)
-	a.decidedQM = append(a.decidedQM, mask)
+	if a.decQ == nil {
+		a.decQ = core.GetDecBuf()
+	}
+	a.decQ.Insts = append(a.decQ.Insts, inst)
+	a.decQ.Masks = append(a.decQ.Masks, mask)
 	if a.isLearner() {
 		a.learnDecision(inst, mask)
 	}

@@ -1,0 +1,622 @@
+// Conservative-lookahead parallel simulation (PDES) on top of the kernel.
+//
+// An LP (logical process) is an independent event loop with its own clock,
+// heap and slab — structurally the Simulator's engine with one addition:
+// every scheduled event carries a rank, and the heap order is (fireAt, rank).
+// Ranks reproduce the sequential kernel's seq tiebreak exactly: a shared
+// counter assigns each scheduling call the position it would have had in the
+// sequential run. Calls made outside a window (handler Start, code between
+// Run calls) execute single-threaded and draw from the counter directly;
+// calls made inside a window are logged and ranked at the next barrier by
+// ReplayWindow, which orders every call made anywhere in the cluster during
+// the window by (caller instant, caller rank, call order) — precisely the
+// order the sequential kernel would have made them in.
+//
+// Until the barrier ranks it, an in-window event carries a provisional rank:
+// the provisional bit plus its log position. Provisional ranks compare above
+// every exact rank — correct, because a window-scheduled event's true seq
+// exceeds that of everything scheduled before the window — and within one LP
+// they compare in log order, which is the LP's own call order. Replacing a
+// provisional rank with its exact seq at the barrier therefore never reorders
+// a heap: the replacement is monotone.
+//
+// Par coordinates a set of LPs under conservative time windows. Every
+// window, the floor is the minimum next-event time across LPs and every LP
+// may execute all events strictly below floor+Horizon without any
+// coordination: when the horizon is the minimum cross-LP communication
+// latency, an event executing in the window can only cause effects at or
+// beyond the window's end, so no LP can receive a message "from the past".
+// Cross-LP messages accumulate in substrate-owned outboxes during the
+// window and are applied — single-threaded, at their exact replay positions —
+// by the Barrier callback between windows.
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// provisionalBit marks a rank as "assigned this window, not yet replayed";
+// the low bits are the scheduling call's position in its LP's window log.
+const provisionalBit = uint64(1) << 63
+
+// lpEntry is one LP heap element. The ordering rank lives in the slab (it is
+// rewritten at barriers), so the entry is just the firing time and the slot.
+type lpEntry struct {
+	at  time.Duration
+	idx int32
+}
+
+// lpSlot is one LP slab cell: the Simulator's slot plus the event's rank.
+type lpSlot struct {
+	fn   Event
+	ev   TypedEvent
+	rank uint64 // exact sequential seq, or provisionalBit|logIndex
+	gen  uint64 // bumped on free; timers carry the gen they were issued with
+	dead bool   // cancelled but not yet swept out of the heap
+	next int32  // free-list link, -1 terminated
+}
+
+// callRec records one scheduling call made during a window, in LP call
+// order. callerRank is exact when the calling event was ranked at an earlier
+// barrier (or injected), provisional when the caller was itself scheduled
+// this window — then its low bits index this same log, and the referenced
+// record is always earlier (an event is scheduled before it executes).
+type callRec struct {
+	callerAt   time.Duration
+	callerRank uint64
+	child      int32 // slab slot of the scheduled event; -(x+1) for the x-th external call
+	childGen   uint64
+}
+
+// LP is one logical process of a partitioned simulation: a self-contained
+// event loop over a partition of the model. During a window only the LP's
+// own worker touches it; between windows only the coordinator does
+// (Inject/NextAt/AdvanceTo/ReplayWindow). That alternation, synchronized by
+// Par, is the entire concurrency contract — the LP itself has no locks.
+type LP struct {
+	now      time.Duration
+	curRank  uint64 // rank of the event whose callback is executing
+	inWin    bool   // inside RunBefore: log calls instead of ranking directly
+	heap     []lpEntry
+	slab     []lpSlot
+	freeHead int32
+	nDead    int
+	nSteps   uint64
+	dispatch Dispatcher
+
+	gseq  *uint64   // shared rank counter (all LPs of one Par share it)
+	log   []callRec // scheduling calls made this window, in call order
+	nX    int32     // external (substrate) calls logged this window
+	seqOf []uint64  // per-log-entry assigned seq, ReplayWindow scratch
+}
+
+// NewLP returns an empty logical process with its own rank counter; LPs run
+// together under one Par must share a counter via SetSeqSource.
+func NewLP() *LP { return &LP{freeHead: -1, gseq: new(uint64)} }
+
+// SetSeqSource shares the rank counter that makes ranks a single global
+// sequence across LPs. Call once, before any scheduling.
+func (p *LP) SetSeqSource(c *uint64) { p.gseq = c }
+
+// SetDispatcher installs the typed-event dispatcher, as Simulator.SetDispatcher.
+func (p *LP) SetDispatcher(d Dispatcher) { p.dispatch = d }
+
+// Now returns the LP's clock: the instant of the last executed event,
+// clamped up by AdvanceTo at run end.
+func (p *LP) Now() time.Duration { return p.now }
+
+// Steps reports how many events this LP has executed.
+func (p *LP) Steps() uint64 { return p.nSteps }
+
+// Pending reports scheduled events that have neither fired nor been cancelled.
+func (p *LP) Pending() int { return len(p.heap) - p.nDead }
+
+// LPTimer cancels one scheduled LP event; semantics match sim.Timer.
+// The zero LPTimer is valid and cancels nothing.
+type LPTimer struct {
+	p   *LP
+	idx int32
+	gen uint64
+}
+
+// Cancel prevents the timer's event from firing; stale handles are no-ops.
+func (t LPTimer) Cancel() {
+	p := t.p
+	if p == nil || int(t.idx) >= len(p.slab) {
+		return
+	}
+	sl := &p.slab[t.idx]
+	if sl.gen != t.gen || sl.dead {
+		return
+	}
+	sl.dead = true
+	sl.fn = nil
+	sl.ev = TypedEvent{}
+	p.nDead++
+	if p.nDead > 64 && p.nDead*2 > len(p.heap) {
+		p.compact()
+	}
+}
+
+func (p *LP) allocSlot() int32 {
+	if p.freeHead >= 0 {
+		idx := p.freeHead
+		p.freeHead = p.slab[idx].next
+		return idx
+	}
+	if len(p.slab) > maxSlot {
+		panic("sim: more than 2^24 concurrently scheduled events in one LP")
+	}
+	p.slab = append(p.slab, lpSlot{})
+	return int32(len(p.slab) - 1)
+}
+
+func (p *LP) freeSlot(idx int32) {
+	sl := &p.slab[idx]
+	sl.gen++
+	sl.dead = false
+	sl.next = p.freeHead
+	p.freeHead = idx
+}
+
+// schedule inserts a filled slot, ranking it like the sequential kernel:
+// directly from the shared counter when single-threaded (outside windows),
+// provisionally — to be ranked by the barrier replay — when inside one.
+func (p *LP) schedule(at time.Duration, idx int32) LPTimer {
+	if at < p.now {
+		at = p.now
+	}
+	sl := &p.slab[idx]
+	if p.inWin {
+		sl.rank = provisionalBit | uint64(len(p.log))
+		p.log = append(p.log, callRec{callerAt: p.now, callerRank: p.curRank, child: idx, childGen: sl.gen})
+	} else {
+		*p.gseq++
+		sl.rank = *p.gseq
+	}
+	p.push(lpEntry{at: at, idx: idx})
+	return LPTimer{p: p, idx: idx, gen: sl.gen}
+}
+
+// NoteXCall records a scheduling call the substrate performs on the event's
+// behalf outside this LP (a deferred cross-partition record). Outside a
+// window it returns the call's exact rank, to be carried on the record;
+// inside one it logs the call at its program position and returns 0 — the
+// rank is assigned by the barrier replay, which hands it to the record
+// through the ReplayWindow callback.
+func (p *LP) NoteXCall() uint64 {
+	if !p.inWin {
+		*p.gseq++
+		return *p.gseq
+	}
+	p.nX++
+	p.log = append(p.log, callRec{callerAt: p.now, callerRank: p.curRank, child: -p.nX})
+	return 0
+}
+
+// At schedules fn at absolute virtual time at (clamped to now).
+func (p *LP) At(at time.Duration, fn Event) LPTimer {
+	idx := p.allocSlot()
+	p.slab[idx].fn = fn
+	return p.schedule(at, idx)
+}
+
+// After schedules fn to run d from now.
+func (p *LP) After(d time.Duration, fn Event) LPTimer {
+	return p.At(p.now+d, fn)
+}
+
+// AtEvent schedules a typed event at absolute virtual time at.
+func (p *LP) AtEvent(at time.Duration, ev TypedEvent) LPTimer {
+	idx := p.allocSlot()
+	p.slab[idx].ev = ev
+	return p.schedule(at, idx)
+}
+
+// AfterEvent schedules a typed event d from now.
+func (p *LP) AfterEvent(d time.Duration, ev TypedEvent) LPTimer {
+	return p.AtEvent(p.now+d, ev)
+}
+
+// Inject schedules a typed event sent by another LP, with the exact rank the
+// barrier replay assigned its scheduling call. Coordinator-only: call
+// between windows. at must be at or beyond the window bound, which
+// conservative lookahead guarantees (arrival = send + latency >= bound).
+func (p *LP) Inject(at time.Duration, rank uint64, ev TypedEvent) {
+	idx := p.allocSlot()
+	sl := &p.slab[idx]
+	sl.ev = ev
+	sl.rank = rank
+	if at < p.now {
+		at = p.now
+	}
+	p.push(lpEntry{at: at, idx: idx})
+}
+
+// NextAt reports the firing time of the earliest pending event. Dead
+// entries reaching the top are swept here; coordinator-only between windows.
+func (p *LP) NextAt() (time.Duration, bool) {
+	for len(p.heap) > 0 {
+		e := p.heap[0]
+		if p.slab[e.idx].dead {
+			p.popRoot()
+			p.nDead--
+			p.freeSlot(e.idx)
+			continue
+		}
+		return e.at, true
+	}
+	return 0, false
+}
+
+// RunBefore executes every event with at < bound, advancing the clock to
+// each event's instant, and reports how many events ran. The clock is NOT
+// advanced to bound: it stays at the last executed event, so events
+// scheduled by callbacks keep sorting by true scheduling time.
+func (p *LP) RunBefore(bound time.Duration) uint64 {
+	var ran uint64
+	p.inWin = true
+	for len(p.heap) > 0 {
+		e := p.heap[0]
+		sl := &p.slab[e.idx]
+		if sl.dead {
+			p.popRoot()
+			p.nDead--
+			p.freeSlot(e.idx)
+			continue
+		}
+		if e.at >= bound {
+			break
+		}
+		p.popRoot()
+		p.now = e.at
+		p.curRank = sl.rank
+		p.nSteps++
+		ran++
+		if fn := sl.fn; fn != nil {
+			sl.fn = nil
+			p.freeSlot(e.idx)
+			fn()
+		} else {
+			ev := sl.ev
+			sl.ev = TypedEvent{}
+			p.freeSlot(e.idx)
+			p.dispatch(ev)
+		}
+	}
+	p.inWin = false
+	return ran
+}
+
+// AdvanceTo clamps the clock up to t (never backward); called by the
+// coordinator when a run deadline is reached, mirroring Simulator.RunUntil's
+// final clock advance.
+func (p *LP) AdvanceTo(t time.Duration) {
+	if p.now < t {
+		p.now = t
+	}
+}
+
+// ReplayWindow is the heart of exact-order partitioning. Between windows,
+// single-threaded, it replays every scheduling call the cluster made during
+// the window in the order the sequential kernel would have made them —
+// by (caller instant, caller rank, per-caller call order) — drawing each
+// call's rank from the shared counter. Local calls have the rank written
+// into their event's slab slot (monotone, so heap invariants survive);
+// external calls are handed to applyX with their rank, at their exact
+// position in the global order, so the substrate applies cross-partition
+// records with the same relative order and resource arithmetic as the
+// sequential run.
+//
+// Resolution within one instant: a call whose caller was itself scheduled at
+// that instant must wait until the caller's own scheduling call is ranked —
+// the dependency always points earlier in the same LP's log, so a minimal
+// resolvable call always exists. Instant groups are tiny (a handful of
+// calls), so the quadratic scan beats a heap.
+func ReplayWindow(lps []*LP, applyX func(lp, x int, rank uint64)) {
+	n := len(lps)
+	cur := make([]int, n)
+	type item struct {
+		lp, j int
+	}
+	var group []item
+	for _, p := range lps {
+		if cap(p.seqOf) < len(p.log) {
+			p.seqOf = make([]uint64, len(p.log))
+		} else {
+			p.seqOf = p.seqOf[:len(p.log)]
+			for i := range p.seqOf {
+				p.seqOf[i] = 0
+			}
+		}
+	}
+	for {
+		var t time.Duration
+		found := false
+		for i, p := range lps {
+			if cur[i] < len(p.log) {
+				if at := p.log[cur[i]].callerAt; !found || at < t {
+					t, found = at, true
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		group = group[:0]
+		for i, p := range lps {
+			j := cur[i]
+			for j < len(p.log) && p.log[j].callerAt == t {
+				group = append(group, item{lp: i, j: j})
+				j++
+			}
+			cur[i] = j
+		}
+		for remaining := len(group); remaining > 0; remaining-- {
+			best := -1
+			var bestRank uint64
+			var bestJ int
+			for gi := range group {
+				it := group[gi]
+				if it.lp < 0 {
+					continue
+				}
+				p := lps[it.lp]
+				cr := p.log[it.j].callerRank
+				if cr&provisionalBit != 0 {
+					// Caller scheduled this window: wait for its own call's
+					// rank (same LP, earlier log index, same instant group).
+					s := p.seqOf[cr&^provisionalBit]
+					if s == 0 {
+						continue
+					}
+					cr = s
+				}
+				// Ranks are unique across events; equal caller ranks mean the
+				// same caller, ordered by its own call order (= log order).
+				if best < 0 || cr < bestRank || (cr == bestRank && it.j < bestJ) {
+					best, bestRank, bestJ = gi, cr, it.j
+				}
+			}
+			if best < 0 {
+				panic("sim: unresolvable scheduling-call order in window replay")
+			}
+			it := group[best]
+			group[best].lp = -1
+			p := lps[it.lp]
+			rec := &p.log[it.j]
+			*p.gseq++
+			s := *p.gseq
+			p.seqOf[it.j] = s
+			if rec.child >= 0 {
+				sl := &p.slab[rec.child]
+				if sl.gen == rec.childGen {
+					sl.rank = s
+				}
+			} else {
+				applyX(it.lp, int(-rec.child)-1, s)
+			}
+		}
+	}
+	for _, p := range lps {
+		p.log = p.log[:0]
+		p.nX = 0
+	}
+}
+
+// lpLess orders heap entries by (fire time, rank). Ranks are unique — exact
+// ranks globally, provisional ranks within the LP and window — so the order
+// is total.
+func (p *LP) lpLess(a, b lpEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return p.slab[a.idx].rank < p.slab[b.idx].rank
+}
+
+// push appends e and restores the heap invariant.
+func (p *LP) push(e lpEntry) {
+	h := append(p.heap, e)
+	i := len(h) - 1
+	for i > 0 {
+		pa := (i - 1) >> 1
+		if !p.lpLess(e, h[pa]) {
+			break
+		}
+		h[i] = h[pa]
+		i = pa
+	}
+	h[i] = e
+	p.heap = h
+}
+
+// popRoot removes the minimum entry (bottom-up hole technique, as Simulator).
+func (p *LP) popRoot() {
+	h := p.heap
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	p.heap = h
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		c := i<<1 + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && p.lpLess(h[c+1], h[c]) {
+			c++
+		}
+		h[i] = h[c]
+		i = c
+	}
+	for i > 0 {
+		pa := (i - 1) >> 1
+		if !p.lpLess(last, h[pa]) {
+			break
+		}
+		h[i] = h[pa]
+		i = pa
+	}
+	h[i] = last
+}
+
+func (p *LP) siftDown(i int) {
+	h := p.heap
+	n := len(h)
+	e := h[i]
+	for {
+		c := i<<1 + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && p.lpLess(h[c+1], h[c]) {
+			c++
+		}
+		if !p.lpLess(h[c], e) {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	h[i] = e
+}
+
+// compact rebuilds the heap without dead entries (see Simulator.compact).
+func (p *LP) compact() {
+	live := p.heap[:0]
+	for _, e := range p.heap {
+		if p.slab[e.idx].dead {
+			p.freeSlot(e.idx)
+		} else {
+			live = append(live, e)
+		}
+	}
+	p.heap = live
+	p.nDead = 0
+	for i := (len(live) - 2) >> 1; i >= 0; i-- {
+		p.siftDown(i)
+	}
+}
+
+// Par runs a set of LPs under conservative time-window synchronization.
+//
+// Each RunUntil call spawns one worker goroutine per LP and joins them all
+// before returning, so no goroutines outlive the call and callers may touch
+// model state freely between calls. Within the call the schedule is:
+//
+//	barrier -> floor = min next-event -> every LP runs events < floor+Horizon
+//	(in parallel) -> repeat
+//
+// The Barrier callback (single-threaded) replays the previous window's
+// scheduling calls and applies cross-LP messages into the destination LPs'
+// heaps; because every cross-LP effect is at least Horizon after its cause,
+// injected events always land at or beyond the window that produced them.
+type Par struct {
+	LPs     []*LP
+	Horizon time.Duration
+	// Barrier applies cross-LP traffic between windows; may be nil.
+	Barrier func()
+
+	// Window statistics, maintained by RunUntil: Windows counts
+	// synchronization windows, ActiveSum accumulates the number of LPs that
+	// executed at least one event per window, EventSum the events executed.
+	// ActiveSum/Windows is the mean concurrency the partitioning exposes —
+	// the speedup bound a multi-core host could realize.
+	Windows   uint64
+	ActiveSum uint64
+	EventSum  uint64
+}
+
+// Overlap returns the mean number of LPs active per synchronization window
+// (0 when no window has run).
+func (p *Par) Overlap() float64 {
+	if p.Windows == 0 {
+		return 0
+	}
+	return float64(p.ActiveSum) / float64(p.Windows)
+}
+
+// minNext returns the earliest pending event time across LPs.
+func (p *Par) minNext() (time.Duration, bool) {
+	var floor time.Duration
+	ok := false
+	for _, lp := range p.LPs {
+		if at, live := lp.NextAt(); live && (!ok || at < floor) {
+			floor, ok = at, true
+		}
+	}
+	return floor, ok
+}
+
+// RunUntil executes all events with timestamps <= deadline across every LP,
+// then advances every LP clock to deadline. It is the partitioned
+// equivalent of Simulator.RunUntil.
+func (p *Par) RunUntil(deadline time.Duration) {
+	if p.Horizon <= 0 {
+		// A zero horizon yields empty windows and an infinite loop; the
+		// partitioning layer must fall back to sequential execution instead.
+		panic("sim: Par requires a positive Horizon")
+	}
+	n := len(p.LPs)
+	starts := make([]chan time.Duration, n)
+	counts := make([]uint64, n)
+	var step, join sync.WaitGroup
+	for i := range starts {
+		starts[i] = make(chan time.Duration, 1)
+	}
+	for i := 0; i < n; i++ {
+		join.Add(1)
+		go func(i int) {
+			defer join.Done()
+			lp := p.LPs[i]
+			for bound := range starts[i] {
+				counts[i] = lp.RunBefore(bound)
+				step.Done()
+			}
+		}(i)
+	}
+	for {
+		// Run the barrier first: the previous window's scheduling calls must
+		// be replayed and its cross-LP sends injected before the floor is
+		// measured (and before the final floor > deadline exit, so
+		// post-deadline traffic stays queued for the next RunUntil call,
+		// exactly like the sequential kernel).
+		if p.Barrier != nil {
+			p.Barrier()
+		}
+		floor, ok := p.minNext()
+		if !ok || floor > deadline {
+			break
+		}
+		bound := floor + p.Horizon
+		// The final nanosecond: sequential RunUntil executes events AT the
+		// deadline, and RunBefore is strict, so the last window's bound is
+		// one past it.
+		if lim := deadline + 1; bound > lim {
+			bound = lim
+		}
+		step.Add(n)
+		for i := range starts {
+			starts[i] <- bound
+		}
+		step.Wait()
+		p.Windows++
+		for _, c := range counts {
+			p.EventSum += c
+			if c > 0 {
+				p.ActiveSum++
+			}
+		}
+	}
+	for i := range starts {
+		close(starts[i])
+	}
+	join.Wait()
+	for _, lp := range p.LPs {
+		lp.AdvanceTo(deadline)
+	}
+}
