@@ -8,9 +8,10 @@
 //	repro -all                   run everything on a worker pool
 //	repro -all -jobs 1           force the sequential path
 //	repro -all -json             machine-readable per-experiment summary
-//	repro -update-golden         re-pin the golden hashes (output + delivery)
+//	repro -update-golden         re-pin the golden hashes (output + delivery + safety)
 //	repro -verify-golden         check every experiment's output hash pin
 //	repro -verify-deliv          check every experiment's delivery-sequence pin
+//	repro -verify-safety         check the fault experiments' safety-verdict pins
 //	repro -allocs fig4.3         alloc-profile experiments sequentially
 //	repro -check-allocs ci/budgets.json  enforce allocation/heap ceilings
 //
@@ -39,14 +40,15 @@ func main() {
 // jsonResult is the machine-readable per-experiment record emitted by
 // -json.
 type jsonResult struct {
-	ID          string  `json:"id"`
-	Title       string  `json:"title"`
-	SHA256      string  `json:"sha256,omitempty"`
-	DelivSHA256 string  `json:"deliv_sha256,omitempty"`
-	Bytes       int     `json:"bytes"`
-	WallMS      float64 `json:"wall_ms"`
-	Par         int     `json:"par,omitempty"`
-	Error       string  `json:"error,omitempty"`
+	ID           string  `json:"id"`
+	Title        string  `json:"title"`
+	SHA256       string  `json:"sha256,omitempty"`
+	DelivSHA256  string  `json:"deliv_sha256,omitempty"`
+	SafetySHA256 string  `json:"safety_sha256,omitempty"`
+	Bytes        int     `json:"bytes"`
+	WallMS       float64 `json:"wall_ms"`
+	Par          int     `json:"par,omitempty"`
+	Error        string  `json:"error,omitempty"`
 }
 
 // jsonExperiment is the machine-readable record emitted by -list -json.
@@ -82,9 +84,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker pool size for -all and golden runs (<1 means GOMAXPROCS)")
 	par := fs.Int("par", 1, "logical processes per experiment (conservative-lookahead PDES; results are byte-identical to -par 1)")
 	jsonOut := fs.Bool("json", false, "with -all: emit a JSON run summary on stdout instead of experiment text")
-	updateGolden := fs.Bool("update-golden", false, "regenerate the golden hashes (output AND delivery) for all deterministic experiments")
+	updateGolden := fs.Bool("update-golden", false, "regenerate the golden hashes (output, delivery AND safety) for all deterministic experiments")
 	verifyGolden := fs.Bool("verify-golden", false, "run all deterministic experiments and compare against the golden output hashes")
 	verifyDeliv := fs.Bool("verify-deliv", false, "run all deterministic experiments and compare against the delivery-sequence pins (combines with -verify-golden)")
+	verifySafety := fs.Bool("verify-safety", false, "run all deterministic experiments and compare against the safety-verdict pins (combines with the other verify flags)")
 	goldenDir := fs.String("golden-dir", bench.DefaultGoldenDir, "golden hash directory (relative to the repository root)")
 	allocs := fs.String("allocs", "", "comma-separated experiment ids to alloc-profile sequentially (JSON on stdout)")
 	checkAllocs := fs.String("check-allocs", "", "budget file (e.g. ci/budgets.json): alloc-profile each budgeted experiment and fail on any exceeded ceiling")
@@ -107,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runAllocs(stdout, stderr, *allocs)
 	case *list:
 		return runList(stdout, stderr, *jsonOut)
-	case *updateGolden, *verifyGolden, *verifyDeliv:
+	case *updateGolden, *verifyGolden, *verifyDeliv, *verifySafety:
 		exps := bench.GoldenExperiments()
 		if *exp != "" {
 			// Re-pin or check a single experiment after a targeted change.
@@ -122,7 +125,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			exps = []bench.Experiment{e}
 		}
-		return goldenRun(stdout, stderr, bench.ResolveGoldenDir(*goldenDir), *jobs, *updateGolden, *verifyGolden, *verifyDeliv, exps)
+		return goldenRun(stdout, stderr, bench.ResolveGoldenDir(*goldenDir), *jobs, *updateGolden, *verifyGolden, *verifyDeliv, *verifySafety, exps)
 	case *all:
 		return runAll(stdout, stderr, *jobs, *jsonOut)
 	case *exp != "":
@@ -201,7 +204,8 @@ func runAll(stdout, stderr io.Writer, jobs int, jsonOut bool) int {
 		}
 		for _, r := range results {
 			jr := jsonResult{ID: r.ID, Title: r.Title, SHA256: r.SHA256,
-				DelivSHA256: r.DelivSHA256, Bytes: r.Bytes, WallMS: float64(r.Wall) / 1e6, Par: r.Par}
+				DelivSHA256: r.DelivSHA256, SafetySHA256: r.SafetySHA256,
+				Bytes: r.Bytes, WallMS: float64(r.Wall) / 1e6, Par: r.Par}
 			if r.Err != nil {
 				jr.Error = r.Err.Error()
 			}
@@ -310,9 +314,10 @@ func runList(stdout, stderr io.Writer, jsonOut bool) int {
 
 // goldenRun regenerates (update=true) or verifies the golden hashes for
 // the given experiments. verifyOut checks the output-hash layer,
-// verifyDeliv the delivery-sequence layer; updates always pin both, from
-// the same simulation pass.
-func goldenRun(stdout, stderr io.Writer, dir string, jobs int, update, verifyOut, verifyDeliv bool, exps []bench.Experiment) int {
+// verifyDeliv the delivery-sequence layer, verifySafety the
+// safety-verdict layer; updates pin every layer an experiment produced,
+// from the same simulation pass.
+func goldenRun(stdout, stderr io.Writer, dir string, jobs int, update, verifyOut, verifyDeliv, verifySafety bool, exps []bench.Experiment) int {
 	start := time.Now()
 	results := bench.Run(exps, bench.Options{Jobs: jobs, OnResult: func(r bench.Result) {
 		if r.Err != nil {
@@ -327,6 +332,7 @@ func goldenRun(stdout, stderr io.Writer, dir string, jobs int, update, verifyOut
 		return 1
 	}
 	if update {
+		safetyPins := 0
 		for _, r := range results {
 			if err := bench.WriteGolden(dir, r.ID, r.SHA256); err != nil {
 				fmt.Fprintln(stderr, err)
@@ -336,16 +342,33 @@ func goldenRun(stdout, stderr io.Writer, dir string, jobs int, update, verifyOut
 				fmt.Fprintln(stderr, err)
 				return 1
 			}
+			// Only fault experiments register a safety oracle; everything
+			// else has no safety digest and gets no safety pin.
+			if r.SafetySHA256 != "" {
+				if err := bench.WriteSafetyGolden(dir, r.ID, r.SafetySHA256); err != nil {
+					fmt.Fprintln(stderr, err)
+					return 1
+				}
+				safetyPins++
+			}
 		}
-		fmt.Fprintf(stdout, "pinned %d golden hashes (output + delivery) under %s\n", len(results), dir)
+		fmt.Fprintf(stdout, "pinned %d golden hashes (output + delivery, %d with safety) under %s\n",
+			len(results), safetyPins, dir)
 		return 0
 	}
 	var bad []string
+	var gates []string
 	if verifyOut {
 		bad = append(bad, bench.VerifyGolden(dir, results)...)
+		gates = append(gates, "output")
 	}
 	if verifyDeliv {
 		bad = append(bad, bench.VerifyDelivGolden(dir, results)...)
+		gates = append(gates, "delivery")
+	}
+	if verifySafety {
+		bad = append(bad, bench.VerifySafetyGolden(dir, results)...)
+		gates = append(gates, "safety")
 	}
 	if len(bad) > 0 {
 		for _, b := range bad {
@@ -353,13 +376,7 @@ func goldenRun(stdout, stderr io.Writer, dir string, jobs int, update, verifyOut
 		}
 		return 1
 	}
-	gates := "output"
-	switch {
-	case verifyOut && verifyDeliv:
-		gates = "output + delivery"
-	case verifyDeliv:
-		gates = "delivery"
-	}
-	fmt.Fprintf(stdout, "all %d experiments match their golden hashes (%s)\n", len(results), gates)
+	fmt.Fprintf(stdout, "all %d experiments match their golden hashes (%s)\n",
+		len(results), strings.Join(gates, " + "))
 	return 0
 }

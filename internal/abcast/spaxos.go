@@ -120,6 +120,21 @@ func (s *SPaxos) Submit(v core.Value) {
 	}
 }
 
+// LoseVolatile implements proto.VolatileLoser: a crash that destroys
+// volatile state (fault.Lose) discards the staged client requests not
+// yet disseminated, and forwards to the inner Paxos agent. The
+// dissemination tables (reqs/acks/stable) and the ordered-id queue are
+// retained — a replica that lost the payload of an already-ordered id
+// has no re-request path, so they are modeled as part of the durable
+// request log (the write-ahead-log roadmap item makes that real).
+func (s *SPaxos) LoseVolatile() {
+	s.pending.PopFront(s.pending.Len())
+	s.pendingBytes = 0
+	if s.inner != nil {
+		s.inner.LoseVolatile()
+	}
+}
+
 func (s *SPaxos) flush() {
 	n := s.pending.Len()
 	if n == 0 {

@@ -46,6 +46,9 @@ const DelivWindow = 45 * time.Millisecond
 type DelivRecorder struct {
 	deps   int
 	scopes []delivScope
+	// oracles are the cross-replica safety checkers the run registered
+	// via Oracle (see safety.go) — the third golden layer's source.
+	oracles []*core.Oracle
 }
 
 type delivScope struct {

@@ -1,0 +1,335 @@
+package bench
+
+// Fault-injection workloads: the third experiment class, built to flush
+// out crash-path bugs rather than reproduce a paper figure. Each fault
+// experiment runs one ordering protocol under several seeded fault
+// schedules (internal/fault): datagram drop/dup/delay, process freezes,
+// crashes that destroy volatile state, and link partitions that heal —
+// all replayable from the seed, so the runs are golden-pinned like every
+// figure. A cross-replica safety oracle (core.Oracle) is chained behind
+// every learner's delivery trace; its verdict — prefix consistency
+// across all learners — is built from schedule-invariant facts only and
+// pinned as the safety golden layer (<id>.safety.sha256), byte-identical
+// across fault seeds and -par levels.
+//
+// Schedules respect each protocol's recovery envelope:
+//
+//   - M-Ring Paxos retransmits on demand (learner gap recovery), so it
+//     gets the full menu: volatile-state-losing learner crashes, an
+//     early learner freeze, and background datagram loss + delay.
+//   - U-Ring Paxos has no retransmission path — every message crosses
+//     each link exactly once over TCP — so it only gets lossless faults:
+//     a ring-process freeze and a partition (TCP frames are held and
+//     re-pumped, never dropped).
+//   - Basic Paxos (multicast wiring) self-heals through learn requests,
+//     so it gets acceptor/learner crashes plus datagram loss + dup.
+//   - S-Paxos keeps its dissemination tables across a crash (modeled
+//     durable, see abcast.SPaxos.LoseVolatile), so it gets a replica
+//     freeze, a volatile-state-losing replica crash, and a partition.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/abcast"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/lan"
+	"repro/internal/paxos"
+	"repro/internal/proto"
+	"repro/internal/ringpaxos"
+)
+
+func init() {
+	register(Experiment{ID: "fault.mring", Title: "M-Ring Paxos under learner crash/freeze + datagram loss/delay: safety oracle", Traced: runFaultMRing})
+	register(Experiment{ID: "fault.uring", Title: "U-Ring Paxos under ring freeze + partition (lossless faults only): safety oracle", Traced: runFaultURing})
+	register(Experiment{ID: "fault.paxos", Title: "basic Paxos under acceptor/learner crash + datagram loss/dup: safety oracle", Traced: runFaultPaxos})
+	register(Experiment{ID: "fault.spaxos", Title: "S-Paxos under replica crash/freeze + partition: safety oracle", Traced: runFaultSPaxos})
+}
+
+// faultDur is one fault run's length; every generated schedule resolves
+// its last fault well before the end so recovery is always observed.
+const faultDur = time.Second
+
+// faultSeeds are the registered experiments' schedule seeds. The safety
+// digest must be identical for any other seed set (see fault_test.go).
+var faultSeeds = []int64{1, 2, 3}
+
+// faultWindow bounds generated fault activity: after early warmup,
+// resolved well before the run ends.
+var faultWindow = [2]time.Duration{200 * time.Millisecond, 900 * time.Millisecond}
+
+// faultRig is one deployed protocol instance plus the bookkeeping the
+// report needs.
+type faultRig struct {
+	l   *lan.LAN
+	ids []proto.NodeID
+}
+
+// lost sums the loss counters (schedule drops, partition cuts,
+// dead-process losses, LossRate draws) across every node.
+func (r *faultRig) lost() int64 {
+	var n int64
+	for _, id := range r.ids {
+		n += r.l.Node(id).Stats().MsgsLost
+	}
+	return n
+}
+
+// chainLearner registers a delivery trace for the learner and chains a
+// cursor of the deployment's safety oracle behind it. The trace's
+// 45 ms window bounds only the delivery digest; the oracle sees every
+// delivery of the whole run.
+func chainLearner(dep *DelivDeployment, orc *core.Oracle, id proto.NodeID) *core.DelivTrace {
+	tr := dep.Learner(id)
+	if tr == nil {
+		// No recorder (plain Run path): a detached trace keeps the oracle
+		// wiring — and therefore the printed verdicts — identical.
+		tr = core.NewDelivTrace(DelivWindow)
+	}
+	tr.Chain(orc.Learner())
+	return tr
+}
+
+// runFaultFamily drives one protocol through every seed's schedule and
+// prints the per-seed report. Positions and loss counts are
+// seed-dependent (pinned by the per-experiment output golden); the
+// oracle verdicts are not (pinned by the safety golden).
+func runFaultFamily(w io.Writer, rec *DelivRecorder, title string, seeds []int64,
+	sched func(seed int64) *fault.Schedule,
+	build func(dep *DelivDeployment, orc *core.Oracle, s *fault.Schedule) *faultRig) {
+	t := newTable(title, "seed", "events", "minpos", "maxpos", "lost", "consistent")
+	for _, seed := range seeds {
+		orc := rec.Oracle()
+		s := sched(seed)
+		rig := build(rec.Deployment(), orc, s)
+		rig.l.Run(faultDur)
+		t.row(fmt.Sprint(seed), s.Len(), orc.MinPos(), orc.MaxPos(), rig.lost(), fmt.Sprint(orc.Consistent()))
+		t.note("seed %d: %s", seed, orc.Verdict())
+		if d := orc.FirstDivergence(); d != "" {
+			t.note("seed %d FIRST DIVERGENCE: %s", seed, d)
+		}
+	}
+	t.print(w)
+}
+
+// --- M-Ring Paxos ---
+
+func mringFaultSchedule(seed int64) *fault.Schedule {
+	s := fault.Generate(seed, fault.Profile{
+		Window:     faultWindow,
+		Crashes:    2,
+		CrashNodes: []proto.NodeID{100},
+		Mode:       fault.Lose,
+		MinDown:    20 * time.Millisecond,
+		MaxDown:    80 * time.Millisecond,
+		Net:        fault.Net{DropRate: 0.01, DelayRate: 0.05, DelayMax: 200 * time.Microsecond},
+	})
+	// An early freeze of the other learner, placed before the generated
+	// window so faults never overlap: it misses multicast decisions while
+	// paused and catches up through gap recovery after the thaw.
+	s.CrashFor(50*time.Millisecond, 70*time.Millisecond, 101, fault.Freeze)
+	return s
+}
+
+func faultMRingRig(dep *DelivDeployment, orc *core.Oracle, s *fault.Schedule) *faultRig {
+	cfg := ringpaxos.MConfig{Group: 1, RecycleBatches: true}
+	cfg.Ring = []proto.NodeID{0, 1, 2}
+	cfg.Learners = []proto.NodeID{100, 101}
+	l := lan.New(lan.DefaultConfig(), 1)
+	rig := &faultRig{l: l}
+	for _, id := range append(append([]proto.NodeID{}, cfg.Ring...), cfg.Learners...) {
+		a := &ringpaxos.MAgent{Cfg: cfg}
+		for _, lid := range cfg.Learners {
+			if id == lid {
+				a.Trace = chainLearner(dep, orc, id)
+			}
+		}
+		l.AddNode(id, a)
+		l.Subscribe(1, id)
+		rig.ids = append(rig.ids, id)
+	}
+	prop := &ringpaxos.MAgent{Cfg: cfg}
+	p := &pump{size: 1024, rate: 20e6, submit: prop.Propose}
+	l.AddNode(200, proto.Multi(prop, p))
+	rig.ids = append(rig.ids, 200)
+	if par := Par(); par > 1 {
+		// Same split as the figure rigs: ring acceptors form LP 1,
+		// learners and the proposer keep LP 0. Fault events fire on each
+		// target node's own LP, so the run stays byte-identical.
+		l.Partition(par, func(id proto.NodeID) int {
+			if int(id) < len(cfg.Ring) {
+				return 1
+			}
+			return 0
+		})
+	}
+	l.InstallFaults(s)
+	l.Start()
+	return rig
+}
+
+func runFaultMRing(w io.Writer, rec *DelivRecorder) {
+	faultMRingSeeds(w, rec, faultSeeds)
+}
+
+func faultMRingSeeds(w io.Writer, rec *DelivRecorder, seeds []int64) {
+	runFaultFamily(w, rec,
+		"fault.mring — M-Ring Paxos, 20 Mbps of 1 KB values under seeded learner crash/freeze + 1% loss",
+		seeds, mringFaultSchedule, faultMRingRig)
+}
+
+// --- U-Ring Paxos ---
+
+func uringFaultSchedule(seed int64) *fault.Schedule {
+	// No Net rules and Freeze only: U-Ring has no retransmission path, so
+	// every injected fault must be lossless (held TCP frames, healed
+	// partitions) for the protocol to keep its delivery promise.
+	return fault.Generate(seed, fault.Profile{
+		Window:     faultWindow,
+		Crashes:    1,
+		CrashNodes: []proto.NodeID{2},
+		Mode:       fault.Freeze,
+		MinDown:    20 * time.Millisecond,
+		MaxDown:    60 * time.Millisecond,
+		Partitions: 1,
+		Minority:   []proto.NodeID{3},
+		MinPart:    20 * time.Millisecond,
+		MaxPart:    60 * time.Millisecond,
+	})
+}
+
+func faultURingRig(dep *DelivDeployment, orc *core.Oracle, s *fault.Schedule) *faultRig {
+	cfg := ringpaxos.UConfig{NumAcceptors: 3}
+	const n = 4
+	for i := 0; i < n; i++ {
+		cfg.Ring = append(cfg.Ring, proto.NodeID(i))
+		cfg.Learners = append(cfg.Learners, proto.NodeID(i))
+	}
+	l := lan.New(lan.DefaultConfig(), 1)
+	rig := &faultRig{l: l}
+	for i := 0; i < n; i++ {
+		a := &ringpaxos.UAgent{Cfg: cfg}
+		a.Trace = chainLearner(dep, orc, proto.NodeID(i))
+		var hs []proto.Handler
+		hs = append(hs, a)
+		if i == 0 {
+			p := &pump{size: 1024, rate: 20e6, submit: a.Propose}
+			hs = append(hs, p)
+		}
+		l.AddNode(proto.NodeID(i), proto.Multi(hs...))
+		rig.ids = append(rig.ids, proto.NodeID(i))
+	}
+	l.InstallFaults(s)
+	l.Start()
+	return rig
+}
+
+func runFaultURing(w io.Writer, rec *DelivRecorder) {
+	faultURingSeeds(w, rec, faultSeeds)
+}
+
+func faultURingSeeds(w io.Writer, rec *DelivRecorder, seeds []int64) {
+	runFaultFamily(w, rec,
+		"fault.uring — U-Ring Paxos (3 acceptors, 4-process ring), 20 Mbps of 1 KB values under seeded freeze + partition",
+		seeds, uringFaultSchedule, faultURingRig)
+}
+
+// --- basic Paxos (multicast wiring) ---
+
+func paxosFaultSchedule(seed int64) *fault.Schedule {
+	// Victims are drawn per-crash from {acceptor 1, learner 101}: the
+	// coordinator and an acceptor majority always survive, and the
+	// learner recovers through learn requests after its volatile loss.
+	return fault.Generate(seed, fault.Profile{
+		Window:     faultWindow,
+		Crashes:    2,
+		CrashNodes: []proto.NodeID{1, 101},
+		Mode:       fault.Lose,
+		MinDown:    20 * time.Millisecond,
+		MaxDown:    80 * time.Millisecond,
+		Net:        fault.Net{DropRate: 0.02, DupRate: 0.01},
+	})
+}
+
+func faultPaxosRig(dep *DelivDeployment, orc *core.Oracle, s *fault.Schedule) *faultRig {
+	cfg := paxos.Config{Coordinator: 0, Multicast: true, Group: 1, Window: 8}
+	cfg.Acceptors = []proto.NodeID{0, 1, 2}
+	cfg.Learners = []proto.NodeID{100, 101}
+	l := lan.New(lan.DefaultConfig(), 1)
+	rig := &faultRig{l: l}
+	for i, id := range append(append([]proto.NodeID{}, cfg.Acceptors...), cfg.Learners...) {
+		a := &paxos.Agent{Cfg: cfg}
+		if i >= len(cfg.Acceptors) {
+			a.Trace = chainLearner(dep, orc, id)
+		}
+		l.AddNode(id, a)
+		l.Subscribe(1, id)
+		rig.ids = append(rig.ids, id)
+	}
+	prop := &paxos.Agent{Cfg: cfg}
+	p := &pump{size: 512, rate: 10e6, submit: prop.Propose}
+	l.AddNode(200, proto.Multi(prop, p))
+	rig.ids = append(rig.ids, 200)
+	l.InstallFaults(s)
+	l.Start()
+	return rig
+}
+
+func runFaultPaxos(w io.Writer, rec *DelivRecorder) {
+	faultPaxosSeeds(w, rec, faultSeeds)
+}
+
+func faultPaxosSeeds(w io.Writer, rec *DelivRecorder, seeds []int64) {
+	runFaultFamily(w, rec,
+		"fault.paxos — basic Paxos (3 acceptors, 2 learners, multicast), 10 Mbps of 512 B values under seeded crash + 2% loss / 1% dup",
+		seeds, paxosFaultSchedule, faultPaxosRig)
+}
+
+// --- S-Paxos ---
+
+func spaxosFaultSchedule(seed int64) *fault.Schedule {
+	s := fault.Generate(seed, fault.Profile{
+		Window:     faultWindow,
+		Crashes:    1,
+		CrashNodes: []proto.NodeID{2},
+		Mode:       fault.Lose,
+		MinDown:    20 * time.Millisecond,
+		MaxDown:    60 * time.Millisecond,
+		Partitions: 1,
+		Minority:   []proto.NodeID{2},
+		MinPart:    20 * time.Millisecond,
+		MaxPart:    60 * time.Millisecond,
+	})
+	// An early freeze of replica 1, before the generated window: its TCP
+	// dissemination traffic is held losslessly and drains at the thaw.
+	s.CrashFor(50*time.Millisecond, 70*time.Millisecond, 1, fault.Freeze)
+	return s
+}
+
+func faultSPaxosRig(dep *DelivDeployment, orc *core.Oracle, s *fault.Schedule) *faultRig {
+	reps := []proto.NodeID{0, 1, 2}
+	l := lan.New(lan.DefaultConfig(), 1)
+	rig := &faultRig{l: l}
+	for i := range reps {
+		a := &abcast.SPaxos{Replicas: reps}
+		a.Trace = chainLearner(dep, orc, reps[i])
+		p := &pump{size: 512, rate: 10e6 / float64(len(reps)), submit: a.Submit}
+		l.AddNode(reps[i], proto.Multi(a, p))
+		rig.ids = append(rig.ids, reps[i])
+	}
+	l.InstallFaults(s)
+	l.Start()
+	return rig
+}
+
+func runFaultSPaxos(w io.Writer, rec *DelivRecorder) {
+	faultSPaxosSeeds(w, rec, faultSeeds)
+}
+
+func faultSPaxosSeeds(w io.Writer, rec *DelivRecorder, seeds []int64) {
+	runFaultFamily(w, rec,
+		"fault.spaxos — S-Paxos (3 replicas), 10 Mbps of 512 B values under seeded replica crash/freeze + partition",
+		seeds, spaxosFaultSchedule, faultSPaxosRig)
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// faultFamilies lists every fault experiment's seed-parameterized runner,
+// so the invariance tests can re-run them under alternate seed sets.
+var faultFamilies = []struct {
+	id  string
+	run func(w io.Writer, rec *DelivRecorder, seeds []int64)
+}{
+	{"fault.mring", faultMRingSeeds},
+	{"fault.uring", faultURingSeeds},
+	{"fault.paxos", faultPaxosSeeds},
+	{"fault.spaxos", faultSPaxosSeeds},
+}
+
+// TestFaultSafetySeedInvariant is the property the safety layer pins:
+// the safety digest depends only on the deployment shape and the
+// prefix-consistency outcome, never on which faults a seed produced. A
+// completely different seed set must therefore yield the identical
+// digest (while the output bytes legitimately differ).
+func TestFaultSafetySeedInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every fault deployment twice (seconds of simulation)")
+	}
+	for _, f := range faultFamilies {
+		recA, recB := &DelivRecorder{}, &DelivRecorder{}
+		var outA, outB bytes.Buffer
+		f.run(&outA, recA, []int64{1, 2, 3})
+		f.run(&outB, recB, []int64{11, 12, 13})
+		dA, dB := recA.SafetyDigest(), recB.SafetyDigest()
+		if dA == "" || dB == "" {
+			t.Errorf("%s: empty safety digest (a=%q b=%q)", f.id, dA, dB)
+			continue
+		}
+		if dA != dB {
+			t.Errorf("%s: safety digest is seed-dependent\n seeds 1..3:   %s\n seeds 11..13: %s\n lines A: %v\n lines B: %v",
+				f.id, dA, dB, recA.SafetyLines(), recB.SafetyLines())
+		}
+		if bytes.Equal(outA.Bytes(), outB.Bytes()) {
+			t.Errorf("%s: different seed sets produced identical output — the schedules are not seed-dependent", f.id)
+		}
+	}
+}
+
+// TestFaultParInvariant checks the stronger PDES property on the fault
+// family: with the fault schedule installed and the rig partitioned into
+// logical processes, the full output bytes — not just the safety digest
+// — are identical at -par 1, 2 and 4.
+func TestFaultParInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every fault deployment at three par levels")
+	}
+	defer SetPar(Par())
+	for _, f := range faultFamilies {
+		var ref []byte
+		var refDigest string
+		for _, par := range []int{1, 2, 4} {
+			SetPar(par)
+			rec := &DelivRecorder{}
+			var out bytes.Buffer
+			f.run(&out, rec, faultSeeds)
+			if par == 1 {
+				ref, refDigest = out.Bytes(), rec.SafetyDigest()
+				continue
+			}
+			if !bytes.Equal(out.Bytes(), ref) {
+				t.Errorf("%s: output at -par %d diverges from sequential", f.id, par)
+			}
+			if d := rec.SafetyDigest(); d != refDigest {
+				t.Errorf("%s: safety digest at -par %d = %s, sequential = %s", f.id, par, d, refDigest)
+			}
+		}
+		SetPar(1)
+	}
+}
+
+// TestSafetyRecorder exercises the recorder-level plumbing: nil safety,
+// digest presence, and line rendering.
+func TestSafetyRecorder(t *testing.T) {
+	var nilRec *DelivRecorder
+	if o := nilRec.Oracle(); o == nil {
+		t.Fatal("nil recorder must still hand out a working oracle")
+	}
+	if d := nilRec.SafetyDigest(); d != "" {
+		t.Errorf("nil recorder safety digest = %q, want empty", d)
+	}
+	rec := &DelivRecorder{}
+	if d := rec.SafetyDigest(); d != "" {
+		t.Errorf("oracle-less recorder safety digest = %q, want empty", d)
+	}
+	rec.Oracle().Learner()
+	rec.Oracle()
+	lines := rec.SafetyLines()
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "o0 learners=1") || !strings.HasPrefix(lines[1], "o1 learners=0") {
+		t.Errorf("unexpected safety lines: %v", lines)
+	}
+	if d := rec.SafetyDigest(); len(d) != 64 {
+		t.Errorf("safety digest = %q, want sha256 hex", d)
+	}
+}
+
+// TestSafetyGoldenRoundTrip exercises the safety-pin helpers next to the
+// other two layers in one directory.
+func TestSafetyGoldenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const id = "fault.fake"
+	if err := WriteSafetyGolden(dir, id, "safety-hash"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadSafetyGolden(dir, id); err != nil || got != "safety-hash" {
+		t.Fatalf("ReadSafetyGolden = %q, %v", got, err)
+	}
+	bad := VerifySafetyGolden(dir, []Result{
+		{ID: id, SafetySHA256: "safety-hash"},    // match
+		{ID: id, SafetySHA256: "0000"},           // mismatch
+		{ID: "absent", SafetySHA256: "1111"},     // no pin
+		{ID: "no-oracle" /* empty digest */},     // skipped
+		{ID: id, SafetySHA256: "x", Err: io.EOF}, // failed run skipped
+	})
+	if len(bad) != 2 {
+		t.Fatalf("VerifySafetyGolden reported %d divergences, want 2: %v", len(bad), bad)
+	}
+	if !strings.Contains(bad[0], "SAFETY VERDICT diverged") || !strings.Contains(bad[1], "no safety golden") {
+		t.Errorf("unexpected divergence messages: %v", bad)
+	}
+}

@@ -1,6 +1,6 @@
 package bench
 
-// This file holds the two-layer golden regression support.
+// This file holds the three-layer golden regression support.
 //
 // Layer 1 (output): every deterministic experiment's full text output is
 // pinned by a SHA-256 under internal/bench/testdata/golden/<id>.sha256.
@@ -14,9 +14,17 @@ package bench
 // change means the protocol's ordering contract (or the experiment's
 // deployment shape) changed and needs explicit justification.
 //
-// Both layers are verified by go test ./internal/bench (TestGoldenOutputs
-// / TestDeliveryEquivalence) and by cmd/repro -verify-golden /
-// -verify-deliv; -update-golden regenerates both from one run.
+// Layer 3 (safety): fault-injection experiments additionally pin their
+// cross-replica safety digest (see safety.go) under <id>.safety.sha256.
+// It captures only oracle verdicts built from schedule-invariant facts,
+// so it must be identical across fault seeds and -par levels; a safety
+// pin change means a prefix-consistency violation (or a deliberate
+// deployment-shape change) and is never re-pinned reflexively.
+//
+// All layers are verified by go test ./internal/bench (TestGoldenOutputs
+// / TestDeliveryEquivalence / TestSafetyGoldens) and by cmd/repro
+// -verify-golden / -verify-deliv / -verify-safety; -update-golden
+// regenerates every layer from one run.
 
 import (
 	"fmt"
@@ -70,6 +78,11 @@ func DelivPath(dir, id string) string {
 	return filepath.Join(dir, id+".deliv.sha256")
 }
 
+// SafetyPath returns the safety golden file for one experiment id.
+func SafetyPath(dir, id string) string {
+	return filepath.Join(dir, id+".safety.sha256")
+}
+
 func readPin(path string) (string, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -105,6 +118,16 @@ func ReadDelivGolden(dir, id string) (string, error) {
 // WriteDelivGolden pins hash as the delivery-equivalence golden for id.
 func WriteDelivGolden(dir, id, hash string) error {
 	return writePin(dir, DelivPath(dir, id), hash)
+}
+
+// ReadSafetyGolden returns the pinned safety digest for id.
+func ReadSafetyGolden(dir, id string) (string, error) {
+	return readPin(SafetyPath(dir, id))
+}
+
+// WriteSafetyGolden pins hash as the safety golden for id.
+func WriteSafetyGolden(dir, id, hash string) error {
+	return writePin(dir, SafetyPath(dir, id), hash)
 }
 
 // GoldenExperiments returns every registered experiment that participates
@@ -156,6 +179,28 @@ func VerifyDelivGolden(dir string, results []Result) []string {
 			bad = append(bad, fmt.Sprintf("%s: no delivery golden (%v); run cmd/repro -update-golden", r.ID, err))
 		case want != r.DelivSHA256:
 			bad = append(bad, fmt.Sprintf("%s: DELIVERY SEQUENCE diverged from golden\n  got:  %s\n  want: %s", r.ID, r.DelivSHA256, want))
+		}
+	}
+	return bad
+}
+
+// VerifySafetyGolden compares results against the safety pins in dir.
+// Results with no safety digest (no oracle registered) are skipped; for
+// the rest a divergence is the strongest possible regression signal —
+// some learner's delivered sequence stopped being a prefix of the agreed
+// sequence under fault injection, or a deployment changed shape.
+func VerifySafetyGolden(dir string, results []Result) []string {
+	var bad []string
+	for _, r := range results {
+		if r.Err != nil || r.SafetySHA256 == "" {
+			continue
+		}
+		want, err := ReadSafetyGolden(dir, r.ID)
+		switch {
+		case err != nil:
+			bad = append(bad, fmt.Sprintf("%s: no safety golden (%v); run cmd/repro -update-golden", r.ID, err))
+		case want != r.SafetySHA256:
+			bad = append(bad, fmt.Sprintf("%s: SAFETY VERDICT diverged from golden\n  got:  %s\n  want: %s", r.ID, r.SafetySHA256, want))
 		}
 	}
 	return bad

@@ -60,6 +60,34 @@ func TestDeliveryEquivalence(t *testing.T) {
 	}
 }
 
+// TestSafetyGoldens is the strongest gate: every fault experiment's
+// cross-replica safety digest must match its pinned <id>.safety.sha256.
+// The digest is built from schedule-invariant oracle verdicts only, so
+// no code change that merely reshapes schedules — or even changes which
+// faults a seed produces — may move it. A failure means some learner
+// delivered a sequence that is not a prefix of the agreed one.
+func TestSafetyGoldens(t *testing.T) {
+	results := goldenPoolResults(t)
+	for _, bad := range VerifySafetyGolden(goldenDir, results) {
+		t.Error(bad)
+	}
+	// The fault family must actually carry a digest — an experiment that
+	// silently stops registering its oracle would otherwise pass by
+	// vacuity.
+	covered := 0
+	for _, r := range results {
+		if strings.HasPrefix(r.ID, "fault.") {
+			if r.SafetySHA256 == "" {
+				t.Errorf("%s produced no safety digest; its oracle wiring is gone", r.ID)
+			}
+			covered++
+		}
+	}
+	if covered == 0 {
+		t.Error("no fault.* experiments in the golden suite")
+	}
+}
+
 // TestGoldenFilesMatchRegistry keeps testdata/golden and the registry in
 // sync: every deterministic experiment must have both an output pin and a
 // delivery pin, and every pin on disk must belong to a registered
@@ -69,11 +97,16 @@ func TestGoldenFilesMatchRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatalf("golden dir missing: %v (run cmd/repro -update-golden)", err)
 	}
-	onDisk := map[string]bool{}      // output pins
-	delivOnDisk := map[string]bool{} // delivery pins
+	onDisk := map[string]bool{}       // output pins
+	delivOnDisk := map[string]bool{}  // delivery pins
+	safetyOnDisk := map[string]bool{} // safety pins (fault experiments only)
 	for _, e := range entries {
 		if id, ok := strings.CutSuffix(e.Name(), ".deliv.sha256"); ok {
 			delivOnDisk[id] = true
+			continue
+		}
+		if id, ok := strings.CutSuffix(e.Name(), ".safety.sha256"); ok {
+			safetyOnDisk[id] = true
 			continue
 		}
 		id, ok := strings.CutSuffix(e.Name(), ".sha256")
@@ -90,13 +123,20 @@ func TestGoldenFilesMatchRegistry(t *testing.T) {
 		if !delivOnDisk[e.ID] {
 			t.Errorf("experiment %s has no delivery golden pin; run cmd/repro -update-golden", e.ID)
 		}
+		if strings.HasPrefix(e.ID, "fault.") && !safetyOnDisk[e.ID] {
+			t.Errorf("fault experiment %s has no safety golden pin; run cmd/repro -update-golden", e.ID)
+		}
 		delete(onDisk, e.ID)
 		delete(delivOnDisk, e.ID)
+		delete(safetyOnDisk, e.ID)
 		if h, err := ReadGolden(goldenDir, e.ID); err == nil && len(h) != 64 {
 			t.Errorf("output pin for %s is not a sha256 hex digest: %q", e.ID, h)
 		}
 		if h, err := ReadDelivGolden(goldenDir, e.ID); err == nil && len(h) != 64 {
 			t.Errorf("delivery pin for %s is not a sha256 hex digest: %q", e.ID, h)
+		}
+		if h, err := ReadSafetyGolden(goldenDir, e.ID); err == nil && len(h) != 64 {
+			t.Errorf("safety pin for %s is not a sha256 hex digest: %q", e.ID, h)
 		}
 	}
 	for id := range onDisk {
@@ -104,6 +144,9 @@ func TestGoldenFilesMatchRegistry(t *testing.T) {
 	}
 	for id := range delivOnDisk {
 		t.Errorf("stale delivery pin %s.deliv.sha256: no such experiment", id)
+	}
+	for id := range safetyOnDisk {
+		t.Errorf("stale safety pin %s.safety.sha256: no such experiment", id)
 	}
 }
 

@@ -17,8 +17,11 @@ type Result struct {
 	// DelivSHA256 is the experiment-level delivery-equivalence digest
 	// (see DelivRecorder), captured from the same simulation as SHA256.
 	DelivSHA256 string
-	Bytes       int
-	Wall        time.Duration // host wall-clock for this experiment
+	// SafetySHA256 is the cross-replica safety digest (see safety.go),
+	// "" for experiments that register no oracle.
+	SafetySHA256 string
+	Bytes        int
+	Wall         time.Duration // host wall-clock for this experiment
 	// Par is the parallel-within-experiment setting the run used (logical
 	// processes requested per partition-capable deployment; 1 = sequential).
 	Par int
@@ -110,12 +113,13 @@ func runOne(e Experiment) (r Result) {
 		r.Output = buf.Bytes()
 		r.Bytes = buf.Len()
 		if p := recover(); p != nil {
-			r.SHA256, r.DelivSHA256 = "", ""
+			r.SHA256, r.DelivSHA256, r.SafetySHA256 = "", "", ""
 			r.Err = fmt.Errorf("experiment %s panicked: %v\n%s", e.ID, p, debug.Stack())
 		}
 	}()
 	r.SHA256 = e.hashTraced(&buf, rec)
 	r.DelivSHA256 = rec.Digest()
+	r.SafetySHA256 = rec.SafetyDigest()
 	return
 }
 

@@ -1,0 +1,72 @@
+package bench
+
+// This file holds the safety golden layer: the third and strongest
+// regression net, above the output hashes and the delivery-equivalence
+// digests.
+//
+// The fault experiments (fault.go) perturb runs with seeded crash,
+// partition and datagram-fault schedules, so neither their output bytes
+// nor their delivery sequences can be expected to survive a legitimate
+// schedule change — both are pinned per seed and may be re-pinned when a
+// fix moves them. What must NEVER move is safety: every learner's
+// delivered sequence stays a prefix of one shared agreed sequence, no
+// matter which faults fired. Each fault deployment therefore wires a
+// core.Oracle across its learners (chained behind the delivery traces)
+// and the recorder folds every oracle's verdict — deliberately built
+// from schedule-invariant facts only (learner count, divergence count) —
+// into one digest pinned under testdata/golden/<id>.safety.sha256. The
+// same digest must come out of every fault seed and every -par level; a
+// change means an ordering-safety violation (or a deployment-shape
+// change), never an acceptable schedule drift.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Oracle registers a new cross-replica safety checker with this run and
+// returns it. Experiments that build one oracle per deployment call it
+// once per deployment, in build order (which is deterministic), so the
+// digest preimage is stable. A nil recorder still returns a working
+// oracle — the experiment's own verdict reporting stays identical — it
+// just contributes to no digest.
+func (r *DelivRecorder) Oracle() *core.Oracle {
+	o := core.NewOracle()
+	if r != nil {
+		r.oracles = append(r.oracles, o)
+	}
+	return o
+}
+
+// SafetyLines renders one "o<ordinal> <verdict>" line per registered
+// oracle, in registration order — the preimage of SafetyDigest, exposed
+// for debugging a divergence.
+func (r *DelivRecorder) SafetyLines() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, len(r.oracles))
+	for i, o := range r.oracles {
+		out[i] = fmt.Sprintf("o%d %s", i, o.Verdict())
+	}
+	return out
+}
+
+// SafetyDigest combines every oracle's verdict into the experiment-level
+// safety hash that .safety.sha256 files pin. Experiments that register
+// no oracle have no digest (""), which verification skips — the safety
+// layer only covers deployments that actually wired a checker.
+func (r *DelivRecorder) SafetyDigest() string {
+	if r == nil || len(r.oracles) == 0 {
+		return ""
+	}
+	h := sha256.New()
+	for _, ln := range r.SafetyLines() {
+		h.Write([]byte(ln))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

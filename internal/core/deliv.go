@@ -31,6 +31,25 @@ type DelivTrace struct {
 	until time.Duration
 	buf   [20]byte
 	n     int64
+	sink  DelivSink
+}
+
+// DelivSink observes the same delivery stream a DelivTrace hashes.
+// OracleCursor implements it, which is how the cross-replica safety
+// oracle taps every learner's Trace hook without the protocol agents
+// knowing about it.
+type DelivSink interface {
+	Note(now time.Duration, inst int64, v Value)
+}
+
+// Chain attaches a sink that receives every delivery noted on the trace.
+// The sink sees the full stream: the trace's prefix window bounds only
+// its own hash, not the forwarded deliveries (a safety oracle must watch
+// the whole run, not the first 45 ms). No-op on a nil trace.
+func (t *DelivTrace) Chain(s DelivSink) {
+	if t != nil {
+		t.sink = s
+	}
 }
 
 // NewDelivTrace returns an empty trace. until > 0 bounds recording to
@@ -42,7 +61,13 @@ func NewDelivTrace(until time.Duration) *DelivTrace {
 // Note folds one delivered value. now is the learner's local time at
 // delivery (used only to honor the window; it is never hashed).
 func (t *DelivTrace) Note(now time.Duration, inst int64, v Value) {
-	if t == nil || (t.until > 0 && now >= t.until) {
+	if t == nil {
+		return
+	}
+	if t.sink != nil {
+		t.sink.Note(now, inst, v)
+	}
+	if t.until > 0 && now >= t.until {
 		return
 	}
 	binary.LittleEndian.PutUint64(t.buf[0:8], uint64(inst))

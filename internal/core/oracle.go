@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Oracle is a streaming cross-replica safety checker: it asserts that no
+// two learners ever deliver divergent sequences (prefix consistency —
+// every learner's delivered sequence is a prefix of one shared agreed
+// sequence of (instance id, value id, value size) records). This is the
+// invariant Ring Paxos promises to keep under coordinator failure,
+// message loss, and partitions, so the fault experiments wire one oracle
+// across all learners of a deployment and pin its verdict as the third
+// golden layer.
+//
+// Each learner gets its own OracleCursor (from Learner), chained behind
+// that learner's DelivTrace via DelivTrace.Chain. The first cursor to
+// reach a position appends the record to the agreed sequence; every later
+// cursor is checked against it. Once the slowest cursor moves past a
+// prefix, those records are trimmed, so memory is bounded by the spread
+// between the fastest and slowest learner, not by run length.
+//
+// The verdict deliberately contains only schedule-invariant facts (number
+// of learners, number of divergent learners) so it is byte-identical
+// across fault seeds and -par levels; per-learner progress counts are
+// exposed separately for experiment tables, which ARE seed-dependent.
+type Oracle struct {
+	recs     []delivRec // agreed sequence, positions [base, base+len)
+	base     int64      // absolute position of recs[0]
+	cursors  []*OracleCursor
+	firstDiv string // description of the first divergence observed
+}
+
+type delivRec struct {
+	inst  int64
+	vid   ValueID
+	bytes int32
+}
+
+// oracleTrimAt is how far the slowest cursor may lag before the agreed
+// prefix behind it is compacted away.
+const oracleTrimAt = 8192
+
+// NewOracle returns an oracle with no learners registered.
+func NewOracle() *Oracle {
+	return &Oracle{}
+}
+
+// OracleCursor is one learner's view into the shared agreed sequence. It
+// implements DelivSink; its Note is allocation-free on the agreed path.
+type OracleCursor struct {
+	o         *Oracle
+	idx       int   // learner ordinal, for divergence messages
+	pos       int64 // absolute position of the next delivery
+	divergent bool
+}
+
+// Learner registers a new learner and returns its cursor. Call once per
+// learner, before the run starts.
+func (o *Oracle) Learner() *OracleCursor {
+	c := &OracleCursor{o: o, idx: len(o.cursors)}
+	o.cursors = append(o.cursors, c)
+	return c
+}
+
+// Note folds one delivery from this learner. now is ignored (safety is
+// about order, not time); it is present to satisfy DelivSink.
+func (c *OracleCursor) Note(_ time.Duration, inst int64, v Value) {
+	if c == nil {
+		return
+	}
+	o := c.o
+	rec := delivRec{inst: inst, vid: v.ID, bytes: int32(v.Bytes)}
+	i := c.pos - o.base
+	c.pos++
+	if c.divergent {
+		return // already off the agreed sequence; keep counting positions only
+	}
+	if i < int64(len(o.recs)) {
+		if o.recs[i] != rec {
+			c.divergent = true
+			if o.firstDiv == "" {
+				o.firstDiv = fmt.Sprintf(
+					"learner %d at position %d: delivered (inst=%d vid=%d bytes=%d), agreed (inst=%d vid=%d bytes=%d)",
+					c.idx, c.pos-1, rec.inst, rec.vid, rec.bytes,
+					o.recs[i].inst, o.recs[i].vid, o.recs[i].bytes)
+			}
+		}
+		o.maybeTrim()
+		return
+	}
+	// Frontier: positions advance one at a time, so i == len(recs) here.
+	o.recs = append(o.recs, rec)
+}
+
+// Pos returns how many deliveries this cursor has observed.
+func (c *OracleCursor) Pos() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.pos
+}
+
+func (o *Oracle) maybeTrim() {
+	min := int64(-1)
+	for _, c := range o.cursors {
+		if min < 0 || c.pos < min {
+			min = c.pos
+		}
+	}
+	if keep := min - o.base; keep >= oracleTrimAt {
+		n := copy(o.recs, o.recs[keep:])
+		o.recs = o.recs[:n]
+		o.base = min
+	}
+}
+
+// Learners returns how many cursors are registered.
+func (o *Oracle) Learners() int { return len(o.cursors) }
+
+// Divergences returns how many learners have left the agreed sequence.
+func (o *Oracle) Divergences() int {
+	n := 0
+	for _, c := range o.cursors {
+		if c.divergent {
+			n++
+		}
+	}
+	return n
+}
+
+// Consistent reports whether every learner's sequence is still a prefix
+// of the agreed one.
+func (o *Oracle) Consistent() bool { return o.Divergences() == 0 }
+
+// FirstDivergence describes the first mismatch observed, or "" if none.
+func (o *Oracle) FirstDivergence() string { return o.firstDiv }
+
+// MinPos and MaxPos return the slowest and fastest learner frontiers.
+func (o *Oracle) MinPos() int64 {
+	min := int64(0)
+	for i, c := range o.cursors {
+		if i == 0 || c.pos < min {
+			min = c.pos
+		}
+	}
+	return min
+}
+
+func (o *Oracle) MaxPos() int64 {
+	max := int64(0)
+	for _, c := range o.cursors {
+		if c.pos > max {
+			max = c.pos
+		}
+	}
+	return max
+}
+
+// Verdict summarizes the safety outcome using only schedule-invariant
+// facts, so the string (and any digest over it) is identical across
+// fault seeds and -par levels for a given deployment shape.
+func (o *Oracle) Verdict() string {
+	return fmt.Sprintf("learners=%d divergences=%d consistent=%v",
+		o.Learners(), o.Divergences(), o.Consistent())
+}

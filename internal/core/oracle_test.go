@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func val(id int64, bytes int) Value { return Value{ID: ValueID(id), Bytes: bytes} }
+
+func TestOracleConsistentLearners(t *testing.T) {
+	o := NewOracle()
+	a, b := o.Learner(), o.Learner()
+	for i := int64(0); i < 100; i++ {
+		a.Note(0, i, val(1000+i, 64))
+	}
+	// b lags but delivers the identical prefix.
+	for i := int64(0); i < 40; i++ {
+		b.Note(0, i, val(1000+i, 64))
+	}
+	if !o.Consistent() || o.Divergences() != 0 {
+		t.Fatalf("consistent prefixes flagged divergent: %s", o.Verdict())
+	}
+	if o.MinPos() != 40 || o.MaxPos() != 100 {
+		t.Fatalf("frontiers = %d/%d, want 40/100", o.MinPos(), o.MaxPos())
+	}
+	if got := o.Verdict(); got != "learners=2 divergences=0 consistent=true" {
+		t.Fatalf("verdict = %q", got)
+	}
+}
+
+func TestOracleDetectsDivergence(t *testing.T) {
+	o := NewOracle()
+	a, b := o.Learner(), o.Learner()
+	a.Note(0, 0, val(7, 64))
+	a.Note(0, 1, val(8, 64))
+	b.Note(0, 0, val(7, 64))
+	b.Note(0, 1, val(9, 64)) // different value id at position 1
+	if o.Consistent() || o.Divergences() != 1 {
+		t.Fatalf("divergence not flagged: %s", o.Verdict())
+	}
+	if !strings.Contains(o.FirstDivergence(), "learner 1 at position 1") {
+		t.Fatalf("first divergence = %q", o.FirstDivergence())
+	}
+	// Further notes from the divergent learner don't pile up divergences
+	// and don't corrupt the agreed sequence for others.
+	b.Note(0, 2, val(10, 64))
+	if o.Divergences() != 1 {
+		t.Fatalf("divergences = %d after more notes, want 1", o.Divergences())
+	}
+	a.Note(0, 2, val(11, 64))
+	if o.Divergences() != 1 {
+		t.Fatalf("agreed learner flagged: %s", o.FirstDivergence())
+	}
+}
+
+func TestOracleDetectsSizeMismatch(t *testing.T) {
+	o := NewOracle()
+	a, b := o.Learner(), o.Learner()
+	a.Note(0, 0, val(7, 64))
+	b.Note(0, 0, Value{ID: 7, Bytes: 128})
+	if o.Consistent() {
+		t.Fatal("size mismatch not flagged")
+	}
+}
+
+func TestOracleTrimsAgreedPrefix(t *testing.T) {
+	o := NewOracle()
+	a, b := o.Learner(), o.Learner()
+	n := int64(3 * oracleTrimAt)
+	for i := int64(0); i < n; i++ {
+		a.Note(0, i, val(i, 32))
+		b.Note(0, i, val(i, 32))
+	}
+	if len(o.recs) >= oracleTrimAt {
+		t.Fatalf("agreed prefix not trimmed: %d records live", len(o.recs))
+	}
+	if !o.Consistent() {
+		t.Fatalf("trim broke consistency: %s", o.Verdict())
+	}
+	// A mismatch right after a trim is still caught.
+	a.Note(0, n, val(n, 32))
+	b.Note(0, n, val(n+999, 32))
+	if o.Consistent() {
+		t.Fatal("post-trim divergence not flagged")
+	}
+}
+
+func TestOracleNilCursorSafe(t *testing.T) {
+	var c *OracleCursor
+	c.Note(0, 0, val(1, 1)) // must not panic
+	if c.Pos() != 0 {
+		t.Fatal("nil cursor pos")
+	}
+}
+
+func TestDelivTraceChainForwardsPastWindow(t *testing.T) {
+	o := NewOracle()
+	tr := NewDelivTrace(10) // window closes at 10ns
+	tr.Chain(o.Learner())
+	tr.Note(5, 0, val(1, 8))
+	tr.Note(50, 1, val(2, 8)) // past the window: hash skips it, sink must not
+	if tr.Count() != 1 {
+		t.Fatalf("trace count = %d, want 1 (window)", tr.Count())
+	}
+	if o.MaxPos() != 2 {
+		t.Fatalf("oracle saw %d deliveries, want 2 (sink bypasses window)", o.MaxPos())
+	}
+	// Chain on a nil trace is a no-op, not a panic.
+	var nilTr *DelivTrace
+	nilTr.Chain(o.Learner())
+	nilTr.Note(0, 0, val(1, 1))
+}

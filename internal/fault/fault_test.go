@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+func TestScheduleBuilderAndSort(t *testing.T) {
+	s := New(1).
+		Restart(500*time.Millisecond, 3).
+		Crash(200*time.Millisecond, 3, Lose).
+		Split(300*time.Millisecond, 100*time.Millisecond, 7)
+	evs := s.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	order := []Kind{CrashEvent, PartitionEvent, HealEvent, RestartEvent}
+	for i, k := range order {
+		if evs[i].Kind != k {
+			t.Fatalf("event %d kind = %v, want %v", i, evs[i].Kind, k)
+		}
+	}
+	if evs[1].Sides[7] != 1 || evs[1].Sides[0] != 0 {
+		t.Fatalf("split sides = %v", evs[1].Sides)
+	}
+	// Events() returns a copy: mutating it must not corrupt the schedule.
+	evs[0].Kind = HealEvent
+	if s.Events()[0].Kind != CrashEvent {
+		t.Fatal("Events() aliased internal slice")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profile{
+		Window:     [2]time.Duration{300 * time.Millisecond, 900 * time.Millisecond},
+		Crashes:    2,
+		CrashNodes: []proto.NodeID{1, 2, 3},
+		Mode:       Lose,
+		MinDown:    20 * time.Millisecond,
+		MaxDown:    80 * time.Millisecond,
+		Partitions: 1,
+		Minority:   []proto.NodeID{2},
+		MinPart:    30 * time.Millisecond,
+		MaxPart:    60 * time.Millisecond,
+		Net:        Net{DropRate: 0.01, DupRate: 0.005, DelayRate: 0.02, DelayMax: time.Millisecond},
+	}
+	a, b := Generate(42, p), Generate(42, p)
+	if !reflect.DeepEqual(a.Events(), b.Events()) || a.Net != b.Net {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := Generate(43, p)
+	if reflect.DeepEqual(a.Events(), c.Events()) {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestGenerateFaultsStayInWindowAndResolve(t *testing.T) {
+	p := Profile{
+		Window:     [2]time.Duration{300 * time.Millisecond, 900 * time.Millisecond},
+		Crashes:    3,
+		CrashNodes: []proto.NodeID{1, 2},
+		MinDown:    10 * time.Millisecond,
+		MaxDown:    500 * time.Millisecond, // deliberately bigger than a slot
+		Partitions: 2,
+		Minority:   []proto.NodeID{1},
+		MinPart:    10 * time.Millisecond,
+		MaxPart:    500 * time.Millisecond,
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		s := Generate(seed, p)
+		evs := s.Events()
+		if len(evs) != 2*(p.Crashes+p.Partitions) {
+			t.Fatalf("seed %d: %d events", seed, len(evs))
+		}
+		downAt := map[proto.NodeID]bool{}
+		var parted bool
+		for _, e := range evs {
+			if e.At < p.Window[0] || e.At >= p.Window[1] {
+				t.Fatalf("seed %d: event at %v outside window", seed, e.At)
+			}
+			switch e.Kind {
+			case CrashEvent:
+				if downAt[e.Node] {
+					t.Fatalf("seed %d: node %d crashed twice without restart", seed, e.Node)
+				}
+				downAt[e.Node] = true
+			case RestartEvent:
+				if !downAt[e.Node] {
+					t.Fatalf("seed %d: restart of up node %d", seed, e.Node)
+				}
+				downAt[e.Node] = false
+			case PartitionEvent:
+				if parted {
+					t.Fatalf("seed %d: overlapping partitions", seed)
+				}
+				parted = true
+			case HealEvent:
+				parted = false
+			}
+		}
+		for id, down := range downAt {
+			if down {
+				t.Fatalf("seed %d: node %d never restarted", seed, id)
+			}
+		}
+		if parted {
+			t.Fatalf("seed %d: partition never healed", seed)
+		}
+	}
+}
+
+func TestModeKindStrings(t *testing.T) {
+	if Freeze.String() != "freeze" || Lose.String() != "lose" {
+		t.Fatal("mode strings")
+	}
+	for k, want := range map[Kind]string{
+		CrashEvent: "crash", RestartEvent: "restart",
+		PartitionEvent: "partition", HealEvent: "heal", CallEvent: "call",
+	} {
+		if k.String() != want {
+			t.Fatalf("kind %d string = %q", k, k.String())
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/proto"
 	"repro/internal/sim"
 )
@@ -55,6 +56,8 @@ type Config struct {
 	DiskLatency time.Duration
 	// LossRate is an additional random drop probability applied to every
 	// datagram (UDP/multicast) delivery, on top of buffer-overflow drops.
+	// Each draw comes from the receiving node's own seeded RNG stream, so
+	// lossy configurations replay byte-identically under Partition too.
 	// Used by failure-injection tests; 0 in calibrated benchmarks.
 	LossRate float64
 }
@@ -88,7 +91,14 @@ type NodeConfig struct {
 	Cores int
 }
 
-// Stats aggregates a node's traffic counters.
+// Stats aggregates a node's traffic counters. Congestion drops and
+// injected losses are counted separately: MsgsDropped/BytesDropped are
+// datagrams the receive buffer overflowed on (the congestion signal the
+// throughput figures report), while MsgsLost/BytesLost are frames the
+// fault layer destroyed — LossRate draws, scheduled drops, partition
+// cuts, and traffic into dead nodes. Lost frames are counted at the
+// node that detected the loss: the sender for partition/schedule drops,
+// the receiver for LossRate and dead-process losses.
 type Stats struct {
 	MsgsSent     int64
 	BytesSent    int64
@@ -96,6 +106,8 @@ type Stats struct {
 	BytesRecv    int64
 	MsgsDropped  int64
 	BytesDropped int64
+	MsgsLost     int64
+	BytesLost    int64
 	DiskBytes    int64
 	DiskWrites   int64
 }
@@ -107,10 +119,14 @@ type Stats struct {
 type LAN struct {
 	Sim     *sim.Simulator
 	cfg     Config
+	seed    int64
 	nodes   map[proto.NodeID]*Node
 	groups  map[proto.GroupID]map[proto.NodeID]bool
 	members map[proto.GroupID][]proto.NodeID // sorted, invalidated on (un)subscribe
 	par     *par                             // non-nil once Partition engaged
+
+	faults     *fault.Schedule // non-nil once InstallFaults armed the fault layer
+	faultNetOn bool            // faults.Net has active datagram rules
 }
 
 // New creates an empty cluster with the given parameters and seed.
@@ -118,6 +134,7 @@ func New(cfg Config, seed int64) *LAN {
 	l := &LAN{
 		Sim:     sim.New(seed),
 		cfg:     cfg,
+		seed:    seed,
 		nodes:   make(map[proto.NodeID]*Node),
 		groups:  make(map[proto.GroupID]map[proto.NodeID]bool),
 		members: make(map[proto.GroupID][]proto.NodeID),
@@ -141,6 +158,10 @@ const (
 	evNodeTimer                     // fire-and-forget protocol timer: P1=func()
 	evNodeTimerArg                  // fire-and-forget timer with argument: P1=func(int64), A=arg
 	evNodeFuncArg                   // down-gated Work completion with argument: P1=func(int64), P2=node, A=arg
+	evFaultCrash                    // fault schedule: take the node down: P2=node, A=mode
+	evFaultRestart                  // fault schedule: bring the node back: P2=node
+	evFaultPart                     // fault schedule: install partition view: P1=sides map, P2=node
+	evFaultHeal                     // fault schedule: clear partition view + re-pump: P2=node
 )
 
 // dispatch executes one typed event. It runs inside the kernel loop at the
@@ -159,6 +180,10 @@ func (l *LAN) dispatch(ev sim.TypedEvent) {
 		n := ev.P2.(*Node)
 		n.udpQueued -= int(ev.D)
 		if n.down {
+			if n.lan.faults != nil {
+				n.stats.MsgsLost++
+				n.stats.BytesLost += ev.D
+			}
 			return
 		}
 		n.handler.Receive(proto.NodeID(ev.A), ev.P1.(proto.Message))
@@ -184,6 +209,19 @@ func (l *LAN) dispatch(ev sim.TypedEvent) {
 			return
 		}
 		ev.P1.(func(int64))(ev.A)
+	case evFaultCrash:
+		ev.P2.(*Node).crash(fault.Mode(ev.A))
+	case evFaultRestart:
+		ev.P2.(*Node).SetDown(false)
+	case evFaultPart:
+		n := ev.P2.(*Node)
+		n.partSides = ev.P1.(map[proto.NodeID]int)
+		n.partSide = n.partSides[n.id]
+	case evFaultHeal:
+		n := ev.P2.(*Node)
+		n.partSides = nil
+		n.partSide = 0
+		n.repumpAll()
 	}
 }
 
@@ -276,15 +314,16 @@ type par struct {
 // send instant.
 //
 // Partition reports whether partitioning engaged. It declines (and the
-// cluster runs sequentially, with identical results) when nLP < 2, when
-// the configuration has no lookahead (Latency <= 0), or when LossRate > 0
-// (random drops draw from the shared sequential RNG, whose consumption
-// order a parallel run cannot reproduce).
+// cluster runs sequentially, with identical results) when nLP < 2 or
+// when the configuration has no lookahead (Latency <= 0). Lossy and
+// faulted configurations partition fine: LossRate and the fault layer's
+// drop/dup/delay rules draw from per-node RNG streams whose consumption
+// order is identical in sequential and parallel runs.
 func (l *LAN) Partition(nLP int, lpOf func(proto.NodeID) int) bool {
 	if l.par != nil {
 		panic("lan: Partition called twice")
 	}
-	if nLP < 2 || l.cfg.Latency <= 0 || l.cfg.LossRate > 0 {
+	if nLP < 2 || l.cfg.Latency <= 0 {
 		return false
 	}
 	pr := &par{
@@ -404,6 +443,71 @@ func (l *LAN) applyXrec(r *xrec, rank uint64) {
 	}
 }
 
+// InstallFaults arms the fault layer: the schedule's events fire during
+// Run (event times are absolute simulated instants), its Net rules
+// apply to every datagram, and the LAN switches from the legacy crash
+// model to the faithful one — a frozen node holds TCP frames in its
+// socket buffer and delivers them at recovery, a dead node resets
+// connections (frames lost, window credit returned) and sheds volatile
+// handler state via proto.VolatileLoser, and recovery re-pumps stalled
+// connections. Call between the last AddNode/Subscribe/Partition and
+// Start; installing an empty schedule enables the faithful semantics
+// with no injected faults. With no schedule installed the fault layer
+// is inert and the LAN behaves exactly as it always has.
+func (l *LAN) InstallFaults(s *fault.Schedule) {
+	if s == nil {
+		return
+	}
+	if l.faults != nil {
+		panic("lan: InstallFaults called twice")
+	}
+	l.faults = s
+	l.faultNetOn = s.Net.Enabled()
+}
+
+// Faulted reports whether a fault schedule is installed.
+func (l *LAN) Faulted() bool { return l.faults != nil }
+
+// scheduleFaults schedules every fault event on its target node's own
+// kernel, so in partitioned mode each event fires on the LP that owns
+// the state it mutates. Partition and heal events fan out to every node
+// (ascending id), each updating its own connectivity view at the same
+// instant. Call events ride the ordinary down-gated completion event,
+// so a call aimed at a crashed node is silently skipped.
+func (l *LAN) scheduleFaults() {
+	ids := make([]proto.NodeID, 0, len(l.nodes))
+	for id := range l.nodes {
+		ids = append(ids, id)
+	}
+	sortNodeIDs(ids)
+	for _, ev := range l.faults.Events() {
+		switch ev.Kind {
+		case fault.CrashEvent:
+			if n := l.nodes[ev.Node]; n != nil {
+				n.k.atEvent(ev.At, sim.TypedEvent{Kind: evFaultCrash, A: int64(ev.Mode), P2: n})
+			}
+		case fault.RestartEvent:
+			if n := l.nodes[ev.Node]; n != nil {
+				n.k.atEvent(ev.At, sim.TypedEvent{Kind: evFaultRestart, P2: n})
+			}
+		case fault.PartitionEvent:
+			for _, id := range ids {
+				n := l.nodes[id]
+				n.k.atEvent(ev.At, sim.TypedEvent{Kind: evFaultPart, P1: ev.Sides, P2: n})
+			}
+		case fault.HealEvent:
+			for _, id := range ids {
+				n := l.nodes[id]
+				n.k.atEvent(ev.At, sim.TypedEvent{Kind: evFaultHeal, P2: n})
+			}
+		case fault.CallEvent:
+			if n := l.nodes[ev.Node]; n != nil && ev.Fn != nil {
+				n.k.atEvent(ev.At, sim.TypedEvent{Kind: evNodeFunc, P1: ev.Fn, P2: n})
+			}
+		}
+	}
+}
+
 // AddNode installs handler h on a new node. It panics if id already exists
 // (a configuration bug, not a runtime condition).
 func (l *LAN) AddNode(id proto.NodeID, h proto.Handler) *Node {
@@ -432,6 +536,10 @@ func (l *LAN) AddNodeWithConfig(id proto.NodeID, h proto.Handler, nc NodeConfig)
 		k:        simKern{l.Sim},
 		coreFree: make([]time.Duration, nc.Cores),
 		conns:    make(map[proto.NodeID]*conn),
+		// Per-node RNG stream for LossRate and injected datagram faults:
+		// draws happen on the node's own LP, so lossy and faulted runs
+		// replay byte-identically under Partition.
+		rng: rand.New(rand.NewSource(l.seed ^ int64(uint64(id+1)*0x9E3779B97F4A7C15))),
 	}
 	l.nodes[id] = n
 	return n
@@ -505,6 +613,11 @@ func (l *LAN) Start() {
 			l.members[g] = ids
 		}
 	}
+	// Fault events are scheduled before any handler starts, so their
+	// kernel ranks precede all protocol traffic deterministically.
+	if l.faults != nil {
+		l.scheduleFaults()
+	}
 	// Deterministic order: ascending node id.
 	ids := make([]proto.NodeID, 0, len(l.nodes))
 	for id := range l.nodes {
@@ -541,6 +654,14 @@ type Node struct {
 
 	down bool
 
+	// Fault-layer state, meaningful only once InstallFaults armed it.
+	frozen       bool                 // down as a paused process: TCP frames held, not lost
+	lostVolatile bool                 // down as a dead process: reset + VolatileLoser on restart
+	partSides    map[proto.NodeID]int // current partition view (nil = fully connected)
+	partSide     int                  // this node's side in partSides
+	held         []heldFrame          // TCP frames parked while frozen, in arrival order
+	rng          *rand.Rand           // per-node stream: LossRate + injected datagram faults
+
 	outFree  time.Duration   // instant the out-link becomes idle
 	inFree   time.Duration   // instant the in-link becomes idle
 	coreFree []time.Duration // instant each CPU core becomes idle
@@ -571,6 +692,18 @@ type conn struct {
 	buf        []proto.Message // ring storage, len is a power of two
 	head, tail uint32          // pop/push cursors; tail-head = queued count
 	inflight   int
+}
+
+// heldFrame is one TCP frame parked in a frozen node's socket buffer,
+// waiting for the process to thaw. delivered records which leg the
+// freeze interrupted: false means the frame had just cleared the
+// in-link (resume with receive accounting + CPU), true means receive
+// CPU was already booked (resume straight at the handler + ack).
+type heldFrame struct {
+	c         *conn
+	m         proto.Message
+	size      int
+	delivered bool
 }
 
 func (c *conn) queued() int { return int(c.tail - c.head) }
@@ -630,9 +763,153 @@ func (n *Node) BufferPeak() int { return n.udpQueuedMax }
 // BufferQueued returns the bytes currently queued in the datagram buffer.
 func (n *Node) BufferQueued() int { return n.udpQueued }
 
-// SetDown marks the node crashed (true) or recovered (false). A down node
-// sends nothing and silently discards everything addressed to it.
-func (n *Node) SetDown(down bool) { n.down = down }
+// SetDown marks the node crashed (true) or recovered (false).
+//
+// With no fault schedule installed (the legacy model, which every
+// pre-fault golden pins) a down node sends nothing and silently
+// discards everything addressed to it — including the window credit of
+// TCP frames in flight — and recovery does not restart stalled pumps.
+//
+// With a schedule installed (InstallFaults), SetDown(true) freezes the
+// process: TCP frames addressed to it are held like a paused process's
+// socket buffer (senders stall on window backpressure, losslessly), and
+// SetDown(false) delivers the held frames in arrival order and re-pumps
+// every connection with queued messages. Crashes that destroy volatile
+// state (connection resets, proto.VolatileLoser) are expressed as
+// fault.Lose events in the schedule, not through SetDown.
+func (n *Node) SetDown(down bool) {
+	if down {
+		n.down = true
+		if n.lan.faults != nil {
+			n.frozen = true
+		}
+		return
+	}
+	n.down = false
+	if n.lan.faults != nil {
+		if n.lostVolatile {
+			n.restartLose()
+		} else {
+			n.thaw()
+		}
+	}
+	n.frozen = false
+}
+
+// crash takes the node down in the given fault mode (the evFaultCrash
+// dispatch target).
+func (n *Node) crash(m fault.Mode) {
+	n.down = true
+	if m == fault.Lose {
+		n.frozen = false
+		n.lostVolatile = true
+	} else {
+		n.frozen = true
+	}
+}
+
+// thaw is the freeze-recovery path: frames the frozen process's socket
+// buffer held are resumed in arrival order — frames still before their
+// receive-CPU booking go through the normal arrive accounting, frames
+// the freeze caught between CPU completion and hand-over go straight to
+// the handler with their ack — then stalled connections re-pump.
+func (n *Node) thaw() {
+	held := n.held
+	n.held = nil
+	for i := range held {
+		f := &held[i]
+		if f.delivered {
+			n.handler.Receive(f.c.from.id, f.m)
+			f.c.sendAck(f.size)
+		} else {
+			n.stats.MsgsRecv++
+			n.stats.BytesRecv += int64(f.size)
+			done := n.reserveCPU(n.k.now(), n.cpuCost(f.size))
+			n.k.atEvent(done, sim.TypedEvent{Kind: evTCPDeliver, D: int64(f.size), P1: f.m, P2: f.c})
+		}
+		held[i] = heldFrame{}
+	}
+	n.repumpAll()
+}
+
+// restartLose is the dead-process recovery path: connections to the
+// node were reset while it was down (anything a preceding freeze held
+// is discarded now, returning its window credit), its own queued-but-
+// unsent messages are gone, and the handler sheds volatile soft state
+// via proto.VolatileLoser if it implements it.
+func (n *Node) restartLose() {
+	n.lostVolatile = false
+	held := n.held
+	n.held = nil
+	for i := range held {
+		f := &held[i]
+		n.stats.MsgsLost++
+		n.stats.BytesLost += int64(f.size)
+		f.c.sendAck(f.size)
+		held[i] = heldFrame{}
+	}
+	for _, id := range n.sortedConnIDs() {
+		c := n.conns[id]
+		for c.queued() > 0 {
+			m := c.pop()
+			n.stats.MsgsLost++
+			n.stats.BytesLost += int64(m.Size())
+		}
+	}
+	if vl, ok := n.handler.(proto.VolatileLoser); ok {
+		vl.LoseVolatile()
+	}
+}
+
+// repumpAll restarts transmission on every connection with queued
+// messages, in ascending destination order — the recovery half of the
+// faithful crash model (conn.ack deliberately skips pumping while the
+// sender is down; this is what resumes the queues afterwards).
+func (n *Node) repumpAll() {
+	for _, id := range n.sortedConnIDs() {
+		if c := n.conns[id]; c.queued() > 0 {
+			n.pump(c)
+		}
+	}
+}
+
+// sortedConnIDs returns the destinations this node has connections to,
+// ascending, so recovery-time iteration is deterministic.
+func (n *Node) sortedConnIDs() []proto.NodeID {
+	if len(n.conns) == 0 {
+		return nil
+	}
+	ids := make([]proto.NodeID, 0, len(n.conns))
+	for id := range n.conns {
+		ids = append(ids, id)
+	}
+	sortNodeIDs(ids)
+	return ids
+}
+
+// reachable reports whether traffic from this node to `to` crosses the
+// current partition view (trivially true when no partition is active).
+func (n *Node) reachable(to proto.NodeID) bool {
+	return n.partSides == nil || n.partSides[to] == n.partSide
+}
+
+// netFault draws one datagram's injected fate — drop, duplicate, extra
+// delay — from the sender's own RNG stream. The draw order is fixed
+// (drop first, short-circuiting the rest) so schedules replay
+// identically in sequential and partitioned runs.
+func (n *Node) netFault() (drop, dup bool, delay time.Duration) {
+	nf := &n.lan.faults.Net
+	if nf.DropRate > 0 && n.rng.Float64() < nf.DropRate {
+		return true, false, 0
+	}
+	if nf.DupRate > 0 && n.rng.Float64() < nf.DupRate {
+		dup = true
+	}
+	if nf.DelayRate > 0 && nf.DelayMax > 0 && n.rng.Float64() < nf.DelayRate {
+		delay = time.Duration(n.rng.Int63n(int64(nf.DelayMax)))
+	}
+	return false, dup, delay
+}
 
 // Down reports whether the node is crashed.
 func (n *Node) Down() bool { return n.down }
@@ -724,6 +1001,9 @@ func (n *Node) Send(to proto.NodeID, m proto.Message) {
 // whole transmit -> receive -> ack chain runs on typed events: no closures
 // are allocated per message.
 func (n *Node) pump(c *conn) {
+	if !n.reachable(c.to.id) {
+		return // partition: frames hold at the sender, re-pumped on heal
+	}
 	for c.queued() > 0 {
 		m := c.buf[c.head&uint32(len(c.buf)-1)]
 		size := m.Size()
@@ -749,8 +1029,24 @@ func (n *Node) pump(c *conn) {
 func (c *conn) arrive(m proto.Message, size int) {
 	dst := c.to
 	if dst.down {
-		// Connection to a dead peer: window space never frees; messages
-		// already sent are lost.
+		if dst.lan.faults == nil {
+			// Legacy model: connection to a dead peer — window space never
+			// frees; messages already sent are lost.
+			return
+		}
+		if dst.frozen {
+			// Paused process: the frame sits in its socket buffer. No ack,
+			// so the sender's window fills and stalls it — backpressure,
+			// not loss. Delivered on thaw.
+			dst.held = append(dst.held, heldFrame{c: c, m: m, size: size})
+			return
+		}
+		// Dead process: connection reset. The frame is lost but its
+		// window credit returns, so the sender's window is whole once the
+		// peer recovers.
+		dst.stats.MsgsLost++
+		dst.stats.BytesLost += int64(size)
+		c.sendAck(size)
 		return
 	}
 	dst.stats.MsgsRecv++
@@ -764,12 +1060,28 @@ func (c *conn) arrive(m proto.Message, size int) {
 func (c *conn) deliver(m proto.Message, size int) {
 	dst := c.to
 	if dst.down {
+		if dst.lan.faults == nil {
+			return
+		}
+		if dst.frozen {
+			dst.held = append(dst.held, heldFrame{c: c, m: m, size: size, delivered: true})
+			return
+		}
+		dst.stats.MsgsLost++
+		dst.stats.BytesLost += int64(size)
+		c.sendAck(size)
 		return
 	}
 	dst.handler.Receive(c.from.id, m)
-	// Ack travels back; window space frees at the sender. When the sender
-	// lives in another partition the ack crosses at the barrier (its firing
-	// time is a full latency away, so it always lands beyond the window).
+	c.sendAck(size)
+}
+
+// sendAck returns size bytes of window credit to the sender. The ack
+// travels one wire latency; when the sender lives in another partition
+// it crosses at the barrier (its firing time is a full latency away, so
+// it always lands beyond the window).
+func (c *conn) sendAck(size int) {
+	dst := c.to
 	ack := dst.k.now() + dst.lan.cfg.Latency
 	if pr := dst.lan.par; pr != nil && c.from.lp != dst.lp {
 		pr.out[dst.lp] = append(pr.out[dst.lp],
@@ -805,12 +1117,36 @@ func (n *Node) SendUDP(to proto.NodeID, m proto.Message) {
 		return
 	}
 	arrive := n.sendOut(size)
-	if pr := n.lan.par; pr != nil {
-		pr.out[n.lp] = append(pr.out[n.lp],
-			xrec{kind: xUDP, at: arrive, rank: n.k.xcall(), size: size, src: n.id, dst: dst, msg: m})
-	} else {
-		rxEnd := admit(dst, arrive, size)
-		n.k.atEvent(rxEnd, sim.TypedEvent{Kind: evUDPArrive, A: int64(n.id), D: int64(size), P1: m, P2: dst})
+	sends := 1
+	if n.lan.faults != nil {
+		// The out-link was charged either way — the NIC doesn't know the
+		// network will eat the frame.
+		if !n.reachable(to) {
+			n.stats.MsgsLost++
+			n.stats.BytesLost += int64(size)
+			return
+		}
+		if n.lan.faultNetOn {
+			drop, dup, delay := n.netFault()
+			if drop {
+				n.stats.MsgsLost++
+				n.stats.BytesLost += int64(size)
+				return
+			}
+			arrive += delay
+			if dup {
+				sends = 2
+			}
+		}
+	}
+	for i := 0; i < sends; i++ {
+		if pr := n.lan.par; pr != nil {
+			pr.out[n.lp] = append(pr.out[n.lp],
+				xrec{kind: xUDP, at: arrive, rank: n.k.xcall(), size: size, src: n.id, dst: dst, msg: m})
+		} else {
+			rxEnd := admit(dst, arrive, size)
+			n.k.atEvent(rxEnd, sim.TypedEvent{Kind: evUDPArrive, A: int64(n.id), D: int64(size), P1: m, P2: dst})
+		}
 	}
 }
 
@@ -827,6 +1163,7 @@ func (n *Node) Multicast(g proto.GroupID, m proto.Message) {
 	// the same arrival instant at its in-link.
 	arrive := n.sendOut(size)
 	pr := n.lan.par
+	faulted := n.lan.faults != nil
 	for _, id := range n.lan.groupMembers(g) {
 		dst := n.lan.nodes[id]
 		if dst == nil {
@@ -836,15 +1173,41 @@ func (n *Node) Multicast(g proto.GroupID, m proto.Message) {
 			n.deliverLocal(m)
 			continue
 		}
-		if pr != nil {
-			// Per-member records are appended — and their calls logged — in
-			// sorted member order, so the replay admits them consecutively,
-			// the same in-link reservation order as the sequential loop.
-			pr.out[n.lp] = append(pr.out[n.lp],
-				xrec{kind: xUDP, at: arrive, rank: n.k.xcall(), size: size, src: n.id, dst: dst, msg: m})
-		} else {
-			rxEnd := admit(dst, arrive, size)
-			n.k.atEvent(rxEnd, sim.TypedEvent{Kind: evUDPArrive, A: int64(n.id), D: int64(size), P1: m, P2: dst})
+		at := arrive
+		sends := 1
+		if faulted {
+			// Per-member fate: the switch replicated the frame, but each
+			// receiver's copy crosses its own link. Draw order follows the
+			// sorted member loop, so it is identical under -par N.
+			if !n.reachable(id) {
+				n.stats.MsgsLost++
+				n.stats.BytesLost += int64(size)
+				continue
+			}
+			if n.lan.faultNetOn {
+				drop, dup, delay := n.netFault()
+				if drop {
+					n.stats.MsgsLost++
+					n.stats.BytesLost += int64(size)
+					continue
+				}
+				at += delay
+				if dup {
+					sends = 2
+				}
+			}
+		}
+		for i := 0; i < sends; i++ {
+			if pr != nil {
+				// Per-member records are appended — and their calls logged — in
+				// sorted member order, so the replay admits them consecutively,
+				// the same in-link reservation order as the sequential loop.
+				pr.out[n.lp] = append(pr.out[n.lp],
+					xrec{kind: xUDP, at: at, rank: n.k.xcall(), size: size, src: n.id, dst: dst, msg: m})
+			} else {
+				rxEnd := admit(dst, at, size)
+				n.k.atEvent(rxEnd, sim.TypedEvent{Kind: evUDPArrive, A: int64(n.id), D: int64(size), P1: m, P2: dst})
+			}
 		}
 	}
 }
@@ -854,11 +1217,17 @@ func (n *Node) Multicast(g proto.GroupID, m proto.Message) {
 // send time and rode in the typed event.
 func (n *Node) datagramArrive(from proto.NodeID, m proto.Message, size int) {
 	if n.down {
+		if n.lan.faults != nil {
+			// A dead (or frozen — we don't model its kernel buffering
+			// datagrams it will never drain) process loses the frame.
+			n.stats.MsgsLost++
+			n.stats.BytesLost += int64(size)
+		}
 		return
 	}
-	if n.lan.cfg.LossRate > 0 && n.lan.Sim.Rand().Float64() < n.lan.cfg.LossRate {
-		n.stats.MsgsDropped++
-		n.stats.BytesDropped += int64(size)
+	if n.lan.cfg.LossRate > 0 && n.rng.Float64() < n.lan.cfg.LossRate {
+		n.stats.MsgsLost++
+		n.stats.BytesLost += int64(size)
 		return
 	}
 	if n.udpQueued+size > n.lan.cfg.UDPBuf {

@@ -109,8 +109,9 @@ func TestPartitionEquivalence(t *testing.T) {
 
 // TestPartitionDeclines pins the refusal cases: partitioning must decline —
 // and the cluster run sequentially, not corrupt itself — when there is no
-// lookahead (Latency <= 0), when random drops would consume the shared RNG
-// (LossRate > 0), or when fewer than two LPs are requested.
+// lookahead (Latency <= 0) or when fewer than two LPs are requested.
+// Lossy configurations are accepted: LossRate draws from per-node RNG
+// streams, so parallel runs replay them exactly.
 func TestPartitionDeclines(t *testing.T) {
 	mk := func(mut func(*Config)) *LAN {
 		cfg := DefaultConfig()
@@ -124,8 +125,8 @@ func TestPartitionDeclines(t *testing.T) {
 	if mk(func(c *Config) { c.Latency = 0 }).Partition(4, nil) {
 		t.Error("Partition accepted Latency=0 (zero lookahead)")
 	}
-	if mk(func(c *Config) { c.LossRate = 0.1 }).Partition(4, nil) {
-		t.Error("Partition accepted LossRate>0 (shared-RNG draws)")
+	if !mk(func(c *Config) { c.LossRate = 0.1 }).Partition(4, nil) {
+		t.Error("Partition declined LossRate>0 (loss draws are per-node now)")
 	}
 	if mk(nil).Partition(1, nil) {
 		t.Error("Partition accepted nLP=1")

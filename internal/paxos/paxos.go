@@ -372,6 +372,16 @@ func (a *Agent) Receive(from proto.NodeID, m proto.Message) {
 	}
 }
 
+// LoseVolatile implements proto.VolatileLoser: a crash that destroys
+// volatile state (fault.Lose) discards the staged client values awaiting
+// proposal. Promises, votes, the decision log and the delivered frontier
+// are retained — the protocol treats them as recoverable from stable
+// storage (the write-ahead-log roadmap item makes that real).
+func (a *Agent) LoseVolatile() {
+	a.pending.PopFront(a.pending.Len())
+	a.pendingBytes = 0
+}
+
 // --- coordinator ---
 
 func (a *Agent) enqueue(v core.Value) {

@@ -171,6 +171,20 @@ func WorkOn(env Env, core int, d time.Duration, fn func()) {
 	env.Work(d, fn)
 }
 
+// VolatileLoser is the optional interface handlers implement to model a
+// crash that destroys volatile state (fault.Lose). LoseVolatile is
+// called on restart, before any post-recovery message is delivered: the
+// handler discards soft state a real process keeps only in memory —
+// staged client values awaiting proposal, half-built batches — while
+// state the protocols treat as recoverable (acceptor promises and
+// votes, decision logs, the delivered frontier) is retained, modeling
+// stable storage; making that durability real is the write-ahead-log
+// roadmap item. Handlers that do not implement it lose nothing on
+// restart (equivalent to a freeze at the protocol layer).
+type VolatileLoser interface {
+	LoseVolatile()
+}
+
 // Handler is the protocol actor installed on a node.
 type Handler interface {
 	// Start is called exactly once, before any message is delivered.

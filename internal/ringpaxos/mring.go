@@ -422,6 +422,17 @@ func (a *MAgent) Receive(from proto.NodeID, m proto.Message) {
 	}
 }
 
+// LoseVolatile implements proto.VolatileLoser: a crash that destroys
+// volatile state (fault.Lose) discards the staged client values awaiting
+// proposal. Acceptor votes, open instances and the learner's reorder
+// buffer are retained — the protocol treats them as recoverable from
+// stable storage (the write-ahead-log roadmap item makes that real),
+// and the learner's gap recovery re-fetches anything the network lost.
+func (a *MAgent) LoseVolatile() {
+	a.pending = a.pending[:0]
+	a.pendingBytes = 0
+}
+
 // --- coordinator ---
 
 func (a *MAgent) enqueue(v core.Value) {

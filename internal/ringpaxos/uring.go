@@ -246,6 +246,17 @@ func (a *UAgent) Receive(from proto.NodeID, m proto.Message) {
 	}
 }
 
+// LoseVolatile implements proto.VolatileLoser: a crash that destroys
+// volatile state (fault.Lose) discards the staged client values awaiting
+// proposal. Votes and the learner frontier are retained (modeled
+// durable; U-Ring's reliable ring has no retransmission path, so losing
+// them would stall the ring forever — fault schedules for U-Ring use
+// freezes and partitions, which its TCP channels survive losslessly).
+func (a *UAgent) LoseVolatile() {
+	a.pending.PopFront(a.pending.Len())
+	a.pendingBytes = 0
+}
+
 // --- coordinator ---
 
 func (a *UAgent) enqueue(v core.Value) {
