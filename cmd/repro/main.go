@@ -61,6 +61,8 @@ type jsonExperiment struct {
 	Volatile     bool   `json:"volatile,omitempty"`
 	Repinned     bool   `json:"repinned,omitempty"`
 	RepinnedNote string `json:"repinned_note,omitempty"`
+	Added        bool   `json:"added,omitempty"`
+	AddedNote    string `json:"added_note,omitempty"`
 }
 
 type jsonSummary struct {
@@ -292,6 +294,9 @@ func runList(stdout, stderr io.Writer, jsonOut bool) int {
 			if note, ok := bench.RepinNote(e.ID); ok {
 				je.Repinned, je.RepinnedNote = true, note
 			}
+			if note, ok := bench.AddedNote(e.ID); ok {
+				je.Added, je.AddedNote = true, note
+			}
 			out = append(out, je)
 		}
 		enc := json.NewEncoder(stdout)
@@ -306,6 +311,9 @@ func runList(stdout, stderr io.Writer, jsonOut bool) int {
 		mark := ""
 		if note, ok := bench.RepinNote(e.ID); ok {
 			mark = "  [re-pinned: " + note + "]"
+		}
+		if note, ok := bench.AddedNote(e.ID); ok {
+			mark += "  [new: " + note + "]"
 		}
 		fmt.Fprintf(stdout, "%-10s %s%s\n", e.ID, e.Title, mark)
 	}

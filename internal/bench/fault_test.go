@@ -17,6 +17,8 @@ var faultFamilies = []struct {
 	{"fault.uring", faultURingSeeds},
 	{"fault.paxos", faultPaxosSeeds},
 	{"fault.spaxos", faultSPaxosSeeds},
+	{"fault.failover.mring", failoverMRingSeeds},
+	{"fault.failover.uring", failoverURingSeeds},
 }
 
 // TestFaultSafetySeedInvariant is the property the safety layer pins:

@@ -59,3 +59,23 @@ func RepinNote(id string) (string, bool) {
 	n, ok := outputRepins[id]
 	return n, ok
 }
+
+// outputAdded is the companion audit trail for experiments whose goldens
+// are NEW in the most recent PR rather than re-pinned: first-time pins
+// have no previous hash to audit against, so the note records what the
+// family measures and why its digests look the way they do. Like
+// outputRepins, a future PR that adds experiments replaces the map
+// wholesale.
+const addedFailover = "new in the coordinator-failover PR: permanent coordinator kill per seed, run twice (no-failover control stalls, detector election recovers); safety digest pins stalled=true/false pairs plus prefix consistency, seed- and -par-invariant"
+
+var outputAdded = map[string]string{
+	"fault.failover.mring": addedFailover,
+	"fault.failover.uring": addedFailover,
+}
+
+// AddedNote returns the provenance note for an experiment whose goldens
+// were first pinned in the most recent PR.
+func AddedNote(id string) (string, bool) {
+	n, ok := outputAdded[id]
+	return n, ok
+}

@@ -17,7 +17,12 @@ import (
 type DecBuf struct {
 	Insts []int64
 	Masks []uint64
-	refs  atomic.Int32
+	// Vids carries the chosen value id per decided instance, parallel to
+	// Insts. Consensus is on value ids, so learners pair a decision with
+	// the value it chose (round fencing: a stale coordinator's proposal
+	// for the same instance never delivers against a newer decision).
+	Vids []ValueID
+	refs atomic.Int32
 }
 
 // decBufPool is shared across agents: in a partitioned (PDES) run the last
@@ -44,6 +49,7 @@ func (b *DecBuf) Release() {
 	if b.refs.Add(-1) == 0 {
 		b.Insts = b.Insts[:0]
 		b.Masks = b.Masks[:0]
+		b.Vids = b.Vids[:0]
 		decBufPool.Put(b)
 	}
 }

@@ -30,6 +30,15 @@ type Oracle struct {
 	base     int64      // absolute position of recs[0]
 	cursors  []*OracleCursor
 	firstDiv string // description of the first divergence observed
+
+	// Liveness check (opt-in via SetLivenessWindow): the oracle tracks the
+	// longest sim-time gap with no delivery at ANY learner. A gap longer
+	// than the window means the deployment stalled — e.g. a dead
+	// coordinator with no failover. Sealed by Seal at end of run so the
+	// trailing gap (stall that never recovered) is counted too.
+	liveWindow time.Duration
+	lastDeliv  time.Duration
+	maxGap     time.Duration
 }
 
 type delivRec struct {
@@ -64,13 +73,19 @@ func (o *Oracle) Learner() *OracleCursor {
 	return c
 }
 
-// Note folds one delivery from this learner. now is ignored (safety is
-// about order, not time); it is present to satisfy DelivSink.
-func (c *OracleCursor) Note(_ time.Duration, inst int64, v Value) {
+// Note folds one delivery from this learner. now only feeds the optional
+// liveness check (safety is about order, not time).
+func (c *OracleCursor) Note(now time.Duration, inst int64, v Value) {
 	if c == nil {
 		return
 	}
 	o := c.o
+	if o.liveWindow > 0 && now > o.lastDeliv {
+		if gap := now - o.lastDeliv; gap > o.maxGap {
+			o.maxGap = gap
+		}
+		o.lastDeliv = now
+	}
 	rec := delivRec{inst: inst, vid: v.ID, bytes: int32(v.Bytes)}
 	i := c.pos - o.base
 	c.pos++
@@ -158,10 +173,39 @@ func (o *Oracle) MaxPos() int64 {
 	return max
 }
 
+// SetLivenessWindow enables the liveness check: after Seal, Stalled
+// reports whether any delivery-free gap exceeded w. Call before the run.
+func (o *Oracle) SetLivenessWindow(w time.Duration) { o.liveWindow = w }
+
+// Seal closes the liveness observation at sim time end, folding in the
+// trailing delivery-free gap. Call once, after the run.
+func (o *Oracle) Seal(end time.Duration) {
+	if o.liveWindow > 0 && end > o.lastDeliv {
+		if gap := end - o.lastDeliv; gap > o.maxGap {
+			o.maxGap = gap
+		}
+		o.lastDeliv = end
+	}
+}
+
+// Stalled reports whether the liveness check tripped. Always false when
+// no window was set.
+func (o *Oracle) Stalled() bool { return o.liveWindow > 0 && o.maxGap > o.liveWindow }
+
+// MaxGap returns the longest observed delivery-free gap. Seed-dependent:
+// experiment tables may print it, verdicts must not embed its value.
+func (o *Oracle) MaxGap() time.Duration { return o.maxGap }
+
 // Verdict summarizes the safety outcome using only schedule-invariant
 // facts, so the string (and any digest over it) is identical across
-// fault seeds and -par levels for a given deployment shape.
+// fault seeds and -par levels for a given deployment shape. The liveness
+// outcome is appended only when a window was set, keeping pre-liveness
+// verdicts (and their pinned digests) byte-identical.
 func (o *Oracle) Verdict() string {
-	return fmt.Sprintf("learners=%d divergences=%d consistent=%v",
+	s := fmt.Sprintf("learners=%d divergences=%d consistent=%v",
 		o.Learners(), o.Divergences(), o.Consistent())
+	if o.liveWindow > 0 {
+		s += fmt.Sprintf(" stalled=%v", o.Stalled())
+	}
+	return s
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func val(id int64, bytes int) Value { return Value{ID: ValueID(id), Bytes: bytes} }
@@ -109,4 +110,80 @@ func TestDelivTraceChainForwardsPastWindow(t *testing.T) {
 	var nilTr *DelivTrace
 	nilTr.Chain(o.Learner())
 	nilTr.Note(0, 0, val(1, 1))
+}
+
+func TestOracleLivenessWindow(t *testing.T) {
+	o := NewOracle()
+	a := o.Learner()
+	a.Note(10*time.Millisecond, 0, val(1, 64))
+	a.Note(20*time.Millisecond, 1, val(2, 64))
+	// No window set: verdict has no liveness clause, Stalled is false.
+	if o.Stalled() {
+		t.Fatal("stalled without a liveness window")
+	}
+	if strings.Contains(o.Verdict(), "stalled") {
+		t.Fatalf("verdict mentions liveness without a window: %q", o.Verdict())
+	}
+
+	o2 := NewOracle()
+	b := o2.Learner()
+	o2.SetLivenessWindow(50 * time.Millisecond)
+	b.Note(10*time.Millisecond, 0, val(1, 64))
+	b.Note(40*time.Millisecond, 1, val(2, 64))
+	o2.Seal(80 * time.Millisecond)
+	if o2.Stalled() {
+		t.Fatalf("gaps under the window flagged as stall (maxGap=%v)", o2.MaxGap())
+	}
+	if got := o2.Verdict(); got != "learners=1 divergences=0 consistent=true stalled=false" {
+		t.Fatalf("verdict = %q", got)
+	}
+}
+
+func TestOracleLivenessTripsOnGap(t *testing.T) {
+	o := NewOracle()
+	a := o.Learner()
+	o.SetLivenessWindow(50 * time.Millisecond)
+	a.Note(10*time.Millisecond, 0, val(1, 64))
+	a.Note(200*time.Millisecond, 1, val(2, 64)) // 190ms silent gap
+	o.Seal(220 * time.Millisecond)
+	if !o.Stalled() || o.MaxGap() != 190*time.Millisecond {
+		t.Fatalf("mid-run gap missed: stalled=%v maxGap=%v", o.Stalled(), o.MaxGap())
+	}
+	if got := o.Verdict(); got != "learners=1 divergences=0 consistent=true stalled=true" {
+		t.Fatalf("verdict = %q", got)
+	}
+}
+
+func TestOracleLivenessSealCountsTrailingGap(t *testing.T) {
+	// A coordinator that dies with no failover delivers nothing after the
+	// crash: only Seal sees that trailing gap.
+	o := NewOracle()
+	a := o.Learner()
+	o.SetLivenessWindow(50 * time.Millisecond)
+	a.Note(10*time.Millisecond, 0, val(1, 64))
+	if o.Stalled() {
+		t.Fatal("stalled before Seal despite steady deliveries")
+	}
+	o.Seal(time.Second)
+	if !o.Stalled() {
+		t.Fatal("trailing delivery-free gap not counted by Seal")
+	}
+}
+
+func TestOracleLivenessAnyLearnerCounts(t *testing.T) {
+	// The gap is global: one live learner is enough to keep the
+	// deployment "alive" even if another learner stops.
+	o := NewOracle()
+	a, b := o.Learner(), o.Learner()
+	o.SetLivenessWindow(50 * time.Millisecond)
+	for i := int64(0); i < 10; i++ {
+		a.Note(time.Duration(i*30)*time.Millisecond, i, val(1+i, 64))
+		if i < 2 {
+			b.Note(time.Duration(i*30)*time.Millisecond, i, val(1+i, 64))
+		}
+	}
+	o.Seal(280 * time.Millisecond)
+	if o.Stalled() {
+		t.Fatalf("stalled despite one learner delivering steadily (maxGap=%v)", o.MaxGap())
+	}
 }

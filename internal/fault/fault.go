@@ -206,6 +206,14 @@ type Profile struct {
 	Mode       Mode           // crash mode for every generated crash
 	MinDown    time.Duration  // outage duration ~ U[MinDown, MaxDown)
 	MaxDown    time.Duration
+	// Pinned targets crash i at Pinned[i] instead of a CrashNodes draw
+	// (crashes beyond len(Pinned) draw as usual). Failover experiments pin
+	// the coordinator so every seed exercises an election.
+	Pinned []proto.NodeID
+	// NoRestart is the probability that a generated crash is permanent
+	// (no restart event). Draws that stay under it keep their crash+restart
+	// pair, so 0 preserves prior schedules and 1 makes every crash final.
+	NoRestart float64
 
 	Partitions int            // number of partition+heal pairs
 	Minority   []proto.NodeID // side-1 membership for every partition
@@ -235,10 +243,23 @@ func Generate(seed int64, p Profile) *Schedule {
 		jitter := time.Duration(rng.Int63n(int64(slot/2) + 1))
 		at := start + jitter
 		if i < p.Crashes {
-			node := p.CrashNodes[rng.Intn(len(p.CrashNodes))]
+			// Draw order is fixed (node, then duration, then — only when
+			// the knob is set — the permanence coin), so profiles that
+			// leave the new knobs zero generate byte-identical schedules.
+			var node proto.NodeID
+			if len(p.CrashNodes) > 0 {
+				node = p.CrashNodes[rng.Intn(len(p.CrashNodes))]
+			}
+			if i < len(p.Pinned) {
+				node = p.Pinned[i]
+			}
 			down := durBetween(rng, p.MinDown, p.MaxDown)
 			down = clampDur(down, slot-jitter-time.Millisecond)
-			s.CrashFor(at, down, node, p.Mode)
+			if p.NoRestart > 0 && rng.Float64() < p.NoRestart {
+				s.Crash(at, node, p.Mode)
+			} else {
+				s.CrashFor(at, down, node, p.Mode)
+			}
 		} else {
 			dur := durBetween(rng, p.MinPart, p.MaxPart)
 			dur = clampDur(dur, slot-jitter-time.Millisecond)

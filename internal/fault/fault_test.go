@@ -125,3 +125,110 @@ func TestModeKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestGeneratePinnedTargets(t *testing.T) {
+	p := Profile{
+		Window:     [2]time.Duration{200 * time.Millisecond, 900 * time.Millisecond},
+		Crashes:    3,
+		CrashNodes: []proto.NodeID{1, 2, 3},
+		Pinned:     []proto.NodeID{7, 8},
+		Mode:       Lose,
+		MinDown:    20 * time.Millisecond,
+		MaxDown:    80 * time.Millisecond,
+	}
+	var crashes []proto.NodeID
+	for _, ev := range Generate(42, p).Events() {
+		if ev.Kind == CrashEvent {
+			crashes = append(crashes, ev.Node)
+		}
+	}
+	if len(crashes) != 3 || crashes[0] != 7 || crashes[1] != 8 {
+		t.Fatalf("crash targets %v, want pins 7,8 then a CrashNodes draw", crashes)
+	}
+	if crashes[2] != 1 && crashes[2] != 2 && crashes[2] != 3 {
+		t.Fatalf("unpinned crash hit %d, outside CrashNodes", crashes[2])
+	}
+}
+
+func TestGeneratePinnedOnlyProfile(t *testing.T) {
+	// No CrashNodes at all: every crash must come from Pinned, without
+	// panicking on the empty draw set.
+	p := Profile{
+		Window:  [2]time.Duration{200 * time.Millisecond, 800 * time.Millisecond},
+		Crashes: 1,
+		Pinned:  []proto.NodeID{4},
+		Mode:    Lose,
+		MinDown: 20 * time.Millisecond,
+		MaxDown: 80 * time.Millisecond,
+	}
+	evs := Generate(7, p).Events()
+	if len(evs) != 2 || evs[0].Kind != CrashEvent || evs[0].Node != 4 {
+		t.Fatalf("pinned-only schedule = %+v", evs)
+	}
+}
+
+func TestGenerateNoRestart(t *testing.T) {
+	p := Profile{
+		Window:     [2]time.Duration{200 * time.Millisecond, 900 * time.Millisecond},
+		Crashes:    3,
+		CrashNodes: []proto.NodeID{1, 2},
+		Mode:       Lose,
+		MinDown:    20 * time.Millisecond,
+		MaxDown:    80 * time.Millisecond,
+		NoRestart:  1,
+	}
+	for _, ev := range Generate(11, p).Events() {
+		if ev.Kind == RestartEvent {
+			t.Fatalf("NoRestart=1 schedule contains a restart: %+v", ev)
+		}
+	}
+	if n := Generate(11, p).Len(); n != 3 {
+		t.Fatalf("NoRestart=1 schedule has %d events, want 3 crashes", n)
+	}
+}
+
+func TestGenerateNewKnobsPreserveDrawOrder(t *testing.T) {
+	// Profiles that leave Pinned/NoRestart zero must generate schedules
+	// byte-identical to what they produced before the knobs existed: the
+	// permanence coin is only drawn when NoRestart is set, and pinning
+	// replaces the node draw's result, not the draw itself.
+	base := Profile{
+		Window:     [2]time.Duration{300 * time.Millisecond, 900 * time.Millisecond},
+		Crashes:    2,
+		CrashNodes: []proto.NodeID{1, 2, 3},
+		Mode:       Lose,
+		MinDown:    20 * time.Millisecond,
+		MaxDown:    80 * time.Millisecond,
+		Partitions: 1,
+		Minority:   []proto.NodeID{2},
+		MinPart:    30 * time.Millisecond,
+		MaxPart:    60 * time.Millisecond,
+	}
+	pinned := base
+	pinned.Pinned = []proto.NodeID{3}
+	a, b := Generate(42, base).Events(), Generate(42, pinned).Events()
+	if len(a) != len(b) {
+		t.Fatalf("pinning changed event count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Kind != b[i].Kind {
+			t.Fatalf("pinning moved event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Crashes beyond the pin draw the same nodes as the base profile.
+	crashNode := func(evs []Event, i int) proto.NodeID {
+		for _, ev := range evs {
+			if ev.Kind == CrashEvent {
+				if i == 0 {
+					return ev.Node
+				}
+				i--
+			}
+		}
+		t.Fatalf("no crash %d in %+v", i, evs)
+		return 0
+	}
+	if an, bn := crashNode(a, 1), crashNode(b, 1); an != bn {
+		t.Fatalf("unpinned draw diverged: %v vs %v", an, bn)
+	}
+}

@@ -95,6 +95,10 @@ func (e ringEnv) AfterFreeArg(d time.Duration, fn func(int64), arg int64) {
 	proto.AfterFreeArg(e.Env, d, fn, arg)
 }
 
+// Down forwards proto.Downer so per-ring failure detectors stay quiet
+// while the hosting process is crashed.
+func (e ringEnv) Down() bool { return proto.EnvDown(e.Env) }
+
 // GroupSize forwards proto.GroupSizer (0 when the underlying environment
 // has none): ring agents stamp shared decision buffers with it.
 func (e ringEnv) GroupSize(g proto.GroupID) int { return proto.GroupSizeOf(e.Env, g) }
@@ -205,6 +209,15 @@ func (p *Pacer) start(env proto.Env) {
 func (p *Pacer) arm() { proto.AfterFree(p.env, p.Delta, p.tickFn) }
 
 func (p *Pacer) tick() {
+	if !p.Agent.IsCoordinator() {
+		// Not (or no longer) this ring's coordinator — a failover may have
+		// moved the role, or Phase 1 is still running. Keep sampling so a
+		// later takeover resumes pacing from a fresh interval. ProposeBatch
+		// no-ops in this state anyway, so the guard changes no schedule.
+		p.prevK = p.Agent.InstancesStarted()
+		p.arm()
+		return
+	}
 	// µ = real instances started since the previous tick. prevK is
 	// resampled after proposing the skip so the skip instance itself
 	// never counts toward the next interval's rate.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/lan"
 	"repro/internal/proto"
 	"repro/internal/ringpaxos"
@@ -250,5 +251,102 @@ func TestSkipBatchRoundTrip(t *testing.T) {
 	n, ok = skipCount(core.Batch{Vals: []core.Value{{ID: 1, Bytes: 10}}})
 	if ok || n != 1 {
 		t.Fatalf("normal batch misdetected as skip: %d, %v", n, ok)
+	}
+}
+
+// failoverRig is newRig with failover enabled on ring 0, standby pacers
+// on every ring-0 acceptor (inert until one of them is coordinator), the
+// proposer subscribed to both groups so it hears ring changes, and a
+// fault schedule installed before Start.
+func failoverRig(seed int64, sched *fault.Schedule) *rig {
+	r := &rig{l: lan.New(lan.DefaultConfig(), seed), nodes: make(map[proto.NodeID]*Node)}
+	fo := ringpaxos.Failover{Heartbeat: 2 * time.Millisecond, Suspect: 6 * time.Millisecond}
+	cfg0 := ringpaxos.MConfig{
+		Ring:     []proto.NodeID{0, 1},
+		Learners: []proto.NodeID{10, 11},
+		Group:    100,
+		Failover: fo,
+	}
+	cfg1 := ringpaxos.MConfig{
+		Ring:     []proto.NodeID{2, 3},
+		Learners: []proto.NodeID{10},
+		Group:    101,
+		Failover: fo,
+	}
+	for _, id := range []proto.NodeID{0, 1, 2, 3, 10, 11, 20} {
+		r.nodes[id] = NewNode()
+	}
+	r.nodes[0].AddRing(0, &ringpaxos.MAgent{Cfg: cfg0})
+	r.nodes[1].AddRing(0, &ringpaxos.MAgent{Cfg: cfg0})
+	r.nodes[2].AddRing(1, &ringpaxos.MAgent{Cfg: cfg1})
+	r.nodes[3].AddRing(1, &ringpaxos.MAgent{Cfg: cfg1})
+	lambda, delta := 2000.0, time.Millisecond
+	r.nodes[0].AddPacer(&Pacer{Agent: r.nodes[0].Agent(0), Lambda: lambda, Delta: delta})
+	r.nodes[1].AddPacer(&Pacer{Agent: r.nodes[1].Agent(0), Lambda: lambda, Delta: delta})
+	r.nodes[3].AddPacer(&Pacer{Agent: r.nodes[3].Agent(1), Lambda: lambda, Delta: delta})
+	r.nodes[10].AddRing(0, &ringpaxos.MAgent{Cfg: cfg0})
+	r.nodes[10].AddRing(1, &ringpaxos.MAgent{Cfg: cfg1})
+	r.m10 = NewMerger([]int{0, 1}, 1)
+	r.m10.Deliver = func(_ int64, v core.Value) { r.merged = append(r.merged, v.ID) }
+	r.nodes[10].SetMerger(r.m10)
+	r.nodes[11].AddRing(0, &ringpaxos.MAgent{Cfg: cfg0})
+	r.m11 = NewMerger([]int{0}, 1)
+	r.m11.Deliver = func(_ int64, v core.Value) { r.single = append(r.single, v.ID) }
+	r.nodes[11].SetMerger(r.m11)
+	r.nodes[20].AddRing(0, &ringpaxos.MAgent{Cfg: cfg0})
+	r.nodes[20].AddRing(1, &ringpaxos.MAgent{Cfg: cfg1})
+	for id, n := range r.nodes {
+		r.l.AddNode(id, n)
+	}
+	for _, id := range []proto.NodeID{0, 1, 10, 11, 20} {
+		r.l.Subscribe(100, id)
+	}
+	for _, id := range []proto.NodeID{2, 3, 10, 20} {
+		r.l.Subscribe(101, id)
+	}
+	r.l.InstallFaults(sched)
+	r.l.Start()
+	return r
+}
+
+// TestMultiRingIndependentFailover kills ring 0's coordinator (node 1)
+// permanently. Ring 0 must elect node 0 — whose standby pacer comes
+// alive — while ring 1 is untouched, and the merged learner must resume
+// delivering from both rings after the election.
+func TestMultiRingIndependentFailover(t *testing.T) {
+	sched := fault.New(1).Crash(100*time.Millisecond, 1, fault.Lose)
+	r := failoverRig(6, sched)
+	for i := 0; i < 30; i++ {
+		r.propose(0, int64(2*i+2), 512)
+		r.propose(1, int64(2*i+1), 512)
+	}
+	r.l.Run(time.Second)
+	if !r.nodes[0].Agent(0).IsCoordinator() {
+		t.Fatal("ring-0 survivor (node 0) did not take over")
+	}
+	if !r.nodes[3].Agent(1).IsCoordinator() || r.nodes[2].Agent(1).IsCoordinator() {
+		t.Fatal("ring 1 coordinatorship disturbed by ring 0's failover")
+	}
+	for i := 30; i < 60; i++ {
+		r.propose(0, int64(2*i+2), 512)
+		r.propose(1, int64(2*i+1), 512)
+	}
+	r.l.Run(2 * time.Second)
+	if len(r.merged) != 120 {
+		t.Fatalf("merged learner delivered %d of 120 across the failover", len(r.merged))
+	}
+	if len(r.single) != 60 {
+		t.Fatalf("single-ring learner delivered %d of 60 across the failover", len(r.single))
+	}
+	var ring0 []core.ValueID
+	for _, v := range r.merged {
+		if int64(v)%2 == 0 {
+			ring0 = append(ring0, v)
+		}
+	}
+	for i := range ring0 {
+		if ring0[i] != r.single[i] {
+			t.Fatalf("ring-0 order diverges at %d after failover", i)
+		}
 	}
 }

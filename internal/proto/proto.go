@@ -171,6 +171,26 @@ func WorkOn(env Env, core int, d time.Duration, fn func()) {
 	env.Work(d, fn)
 }
 
+// Downer is the optional interface environments implement to report
+// whether their own process is currently crashed. Protocol timers fire
+// "into the void" while a node is down (their sends are suppressed);
+// most ticks are harmless then, but code that acts on the *absence* of
+// traffic — failure detectors — must not observe silence or suspect
+// peers while its own process is the silent one. Environments without
+// the interface report never-down.
+type Downer interface {
+	Down() bool
+}
+
+// EnvDown reports whether env's process is down, defaulting to false on
+// environments that cannot say.
+func EnvDown(env Env) bool {
+	if d, ok := env.(Downer); ok {
+		return d.Down()
+	}
+	return false
+}
+
 // VolatileLoser is the optional interface handlers implement to model a
 // crash that destroys volatile state (fault.Lose). LoseVolatile is
 // called on restart, before any post-recovery message is delivered: the

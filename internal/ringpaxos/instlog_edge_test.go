@@ -76,10 +76,10 @@ func TestLearnerOutOfOrderValues(t *testing.T) {
 	a, got := newLearnerAgent()
 	// Values arrive 3, 0, 2, 1; decisions interleave arbitrarily.
 	a.learnValue(3, 103, batchOf(33), 0)
-	a.learnDecision(3, 0) // decided before earlier instances even have values
+	a.learnDecision(3, 0, 0) // decided before earlier instances even have values
 	a.learnValue(0, 100, batchOf(30), 0)
-	a.learnDecision(1, 0) // decision before its value
-	a.learnDecision(0, 0)
+	a.learnDecision(1, 0, 0) // decision before its value
+	a.learnDecision(0, 0, 0)
 	if want := int64(1); a.NextDeliver() != want {
 		t.Fatalf("frontier %d after inst 0 decided, want %d", a.NextDeliver(), want)
 	}
@@ -88,7 +88,7 @@ func TestLearnerOutOfOrderValues(t *testing.T) {
 	if want := int64(2); a.NextDeliver() != want {
 		t.Fatalf("frontier %d, want %d", a.NextDeliver(), want)
 	}
-	a.learnDecision(2, 0) // unblocks 2 and then 3
+	a.learnDecision(2, 0, 0) // unblocks 2 and then 3
 	if want := int64(4); a.NextDeliver() != want {
 		t.Fatalf("frontier %d, want %d", a.NextDeliver(), want)
 	}
@@ -104,7 +104,7 @@ func TestLearnerOutOfOrderValues(t *testing.T) {
 	// Delivered instances are trimmed: a duplicate value or decision for
 	// them must neither redeliver nor resurrect state.
 	a.learnValue(1, 101, batchOf(31), 0)
-	a.learnDecision(1, 0)
+	a.learnDecision(1, 0, 0)
 	if len(*got) != 4 || a.insts.Len() != 0 {
 		t.Fatalf("trimmed instance resurrected: %v, %d live", *got, a.insts.Len())
 	}
@@ -116,7 +116,7 @@ func TestLearnerValueOverwrite(t *testing.T) {
 	a, got := newLearnerAgent()
 	a.learnValue(0, 100, batchOf(10), 0)
 	a.learnValue(0, 200, batchOf(20), 0) // new coordinator re-proposed
-	a.learnDecision(0, 0)
+	a.learnDecision(0, 0, 0)
 	if len(*got) != 1 || (*got)[0] != 20 {
 		t.Fatalf("delivered %v, want the re-proposed value 20", *got)
 	}

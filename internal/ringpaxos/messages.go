@@ -31,7 +31,9 @@ type (
 	// mPhase2A proposes batch Val with unique id VID in instance Inst.
 	// Decided piggybacks decision ids of previously finished instances
 	// (the Task-5-with-Task-3 overlap of §3.3.2); DecidedMasks carries the
-	// matching partition masks in partitioned mode.
+	// matching partition masks in partitioned mode, DecidedVIDs the chosen
+	// value ids (consensus is on value ids, so the vid IS the decision —
+	// it travels inside the modeled 8-byte decision id, not on top of it).
 	mPhase2A struct {
 		Inst         int64
 		Rnd          int64
@@ -39,9 +41,10 @@ type (
 		Val          core.Batch
 		Decided      []int64
 		DecidedMasks []uint64
-		// decBuf, when non-nil, owns the Decided/DecidedMasks arrays; each
-		// receiver releases it after consuming (see core.DecBuf). Not part
-		// of the wire size.
+		DecidedVIDs  []core.ValueID
+		// decBuf, when non-nil, owns the Decided/DecidedMasks/DecidedVIDs
+		// arrays; each receiver releases it after consuming (see
+		// core.DecBuf). Not part of the wire size.
 		decBuf *core.DecBuf
 	}
 	// mPhase2B travels along the ring; consensus is on value ids, so it
@@ -52,10 +55,13 @@ type (
 		VID  core.ValueID
 	}
 	// mDecision is a standalone decision flush (used when there is no 2A
-	// to piggyback on). Masks carries partition masks in partitioned mode.
+	// to piggyback on). Masks carries partition masks in partitioned mode;
+	// VIDs the chosen value ids (inside the modeled decision id, like
+	// mPhase2A.DecidedVIDs).
 	mDecision struct {
 		Insts []int64
 		Masks []uint64
+		VIDs  []core.ValueID
 		// decBuf: see mPhase2A.
 		decBuf *core.DecBuf
 	}
@@ -97,12 +103,54 @@ type (
 	// over direct channels. Floor carries the acceptor's garbage-collection
 	// trim floor so a new coordinator never resurrects a vote another
 	// acceptor already trimmed (such an instance would stall mid-ring at
-	// that acceptor's floor guard and pin a window slot forever).
-	uPhase1A struct{ Rnd int64 }
+	// that acceptor's floor guard and pin a window slot forever). Ring and
+	// NAcc, when set, propose a reconfigured ring layout (failover: the
+	// surviving quorum abides by it when it promises); a nil Ring leaves
+	// the receiver's layout untouched.
+	uPhase1A struct {
+		Rnd  int64
+		Ring []proto.NodeID
+		NAcc int
+	}
 	uPhase1B struct {
 		Rnd   int64
 		Votes map[int64]vote
 		Floor int64
+	}
+
+	// mHeartbeat is the failure detector's ring-neighbor beacon: each ring
+	// member sends one to its successor every Failover.Heartbeat and
+	// suspects its predecessor after Failover.Suspect of silence. Only ever
+	// sent when Failover is enabled, so deployments without it see zero
+	// extra messages or timers.
+	mHeartbeat struct{ Rnd int64 }
+	// mTakeOver nominates the receiver as the new coordinator over Ring
+	// (its coordinator position must be the receiver). Rnd is the
+	// nominator's highest observed round, so the nominee's Phase 1 starts
+	// strictly above the dead coordinator's round. NAcc carries the
+	// surviving acceptor count for U-Ring reconfigurations.
+	mTakeOver struct {
+		Rnd  int64
+		Ring []proto.NodeID
+		NAcc int
+	}
+	// mRingChange announces a reconfigured ring on the multicast group
+	// after a takeover's Phase 1 completes, so learners and proposers —
+	// which are not ring members and never see mPhase1A — re-aim their
+	// retransmission requests and proposals at the new coordinator.
+	mRingChange struct {
+		Rnd  int64
+		Ring []proto.NodeID
+	}
+	// uRingChange circulates a reconfigured ring layout once around the
+	// U-Ring (there is no multicast group to announce on): every member
+	// adopts the new ring and acceptor count, re-routing succ() around the
+	// dead node. Hops stops the revolution.
+	uRingChange struct {
+		Rnd  int64
+		Ring []proto.NodeID
+		NAcc int
+		Hops int
 	}
 )
 
@@ -138,7 +186,11 @@ func (m uPhase2) Size() int        { return headerBytes + m.Val.Size() }
 func (m uDecision) Size() int {
 	return headerBytes + m.Val.Size()
 }
-func (m uPhase1A) Size() int { return headerBytes }
+func (m uPhase1A) Size() int    { return headerBytes + 4*len(m.Ring) }
+func (m mHeartbeat) Size() int  { return headerBytes }
+func (m mTakeOver) Size() int   { return headerBytes + 4*len(m.Ring) }
+func (m mRingChange) Size() int { return headerBytes + 4*len(m.Ring) }
+func (m uRingChange) Size() int { return headerBytes + 4*len(m.Ring) }
 func (m uPhase1B) Size() int {
 	n := headerBytes
 	for _, v := range m.Votes {

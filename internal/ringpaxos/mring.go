@@ -89,6 +89,11 @@ type MConfig struct {
 	// Speculative delivers values to learners at Phase 2A receipt, before
 	// they are decided (Chapter 4 speculative execution).
 	Speculative bool
+	// Failover enables the liveness layer (§3.3): ring-neighbor
+	// heartbeats, deterministic suspicion, coordinator election among the
+	// surviving ring members (refilled from Spares) and ring-change
+	// propagation. The zero value disables it — no timer, no message.
+	Failover Failover
 	// RecycleBatches lets the coordinator return batch backing arrays to
 	// its free list once the learner-version garbage collection trims the
 	// instance (plus one quarantine round). Enable it only when every
@@ -173,6 +178,10 @@ type learnEntry struct {
 	hasVal  bool
 	decided bool
 	decMask uint64
+	// decVID is the value id the decision chose (zero when the decision
+	// predates vid-carrying announcements, e.g. a retransmit of a trimmed
+	// record). A held value only delivers when its vid matches.
+	decVID core.ValueID
 }
 
 // MAgent is one M-Ring Paxos process. Roles follow from the configuration:
@@ -220,9 +229,15 @@ type MAgent struct {
 	timersArmed bool
 
 	// --- acceptor state ---
-	rnd       int64
-	maxInst   int64
-	ring      []proto.NodeID
+	rnd     int64
+	maxInst int64
+	ring    []proto.NodeID
+	// coord is the coordinator this node currently routes proposals and
+	// gap-recovery requests to; ring changes re-aim it.
+	coord proto.NodeID
+	// fo is the failure detector / election state (inert unless
+	// Cfg.Failover is enabled).
+	fo        foState
 	store     core.InstLog[logEntry]
 	storeByte int
 	// versions tracks learner-reported applied instances and the trim
@@ -271,6 +286,7 @@ func (a *MAgent) Start(env proto.Env) {
 	a.window = a.Cfg.Window
 	a.maxInst = -1
 	a.ring = a.Cfg.Ring
+	a.coord = a.Cfg.Coordinator()
 	a.promises = make(map[proto.NodeID]mPhase1B)
 	a.batchFn = func() { a.batchArmed = false; a.flush() }
 	a.retryFn = a.retryInstance
@@ -291,6 +307,12 @@ func (a *MAgent) Start(env proto.Env) {
 	if a.isLearner() {
 		a.armLearnerTimers()
 	}
+	if a.Cfg.Failover.Enabled() && (a.isAcceptor() || a.isSpare()) {
+		// Ring members heartbeat from the start; spares arm the same tick
+		// but stay passive until a reconfiguration pulls them into the ring.
+		a.fo.tickFn = a.failoverTick
+		proto.AfterFree(a.env, a.Cfg.Failover.Heartbeat, a.fo.tickFn)
+	}
 }
 
 func (a *MAgent) isAcceptor() bool {
@@ -310,6 +332,13 @@ func (a *MAgent) isLearner() bool {
 	}
 	return false
 }
+
+func (a *MAgent) isSpare() bool { return ringContains(a.Cfg.Spares, a.env.ID()) }
+
+// IsCoordinator reports whether this agent currently leads the ring with
+// a completed Phase 1. Failover-aware callers (skip pacers, rigs) consult
+// it instead of comparing against the static configuration.
+func (a *MAgent) IsCoordinator() bool { return a.isCoord && a.phase1Done }
 
 // ringIndex returns this node's position in the current ring, or -1.
 func (a *MAgent) ringIndex() int {
@@ -353,14 +382,16 @@ func (a *MAgent) becomeCoordinator(minRound int64, ring []proto.NodeID) {
 	}
 	a.env.After(a.Cfg.Retry, func() {
 		if a.isCoord && !a.phase1Done {
-			a.becomeCoordinator(a.crnd>>10, a.ring)
+			a.becomeCoordinator(a.crnd>>10, ring)
 		}
 	})
 }
 
 // TakeOver promotes this agent to coordinator over newRing (failover and
-// reconfiguration entry point; the last element must be this node).
+// reconfiguration entry point; the last element must be this node). The
+// reconfigured ring is announced on the group once Phase 1 completes.
 func (a *MAgent) TakeOver(newRing []proto.NodeID) {
+	a.fo.tookOver = true
 	a.becomeCoordinator((a.rnd>>10)+1, newRing)
 }
 
@@ -388,11 +419,16 @@ func (a *MAgent) Propose(v core.Value) {
 	}
 	m := msgProposePool.Get()
 	m.V = v
-	a.env.Send(a.Cfg.Coordinator(), m)
+	a.env.Send(a.coord, m)
 }
 
 // Receive implements proto.Handler.
 func (a *MAgent) Receive(from proto.NodeID, m proto.Message) {
+	// Any traffic from the monitored ring predecessor is a sign of life
+	// (one predictable branch when failover is disabled).
+	if a.fo.mon && from == a.fo.pred {
+		a.fo.last = a.env.Now()
+	}
 	switch msg := m.(type) {
 	case *MsgPropose:
 		if a.isCoord {
@@ -409,7 +445,7 @@ func (a *MAgent) Receive(from proto.NodeID, m proto.Message) {
 	case *mPhase2B:
 		a.onPhase2B(msg)
 	case mDecision:
-		a.onDecisions(msg.Insts, msg.Masks)
+		a.onDecisions(msg.Insts, msg.Masks, msg.VIDs)
 		msg.decBuf.Release()
 	case mRetransmitReq:
 		a.onRetransmitReq(from, msg)
@@ -419,6 +455,12 @@ func (a *MAgent) Receive(from proto.NodeID, m proto.Message) {
 		a.onSlowDown(msg)
 	case proto.VersionReport:
 		a.onVersion(msg)
+	case mHeartbeat:
+		// Pure liveness beacon; the prologue above already recorded it.
+	case mTakeOver:
+		a.onTakeOver(msg)
+	case mRingChange:
+		a.onRingChange(msg)
 	}
 }
 
@@ -431,6 +473,7 @@ func (a *MAgent) Receive(from proto.NodeID, m proto.Message) {
 func (a *MAgent) LoseVolatile() {
 	a.pending = a.pending[:0]
 	a.pendingBytes = 0
+	a.fo.reset()
 }
 
 // --- coordinator ---
@@ -501,7 +544,7 @@ func (a *MAgent) sendPhase2A(inst int64, oi *openInst) {
 	m := mPhase2A{Inst: inst, Rnd: a.crnd, VID: oi.vid, Val: oi.val}
 	if b := a.decQ; b != nil {
 		a.decQ = nil
-		m.Decided, m.DecidedMasks, m.decBuf = b.Insts, b.Masks, a.armDecBuf(b)
+		m.Decided, m.DecidedMasks, m.DecidedVIDs, m.decBuf = b.Insts, b.Masks, b.Vids, a.armDecBuf(b)
 	}
 	if len(a.Cfg.PartGroups) == 0 || oi.mask == 0 {
 		a.env.Multicast(a.Cfg.Group, m)
@@ -509,8 +552,8 @@ func (a *MAgent) sendPhase2A(inst int64, oi *openInst) {
 		// Partitioned mode: one 2A per concerned partition group; decision
 		// ids travel on the decision group (§4.2.2), so don't piggyback.
 		if len(m.Decided) > 0 {
-			a.env.Multicast(a.Cfg.Group, mDecision{Insts: m.Decided, Masks: m.DecidedMasks, decBuf: m.decBuf})
-			m.Decided, m.DecidedMasks, m.decBuf = nil, nil, nil
+			a.env.Multicast(a.Cfg.Group, mDecision{Insts: m.Decided, Masks: m.DecidedMasks, VIDs: m.DecidedVIDs, decBuf: m.decBuf})
+			m.Decided, m.DecidedMasks, m.DecidedVIDs, m.decBuf = nil, nil, nil, nil
 		}
 		rem := oi.mask
 		for rem != 0 {
@@ -582,11 +625,24 @@ func (a *MAgent) onPhase1B(from proto.NodeID, m mPhase1B) {
 			a.next = inst + 1
 		}
 		oi, _ := a.open.Put(inst)
-		oi.vid = core.ValueID(a.crnd<<32 | inst)
+		// Keep the adopted vote's value id: consensus is on value ids, so
+		// an instance the dead coordinator may already have decided at some
+		// learner must be re-proposed as the SAME id, never a fresh one.
+		oi.vid = adopt[inst].vid
+		if oi.vid == 0 {
+			oi.vid = core.ValueID(a.crnd<<32 | inst)
+		}
 		oi.val = adopt[inst].val
 		oi.mask = 0
 		oi.pooled = false
 		a.sendPhase2A(inst, oi)
+	}
+	if a.fo.tookOver {
+		// Announce the reconfigured ring to non-ring members (learners,
+		// proposers never see mPhase1A): they re-aim gap recovery and
+		// proposals at the new coordinator, and a stale ex-coordinator
+		// that restarts observes the higher round and stands down.
+		a.env.Multicast(a.Cfg.Group, mRingChange{Rnd: a.crnd, Ring: a.ring})
 	}
 	a.flush()
 	if !a.timersArmed {
@@ -608,7 +664,7 @@ func (a *MAgent) decisionFlushTick() {
 	}
 	if b := a.decQ; b != nil {
 		a.decQ = nil
-		a.env.Multicast(a.Cfg.Group, mDecision{Insts: b.Insts, Masks: b.Masks, decBuf: a.armDecBuf(b)})
+		a.env.Multicast(a.Cfg.Group, mDecision{Insts: b.Insts, Masks: b.Masks, VIDs: b.Vids, decBuf: a.armDecBuf(b)})
 	}
 	a.armDecisionFlush()
 }
@@ -662,8 +718,9 @@ func (a *MAgent) decide(inst int64) {
 	}
 	a.decQ.Insts = append(a.decQ.Insts, inst)
 	a.decQ.Masks = append(a.decQ.Masks, mask)
+	a.decQ.Vids = append(a.decQ.Vids, vid)
 	if a.isLearner() {
-		a.learnDecision(inst, mask)
+		a.learnDecision(inst, mask, vid)
 	}
 	a.flush()
 }
@@ -673,6 +730,9 @@ func (a *MAgent) decide(inst int64) {
 func (a *MAgent) onPhase1A(from proto.NodeID, m mPhase1A) {
 	if m.Rnd <= a.rnd {
 		return
+	}
+	if a.isCoord && m.Rnd > a.crnd {
+		a.standDown()
 	}
 	a.rnd = m.Rnd
 	if len(m.Ring) > 0 {
@@ -694,7 +754,12 @@ func (a *MAgent) onPhase1A(from proto.NodeID, m mPhase1A) {
 func (a *MAgent) onPhase2A(m mPhase2A) {
 	// Decision ids piggybacked on the 2A are processed by every role.
 	if len(m.Decided) > 0 {
-		a.onDecisions(m.Decided, m.DecidedMasks)
+		a.onDecisions(m.Decided, m.DecidedMasks, m.DecidedVIDs)
+	}
+	if a.isCoord && m.Rnd > a.crnd {
+		// Another coordinator with a higher round is running Phase 2: this
+		// one is stale (its own 2As would be fenced everywhere) — retire.
+		a.standDown()
 	}
 	if a.isLearner() {
 		a.learnValue(m.Inst, m.VID, m.Val, m.Mask())
@@ -857,6 +922,12 @@ func (a *MAgent) learnValue(inst int64, vid core.ValueID, val core.Batch, mask u
 	if e.hasVal && e.vid == vid {
 		return
 	}
+	if e.decided && e.decVID != 0 && vid != e.decVID {
+		// A stale coordinator's proposal for an instance whose decision
+		// chose a different value id: accepting it could deliver a value
+		// consensus never decided.
+		return
+	}
 	e.vid, e.val, e.mask, e.hasVal = vid, val, mask, true
 	if a.Cfg.Speculative && a.SpecDeliver != nil {
 		for _, v := range val.Vals {
@@ -866,7 +937,7 @@ func (a *MAgent) learnValue(inst int64, vid core.ValueID, val core.Batch, mask u
 	a.tryDeliver()
 }
 
-func (a *MAgent) learnDecision(inst int64, mask uint64) {
+func (a *MAgent) learnDecision(inst int64, mask uint64, vid core.ValueID) {
 	if inst < a.nextDeliver {
 		return
 	}
@@ -874,14 +945,14 @@ func (a *MAgent) learnDecision(inst int64, mask uint64) {
 	if e.decided {
 		return
 	}
-	e.decided, e.decMask = true, mask
+	e.decided, e.decMask, e.decVID = true, mask, vid
 	if inst > a.maxDecided {
 		a.maxDecided = inst
 	}
 	a.tryDeliver()
 }
 
-func (a *MAgent) onDecisions(insts []int64, masks []uint64) {
+func (a *MAgent) onDecisions(insts []int64, masks []uint64, vids []core.ValueID) {
 	if !a.isLearner() && !a.isAcceptor() {
 		return
 	}
@@ -889,6 +960,10 @@ func (a *MAgent) onDecisions(insts []int64, masks []uint64) {
 		var mask uint64
 		if masks != nil {
 			mask = masks[i]
+		}
+		var vid core.ValueID
+		if vids != nil {
+			vid = vids[i]
 		}
 		if e, ok := a.store.Get(inst); ok && e.vid != 0 {
 			e.decided = true
@@ -898,7 +973,7 @@ func (a *MAgent) onDecisions(insts []int64, masks []uint64) {
 			if e, ok := a.insts.Get(inst); ok && e.hasVal {
 				mask = e.mask
 			}
-			a.learnDecision(inst, mask)
+			a.learnDecision(inst, mask, vid)
 		}
 	}
 }
@@ -909,7 +984,7 @@ func (a *MAgent) onRetransmit(m mRetransmit) {
 	}
 	a.learnValue(m.Inst, m.VID, m.Val, m.Mask)
 	if m.Decided {
-		a.learnDecision(m.Inst, m.Mask)
+		a.learnDecision(m.Inst, m.Mask, m.VID)
 	}
 }
 
@@ -932,6 +1007,13 @@ func (a *MAgent) tryDeliver() {
 				continue
 			}
 			return // value lost; gap recovery will fetch it
+		}
+		if e.decVID != 0 && e.vid != e.decVID {
+			// The held value is not the one the decision chose (a stale
+			// pre-failover proposal won the race into the entry): drop it
+			// and let gap recovery fetch the chosen value from the ring.
+			e.hasVal = false
+			return
 		}
 		inst := a.nextDeliver
 		val := e.val
@@ -1044,7 +1126,7 @@ func (a *MAgent) requestMissing() {
 	var miss []int64
 	for inst := a.nextDeliver; inst <= hi && len(miss) < 48; inst++ {
 		e, ok := a.insts.Get(inst)
-		if !ok || !e.decided || !e.hasVal {
+		if !ok || !e.decided || !e.hasVal || (e.decVID != 0 && e.vid != e.decVID) {
 			miss = append(miss, inst)
 		}
 	}
@@ -1053,7 +1135,7 @@ func (a *MAgent) requestMissing() {
 	}
 	to := a.preferential()
 	if a.askCoord {
-		to = a.Cfg.Coordinator()
+		to = a.coord
 	}
 	a.askCoord = !a.askCoord
 	a.env.Send(to, mRetransmitReq{Insts: miss})
@@ -1064,3 +1146,131 @@ func (a *MAgent) NextDeliver() int64 { return a.nextDeliver }
 
 // Window returns the coordinator's current flow-control window.
 func (a *MAgent) Window() int { return a.window }
+
+// --- failover ---
+
+// failoverTick is the periodic failure-detector beat: beacon the ring
+// successor, check the predecessor's silence window. Spares and evicted
+// ex-members keep ticking but stay passive while outside the ring.
+func (a *MAgent) failoverTick() {
+	if proto.EnvDown(a.env) {
+		// A crashed process runs no failure detector: drop the monitor aim
+		// so the first post-restart tick re-observes a full silence window
+		// instead of acting on a timestamp from before the outage.
+		a.fo.mon = false
+	} else if i := a.ringIndex(); i >= 0 && len(a.ring) > 1 {
+		n := len(a.ring)
+		a.env.Send(a.ring[(i+1)%n], mHeartbeat{Rnd: a.rnd})
+		pred := a.ring[(i-1+n)%n]
+		if a.fo.observe(pred, a.env.Now(), a.Cfg.Failover.suspectAfter()) {
+			a.suspectPred(pred)
+		}
+	} else {
+		a.fo.mon = false
+	}
+	proto.AfterFree(a.env, a.Cfg.Failover.Heartbeat, a.fo.tickFn)
+}
+
+// suspectPred declares the ring predecessor dead, lays out a ring of the
+// survivors (refilled from spares) and nominates the highest-id live
+// acceptor as coordinator. If a prior nomination produced no round
+// progress, foState.suspect already escalated past that nominee.
+func (a *MAgent) suspectPred(pred proto.NodeID) {
+	a.fo.suspect(pred, a.rnd)
+	newRing := a.electRing()
+	if len(newRing) == 0 {
+		return
+	}
+	nom := newRing[len(newRing)-1]
+	a.fo.note(nom, a.rnd, a.env.Now())
+	if nom == a.env.ID() {
+		a.TakeOver(newRing)
+		return
+	}
+	a.env.Send(nom, mTakeOver{Rnd: a.rnd, Ring: newRing})
+}
+
+// electRing deterministically lays out the post-failure ring: the current
+// ring's survivors in order, refilled from configured spares up to the
+// original size, with the highest-id survivor moved to the coordinator
+// (last) position. Every correct detector computes the same layout from
+// the same dead set, so concurrent suspicions converge on one nominee.
+func (a *MAgent) electRing() []proto.NodeID {
+	var survivors []proto.NodeID
+	for _, id := range a.ring {
+		if !a.fo.dead[id] {
+			survivors = append(survivors, id)
+		}
+	}
+	if len(survivors) == 0 {
+		return nil
+	}
+	nom := survivors[0]
+	for _, id := range survivors {
+		if id > nom {
+			nom = id
+		}
+	}
+	out := make([]proto.NodeID, 0, len(a.Cfg.Ring))
+	for _, id := range survivors {
+		if id != nom {
+			out = append(out, id)
+		}
+	}
+	for _, id := range a.Cfg.Spares {
+		if len(out)+1 >= len(a.Cfg.Ring) {
+			break
+		}
+		if !a.fo.dead[id] && !ringContains(a.ring, id) && !ringContains(out, id) {
+			out = append(out, id)
+		}
+	}
+	return append(out, nom)
+}
+
+func (a *MAgent) onTakeOver(m mTakeOver) {
+	if !a.Cfg.Failover.Enabled() || len(m.Ring) == 0 || m.Ring[len(m.Ring)-1] != a.env.ID() {
+		return
+	}
+	if a.isCoord && sameRing(a.ring, m.Ring) {
+		return // already coordinating (or running Phase 1 over) this layout
+	}
+	if m.Rnd > a.rnd {
+		a.rnd = m.Rnd
+	}
+	a.TakeOver(m.Ring)
+}
+
+func (a *MAgent) onRingChange(m mRingChange) {
+	if len(m.Ring) == 0 || m.Rnd < a.rnd {
+		return
+	}
+	if a.isCoord && m.Rnd > a.crnd {
+		a.standDown()
+	}
+	a.rnd = m.Rnd
+	a.ring = m.Ring
+	a.coord = m.Ring[len(m.Ring)-1]
+}
+
+// standDown retires a stale coordinator that observed a higher round.
+// Every acceptor fences its Phase 1A/2A messages against the new round,
+// so retrying its open instances could never succeed — it would only
+// re-announce old-round values to learners. Queued decision ids are
+// flushed first: decisions are final at any round, and their vids let
+// learners fence them against re-proposals.
+func (a *MAgent) standDown() {
+	if !a.isCoord {
+		return
+	}
+	if b := a.decQ; b != nil {
+		a.decQ = nil
+		a.env.Multicast(a.Cfg.Group, mDecision{Insts: b.Insts, Masks: b.Masks, VIDs: b.Vids, decBuf: a.armDecBuf(b)})
+	}
+	a.isCoord, a.phase1Done = false, false
+	a.open = core.InstLog[openInst]{}
+	a.pending = a.pending[:0]
+	a.pendingBytes = 0
+	a.timersArmed = false
+	a.fo.tookOver = false
+}

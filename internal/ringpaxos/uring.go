@@ -53,6 +53,13 @@ type UConfig struct {
 	// instance (plus one quarantine round). Requires GCInterval > 0 and
 	// learners that consume delivered batches synchronously.
 	RecycleBatches bool
+	// Failover enables the liveness layer: ring-neighbor heartbeats,
+	// deterministic suspicion, election of the highest-id surviving
+	// acceptor as coordinator, and ring reconfiguration around the dead
+	// node. The Phase 1 quorum stays a majority of the ORIGINAL 2f+1
+	// acceptors, so safety holds across reconfigurations. The zero value
+	// disables it — no timer, no message.
+	Failover Failover
 }
 
 func (c *UConfig) defaults() {
@@ -121,6 +128,15 @@ type UAgent struct {
 	rnd   int64
 	votes core.InstLog[vote]
 
+	// ring layout state: the live ring and its acceptor-segment length,
+	// re-laid-out by failover reconfigurations. ringRnd dedupes circulating
+	// ring-change announcements; fo is the failure detector (inert unless
+	// Cfg.Failover is enabled).
+	ring    []proto.NodeID
+	nacc    int
+	ringRnd int64
+	fo      foState
+
 	// garbage-collection state (shared subsystem, §3.3.7): every ring
 	// process tracks learner versions — reports pipeline around the whole
 	// ring — and trims its vote log when the floor advances.
@@ -147,19 +163,25 @@ var _ proto.Handler = (*UAgent)(nil)
 func (a *UAgent) Start(env proto.Env) {
 	a.env = env
 	a.Cfg.defaults()
+	a.ring = a.Cfg.Ring
+	a.nacc = a.Cfg.NumAcceptors
 	a.promises = make(map[proto.NodeID]uPhase1B)
 	a.batchFn = func() { a.batchArmed = false; a.flush() }
 	a.versionFn = a.versionTick
 	if env.ID() == a.Cfg.Coordinator() {
-		a.becomeCoordinator(1)
+		a.becomeCoordinator(1, a.Cfg.Ring, a.Cfg.NumAcceptors)
 	}
 	if a.Cfg.GCInterval > 0 && a.isLearner() {
 		proto.AfterFree(a.env, a.Cfg.GCInterval, a.versionFn)
 	}
+	if a.Cfg.Failover.Enabled() && a.ringIndex() >= 0 {
+		a.fo.tickFn = a.failoverTick
+		proto.AfterFree(a.env, a.Cfg.Failover.Heartbeat, a.fo.tickFn)
+	}
 }
 
 func (a *UAgent) ringIndex() int {
-	for i, id := range a.Cfg.Ring {
+	for i, id := range a.ring {
 		if id == a.env.ID() {
 			return i
 		}
@@ -169,19 +191,23 @@ func (a *UAgent) ringIndex() int {
 
 func (a *UAgent) succ() proto.NodeID {
 	i := a.ringIndex()
-	return a.Cfg.Ring[(i+1)%len(a.Cfg.Ring)]
+	return a.ring[(i+1)%len(a.ring)]
 }
 
 func (a *UAgent) isAcceptor() bool {
 	i := a.ringIndex()
-	return i >= 0 && i < a.Cfg.NumAcceptors
+	return i >= 0 && i < a.nacc
 }
 
 // lastAcceptor reports whether this process is the f-th acceptor after the
 // coordinator — the process that detects decisions (Algorithm 3, Task 4).
 func (a *UAgent) lastAcceptor() bool {
-	return a.ringIndex() == a.Cfg.NumAcceptors-1
+	return a.ringIndex() == a.nacc-1
 }
+
+// IsCoordinator reports whether this agent currently leads the ring with
+// a completed Phase 1 (failover-aware).
+func (a *UAgent) IsCoordinator() bool { return a.isCoord && a.phase1Done }
 
 func (a *UAgent) isLearner() bool {
 	for _, id := range a.Cfg.Learners {
@@ -192,21 +218,28 @@ func (a *UAgent) isLearner() bool {
 	return false
 }
 
-func (a *UAgent) becomeCoordinator(minRound int64) {
+func (a *UAgent) becomeCoordinator(minRound int64, ring []proto.NodeID, nacc int) {
 	a.isCoord = true
 	a.phase1Done = false
 	a.promises = make(map[proto.NodeID]uPhase1B)
+	a.ring, a.nacc = ring, nacc
 	r := (minRound << 10) | int64(a.env.ID())
 	if r <= a.crnd {
 		r = (((a.crnd >> 10) + 1) << 10) | int64(a.env.ID())
 	}
 	a.crnd = r
-	for i := 0; i < a.Cfg.NumAcceptors; i++ {
-		a.env.Send(a.Cfg.Ring[i], uPhase1A{Rnd: a.crnd})
+	m := uPhase1A{Rnd: a.crnd}
+	if a.fo.tookOver {
+		// Propose the reconfigured layout with the round: the surviving
+		// quorum abides by it when it promises.
+		m.Ring, m.NAcc = ring, nacc
+	}
+	for i := 0; i < nacc; i++ {
+		a.env.Send(ring[i], m)
 	}
 	a.env.After(a.Cfg.Retry, func() {
 		if a.isCoord && !a.phase1Done {
-			a.becomeCoordinator(a.crnd >> 10)
+			a.becomeCoordinator(a.crnd>>10, ring, nacc)
 		}
 	})
 }
@@ -225,6 +258,11 @@ func (a *UAgent) Propose(v core.Value) {
 
 // Receive implements proto.Handler.
 func (a *UAgent) Receive(from proto.NodeID, m proto.Message) {
+	// Any traffic from the monitored ring predecessor is a sign of life
+	// (one predictable branch when failover is disabled).
+	if a.fo.mon && from == a.fo.pred {
+		a.fo.last = a.env.Now()
+	}
 	switch msg := m.(type) {
 	case *MsgPropose:
 		if a.isCoord {
@@ -243,6 +281,12 @@ func (a *UAgent) Receive(from proto.NodeID, m proto.Message) {
 		a.onDecision(msg)
 	case proto.VersionReport:
 		a.onVersionReport(msg)
+	case mHeartbeat:
+		// Pure liveness beacon; the prologue above already recorded it.
+	case mTakeOver:
+		a.onTakeOver(msg)
+	case uRingChange:
+		a.onRingChange(msg)
 	}
 }
 
@@ -255,6 +299,7 @@ func (a *UAgent) Receive(from proto.NodeID, m proto.Message) {
 func (a *UAgent) LoseVolatile() {
 	a.pending.PopFront(a.pending.Len())
 	a.pendingBytes = 0
+	a.fo.reset()
 }
 
 // --- coordinator ---
@@ -302,7 +347,7 @@ func (a *UAgent) startInstance(b core.Batch, pooled bool) {
 }
 
 func (a *UAgent) forwardPhase2(m *uPhase2) {
-	if a.Cfg.NumAcceptors == 1 {
+	if a.nacc == 1 {
 		// Degenerate single-acceptor ring: decide immediately.
 		a.sendDecision(m)
 		uPhase2Pool.Put(m)
@@ -312,7 +357,16 @@ func (a *UAgent) forwardPhase2(m *uPhase2) {
 }
 
 func (a *UAgent) onPhase1A(from proto.NodeID, m uPhase1A) {
-	if !a.isAcceptor() || m.Rnd <= a.rnd {
+	if m.Rnd <= a.rnd {
+		return
+	}
+	if a.isCoord && m.Rnd > a.crnd {
+		a.standDownU()
+	}
+	if len(m.Ring) > 0 {
+		a.ring, a.nacc = m.Ring, m.NAcc // abide by the proposed layout
+	}
+	if !a.isAcceptor() {
 		return
 	}
 	a.rnd = m.Rnd
@@ -329,6 +383,10 @@ func (a *UAgent) onPhase1B(from proto.NodeID, m uPhase1B) {
 		return
 	}
 	a.promises[from] = m
+	// The quorum is a majority of the ORIGINAL 2f+1 acceptors even after a
+	// reconfiguration shrank the live segment: any value chosen in an
+	// earlier round reached a majority of the original set, so only an
+	// original-majority intersection is guaranteed to surface it.
 	if len(a.promises) < a.Cfg.NumAcceptors/2+1 {
 		return
 	}
@@ -358,23 +416,37 @@ func (a *UAgent) onPhase1B(from proto.NodeID, m uPhase1B) {
 	}
 	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
 	for _, inst := range insts {
-		if a.learned.Has(inst) || inst < a.nextDeliver || inst < a.gc.Floor() {
-			// Delivered here, or globally applied and trimmed: acceptors
-			// that trimmed the instance drop its Phase 2 at the floor
-			// guard, so re-opening it could never complete its ring pass.
+		if inst < a.gc.Floor() {
+			// Globally applied and trimmed: acceptors that trimmed the
+			// instance drop its Phase 2 at the floor guard, so re-opening
+			// it could never complete its ring pass. Instances this node
+			// merely DELIVERED are still re-proposed — after a failover
+			// other learners may have a gap there, and their own dedup
+			// (deliverLocal) discards the duplicate.
 			continue
 		}
 		if inst >= a.next {
 			a.next = inst + 1
 		}
 		a.openCount++
-		vid := core.ValueID(a.crnd<<32 | inst)
 		av := adopt[inst]
+		// Keep the adopted vote's value id: consensus is on value ids, so
+		// a possibly-chosen value must be re-proposed as the SAME id.
+		vid := av.vid
+		if vid == 0 {
+			vid = core.ValueID(a.crnd<<32 | inst)
+		}
 		v, _ := a.votes.Put(inst)
 		*v = vote{rnd: a.crnd, vid: vid, val: av.val}
 		m := uPhase2Pool.Get()
 		m.Inst, m.Rnd, m.VID, m.Val = inst, a.crnd, vid, av.val
 		a.forwardPhase2(m)
+	}
+	if a.fo.tookOver && len(a.ring) > 1 {
+		// Circulate the reconfigured layout once around the new ring so
+		// every member re-routes around the dead node.
+		a.ringRnd = a.crnd
+		a.env.Send(a.succ(), uRingChange{Rnd: a.crnd, Ring: a.ring, NAcc: a.nacc})
 	}
 	a.flush()
 }
@@ -423,7 +495,7 @@ func (a *UAgent) sendDecision(m *uPhase2) {
 	d.Inst, d.VID, d.Val, d.Hops = m.Inst, m.VID, m.Val, 0
 	a.deliverLocal(d)
 	a.releaseWindow()
-	if len(a.Cfg.Ring) > 1 {
+	if len(a.ring) > 1 {
 		a.forwardDecision(d)
 	} else {
 		uDecisionPool.Put(d)
@@ -442,7 +514,7 @@ func (a *UAgent) onDecision(m *uDecision) {
 	a.deliverLocal(m)
 	a.releaseWindow()
 	m.Hops++
-	if m.Hops >= len(a.Cfg.Ring)-1 {
+	if m.Hops >= len(a.ring)-1 {
 		uDecisionPool.Put(m)
 		return // full revolution complete
 	}
@@ -459,11 +531,11 @@ func (a *UAgent) onDecision(m *uDecision) {
 // the chosen value", Task 5; the coordinator piggybacks new proposals on the
 // circulating decision).
 func (a *UAgent) forwardDecision(m *uDecision) {
-	nextIdx := (a.ringIndex() + 1) % len(a.Cfg.Ring)
-	if nextIdx < a.Cfg.NumAcceptors {
+	nextIdx := (a.ringIndex() + 1) % len(a.ring)
+	if nextIdx < a.nacc {
 		m.Val = core.Batch{}
 	}
-	a.env.Send(a.Cfg.Ring[nextIdx], m)
+	a.env.Send(a.ring[nextIdx], m)
 }
 
 // releaseWindow frees coordinator window space once per decision seen.
@@ -547,7 +619,7 @@ func (a *UAgent) versionTick() {
 	v := a.nextDeliver - 1
 	a.gc.Report(int64(a.env.ID()), v)
 	a.trimLogs()
-	if len(a.Cfg.Ring) > 1 {
+	if len(a.ring) > 1 {
 		a.env.Send(a.succ(), proto.VersionReport{From: a.env.ID(), Inst: v})
 	}
 	proto.AfterFree(a.env, a.Cfg.GCInterval, a.versionFn)
@@ -559,7 +631,7 @@ func (a *UAgent) onVersionReport(m proto.VersionReport) {
 	a.gc.Report(int64(m.From), m.Inst)
 	a.trimLogs()
 	m.Hops++
-	if m.Hops < len(a.Cfg.Ring)-1 {
+	if m.Hops < len(a.ring)-1 {
 		a.env.Send(a.succ(), m)
 	}
 }
@@ -580,6 +652,136 @@ func (a *UAgent) trimLogs() {
 			a.quarantine = append(a.quarantine, v.val.Vals)
 		}
 	})
+}
+
+// --- failover ---
+
+// failoverTick is the periodic failure-detector beat: beacon the ring
+// successor, check the predecessor's silence window. Every ring member
+// participates — U-Ring has no multicast group, so a learner segment
+// member may be the one that detects a dead coordinator's silence.
+func (a *UAgent) failoverTick() {
+	if proto.EnvDown(a.env) {
+		// A crashed process runs no failure detector: drop the monitor aim
+		// so the first post-restart tick re-observes a full silence window
+		// instead of acting on a timestamp from before the outage.
+		a.fo.mon = false
+	} else if i := a.ringIndex(); i >= 0 && len(a.ring) > 1 {
+		n := len(a.ring)
+		a.env.Send(a.ring[(i+1)%n], mHeartbeat{Rnd: a.rnd})
+		pred := a.ring[(i-1+n)%n]
+		if a.fo.observe(pred, a.env.Now(), a.Cfg.Failover.suspectAfter()) {
+			a.suspectPred(pred)
+		}
+	} else {
+		a.fo.mon = false
+	}
+	proto.AfterFree(a.env, a.Cfg.Failover.Heartbeat, a.fo.tickFn)
+}
+
+// suspectPred declares the ring predecessor dead and nominates the
+// highest-id surviving acceptor as coordinator over the re-laid-out ring.
+func (a *UAgent) suspectPred(pred proto.NodeID) {
+	a.fo.suspect(pred, a.rnd)
+	newRing, nacc := a.electRing()
+	if len(newRing) == 0 {
+		return
+	}
+	nom := newRing[0]
+	a.fo.note(nom, a.rnd, a.env.Now())
+	if nom == a.env.ID() {
+		a.takeOver(newRing, nacc)
+		return
+	}
+	a.env.Send(nom, mTakeOver{Rnd: a.rnd, Ring: newRing, NAcc: nacc})
+}
+
+// electRing lays out the post-failure ring: the highest-id surviving
+// acceptor moves to the coordinator (first) position, the other surviving
+// acceptors keep the segment consecutive behind it, non-acceptor members
+// follow in order. Deterministic in the dead set, so concurrent
+// suspicions converge on one nominee.
+func (a *UAgent) electRing() ([]proto.NodeID, int) {
+	var accs, rest []proto.NodeID
+	for i, id := range a.ring {
+		if a.fo.dead[id] {
+			continue
+		}
+		if i < a.nacc {
+			accs = append(accs, id)
+		} else {
+			rest = append(rest, id)
+		}
+	}
+	if len(accs) == 0 {
+		return nil, 0
+	}
+	nom := accs[0]
+	for _, id := range accs {
+		if id > nom {
+			nom = id
+		}
+	}
+	out := make([]proto.NodeID, 0, len(accs)+len(rest))
+	out = append(out, nom)
+	for _, id := range accs {
+		if id != nom {
+			out = append(out, id)
+		}
+	}
+	out = append(out, rest...)
+	return out, len(accs)
+}
+
+func (a *UAgent) takeOver(ring []proto.NodeID, nacc int) {
+	a.fo.tookOver = true
+	a.becomeCoordinator((a.rnd>>10)+1, ring, nacc)
+}
+
+func (a *UAgent) onTakeOver(m mTakeOver) {
+	if !a.Cfg.Failover.Enabled() || len(m.Ring) == 0 || m.Ring[0] != a.env.ID() {
+		return
+	}
+	if a.isCoord && sameRing(a.ring, m.Ring) {
+		return // already coordinating (or running Phase 1 over) this layout
+	}
+	if m.Rnd > a.rnd {
+		a.rnd = m.Rnd
+	}
+	a.takeOver(m.Ring, m.NAcc)
+}
+
+func (a *UAgent) onRingChange(m uRingChange) {
+	if len(m.Ring) == 0 || m.Rnd <= a.ringRnd {
+		return
+	}
+	a.ringRnd = m.Rnd
+	if a.isCoord && m.Rnd > a.crnd {
+		a.standDownU()
+	}
+	if m.Rnd > a.rnd {
+		a.rnd = m.Rnd // round progress signal for the escalation check
+	}
+	a.ring, a.nacc = m.Ring, m.NAcc
+	m.Hops++
+	if m.Hops < len(m.Ring)-1 {
+		a.env.Send(a.succ(), m)
+	}
+}
+
+// standDownU retires a stale coordinator that observed a higher round:
+// acceptors fence its Phase 2 messages, so its open instances and staged
+// values can never complete — the new coordinator re-proposes anything a
+// quorum saw, and clients re-submit the rest.
+func (a *UAgent) standDownU() {
+	if !a.isCoord {
+		return
+	}
+	a.isCoord, a.phase1Done = false, false
+	a.pending.PopFront(a.pending.Len())
+	a.pendingBytes = 0
+	a.openCount = 0
+	a.fo.tookOver = false
 }
 
 // NextDeliver returns the learner's delivery frontier.
