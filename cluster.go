@@ -1,7 +1,10 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -25,6 +28,11 @@ type Cluster struct {
 	seed   int64
 	closed bool
 	wg     sync.WaitGroup
+	// walDir, when non-empty, backs every node's DiskWrite with a real
+	// synchronous append to dir/node-<id>.wal (see EnableWAL). walErr
+	// records the first file error; writes degrade to in-memory after it.
+	walDir string
+	walErr error
 }
 
 // NewCluster returns an empty realtime cluster.
@@ -47,6 +55,10 @@ type ClusterNode struct {
 	inbox   chan event
 	quit    chan struct{}
 	rng     *rand.Rand
+	// wal is the node's durable-write file, opened lazily on the node's
+	// own loop at the first DiskWrite after EnableWAL. Accessed only from
+	// the loop goroutine.
+	wal *os.File
 }
 
 var (
@@ -113,6 +125,12 @@ func (c *Cluster) Stop() {
 		close(n.quit)
 	}
 	c.wg.Wait()
+	// Loops have exited; their WAL files can be closed off-loop safely.
+	for _, n := range nodes {
+		if n.wal != nil {
+			n.wal.Close()
+		}
+	}
 }
 
 // Node returns the node with the given id, or nil.
@@ -236,5 +254,83 @@ func (n *ClusterNode) Work(d time.Duration, fn func()) {
 	time.AfterFunc(d, func() { n.enqueue(fn) })
 }
 
-// DiskWrite implements Env: in-memory runtime completes immediately.
-func (n *ClusterNode) DiskWrite(_ int, fn func()) { n.enqueue(fn) }
+// EnableWAL backs every node's DiskWrite with a real synchronous file:
+// each node appends its durable writes to dir/node-<id>.wal, opened with
+// O_SYNC, so a protocol's write-ahead logging (ringpaxos.DurWAL) pays
+// true fsync latency instead of completing instantly. The files carry
+// the modeled byte volume, not a parseable record encoding — the logical
+// records live in the protocol's wal.Log; the file is the timing and
+// durability substrate. Call before Start. The first file error is
+// remembered (WALError) and subsequent writes degrade to in-memory.
+func (c *Cluster) EnableWAL(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.walDir = dir
+	c.mu.Unlock()
+	return nil
+}
+
+// WALError returns the first write-ahead file error since EnableWAL, or
+// nil. Writes after an error complete in-memory, so a full disk degrades
+// durability, never liveness.
+func (c *Cluster) WALError() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.walErr
+}
+
+func (c *Cluster) noteWALErr(err error) {
+	c.mu.Lock()
+	if c.walErr == nil {
+		c.walErr = err
+	}
+	c.mu.Unlock()
+}
+
+// walZeros is the shared source buffer for modeled durable writes.
+var walZeros [4096]byte
+
+// diskAppend appends size bytes to the node's WAL file, opening it on
+// first use. Runs on the node's loop goroutine, so the synchronous write
+// blocks the actor exactly like a real single-spindle commit would.
+func (n *ClusterNode) diskAppend(size int) {
+	if n.wal == nil {
+		path := filepath.Join(n.c.walDir, fmt.Sprintf("node-%d.wal", n.id))
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND|os.O_SYNC, 0o644)
+		if err != nil {
+			n.c.noteWALErr(err)
+			return
+		}
+		n.wal = f
+	}
+	for size > 0 {
+		chunk := size
+		if chunk > len(walZeros) {
+			chunk = len(walZeros)
+		}
+		if _, err := n.wal.Write(walZeros[:chunk]); err != nil {
+			n.c.noteWALErr(err)
+			return
+		}
+		size -= chunk
+	}
+}
+
+// DiskWrite implements Env. The in-memory runtime completes immediately;
+// with EnableWAL the bytes hit a real O_SYNC file first, on the node's
+// own loop, before the completion runs.
+func (n *ClusterNode) DiskWrite(size int, fn func()) {
+	n.c.mu.Lock()
+	backed := n.c.walDir != "" && n.c.walErr == nil
+	n.c.mu.Unlock()
+	if !backed {
+		n.enqueue(fn)
+		return
+	}
+	n.enqueue(func() {
+		n.diskAppend(size)
+		fn()
+	})
+}

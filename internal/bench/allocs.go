@@ -38,6 +38,14 @@ type AllocResult struct {
 	HeapAllocEnd  uint64 `json:"heap_alloc_end_bytes,omitempty"`
 	LiveLogPeak   int    `json:"live_log_peak,omitempty"`
 	LiveLogEnd    int    `json:"live_log_end,omitempty"`
+
+	// Recovery experiments additionally report the modeled write-ahead-log
+	// bytes written across the family's runs and the worst simulated
+	// delivery-free gap of a run that recovered (outage + replay +
+	// catch-up, in milliseconds). Both are deterministic; the recovery CI
+	// budgets gate them. Zero for non-recovery experiments.
+	DiskBytes  uint64  `json:"wal_disk_bytes,omitempty"`
+	RecoveryMS float64 `json:"recovery_ms,omitempty"`
 }
 
 // ProfileAllocs runs e once and returns its allocation profile. The
@@ -69,6 +77,10 @@ func ProfileAllocs(e Experiment) AllocResult {
 		r.LiveLogPeak = s.LiveLogPeak
 		r.LiveLogEnd = s.LiveLogEnd
 	}
+	if s, ok := TakeRecoveryStats(e.ID); ok {
+		r.DiskBytes = s.DiskBytes
+		r.RecoveryMS = s.RecoveryMS
+	}
 	return r
 }
 
@@ -87,6 +99,15 @@ type AllocBudget struct {
 	// MaxLiveLogPeak bounds the deterministic count of live per-instance
 	// log records at any soak checkpoint.
 	MaxLiveLogPeak int `json:"max_live_log_peak,omitempty"`
+	// MaxDiskBytes bounds the modeled write-ahead-log bytes a recovery
+	// family writes across all its runs: the durable-logging overhead
+	// assertion (a WAL that starts logging redundant records blows it).
+	MaxDiskBytes uint64 `json:"max_wal_disk_bytes,omitempty"`
+	// MaxRecoveryMS bounds the worst simulated delivery-free gap of a
+	// recovering run, in milliseconds: outage plus replay plus catch-up.
+	// A replay path that stops short-circuiting or a catch-up that
+	// degrades to timeout-paced retransmission blows it.
+	MaxRecoveryMS float64 `json:"max_recovery_ms,omitempty"`
 }
 
 // ReadBudgets parses a budget file.
@@ -133,6 +154,15 @@ func CheckAllocs(budgets []AllocBudget, logw io.Writer) ([]AllocResult, []string
 		check("mallocs", r.Mallocs, budget.MaxMallocs)
 		check("heap_alloc_peak_bytes", r.HeapAllocPeak, budget.MaxHeapAllocPeak)
 		check("live_log_peak", uint64(r.LiveLogPeak), uint64(budget.MaxLiveLogPeak))
+		check("wal_disk_bytes", r.DiskBytes, budget.MaxDiskBytes)
+		if budget.MaxRecoveryMS > 0 {
+			if r.RecoveryMS > budget.MaxRecoveryMS {
+				bad = append(bad, fmt.Sprintf("%s: recovery_ms %.1f exceeds budget %.1f", r.ID, r.RecoveryMS, budget.MaxRecoveryMS))
+				fmt.Fprintf(logw, "FAIL %-12s recovery_ms %.1f > %.1f\n", r.ID, r.RecoveryMS, budget.MaxRecoveryMS)
+			} else {
+				fmt.Fprintf(logw, "ok   %-12s recovery_ms %.1f (budget %.1f)\n", r.ID, r.RecoveryMS, budget.MaxRecoveryMS)
+			}
+		}
 	}
 	return results, bad
 }

@@ -19,6 +19,9 @@ var faultFamilies = []struct {
 	{"fault.spaxos", faultSPaxosSeeds},
 	{"fault.failover.mring", failoverMRingSeeds},
 	{"fault.failover.uring", failoverURingSeeds},
+	{"fault.recovery.mring", recoveryMRingSeeds},
+	{"fault.recovery.uring", recoveryURingSeeds},
+	{"fault.recovery.snapshot", recoverySnapshotSeeds},
 }
 
 // TestFaultSafetySeedInvariant is the property the safety layer pins:

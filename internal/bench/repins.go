@@ -12,45 +12,16 @@ package bench
 // Entries describe the most recent deliberate re-pin only; a future
 // re-pin replaces the map wholesale (git history keeps the past).
 //
-// The current re-pin landed the three schedule-changing fixes the
-// ROADMAP had deferred behind the delivery-equivalence golden layer:
-// every .deliv.sha256 stayed byte-identical across all of them.
-const (
-	repinTimerChain = "M-Ring learner timer-chain collapse: one persistent version timer per learner shifted message schedules"
-	repinGCDefault  = "GC on by default (U-Ring/basic Paxos/S-Paxos): version-report traffic joined the schedule"
-	repinBoth       = "multi-protocol sweep: M-Ring timer-chain collapse + GC-on defaults shifted schedules"
-	repinSoakMRing  = "M-Ring timer-chain collapse + removal of the Retry=100ms workaround the chains had forced"
-)
+// The current re-pin covers a single experiment: proto.Multi now
+// forwards LoseVolatile to composed handlers, so fault.spaxos's Lose
+// crash of a pump-sharing replica actually destroys its volatile state
+// (previously the Multi wrapper silently swallowed the call and the
+// crash behaved like a freeze). The replica's post-restart traffic
+// shifted; the delivery and safety digests stayed byte-identical.
+const repinMultiLose = "proto.Multi forwards LoseVolatile: the S-Paxos replica's Lose crash now truly loses volatile state, shifting post-restart schedules"
 
 var outputRepins = map[string]string{
-	"fig3.7":     repinBoth,
-	"tab3.2":     repinBoth,
-	"fig3.8":     repinBoth,
-	"fig3.9":     repinBoth,
-	"fig3.10":    repinTimerChain,
-	"fig3.11":    repinGCDefault,
-	"fig3.12":    repinTimerChain,
-	"fig3.14":    repinTimerChain,
-	"tab3.3":     repinTimerChain,
-	"fig4.3":     repinTimerChain,
-	"fig4.4":     repinTimerChain,
-	"fig4.5":     repinTimerChain,
-	"fig4.6":     repinTimerChain,
-	"fig4.7":     repinTimerChain,
-	"fig4.8":     repinTimerChain,
-	"fig4.9":     repinTimerChain,
-	"fig4.10":    repinTimerChain,
-	"fig5.1":     repinTimerChain,
-	"fig5.8":     repinTimerChain,
-	"fig5.9":     repinTimerChain,
-	"fig5.10":    repinTimerChain,
-	"fig6.3":     repinTimerChain,
-	"fig6.4":     repinTimerChain,
-	"fig6.5":     repinTimerChain,
-	"fig6.6":     repinTimerChain,
-	"fig6.7":     repinTimerChain,
-	"fig7.2":     repinGCDefault,
-	"soak.mring": repinSoakMRing,
+	"fault.spaxos": repinMultiLose,
 }
 
 // RepinNote returns the provenance note for an experiment whose output
@@ -66,11 +37,15 @@ func RepinNote(id string) (string, bool) {
 // family measures and why its digests look the way they do. Like
 // outputRepins, a future PR that adds experiments replaces the map
 // wholesale.
-const addedFailover = "new in the coordinator-failover PR: permanent coordinator kill per seed, run twice (no-failover control stalls, detector election recovers); safety digest pins stalled=true/false pairs plus prefix consistency, seed- and -par-invariant"
+const (
+	addedRecovery = "new in the durability PR: crash+restart with state loss per seed, run per durability variant (volatile retirement stalls, WAL replay recovers); safety digest pins stalled=true/false pairs plus prefix consistency, seed- and -par-invariant"
+	addedSnapshot = "new in the durability PR: long learner outage past the GC staleness eviction, run twice (floor-pinning retransmission control vs snapshot catch-up); safety digest pins consistent=true and stalled=false for both, seed- and -par-invariant"
+)
 
 var outputAdded = map[string]string{
-	"fault.failover.mring": addedFailover,
-	"fault.failover.uring": addedFailover,
+	"fault.recovery.mring":    addedRecovery,
+	"fault.recovery.uring":    addedRecovery,
+	"fault.recovery.snapshot": addedSnapshot,
 }
 
 // AddedNote returns the provenance note for an experiment whose goldens

@@ -42,6 +42,14 @@ type DelivSink interface {
 	Note(now time.Duration, inst int64, v Value)
 }
 
+// DelivSkipSink is the optional sink extension for snapshot catch-up: a
+// learner that installs a snapshot jumps its delivery frontier to toInst
+// without delivering the skipped values, and a sink implementing this
+// interface (OracleCursor does) is told so it can advance its own view.
+type DelivSkipSink interface {
+	Skip(now time.Duration, toInst int64)
+}
+
 // Chain attaches a sink that receives every delivery noted on the trace.
 // The sink sees the full stream: the trace's prefix window bounds only
 // its own hash, not the forwarded deliveries (a safety oracle must watch
@@ -75,6 +83,28 @@ func (t *DelivTrace) Note(now time.Duration, inst int64, v Value) {
 	binary.LittleEndian.PutUint32(t.buf[16:20], uint32(v.Bytes))
 	t.h.Write(t.buf[:])
 	t.n++
+}
+
+// Skip records a snapshot install: the learner's frontier jumped to
+// toInst without delivering the skipped values. The jump is folded into
+// the hash as a sentinel record (instance toInst, value id ~0, size ~0 —
+// a shape no real delivery produces), so two learners whose only
+// difference is a snapshot catch-up hash differently by construction,
+// and it is forwarded to a chained DelivSkipSink. Safe on nil.
+func (t *DelivTrace) Skip(now time.Duration, toInst int64) {
+	if t == nil {
+		return
+	}
+	if s, ok := t.sink.(DelivSkipSink); ok {
+		s.Skip(now, toInst)
+	}
+	if t.until > 0 && now >= t.until {
+		return
+	}
+	binary.LittleEndian.PutUint64(t.buf[0:8], uint64(toInst))
+	binary.LittleEndian.PutUint64(t.buf[8:16], ^uint64(0))
+	binary.LittleEndian.PutUint32(t.buf[16:20], ^uint32(0))
+	t.h.Write(t.buf[:])
 }
 
 // Count returns how many deliveries the trace has folded.

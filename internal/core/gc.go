@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // VersionTracker is the protocol-agnostic half of the learner-version
 // garbage collection of §3.3.7: every consumer of a replicated log (a
 // learner, a replica) periodically reports the highest instance it has
@@ -19,11 +21,17 @@ package core
 type VersionTracker struct {
 	entries []versionEntry
 	floor   int64
+	// evicted lists consumers dropped by EvictStale and not heard from
+	// since; Expect subtracts them so Advance stops waiting on a crashed
+	// consumer, which is what lets the floor pass its frontier (and what
+	// forces that consumer onto the snapshot catch-up path on return).
+	evicted []int64
 }
 
 type versionEntry struct {
 	id      int64
 	version int64
+	at      time.Duration // last report time (only stamped by ReportAt)
 }
 
 // Report records consumer id's applied version, overwriting any previous
@@ -31,14 +39,57 @@ type versionEntry struct {
 // a circulating stale report may transiently lower a recorded version; the
 // floor only ever moves forward regardless).
 func (t *VersionTracker) Report(id, version int64) {
+	t.ReportAt(id, version, 0)
+}
+
+// ReportAt is Report plus a report timestamp, feeding the staleness
+// eviction of EvictStale. A report from an evicted consumer re-registers
+// it (the crashed learner came back and is reporting again).
+func (t *VersionTracker) ReportAt(id, version int64, now time.Duration) {
+	for i, e := range t.evicted {
+		if e == id {
+			t.evicted = append(t.evicted[:i], t.evicted[i+1:]...)
+			break
+		}
+	}
 	for i := range t.entries {
 		if t.entries[i].id == id {
 			t.entries[i].version = version
+			t.entries[i].at = now
 			return
 		}
 	}
-	t.entries = append(t.entries, versionEntry{id: id, version: version})
+	t.entries = append(t.entries, versionEntry{id: id, version: version, at: now})
 }
+
+// EvictStale drops every consumer whose last report predates cutoff and
+// returns how many were dropped in this call. Evicted consumers no longer
+// hold the minimum down (see Expect), so a crashed learner stops pinning
+// the trim floor forever; when it reports again it is re-registered.
+// Only meaningful for trackers fed via ReportAt — plain Report leaves
+// timestamps at zero, so any positive cutoff would evict everyone.
+func (t *VersionTracker) EvictStale(cutoff time.Duration) int {
+	n := 0
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		if e.at < cutoff {
+			t.evicted = append(t.evicted, e.id)
+			n++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.entries = kept
+	return n
+}
+
+// Expect adjusts a consumer count for staleness evictions: Advance
+// callers pass Expect(len(consumers)) so the quorum of reporters shrinks
+// with the evicted set. With no evictions it returns n unchanged.
+func (t *VersionTracker) Expect(n int) int { return n - len(t.evicted) }
+
+// Evicted returns how many consumers are currently evicted for staleness.
+func (t *VersionTracker) Evicted() int { return len(t.evicted) }
 
 // Version returns the recorded version for id.
 func (t *VersionTracker) Version(id int64) (int64, bool) {

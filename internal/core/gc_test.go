@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestVersionTrackerAdvance(t *testing.T) {
 	var vt VersionTracker
@@ -70,5 +73,56 @@ func TestVersionTrackerReportOverwrites(t *testing.T) {
 	}
 	if _, ok := vt.Version(8); ok {
 		t.Fatal("unknown consumer reported a version")
+	}
+}
+
+func TestVersionTrackerEvictStale(t *testing.T) {
+	var vt VersionTracker
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	vt.ReportAt(1, 100, ms(10))
+	vt.ReportAt(2, 100, ms(10))
+	vt.ReportAt(3, 5, ms(10)) // will crash and go silent
+	// Fresh reports from the live pair; consumer 3 stays at t=10ms.
+	vt.ReportAt(1, 200, ms(50))
+	vt.ReportAt(2, 180, ms(50))
+	// The silent consumer pins the floor to its last report.
+	if _, hi, ok := vt.Advance(3); !ok || hi != 5 {
+		t.Fatalf("Advance = (hi=%d, ok=%v), want the stale minimum 5", hi, ok)
+	}
+	if n := vt.EvictStale(ms(30)); n != 1 || vt.Evicted() != 1 {
+		t.Fatalf("EvictStale dropped %d (evicted=%d), want 1", n, vt.Evicted())
+	}
+	// Eviction shrinks the expected quorum: Advance stops waiting on the
+	// crashed consumer and the floor passes its frontier.
+	if _, hi, ok := vt.Advance(vt.Expect(3)); !ok || hi != 180 {
+		t.Fatalf("Advance after eviction = (hi=%d, ok=%v), want 180", hi, ok)
+	}
+	if vt.Floor() != 181 {
+		t.Fatalf("floor %d, want 181", vt.Floor())
+	}
+	// Double eviction is a no-op: the entry is already gone.
+	if n := vt.EvictStale(ms(30)); n != 0 || vt.Evicted() != 1 {
+		t.Fatalf("second EvictStale dropped %d (evicted=%d), want 0 (1)", n, vt.Evicted())
+	}
+	// The consumer returns and reports again: re-registered, no longer
+	// evicted, and its behind-the-floor report blocks trimming (it needs
+	// the snapshot path, not a floor rollback).
+	vt.ReportAt(3, 5, ms(90))
+	if vt.Evicted() != 0 || vt.Reporters() != 3 {
+		t.Fatalf("re-report left evicted=%d reporters=%d", vt.Evicted(), vt.Reporters())
+	}
+	if _, _, ok := vt.Advance(vt.Expect(3)); ok {
+		t.Fatal("floor advanced on a minimum behind it")
+	}
+	if vt.Floor() != 181 {
+		t.Fatalf("floor moved to %d on a stale re-report", vt.Floor())
+	}
+	// Once the returned consumer catches up past the floor, trimming
+	// resumes with the full quorum.
+	vt.ReportAt(3, 200, ms(95))
+	vt.ReportAt(1, 240, ms(95))
+	vt.ReportAt(2, 220, ms(95))
+	if _, hi, ok := vt.Advance(vt.Expect(3)); !ok || hi != 200 {
+		t.Fatalf("Advance after catch-up = (hi=%d, ok=%v), want 200", hi, ok)
 	}
 }

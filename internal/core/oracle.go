@@ -109,6 +109,33 @@ func (c *OracleCursor) Note(now time.Duration, inst int64, v Value) {
 	o.recs = append(o.recs, rec)
 }
 
+// Skip implements DelivSkipSink: the learner installed a snapshot and
+// jumped its frontier to toInst without delivering the skipped values.
+// The cursor advances past every agreed record below toInst unverified —
+// a snapshot is state transfer, not delivery, and its correctness rests
+// on the acceptors' agreed state. By the time a snapshot can be sent the
+// trim floor has passed toInst, which requires every live learner to
+// have reported (and therefore noted to this oracle) instances up to it,
+// so the agreed sequence always already covers the skipped prefix; if
+// that invariant ever breaks, the cursor's later deliveries land at the
+// frontier out of order and divergence is flagged as usual. The liveness
+// clock is deliberately not refreshed: a snapshot is catch-up, and only
+// real deliveries should count as progress.
+func (c *OracleCursor) Skip(now time.Duration, toInst int64) {
+	if c == nil {
+		return
+	}
+	o := c.o
+	for {
+		i := c.pos - o.base
+		if i < 0 || i >= int64(len(o.recs)) || o.recs[i].inst >= toInst {
+			break
+		}
+		c.pos++
+	}
+	o.maybeTrim()
+}
+
 // Pos returns how many deliveries this cursor has observed.
 func (c *OracleCursor) Pos() int64 {
 	if c == nil {

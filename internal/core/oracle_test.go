@@ -187,3 +187,133 @@ func TestOracleLivenessAnyLearnerCounts(t *testing.T) {
 		t.Fatalf("stalled despite one learner delivering steadily (maxGap=%v)", o.MaxGap())
 	}
 }
+
+// TestOracleStalledMinorityGap: the liveness gap is over deliveries at
+// ANY learner, so one learner going silent (a crashed replica) while the
+// rest keep delivering is a minority gap — catch-up territory for the
+// snapshot path, not a deployment stall. Stalled must stay false.
+func TestOracleStalledMinorityGap(t *testing.T) {
+	o := NewOracle()
+	o.SetLivenessWindow(10 * time.Millisecond)
+	a, b := o.Learner(), o.Learner()
+	ms := func(n int64) time.Duration { return time.Duration(n) * time.Millisecond }
+	// b delivers instances 0..4 alongside a, then goes silent for 80 ms
+	// (8x the window) while a keeps a steady 1 ms cadence.
+	for i := int64(0); i < 5; i++ {
+		a.Note(ms(i), i, val(100+i, 64))
+		b.Note(ms(i), i, val(100+i, 64))
+	}
+	for i := int64(5); i < 85; i++ {
+		a.Note(ms(i), i, val(100+i, 64))
+	}
+	o.Seal(ms(85))
+	if o.Stalled() {
+		t.Fatalf("minority gap tripped the stall check: maxGap=%v", o.MaxGap())
+	}
+	if o.MaxGap() > 2*time.Millisecond {
+		t.Fatalf("maxGap = %v with a 1 ms delivery cadence", o.MaxGap())
+	}
+	if !o.Consistent() {
+		t.Fatalf("lagging learner flagged: %s", o.Verdict())
+	}
+}
+
+// TestOracleSealLateDelivery: Seal closes the observation at end-of-run;
+// a delivery noted afterwards with an earlier timestamp (a sink flushed
+// out of order during teardown) must neither extend the gap accounting
+// nor flip the verdict.
+func TestOracleSealLateDelivery(t *testing.T) {
+	o := NewOracle()
+	o.SetLivenessWindow(50 * time.Millisecond)
+	a := o.Learner()
+	a.Note(10*time.Millisecond, 0, val(1, 64))
+	o.Seal(200 * time.Millisecond)
+	if !o.Stalled() {
+		t.Fatalf("190 ms trailing gap did not trip a 50 ms window: maxGap=%v", o.MaxGap())
+	}
+	gap := o.MaxGap()
+	a.Note(80*time.Millisecond, 1, val(2, 64)) // late, behind the seal point
+	if o.MaxGap() != gap {
+		t.Fatalf("late delivery changed maxGap %v -> %v", gap, o.MaxGap())
+	}
+	if !o.Stalled() {
+		t.Fatal("late delivery un-tripped the stall verdict")
+	}
+	// Sealing again at the same end is idempotent.
+	o.Seal(200 * time.Millisecond)
+	if o.MaxGap() != gap {
+		t.Fatalf("re-seal changed maxGap %v -> %v", gap, o.MaxGap())
+	}
+}
+
+// TestOracleLivenessTrimmedPrefix: compaction of the agreed prefix (once
+// every cursor moves past oracleTrimAt records) must not disturb the gap
+// accounting, and divergence detection must still work on post-trim
+// positions.
+func TestOracleLivenessTrimmedPrefix(t *testing.T) {
+	o := NewOracle()
+	o.SetLivenessWindow(10 * time.Millisecond)
+	a, b := o.Learner(), o.Learner()
+	n := int64(oracleTrimAt + 100)
+	for i := int64(0); i < n; i++ {
+		now := time.Duration(i) * time.Microsecond
+		a.Note(now, i, val(1000+i, 64))
+		b.Note(now, i, val(1000+i, 64))
+	}
+	if o.MinPos() != n {
+		t.Fatalf("MinPos = %d, want %d", o.MinPos(), n)
+	}
+	// The prefix is long trimmed; a divergence at the frontier must still
+	// be caught against the retained suffix.
+	end := time.Duration(n) * time.Microsecond
+	a.Note(end, n, val(7, 64))
+	b.Note(end, n, val(8, 64))
+	if o.Consistent() || o.Divergences() != 1 {
+		t.Fatalf("post-trim divergence missed: %s", o.Verdict())
+	}
+	// Steady microsecond cadence: no gap anywhere near the window.
+	o.Seal(end + 2*time.Microsecond)
+	if o.Stalled() {
+		t.Fatalf("trimming corrupted gap accounting: maxGap=%v", o.MaxGap())
+	}
+}
+
+// TestOracleSkipCatchUp: a learner that installs a snapshot skips the
+// agreed prefix below the snapshot floor without delivering it. The
+// cursor lands exactly at the floor, deliveries from there verify
+// against the agreed suffix, and the skip itself does not count as
+// delivery progress for the liveness clock.
+func TestOracleSkipCatchUp(t *testing.T) {
+	o := NewOracle()
+	o.SetLivenessWindow(time.Hour) // liveness on, but never tripped here
+	a, b := o.Learner(), o.Learner()
+	ms := func(n int64) time.Duration { return time.Duration(n) * time.Millisecond }
+	for i := int64(0); i < 50; i++ {
+		a.Note(ms(i), i, val(1000+i, 64))
+	}
+	// b delivered nothing, then installs a snapshot with floor 30.
+	b.Skip(ms(60), 30)
+	if b.Pos() != 30 {
+		t.Fatalf("cursor after skip at %d, want 30", b.Pos())
+	}
+	// Skip is catch-up, not delivery: the clock still sits at a's last.
+	if o.lastDeliv != ms(49) {
+		t.Fatalf("skip refreshed the liveness clock: %v", o.lastDeliv)
+	}
+	// Resumed deliveries verify against the agreed suffix.
+	for i := int64(30); i < 50; i++ {
+		b.Note(ms(61+i), i, val(1000+i, 64))
+	}
+	if !o.Consistent() {
+		t.Fatalf("post-skip deliveries flagged: %s", o.FirstDivergence())
+	}
+	if o.MinPos() != 50 || o.MaxPos() != 50 {
+		t.Fatalf("frontiers %d/%d, want 50/50", o.MinPos(), o.MaxPos())
+	}
+	// A wrong value after the skip is still caught.
+	a.Note(ms(200), 50, val(7, 64))
+	b.Note(ms(201), 50, val(9, 64))
+	if o.Consistent() {
+		t.Fatal("post-skip divergence missed")
+	}
+}

@@ -195,12 +195,15 @@ func EnvDown(env Env) bool {
 // crash that destroys volatile state (fault.Lose). LoseVolatile is
 // called on restart, before any post-recovery message is delivered: the
 // handler discards soft state a real process keeps only in memory —
-// staged client values awaiting proposal, half-built batches — while
-// state the protocols treat as recoverable (acceptor promises and
-// votes, decision logs, the delivered frontier) is retained, modeling
-// stable storage; making that durability real is the write-ahead-log
-// roadmap item. Handlers that do not implement it lose nothing on
-// restart (equivalent to a freeze at the protocol layer).
+// staged client values awaiting proposal, half-built batches — and then
+// applies its configured durability model to the protocol state. The
+// Ring Paxos agents offer three (see ringpaxos.Durability): retain
+// promises and votes as free modeled stable storage (the legacy
+// default), lose them honestly and retire from the acceptor role, or
+// lose them and replay a write-ahead log whose appends were charged to
+// the disk model via Env.DiskWrite. Handlers that do not implement the
+// interface lose nothing on restart (equivalent to a freeze at the
+// protocol layer).
 type VolatileLoser interface {
 	LoseVolatile()
 }
@@ -252,6 +255,18 @@ func (m multiHandler) Start(env Env) {
 func (m multiHandler) Receive(from NodeID, msg Message) {
 	for _, h := range m {
 		h.Receive(from, msg)
+	}
+}
+
+// LoseVolatile implements VolatileLoser by forwarding to every composed
+// handler that models volatile loss. Without this a protocol agent
+// sharing its node with a traffic pump would silently keep state across
+// a fault.Lose restart that a bare agent loses.
+func (m multiHandler) LoseVolatile() {
+	for _, h := range m {
+		if vl, ok := h.(VolatileLoser); ok {
+			vl.LoseVolatile()
+		}
 	}
 }
 

@@ -63,6 +63,13 @@ type foState struct {
 	// initial configuration: only then is the reconfigured ring
 	// propagated to non-ring members after Phase 1.
 	tookOver bool
+	// needRing is set when the node restarts after a crash: before arming
+	// the detector it must learn the current ring layout from a live
+	// member (the ring may have been reconfigured during the outage).
+	// askIdx rotates the member asked, so a dead first choice does not
+	// stall the catch-up. Cleared by any layout-bearing reply.
+	needRing bool
+	askIdx   int
 }
 
 // observe re-aims the monitor at pred, resetting the silence window when

@@ -152,6 +152,30 @@ type (
 		NAcc int
 		Hops int
 	}
+
+	// mSnapshot transfers application state up to (excluding) instance
+	// Floor to a learner whose retransmission request fell below the trim
+	// floor — the instances it needs no longer exist anywhere, so catch-up
+	// is by state, not by replay (§3.5.5). StateBytes is the modeled
+	// snapshot size; the learner charges it to its disk model on install.
+	mSnapshot struct {
+		Floor      int64
+		StateBytes int
+	}
+	// mRingStateReq asks a ring member for the current ring layout. Sent
+	// by a node restarting after a crash, before it arms its failure
+	// detector: the ring may have been reconfigured while it was down, and
+	// acting on the stale pre-crash layout would aim the detector at a
+	// node that is no longer its predecessor (or trigger a spurious
+	// takeover of a ring that already moved on).
+	mRingStateReq struct{}
+	// mRingState answers with the replier's current layout and round.
+	// NAcc carries the acceptor count for U-Ring deployments.
+	mRingState struct {
+		Rnd  int64
+		Ring []proto.NodeID
+		NAcc int
+	}
 )
 
 type vote struct {
@@ -198,3 +222,6 @@ func (m uPhase1B) Size() int {
 	}
 	return n
 }
+func (m mSnapshot) Size() int     { return headerBytes + m.StateBytes }
+func (m mRingStateReq) Size() int { return headerBytes }
+func (m mRingState) Size() int    { return headerBytes + 4*len(m.Ring) }

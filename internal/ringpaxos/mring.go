@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/proto"
+	"repro/internal/wal"
 )
 
 // DefaultGCInterval is the learner-version reporting period (§3.3.7)
@@ -104,6 +105,21 @@ type MConfig struct {
 	// unboundedly when a ring outruns λ (the Chapter 5 overflow regime),
 	// long past any garbage-collection horizon.
 	RecycleBatches bool
+	// Durability selects what a fault.Lose crash costs this process (see
+	// recovery.go). The zero value, DurModeled, is the legacy semantics:
+	// votes survive the crash as if stable storage existed but cost
+	// nothing, keeping every pre-durability golden byte-identical.
+	// DurWAL additionally requires the agent's Log field to be set.
+	Durability Durability
+	// GCEvict, when positive, evicts a learner from the garbage-collection
+	// version tracker after that much report silence, so a crashed learner
+	// stops pinning the trim floor forever; an evicted learner that
+	// returns after the floor passed its frontier catches up by snapshot
+	// (mSnapshot). Zero keeps the floor pinned — the legacy semantics.
+	GCEvict time.Duration
+	// SnapshotBytes is the modeled application snapshot size for snapshot
+	// catch-up transfers. Zero resolves to 64 KB.
+	SnapshotBytes int
 }
 
 func (c *MConfig) defaults() {
@@ -124,6 +140,9 @@ func (c *MConfig) defaults() {
 	}
 	if c.GCInterval < 0 {
 		c.GCInterval = 0 // explicit off: no version timer is ever armed
+	}
+	if c.SnapshotBytes == 0 {
+		c.SnapshotBytes = 64 << 10
 	}
 }
 
@@ -206,6 +225,11 @@ type MAgent struct {
 	// a delivery-equivalence digest (see core.DelivTrace). Pure
 	// observation: it sends nothing and consumes no simulated time.
 	Trace *core.DelivTrace
+	// Log is this process's write-ahead log, required when Cfg.Durability
+	// is DurWAL. It models the stable medium, so the DEPLOYMENT owns it
+	// (the rig sets it before Start): it survives the agent's crash the
+	// way a disk survives a process, and replayWAL reads it on restart.
+	Log *wal.Log
 
 	env proto.Env
 
@@ -237,7 +261,13 @@ type MAgent struct {
 	coord proto.NodeID
 	// fo is the failure detector / election state (inert unless
 	// Cfg.Failover is enabled).
-	fo        foState
+	fo foState
+	// retired marks a DurVolatile process that restarted after losing its
+	// acceptor state: classic Paxos forbids it from ever promising or
+	// voting again (it cannot remember what it promised), so it stays out
+	// of the acceptor and coordinator roles for the rest of the run. The
+	// learner role is unaffected.
+	retired   bool
 	store     core.InstLog[logEntry]
 	storeByte int
 	// versions tracks learner-reported applied instances and the trim
@@ -275,6 +305,9 @@ type MAgent struct {
 	LatencyCount int64
 	// Latencies, if non-nil before Start, records each delivery latency.
 	Latencies *[]time.Duration
+	// SnapshotsInstalled counts snapshot catch-ups performed by this
+	// learner (mSnapshot installs that actually moved the frontier).
+	SnapshotsInstalled int64
 }
 
 var _ proto.Handler = (*MAgent)(nil)
@@ -461,20 +494,116 @@ func (a *MAgent) Receive(from proto.NodeID, m proto.Message) {
 		a.onTakeOver(msg)
 	case mRingChange:
 		a.onRingChange(msg)
+	case mSnapshot:
+		a.onSnapshot(msg)
+	case mRingStateReq:
+		a.onRingStateReq(from)
+	case mRingState:
+		a.onRingState(msg)
 	}
 }
 
 // LoseVolatile implements proto.VolatileLoser: a crash that destroys
 // volatile state (fault.Lose) discards the staged client values awaiting
-// proposal. Acceptor votes, open instances and the learner's reorder
-// buffer are retained — the protocol treats them as recoverable from
-// stable storage (the write-ahead-log roadmap item makes that real),
-// and the learner's gap recovery re-fetches anything the network lost.
+// proposal, then applies the configured Durability to the protocol state.
+// Under the default DurModeled, acceptor votes, open instances and the
+// learner's reorder buffer are retained — the protocol treats them as
+// recoverable from stable storage that costs nothing. DurVolatile loses
+// them honestly and retires the process from the acceptor/coordinator
+// roles; DurWAL loses them and replays the write-ahead log. The learner's
+// delivery state is retained in every mode: it models the application's
+// own durable state, whose catch-up story is the snapshot path, not the
+// protocol WAL.
 func (a *MAgent) LoseVolatile() {
 	a.pending = a.pending[:0]
 	a.pendingBytes = 0
 	a.fo.reset()
+	switch a.Cfg.Durability {
+	case DurVolatile:
+		a.loseAcceptorState()
+		a.retired = true
+	case DurWAL:
+		a.loseAcceptorState()
+		a.replayWAL()
+	}
+	if a.Cfg.Failover.Enabled() && !a.retired {
+		// The ring may have been reconfigured during the outage: learn the
+		// current layout from a live member before re-arming the detector
+		// (failoverTick holds the monitor off while needRing is set).
+		a.fo.needRing = true
+	}
 }
+
+// loseAcceptorState wipes everything a Lose crash destroys in a process
+// with honest volatile state: promises, votes, the coordinator's soft
+// state, and the garbage-collection bookkeeping.
+func (a *MAgent) loseAcceptorState() {
+	a.rnd = 0
+	a.maxInst = -1
+	a.store = core.InstLog[logEntry]{}
+	a.storeByte = 0
+	a.versions = core.VersionTracker{}
+	a.quarantine = nil
+	a.pool = core.BatchPool{}
+	a.isCoord, a.phase1Done = false, false
+	a.crnd = 0
+	a.promises = make(map[proto.NodeID]mPhase1B)
+	a.open = core.InstLog[openInst]{}
+	a.decQ = nil
+	a.timersArmed = false
+	a.window = a.Cfg.Window
+	a.fo.tookOver = false
+}
+
+// replayWAL rebuilds acceptor and coordinator state from the write-ahead
+// log after loseAcceptorState. Replayed votes re-enter the store with
+// diskDone set — the log IS the disk copy. A process that finds itself at
+// its ring's coordinator position re-enters Phase 1 one round above its
+// highest logged promise: unlike a volatile process it can prove every
+// promise it ever made, so resuming coordinatorship is safe (the classic
+// Paxos stable-storage rule that forces DurVolatile to retire instead).
+func (a *MAgent) replayWAL() {
+	a.Log.Replay(func(r wal.Record) {
+		switch r.Kind {
+		case wal.KindSnapshot:
+			a.versions.SetFloor(r.Inst)
+		case wal.KindPromise:
+			if r.Rnd > a.rnd {
+				a.rnd = r.Rnd
+			}
+		case wal.KindVote:
+			if r.Inst < a.versions.Floor() {
+				return
+			}
+			if r.Inst > a.maxInst {
+				a.maxInst = r.Inst
+			}
+			size := r.Val.Size()
+			e, _ := a.store.Put(r.Inst)
+			a.storeByte += size - e.bytes
+			e.vid, e.val, e.bytes, e.mask = r.VID, r.Val, size, r.Mask
+			e.diskDone = true
+		case wal.KindDecision:
+			if r.Inst < a.versions.Floor() {
+				return
+			}
+			e, _ := a.store.Put(r.Inst)
+			e.decided = true
+			if e.vid == 0 {
+				e.vid, e.mask = r.VID, r.Mask
+			}
+		}
+	})
+	if n := len(a.ring); n > 0 && a.ring[n-1] == a.env.ID() {
+		// Still this ring's coordinator (as far as it knows — a stale
+		// layout's Phase 1 is fenced by higher-round promises, and the
+		// needRing catch-up corrects the layout).
+		a.becomeCoordinator((a.rnd>>10)+1, a.ring)
+	}
+}
+
+// walOn reports whether this agent appends to a write-ahead log.
+func (a *MAgent) walOn() bool { return a.Cfg.Durability == DurWAL && a.Log != nil }
 
 // --- coordinator ---
 
@@ -713,6 +842,12 @@ func (a *MAgent) decide(inst int64) {
 	e, _ := a.store.Put(inst)
 	e.vid, e.val, e.bytes, e.mask, e.decided = vid, val, val.Size(), mask, true
 	e.pooled = pooled
+	if a.walOn() {
+		// The decision is logged asynchronously: nothing gates on it (a
+		// crashed coordinator recovers undecided instances via Phase 1
+		// vote adoption; the record just shortcuts replay).
+		a.Log.Append(a.env, wal.Record{Kind: wal.KindDecision, Inst: inst, VID: vid, Mask: mask}, nil)
+	}
 	if a.decQ == nil {
 		a.decQ = core.GetDecBuf()
 	}
@@ -737,8 +872,11 @@ func (a *MAgent) onPhase1A(from proto.NodeID, m mPhase1A) {
 	a.rnd = m.Rnd
 	if len(m.Ring) > 0 {
 		a.ring = m.Ring // abide by the proposed ring
+		a.fo.needRing = false
 	}
-	if !a.isAcceptor() {
+	if !a.isAcceptor() || a.retired {
+		// A retired process must never promise again: it cannot remember
+		// what it promised before the crash.
 		return
 	}
 	reply := mPhase1B{Rnd: a.rnd, MaxInst: a.maxInst, Votes: make(map[int64]vote)}
@@ -748,6 +886,14 @@ func (a *MAgent) onPhase1A(from proto.NodeID, m mPhase1A) {
 		}
 		return true
 	})
+	if a.walOn() {
+		// The promise is binding only once durable: persist it before the
+		// 1B leaves (Phase 1 is rare, so the closure is off the hot path).
+		to := from
+		a.Log.Append(a.env, wal.Record{Kind: wal.KindPromise, Rnd: a.rnd},
+			func() { a.env.Send(to, reply) })
+		return
+	}
 	a.env.Send(from, reply)
 }
 
@@ -764,7 +910,8 @@ func (a *MAgent) onPhase2A(m mPhase2A) {
 	if a.isLearner() {
 		a.learnValue(m.Inst, m.VID, m.Val, m.Mask())
 	}
-	if !a.isAcceptor() {
+	if !a.isAcceptor() || a.retired {
+		// Retired processes never vote again (see LoseVolatile).
 		return
 	}
 	if m.Rnd < a.rnd {
@@ -787,7 +934,15 @@ func (a *MAgent) onPhase2A(m mPhase2A) {
 		a.storeByte += size - e.bytes
 		e.vid, e.val, e.bytes, e.mask = m.VID, m.Val, size, m.Mask()
 	}
-	if a.Cfg.DiskSync {
+	if a.walOn() {
+		// The vote is appended to the log before the 2B may act on it —
+		// the same parallel-across-the-ring write as DiskSync (§3.5.5),
+		// but with the record retained for crash replay.
+		inst, rnd, vid := m.Inst, m.Rnd, m.VID
+		a.Log.Append(a.env,
+			wal.Record{Kind: wal.KindVote, Inst: inst, Rnd: rnd, VID: vid, Mask: m.Mask(), Val: m.Val},
+			func() { a.phase2AProceed(inst, rnd, vid) })
+	} else if a.Cfg.DiskSync {
 		// All ring acceptors write in parallel at 2A delivery (§3.5.5).
 		inst, rnd, vid := m.Inst, m.Rnd, m.VID
 		a.env.DiskWrite(size+headerBytes, func() { a.phase2AProceed(inst, rnd, vid) })
@@ -849,7 +1004,7 @@ func (a *MAgent) onPhase2B(m *mPhase2B) {
 		return
 	}
 	e, ok := a.store.Get(m.Inst)
-	if !ok || e.vid == 0 || e.vid != m.VID || (a.Cfg.DiskSync && !e.diskDone) {
+	if !ok || e.vid == 0 || e.vid != m.VID || ((a.Cfg.DiskSync || a.walOn()) && !e.diskDone) {
 		// Haven't ip-delivered the value yet (or still persisting): park the
 		// 2B; it resumes when the 2A arrives (Task 5's v-vid check).
 		p, _ := a.store.Put(m.Inst)
@@ -861,11 +1016,47 @@ func (a *MAgent) onPhase2B(m *mPhase2B) {
 }
 
 func (a *MAgent) onRetransmitReq(from proto.NodeID, m mRetransmitReq) {
+	snapped := false
 	for _, inst := range m.Insts {
+		if a.Cfg.GCEvict > 0 && inst < a.versions.Floor() {
+			// The requested instance was trimmed everywhere — only possible
+			// when staleness eviction let the floor pass a crashed learner's
+			// frontier — so replay cannot help; transfer state instead
+			// (§3.5.5). One snapshot covers every trimmed instance at once.
+			if !snapped {
+				snapped = true
+				a.env.Send(from, mSnapshot{Floor: a.versions.Floor(), StateBytes: a.Cfg.SnapshotBytes})
+			}
+			continue
+		}
 		if e, ok := a.store.Get(inst); ok && e.vid != 0 {
 			a.env.Send(from, mRetransmit{Inst: inst, VID: e.vid, Val: e.val, Mask: e.mask, Decided: e.decided})
 		}
 	}
+}
+
+// onSnapshot installs a state snapshot at a learner whose delivery
+// frontier fell behind the trim floor: the skipped instances no longer
+// exist anywhere, so the learner adopts the transferred state, jumps its
+// frontier to the floor (recording the jump on its delivery trace) and
+// resumes ordered delivery from there.
+func (a *MAgent) onSnapshot(m mSnapshot) {
+	if !a.isLearner() || m.Floor <= a.nextDeliver {
+		return
+	}
+	for inst := a.nextDeliver; inst < m.Floor; inst++ {
+		a.insts.Delete(inst)
+	}
+	a.Trace.Skip(a.env.Now(), m.Floor)
+	a.nextDeliver = m.Floor
+	if m.Floor-1 > a.maxDecided {
+		a.maxDecided = m.Floor - 1
+	}
+	a.SnapshotsInstalled++
+	// Persisting the installed state is a real disk write: the learner
+	// must never re-request a snapshot the application already holds.
+	a.env.DiskWrite(m.StateBytes, nopFn)
+	a.tryDeliver()
 }
 
 func (a *MAgent) onVersion(m proto.VersionReport) {
@@ -875,13 +1066,18 @@ func (a *MAgent) onVersion(m proto.VersionReport) {
 			return
 		}
 	}
-	a.versions.Report(int64(m.From), m.Inst)
+	a.versions.ReportAt(int64(m.From), m.Inst, a.env.Now())
 	// Circulate once around the ring so every acceptor sees every version.
 	if i := a.ringIndex(); i >= 0 && m.Hops < len(a.ring)-1 {
 		m.Hops++
 		a.env.Send(a.ring[(i+1)%len(a.ring)], m)
 	}
-	lo, hi, ok := a.versions.Advance(len(a.Cfg.Learners))
+	if a.Cfg.GCEvict > 0 && a.env.Now() > a.Cfg.GCEvict {
+		// A learner silent longer than GCEvict stops pinning the trim
+		// floor; it catches up by snapshot when it returns.
+		a.versions.EvictStale(a.env.Now() - a.Cfg.GCEvict)
+	}
+	lo, hi, ok := a.versions.Advance(a.versions.Expect(len(a.Cfg.Learners)))
 	if !ok {
 		return
 	}
@@ -900,6 +1096,11 @@ func (a *MAgent) onVersion(m proto.VersionReport) {
 			a.quarantine = append(a.quarantine, e.val.Vals)
 		}
 	})
+	if a.walOn() {
+		// The log trims in lockstep with the store, bounding replay work
+		// the same way garbage collection bounds acceptor memory.
+		a.Log.Trim(a.versions.Floor())
+	}
 }
 
 // StoreBytes reports the bytes of batch payload currently held by this
@@ -1153,22 +1354,67 @@ func (a *MAgent) Window() int { return a.window }
 // successor, check the predecessor's silence window. Spares and evicted
 // ex-members keep ticking but stay passive while outside the ring.
 func (a *MAgent) failoverTick() {
-	if proto.EnvDown(a.env) {
+	if proto.EnvDown(a.env) || a.retired {
 		// A crashed process runs no failure detector: drop the monitor aim
 		// so the first post-restart tick re-observes a full silence window
-		// instead of acting on a timestamp from before the outage.
+		// instead of acting on a timestamp from before the outage. A
+		// retired process must not beacon either — peers should treat the
+		// amnesiac as dead and reconfigure the ring around it.
 		a.fo.mon = false
 	} else if i := a.ringIndex(); i >= 0 && len(a.ring) > 1 {
 		n := len(a.ring)
 		a.env.Send(a.ring[(i+1)%n], mHeartbeat{Rnd: a.rnd})
-		pred := a.ring[(i-1+n)%n]
-		if a.fo.observe(pred, a.env.Now(), a.Cfg.Failover.suspectAfter()) {
-			a.suspectPred(pred)
+		if a.fo.needRing {
+			// Freshly restarted: hold the detector until a live member
+			// confirms the ring layout — suspicion computed from the stale
+			// pre-crash ring would churn a ring that already moved on.
+			a.fo.mon = false
+			a.requestRingState()
+		} else {
+			pred := a.ring[(i-1+n)%n]
+			if a.fo.observe(pred, a.env.Now(), a.Cfg.Failover.suspectAfter()) {
+				a.suspectPred(pred)
+			}
 		}
 	} else {
 		a.fo.mon = false
 	}
 	proto.AfterFree(a.env, a.Cfg.Failover.Heartbeat, a.fo.tickFn)
+}
+
+// requestRingState asks one ring member for the current layout, rotating
+// the target each tick so a dead first choice does not stall catch-up.
+func (a *MAgent) requestRingState() {
+	n := len(a.ring)
+	i := a.ringIndex()
+	if n <= 1 || i < 0 {
+		a.fo.needRing = false
+		return
+	}
+	off := 1 + a.fo.askIdx%(n-1)
+	a.fo.askIdx++
+	a.env.Send(a.ring[(i+off)%n], mRingStateReq{})
+}
+
+func (a *MAgent) onRingStateReq(from proto.NodeID) {
+	a.env.Send(from, mRingState{Rnd: a.rnd, Ring: a.ring})
+}
+
+// onRingState adopts the layout a live member reported after this node's
+// restart. Any reply clears needRing — even "your layout is current"
+// arms the detector — but only a layout at or above the local round is
+// adopted (a reply from a node staler than us must not rewind the ring).
+func (a *MAgent) onRingState(m mRingState) {
+	a.fo.needRing = false
+	if len(m.Ring) == 0 || m.Rnd < a.rnd {
+		return
+	}
+	if a.isCoord && m.Rnd > a.crnd {
+		a.standDown()
+	}
+	a.rnd = m.Rnd
+	a.ring = m.Ring
+	a.coord = m.Ring[len(m.Ring)-1]
 }
 
 // suspectPred declares the ring predecessor dead, lays out a ring of the
@@ -1229,7 +1475,7 @@ func (a *MAgent) electRing() []proto.NodeID {
 }
 
 func (a *MAgent) onTakeOver(m mTakeOver) {
-	if !a.Cfg.Failover.Enabled() || len(m.Ring) == 0 || m.Ring[len(m.Ring)-1] != a.env.ID() {
+	if !a.Cfg.Failover.Enabled() || a.retired || len(m.Ring) == 0 || m.Ring[len(m.Ring)-1] != a.env.ID() {
 		return
 	}
 	if a.isCoord && sameRing(a.ring, m.Ring) {
@@ -1251,6 +1497,7 @@ func (a *MAgent) onRingChange(m mRingChange) {
 	a.rnd = m.Rnd
 	a.ring = m.Ring
 	a.coord = m.Ring[len(m.Ring)-1]
+	a.fo.needRing = false
 }
 
 // standDown retires a stale coordinator that observed a higher round.

@@ -1,0 +1,47 @@
+package ringpaxos
+
+// Crash+restart durability (Recoverable Ring Paxos, §3.5.5). Both Ring
+// Paxos variants model three post-crash behaviors for a process whose
+// volatile state a fault.Lose crash destroyed, selected by Durability on
+// the config:
+//
+//   - DurModeled (zero value): the legacy semantics every pre-durability
+//     deployment pins — promises and votes are silently retained across
+//     the crash, as if stable storage existed but cost nothing. Keeps all
+//     historical goldens byte-identical.
+//   - DurVolatile: honest loss. The process wipes its acceptor and
+//     coordinator state and rejoins RETIRED from those roles: classic
+//     Paxos forbids a process that lost its promise/vote state from ever
+//     acting as an acceptor again (it may have promised a round it no
+//     longer remembers), and an amnesiac coordinator cannot resume
+//     coordinatorship it cannot prove. This is the mexos ceiling —
+//     "does not store anything persistently, so cannot handle
+//     crash+restart" — made explicit: without failover the ring stalls.
+//   - DurWAL: real durability. Promises and votes were appended to the
+//     agent's write-ahead log (Log field, wal.Log) before the agent acted
+//     on them, each append charged to the ~270 Mbps disk model through
+//     proto.Env.DiskWrite. On restart the agent wipes volatile state like
+//     DurVolatile, then replays the log: promises restore the fencing
+//     round, votes repopulate the store, and a logged coordinator
+//     re-enters Phase 1 one round above its highest logged promise —
+//     rejoining with full rights instead of retiring.
+//
+// Everything here is opt-in: with the zero Durability no WAL call, no
+// snapshot message and no retirement branch ever runs.
+
+// Durability selects what a fault.Lose crash does to this agent's
+// protocol state. See the package comment above for the three levels.
+type Durability uint8
+
+const (
+	// DurModeled retains votes across a Lose crash (legacy semantics).
+	DurModeled Durability = iota
+	// DurVolatile loses them honestly; the process retires from the
+	// acceptor and coordinator roles.
+	DurVolatile
+	// DurWAL loses them, then recovers by replaying the write-ahead log.
+	DurWAL
+)
+
+// nopFn is the shared no-op completion for disk writes that gate nothing.
+var nopFn = func() {}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/proto"
+	"repro/internal/wal"
 )
 
 // UConfig configures a U-Ring Paxos deployment (Algorithm 3). All processes
@@ -60,6 +61,11 @@ type UConfig struct {
 	// acceptors, so safety holds across reconfigurations. The zero value
 	// disables it — no timer, no message.
 	Failover Failover
+	// Durability selects what a fault.Lose crash costs this process (see
+	// recovery.go). The zero value, DurModeled, keeps the legacy
+	// retain-votes semantics and every pre-durability golden. DurWAL
+	// additionally requires the agent's Log field to be set.
+	Durability Durability
 }
 
 func (c *UConfig) defaults() {
@@ -108,6 +114,10 @@ type UAgent struct {
 	// a delivery-equivalence digest (see core.DelivTrace). Pure
 	// observation: it sends nothing and consumes no simulated time.
 	Trace *core.DelivTrace
+	// Log is this process's write-ahead log, required when Cfg.Durability
+	// is DurWAL. The deployment owns it (the rig sets it before Start):
+	// it survives the agent's crash the way a disk survives a process.
+	Log *wal.Log
 
 	env proto.Env
 
@@ -127,6 +137,11 @@ type UAgent struct {
 	// acceptor state
 	rnd   int64
 	votes core.InstLog[vote]
+	// retired marks a DurVolatile process that restarted after losing its
+	// acceptor state: it must never promise or vote again, and it drops
+	// client proposals addressed to a coordinatorship it cannot resume
+	// (see LoseVolatile). The learner role is unaffected.
+	retired bool
 
 	// ring layout state: the live ring and its acceptor-segment length,
 	// re-laid-out by failover reconfigurations. ringRnd dedupes circulating
@@ -268,6 +283,11 @@ func (a *UAgent) Receive(from proto.NodeID, m proto.Message) {
 		if a.isCoord {
 			a.enqueue(msg.V)
 			msgProposePool.Put(msg)
+		} else if a.retired {
+			// An amnesiac ex-coordinator cannot serve the proposal and must
+			// not blindly forward it either: with no live coordinator on
+			// the ring it would circulate forever. Clients re-submit.
+			msgProposePool.Put(msg)
 		} else {
 			a.env.Send(a.succ(), msg)
 		}
@@ -287,20 +307,96 @@ func (a *UAgent) Receive(from proto.NodeID, m proto.Message) {
 		a.onTakeOver(msg)
 	case uRingChange:
 		a.onRingChange(msg)
+	case mRingStateReq:
+		a.onRingStateReq(from)
+	case mRingState:
+		a.onRingState(msg)
 	}
 }
 
 // LoseVolatile implements proto.VolatileLoser: a crash that destroys
 // volatile state (fault.Lose) discards the staged client values awaiting
-// proposal. Votes and the learner frontier are retained (modeled
+// proposal, then applies the configured Durability. Under the default
+// DurModeled, votes and the learner frontier are retained (modeled
 // durable; U-Ring's reliable ring has no retransmission path, so losing
 // them would stall the ring forever — fault schedules for U-Ring use
 // freezes and partitions, which its TCP channels survive losslessly).
+// DurVolatile loses them honestly and retires the process from the
+// acceptor/coordinator roles — a crashed U-Ring coordinator then stalls
+// the ring for good unless failover reconfigures around it. DurWAL loses
+// them and replays the write-ahead log; a recovered coordinator re-enters
+// Phase 1 and the ring resumes.
 func (a *UAgent) LoseVolatile() {
 	a.pending.PopFront(a.pending.Len())
 	a.pendingBytes = 0
 	a.fo.reset()
+	switch a.Cfg.Durability {
+	case DurVolatile:
+		a.loseUState()
+		a.retired = true
+	case DurWAL:
+		a.loseUState()
+		a.replayWAL()
+	}
+	if a.Cfg.Failover.Enabled() && !a.retired {
+		// Learn the current ring layout from a live member before
+		// re-arming the detector (the layout may have changed during the
+		// outage; failoverTick holds the monitor off while needRing is set).
+		a.fo.needRing = true
+	}
 }
+
+// loseUState wipes everything a Lose crash destroys in a process with
+// honest volatile state: promises, votes, coordinator soft state and the
+// garbage-collection bookkeeping. Learner delivery state is retained in
+// every mode — it models the application's own durable state.
+func (a *UAgent) loseUState() {
+	a.rnd = 0
+	a.votes = core.InstLog[vote]{}
+	a.gc = core.VersionTracker{}
+	a.quarantine = nil
+	a.pool = core.BatchPool{}
+	a.isCoord, a.phase1Done = false, false
+	a.crnd = 0
+	a.promises = make(map[proto.NodeID]uPhase1B)
+	a.openCount = 0
+	a.next = 0
+	a.fo.tookOver = false
+}
+
+// replayWAL rebuilds acceptor state from the write-ahead log after
+// loseUState. A process that finds itself at its ring's coordinator
+// position re-enters Phase 1 one round above its highest logged promise:
+// it can prove every promise it ever made, so resuming coordinatorship
+// is safe — the recovery U-Ring Paxos needs, since a dead coordinator
+// otherwise stalls the whole ring.
+func (a *UAgent) replayWAL() {
+	a.Log.Replay(func(r wal.Record) {
+		switch r.Kind {
+		case wal.KindSnapshot:
+			a.gc.SetFloor(r.Inst)
+		case wal.KindPromise:
+			if r.Rnd > a.rnd {
+				a.rnd = r.Rnd
+			}
+		case wal.KindVote:
+			if r.Inst < a.gc.Floor() {
+				return
+			}
+			v, _ := a.votes.Put(r.Inst)
+			*v = vote{rnd: r.Rnd, vid: r.VID, val: r.Val}
+			if r.Inst >= a.next {
+				a.next = r.Inst + 1
+			}
+		}
+	})
+	if len(a.ring) > 0 && a.ring[0] == a.env.ID() {
+		a.becomeCoordinator((a.rnd>>10)+1, a.ring, a.nacc)
+	}
+}
+
+// walOn reports whether this agent appends to a write-ahead log.
+func (a *UAgent) walOn() bool { return a.Cfg.Durability == DurWAL && a.Log != nil }
 
 // --- coordinator ---
 
@@ -339,7 +435,11 @@ func (a *UAgent) startInstance(b core.Batch, pooled bool) {
 	*v = vote{rnd: a.crnd, vid: vid, val: b, pooled: pooled}
 	m := uPhase2Pool.Get()
 	m.Inst, m.Rnd, m.VID, m.Val = inst, a.crnd, vid, b
-	if a.Cfg.DiskSync {
+	if a.walOn() {
+		// The coordinator's self-vote hits the log before the 2A/2B leaves.
+		a.Log.Append(a.env, wal.Record{Kind: wal.KindVote, Inst: inst, Rnd: a.crnd, VID: vid, Val: b},
+			func() { a.forwardPhase2(m) })
+	} else if a.Cfg.DiskSync {
 		a.env.DiskWrite(b.Size()+headerBytes, func() { a.forwardPhase2(m) })
 	} else {
 		a.forwardPhase2(m)
@@ -365,8 +465,11 @@ func (a *UAgent) onPhase1A(from proto.NodeID, m uPhase1A) {
 	}
 	if len(m.Ring) > 0 {
 		a.ring, a.nacc = m.Ring, m.NAcc // abide by the proposed layout
+		a.fo.needRing = false
 	}
-	if !a.isAcceptor() {
+	if !a.isAcceptor() || a.retired {
+		// A retired process must never promise again: it cannot remember
+		// what it promised before the crash.
 		return
 	}
 	a.rnd = m.Rnd
@@ -375,6 +478,14 @@ func (a *UAgent) onPhase1A(from proto.NodeID, m uPhase1A) {
 		reply.Votes[inst] = *v
 		return true
 	})
+	if a.walOn() {
+		// The promise is binding only once durable: persist it before the
+		// 1B leaves (Phase 1 is rare, so the closure is off the hot path).
+		to := from
+		a.Log.Append(a.env, wal.Record{Kind: wal.KindPromise, Rnd: a.rnd},
+			func() { a.env.Send(to, reply) })
+		return
+	}
 	a.env.Send(from, reply)
 }
 
@@ -454,7 +565,10 @@ func (a *UAgent) onPhase1B(from proto.NodeID, m uPhase1B) {
 // --- acceptor (Task 4) ---
 
 func (a *UAgent) onPhase2(m *uPhase2) {
-	if !a.isAcceptor() || a.isCoord {
+	if !a.isAcceptor() || a.isCoord || a.retired {
+		// A retired mid-segment acceptor swallows the Phase 2 instead of
+		// voting or forwarding: the honest consequence of lost state is
+		// that the pipeline stalls at the amnesiac hop.
 		uPhase2Pool.Put(m)
 		return
 	}
@@ -473,7 +587,12 @@ func (a *UAgent) onPhase2(m *uPhase2) {
 	a.rnd = m.Rnd
 	v, _ := a.votes.Put(m.Inst)
 	*v = vote{rnd: m.Rnd, vid: m.VID, val: m.Val}
-	if a.Cfg.DiskSync {
+	if a.walOn() {
+		// Votes persist sequentially along the ring (§3.5.5), with the
+		// record retained for crash replay.
+		a.Log.Append(a.env, wal.Record{Kind: wal.KindVote, Inst: m.Inst, Rnd: m.Rnd, VID: m.VID, Val: m.Val},
+			func() { a.phase2Proceed(m) })
+	} else if a.Cfg.DiskSync {
 		a.env.DiskWrite(m.Val.Size()+headerBytes, func() { a.phase2Proceed(m) })
 	} else {
 		a.phase2Proceed(m)
@@ -511,7 +630,14 @@ func (a *UAgent) onDecision(m *uDecision) {
 			m.Val = v.val
 		}
 	}
-	a.deliverLocal(m)
+	if a.retired && len(m.Val.Vals) == 0 {
+		// The vote log that would restore the stripped payload died with
+		// the crash: pass the decision on without consuming it locally —
+		// delivering an empty batch here would silently skip the
+		// instance's values and diverge this learner's sequence.
+	} else {
+		a.deliverLocal(m)
+	}
 	a.releaseWindow()
 	m.Hops++
 	if m.Hops >= len(a.ring)-1 {
@@ -652,6 +778,10 @@ func (a *UAgent) trimLogs() {
 			a.quarantine = append(a.quarantine, v.val.Vals)
 		}
 	})
+	if a.walOn() {
+		// The log trims in lockstep with the vote log, bounding replay.
+		a.Log.Trim(a.gc.Floor())
+	}
 }
 
 // --- failover ---
@@ -661,22 +791,67 @@ func (a *UAgent) trimLogs() {
 // participates — U-Ring has no multicast group, so a learner segment
 // member may be the one that detects a dead coordinator's silence.
 func (a *UAgent) failoverTick() {
-	if proto.EnvDown(a.env) {
+	if proto.EnvDown(a.env) || a.retired {
 		// A crashed process runs no failure detector: drop the monitor aim
 		// so the first post-restart tick re-observes a full silence window
-		// instead of acting on a timestamp from before the outage.
+		// instead of acting on a timestamp from before the outage. A
+		// retired process must not beacon either — peers should treat the
+		// amnesiac as dead and reconfigure the ring around it.
 		a.fo.mon = false
 	} else if i := a.ringIndex(); i >= 0 && len(a.ring) > 1 {
 		n := len(a.ring)
 		a.env.Send(a.ring[(i+1)%n], mHeartbeat{Rnd: a.rnd})
-		pred := a.ring[(i-1+n)%n]
-		if a.fo.observe(pred, a.env.Now(), a.Cfg.Failover.suspectAfter()) {
-			a.suspectPred(pred)
+		if a.fo.needRing {
+			// Freshly restarted: hold the detector until a live member
+			// confirms the ring layout — suspicion computed from the stale
+			// pre-crash ring would churn a ring that already moved on.
+			a.fo.mon = false
+			a.requestRingState()
+		} else {
+			pred := a.ring[(i-1+n)%n]
+			if a.fo.observe(pred, a.env.Now(), a.Cfg.Failover.suspectAfter()) {
+				a.suspectPred(pred)
+			}
 		}
 	} else {
 		a.fo.mon = false
 	}
 	proto.AfterFree(a.env, a.Cfg.Failover.Heartbeat, a.fo.tickFn)
+}
+
+// requestRingState asks one ring member for the current layout, rotating
+// the target each tick so a dead first choice does not stall catch-up.
+func (a *UAgent) requestRingState() {
+	n := len(a.ring)
+	i := a.ringIndex()
+	if n <= 1 || i < 0 {
+		a.fo.needRing = false
+		return
+	}
+	off := 1 + a.fo.askIdx%(n-1)
+	a.fo.askIdx++
+	a.env.Send(a.ring[(i+off)%n], mRingStateReq{})
+}
+
+func (a *UAgent) onRingStateReq(from proto.NodeID) {
+	a.env.Send(from, mRingState{Rnd: a.rnd, Ring: a.ring, NAcc: a.nacc})
+}
+
+// onRingState adopts the layout a live member reported after this node's
+// restart; see the MAgent counterpart.
+func (a *UAgent) onRingState(m mRingState) {
+	a.fo.needRing = false
+	if len(m.Ring) == 0 || m.Rnd < a.rnd {
+		return
+	}
+	if a.isCoord && m.Rnd > a.crnd {
+		a.standDownU()
+	}
+	a.rnd = m.Rnd
+	if m.Rnd > a.ringRnd {
+		a.ringRnd = m.Rnd
+	}
+	a.ring, a.nacc = m.Ring, m.NAcc
 }
 
 // suspectPred declares the ring predecessor dead and nominates the
@@ -739,7 +914,7 @@ func (a *UAgent) takeOver(ring []proto.NodeID, nacc int) {
 }
 
 func (a *UAgent) onTakeOver(m mTakeOver) {
-	if !a.Cfg.Failover.Enabled() || len(m.Ring) == 0 || m.Ring[0] != a.env.ID() {
+	if !a.Cfg.Failover.Enabled() || a.retired || len(m.Ring) == 0 || m.Ring[0] != a.env.ID() {
 		return
 	}
 	if a.isCoord && sameRing(a.ring, m.Ring) {
@@ -763,6 +938,7 @@ func (a *UAgent) onRingChange(m uRingChange) {
 		a.rnd = m.Rnd // round progress signal for the escalation check
 	}
 	a.ring, a.nacc = m.Ring, m.NAcc
+	a.fo.needRing = false
 	m.Hops++
 	if m.Hops < len(m.Ring)-1 {
 		a.env.Send(a.succ(), m)

@@ -1,0 +1,201 @@
+// Package wal models the write-ahead log of Recoverable Ring Paxos
+// (§3.5.5): acceptors and coordinators append Phase 1 promises, Phase 2
+// votes and decisions to stable storage before acting on them, so a
+// process that crashes and loses its volatile state (fault.Lose) can
+// rebuild its protocol state by replaying the log instead of rejoining
+// amnesiac.
+//
+// Every append is charged to the environment's disk model through
+// proto.Env.DiskWrite — the simulator prices it at the paper's ~270 Mbps
+// synchronous-SSD bandwidth plus seek latency, and the realtime runtime
+// backs the same call with a real O_SYNC file — and the caller's
+// continuation runs only once the write is durable, which is what lets
+// an acceptor gate its Phase 1B/2B replies on persistence.
+//
+// The Log object itself IS the modeled stable medium: it belongs to the
+// deployment (the rig hands one to each durable agent, like a disk that
+// outlives the process), so it survives a Lose crash that wipes the
+// agent's in-memory instance logs. Replay hands the retained records
+// back in append order.
+package wal
+
+import (
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// Kind tags one log record.
+type Kind uint8
+
+const (
+	// KindPromise records a Phase 1 promise: the acceptor will never
+	// again accept a proposal from a round below Rnd.
+	KindPromise Kind = iota + 1
+	// KindVote records a Phase 2 vote: (Inst, Rnd, VID) plus the voted
+	// batch, so replay restores both the fencing state and the payload a
+	// new coordinator's Phase 1 may need to re-propose.
+	KindVote
+	// KindDecision records a decided instance at the coordinator. Purely
+	// an optimization for replay (decisions are recoverable from a quorum
+	// of vote records via Phase 1), so appends of this kind are not gated
+	// on.
+	KindDecision
+	// KindSnapshot records an installed snapshot's floor: replay must not
+	// resurrect state below it.
+	KindSnapshot
+)
+
+// recHeader is the modeled on-disk framing of one record: kind, instance,
+// round, value id and partition mask, plus a length word.
+const recHeader = 37
+
+// Record is one write-ahead log entry.
+type Record struct {
+	Kind Kind
+	Inst int64
+	Rnd  int64
+	VID  core.ValueID
+	Mask uint64
+	Val  core.Batch
+}
+
+// Size returns the record's modeled on-disk footprint in bytes.
+func (r Record) Size() int { return recHeader + r.Val.Size() }
+
+// Log is one process's write-ahead log. The zero value is an empty log
+// ready to use. All methods are safe on a nil receiver (they no-op or
+// return zero), so call sites may log unconditionally.
+type Log struct {
+	recs []Record
+	// topPromise caches the highest promised round so compaction can
+	// always retain it even after the promise records themselves age out.
+	topPromise int64
+	floor      int64
+	bytes      int64 // lifetime appended bytes (the disk-write total)
+	appends    int64
+	replayed   int64 // records handed back by the most recent Replay
+}
+
+// Append charges one record's write to env's disk model and retains the
+// record for replay. done, if non-nil, runs once the write is durable —
+// the gating hook for replies that must not outrun persistence.
+func (l *Log) Append(env proto.Env, r Record, done func()) {
+	if l == nil {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	if r.Kind == KindPromise && r.Rnd > l.topPromise {
+		l.topPromise = r.Rnd
+	}
+	if r.Kind == KindSnapshot && r.Inst > l.floor {
+		l.floor = r.Inst
+	}
+	l.recs = append(l.recs, r)
+	l.bytes += int64(r.Size())
+	l.appends++
+	if done == nil {
+		done = nop
+	}
+	env.DiskWrite(r.Size(), done)
+}
+
+var nop = func() {}
+
+// Replay hands every retained record to fn in append order and returns
+// how many were replayed. Records for instances below the compaction
+// floor were dropped by Trim; the floor itself is replayed first as a
+// synthetic KindSnapshot record so the consumer restores it before any
+// vote.
+func (l *Log) Replay(fn func(Record)) int {
+	if l == nil {
+		return 0
+	}
+	n := 0
+	if l.floor > 0 {
+		fn(Record{Kind: KindSnapshot, Inst: l.floor})
+		n++
+	}
+	if l.topPromise > 0 {
+		fn(Record{Kind: KindPromise, Rnd: l.topPromise})
+		n++
+	}
+	for _, r := range l.recs {
+		if r.Kind == KindPromise || r.Kind == KindSnapshot {
+			continue // folded into the synthetic head records above
+		}
+		fn(r)
+		n++
+	}
+	l.replayed = int64(n)
+	return n
+}
+
+// Trim compacts the log when the garbage-collection floor advances: vote
+// and decision records below floor cover globally applied instances and
+// will never be replayed again. The highest promise and the floor itself
+// are retained (see Replay). Trim models in-place compaction and charges
+// no disk time — the modeled medium rewrites segments off the critical
+// path, like any log-structured store.
+func (l *Log) Trim(floor int64) {
+	if l == nil || floor <= l.floor {
+		return
+	}
+	l.floor = floor
+	kept := l.recs[:0]
+	for _, r := range l.recs {
+		if r.Kind == KindPromise || r.Kind == KindSnapshot {
+			continue // cached in topPromise / floor
+		}
+		if r.Inst >= floor {
+			kept = append(kept, r)
+		}
+	}
+	// Zero the tail so trimmed batches don't pin their backing arrays.
+	for i := len(kept); i < len(l.recs); i++ {
+		l.recs[i] = Record{}
+	}
+	l.recs = kept
+}
+
+// Floor returns the compaction floor: no record below it is retained.
+func (l *Log) Floor() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.floor
+}
+
+// Len returns how many records the log currently retains.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.recs)
+}
+
+// Bytes returns the lifetime total of bytes appended (and charged to the
+// disk model), undiminished by compaction.
+func (l *Log) Bytes() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.bytes
+}
+
+// Appends returns the lifetime count of appended records.
+func (l *Log) Appends() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.appends
+}
+
+// Replayed returns how many records the most recent Replay handed back.
+func (l *Log) Replayed() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.replayed
+}

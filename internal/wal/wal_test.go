@@ -1,0 +1,140 @@
+package wal
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// fakeEnv is a minimal proto.Env whose DiskWrite completes immediately
+// and counts the charged bytes.
+type fakeEnv struct {
+	diskBytes  int
+	diskWrites int
+}
+
+func (e *fakeEnv) ID() proto.NodeID                       { return 1 }
+func (e *fakeEnv) Now() time.Duration                     { return 0 }
+func (e *fakeEnv) Rand() *rand.Rand                       { return rand.New(rand.NewSource(1)) }
+func (e *fakeEnv) Send(proto.NodeID, proto.Message)       {}
+func (e *fakeEnv) SendUDP(proto.NodeID, proto.Message)    {}
+func (e *fakeEnv) Multicast(proto.GroupID, proto.Message) {}
+func (e *fakeEnv) After(d time.Duration, fn func()) proto.Timer {
+	fn()
+	return nil
+}
+func (e *fakeEnv) Work(d time.Duration, fn func()) { fn() }
+func (e *fakeEnv) DiskWrite(size int, fn func()) {
+	e.diskBytes += size
+	e.diskWrites++
+	fn()
+}
+
+func val(bytes int) core.Batch {
+	return core.Batch{Vals: []core.Value{{ID: 7, Bytes: bytes}}}
+}
+
+func TestWALAppendChargesDisk(t *testing.T) {
+	env := &fakeEnv{}
+	l := &Log{}
+	done := 0
+	l.Append(env, Record{Kind: KindPromise, Rnd: 9}, func() { done++ })
+	l.Append(env, Record{Kind: KindVote, Inst: 0, Rnd: 9, VID: 1, Val: val(100)}, func() { done++ })
+	l.Append(env, Record{Kind: KindDecision, Inst: 0, VID: 1}, nil)
+	if done != 2 {
+		t.Fatalf("done callbacks = %d, want 2", done)
+	}
+	if env.diskWrites != 3 {
+		t.Fatalf("disk writes = %d, want 3", env.diskWrites)
+	}
+	if int64(env.diskBytes) != l.Bytes() {
+		t.Fatalf("disk bytes %d != log bytes %d", env.diskBytes, l.Bytes())
+	}
+	if l.Appends() != 3 || l.Len() != 3 {
+		t.Fatalf("appends=%d len=%d, want 3/3", l.Appends(), l.Len())
+	}
+	// A vote's footprint must include its payload.
+	vote := Record{Kind: KindVote, Val: val(100)}
+	if vote.Size() <= recHeader {
+		t.Fatalf("vote size %d does not include payload", vote.Size())
+	}
+}
+
+func TestWALReplayOrderAndCounts(t *testing.T) {
+	env := &fakeEnv{}
+	l := &Log{}
+	l.Append(env, Record{Kind: KindPromise, Rnd: 3}, nil)
+	l.Append(env, Record{Kind: KindVote, Inst: 0, Rnd: 3, VID: 1, Val: val(10)}, nil)
+	l.Append(env, Record{Kind: KindPromise, Rnd: 8}, nil)
+	l.Append(env, Record{Kind: KindVote, Inst: 1, Rnd: 8, VID: 2, Val: val(20)}, nil)
+	l.Append(env, Record{Kind: KindDecision, Inst: 0, VID: 1}, nil)
+
+	var got []Record
+	n := l.Replay(func(r Record) { got = append(got, r) })
+	if n != len(got) || l.Replayed() != int64(n) {
+		t.Fatalf("replay count mismatch: n=%d got=%d replayed=%d", n, len(got), l.Replayed())
+	}
+	// Synthetic promise head carries the HIGHEST promised round, then the
+	// votes and the decision in append order.
+	if got[0].Kind != KindPromise || got[0].Rnd != 8 {
+		t.Fatalf("replay head = %+v, want promise rnd=8", got[0])
+	}
+	wantInsts := []int64{0, 1, 0}
+	for i, w := range wantInsts {
+		if got[1+i].Inst != w {
+			t.Fatalf("replay[%d].Inst = %d, want %d", 1+i, got[1+i].Inst, w)
+		}
+	}
+}
+
+func TestWALTrimKeepsPromiseAndFloor(t *testing.T) {
+	env := &fakeEnv{}
+	l := &Log{}
+	l.Append(env, Record{Kind: KindPromise, Rnd: 5}, nil)
+	for i := int64(0); i < 10; i++ {
+		l.Append(env, Record{Kind: KindVote, Inst: i, Rnd: 5, VID: core.ValueID(i + 1), Val: val(10)}, nil)
+	}
+	l.Trim(7)
+	if l.Floor() != 7 {
+		t.Fatalf("floor = %d, want 7", l.Floor())
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len after trim = %d, want 3 (insts 7..9)", l.Len())
+	}
+	var got []Record
+	l.Replay(func(r Record) { got = append(got, r) })
+	if got[0].Kind != KindSnapshot || got[0].Inst != 7 {
+		t.Fatalf("replay head = %+v, want snapshot floor=7", got[0])
+	}
+	if got[1].Kind != KindPromise || got[1].Rnd != 5 {
+		t.Fatalf("replay[1] = %+v, want promise rnd=5 retained across trim", got[1])
+	}
+	for _, r := range got[2:] {
+		if r.Inst < 7 {
+			t.Fatalf("trimmed instance %d replayed", r.Inst)
+		}
+	}
+	// Lowering the floor is a no-op.
+	l.Trim(3)
+	if l.Floor() != 7 || l.Len() != 3 {
+		t.Fatalf("backward trim mutated the log: floor=%d len=%d", l.Floor(), l.Len())
+	}
+}
+
+func TestWALNilSafety(t *testing.T) {
+	var l *Log
+	env := &fakeEnv{}
+	done := false
+	l.Append(env, Record{Kind: KindVote}, func() { done = true })
+	if !done {
+		t.Fatal("nil log must still run the completion")
+	}
+	if l.Replay(func(Record) {}) != 0 || l.Len() != 0 || l.Bytes() != 0 ||
+		l.Appends() != 0 || l.Replayed() != 0 || l.Floor() != 0 {
+		t.Fatal("nil log accessors must return zero")
+	}
+	l.Trim(5)
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/ringpaxos"
+	"repro/internal/wal"
 )
 
 // ReplicatedLog is a convenience wrapper: a U-Ring Paxos ring over a
@@ -33,10 +34,19 @@ type LogConfig struct {
 	// disables it — the pre-plumbing behavior, kept only as an explicit
 	// escape hatch.
 	GCInterval time.Duration
+	// WALDir, when non-empty, turns on write-ahead logging
+	// (ringpaxos.DurWAL): every acceptor appends its promises and votes
+	// to an in-memory wal.Log before acting on them, and the cluster
+	// backs those durable writes with real O_SYNC files under this
+	// directory (one node-<id>.wal per ring member) so each append pays
+	// true fsync latency. Empty keeps the legacy in-memory behavior.
+	WALDir string
 }
 
 // NewReplicatedLog adds the ring to the cluster. Call before
-// Cluster.Start.
+// Cluster.Start. With WALDir set it also enables the cluster's
+// file-backed durable writes; an unusable directory surfaces through
+// Cluster.WALError after the first append.
 func NewReplicatedLog(c *Cluster, cfg LogConfig) *ReplicatedLog {
 	l := &ReplicatedLog{cluster: c, agents: make(map[NodeID]*URingAgent)}
 	ucfg := ringpaxos.UConfig{
@@ -45,9 +55,18 @@ func NewReplicatedLog(c *Cluster, cfg LogConfig) *ReplicatedLog {
 		BatchDelay: cfg.BatchDelay,
 		GCInterval: cfg.GCInterval,
 	}
+	if cfg.WALDir != "" {
+		ucfg.Durability = ringpaxos.DurWAL
+		if err := c.EnableWAL(cfg.WALDir); err != nil {
+			c.noteWALErr(err)
+		}
+	}
 	for _, id := range cfg.Nodes {
 		id := id
 		a := &URingAgent{Cfg: ucfg}
+		if cfg.WALDir != "" {
+			a.Log = &wal.Log{}
+		}
 		if cfg.Deliver != nil {
 			a.Deliver = func(inst int64, v Value) { cfg.Deliver(id, inst, v) }
 		}
