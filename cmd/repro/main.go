@@ -15,6 +15,11 @@
 //	repro -allocs fig4.3         alloc-profile experiments sequentially
 //	repro -check-allocs ci/budgets.json  enforce allocation/heap ceilings
 //
+// The budget files under ci/ gate different nondeterministic dimensions:
+// budgets.json (figure mallocs), soak-budgets.json (heap + live-log
+// ceilings), recovery-budgets.json (WAL bytes + worst recovery gap) and
+// client-budgets.json (exactly-once session retries + retry wire bytes).
+//
 // Experiment text goes to stdout in registry order (byte-identical for any
 // -jobs value); per-experiment wall-clock and the run summary go to stderr
 // so timing never perturbs the deterministic output stream.

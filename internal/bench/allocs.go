@@ -46,6 +46,14 @@ type AllocResult struct {
 	// budgets gate them. Zero for non-recovery experiments.
 	DiskBytes  uint64  `json:"wal_disk_bytes,omitempty"`
 	RecoveryMS float64 `json:"recovery_ms,omitempty"`
+
+	// Client experiments additionally report the sessions' re-submission
+	// count and retry wire bytes summed across the family's runs — the
+	// duplicate-proposal overhead the exactly-once layer is allowed to
+	// spend. Deterministic; the client CI budgets gate them. Zero for
+	// non-client experiments.
+	ClientRetries    uint64 `json:"client_retries,omitempty"`
+	ClientExtraBytes uint64 `json:"client_extra_bytes,omitempty"`
 }
 
 // ProfileAllocs runs e once and returns its allocation profile. The
@@ -81,6 +89,10 @@ func ProfileAllocs(e Experiment) AllocResult {
 		r.DiskBytes = s.DiskBytes
 		r.RecoveryMS = s.RecoveryMS
 	}
+	if s, ok := TakeClientStats(e.ID); ok {
+		r.ClientRetries = s.Retries
+		r.ClientExtraBytes = s.ExtraBytes
+	}
 	return r
 }
 
@@ -108,6 +120,14 @@ type AllocBudget struct {
 	// A replay path that stops short-circuiting or a catch-up that
 	// degrades to timeout-paced retransmission blows it.
 	MaxRecoveryMS float64 `json:"max_recovery_ms,omitempty"`
+	// MaxClientRetries bounds the re-submissions a client family's
+	// sessions make across all its runs: a session that retries into a
+	// live coordinator (timeout below commit latency) or keeps hammering
+	// a dead one (backoff broken) blows it.
+	MaxClientRetries uint64 `json:"max_client_retries,omitempty"`
+	// MaxClientExtraBytes bounds the retry wire bytes (payload + header
+	// per re-submission) of a client family.
+	MaxClientExtraBytes uint64 `json:"max_client_extra_bytes,omitempty"`
 }
 
 // ReadBudgets parses a budget file.
@@ -155,6 +175,8 @@ func CheckAllocs(budgets []AllocBudget, logw io.Writer) ([]AllocResult, []string
 		check("heap_alloc_peak_bytes", r.HeapAllocPeak, budget.MaxHeapAllocPeak)
 		check("live_log_peak", uint64(r.LiveLogPeak), uint64(budget.MaxLiveLogPeak))
 		check("wal_disk_bytes", r.DiskBytes, budget.MaxDiskBytes)
+		check("client_retries", r.ClientRetries, budget.MaxClientRetries)
+		check("client_extra_bytes", r.ClientExtraBytes, budget.MaxClientExtraBytes)
 		if budget.MaxRecoveryMS > 0 {
 			if r.RecoveryMS > budget.MaxRecoveryMS {
 				bad = append(bad, fmt.Sprintf("%s: recovery_ms %.1f exceeds budget %.1f", r.ID, r.RecoveryMS, budget.MaxRecoveryMS))

@@ -22,6 +22,8 @@ var faultFamilies = []struct {
 	{"fault.recovery.mring", recoveryMRingSeeds},
 	{"fault.recovery.uring", recoveryURingSeeds},
 	{"fault.recovery.snapshot", recoverySnapshotSeeds},
+	{"fault.client.mring", clientMRingSeeds},
+	{"fault.client.uring", clientURingSeeds},
 }
 
 // TestFaultSafetySeedInvariant is the property the safety layer pins:

@@ -12,16 +12,20 @@ package bench
 // Entries describe the most recent deliberate re-pin only; a future
 // re-pin replaces the map wholesale (git history keeps the past).
 //
-// The current re-pin covers a single experiment: proto.Multi now
-// forwards LoseVolatile to composed handlers, so fault.spaxos's Lose
-// crash of a pump-sharing replica actually destroys its volatile state
-// (previously the Multi wrapper silently swallowed the call and the
-// crash behaved like a freeze). The replica's post-restart traffic
-// shifted; the delivery and safety digests stayed byte-identical.
-const repinMultiLose = "proto.Multi forwards LoseVolatile: the S-Paxos replica's Lose crash now truly loses volatile state, shifting post-restart schedules"
+// The current re-pin covers a single experiment: a U-Ring takeover now
+// circulates the reconfigured ring layout BEFORE re-proposing the
+// adopted instances. Previously the re-proposed decisions could reach a
+// member still holding the pre-failure layout, get forwarded to the
+// dead node and vanish — leaving the new coordinator's window
+// permanently exhausted whenever the adopted backlog exceeded Window
+// (exposed by the closed-loop exactly-once client family, whose GC lag
+// piles up more un-trimmed instances than the pump workloads). The
+// post-takeover message timeline shifted; the delivery and safety
+// digests stayed byte-identical.
+const repinURingTakeover = "U-Ring takeover circulates the ring change before re-proposing adopted instances, so their decisions cannot be forwarded to the dead node by stale-layout members"
 
 var outputRepins = map[string]string{
-	"fault.spaxos": repinMultiLose,
+	"fault.failover.uring": repinURingTakeover,
 }
 
 // RepinNote returns the provenance note for an experiment whose output
@@ -37,15 +41,11 @@ func RepinNote(id string) (string, bool) {
 // family measures and why its digests look the way they do. Like
 // outputRepins, a future PR that adds experiments replaces the map
 // wholesale.
-const (
-	addedRecovery = "new in the durability PR: crash+restart with state loss per seed, run per durability variant (volatile retirement stalls, WAL replay recovers); safety digest pins stalled=true/false pairs plus prefix consistency, seed- and -par-invariant"
-	addedSnapshot = "new in the durability PR: long learner outage past the GC staleness eviction, run twice (floor-pinning retransmission control vs snapshot catch-up); safety digest pins consistent=true and stalled=false for both, seed- and -par-invariant"
-)
+const addedClient = "new in the exactly-once client PR: permanent coordinator kill per seed, run twice (no-retry control loses exactly one command: unacked=1; retry+redirect+dedup completes every command: unacked=0 dups=0); safety digest pins both verdicts via the oracle's at-most-once extension, seed- and -par-invariant"
 
 var outputAdded = map[string]string{
-	"fault.recovery.mring":    addedRecovery,
-	"fault.recovery.uring":    addedRecovery,
-	"fault.recovery.snapshot": addedSnapshot,
+	"fault.client.mring": addedClient,
+	"fault.client.uring": addedClient,
 }
 
 // AddedNote returns the provenance note for an experiment whose goldens

@@ -1,0 +1,244 @@
+// Package client implements the exactly-once client proposal layer for
+// the ordering protocols in this repository.
+//
+// A Session stamps every proposal with its (client id, sequence number)
+// identity, submits it toward the current coordinator, and retries with a
+// capped exponential backoff until the command is acknowledged. Retries
+// make proposals at-least-once; the learners' replicated dedup table
+// (core.DedupTable) makes applications at-most-once; together the layer
+// is exactly-once end to end — including across coordinator failovers,
+// where the session redirects by re-reading its proposer's coordinator
+// view (re-aimed by the ring-change propagation) and backs off on
+// explicit NACK evidence from demoted ex-coordinators instead of timeout
+// alone.
+package client
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// noNode marks "no coordinator known dead" (NodeID 0 is a real node).
+const noNode = proto.NodeID(-1)
+
+// retryOverheadBytes is the modeled per-retry wire overhead beyond the
+// value payload (the MsgPropose header).
+const retryOverheadBytes = 32
+
+// Config parameterizes a Session.
+type Config struct {
+	// Submit hands a stamped value to the proposer path — typically the
+	// Propose method of a ring agent composed on the same node, which
+	// routes to its current coordinator view and re-aims on ring changes.
+	Submit func(core.Value)
+	// Coord reports the proposer's current coordinator view (the ring
+	// agent's Coordinator method). The session consults it before a retry
+	// so it never re-sends to a coordinator it has evidence is gone.
+	Coord func() proto.NodeID
+	// Bytes is the wire size of each command.
+	Bytes int
+	// Think is the pause between an ack and the next command (closed
+	// loop; zero means issue immediately).
+	Think time.Duration
+	// Deadline, when positive, stops NEW commands at that sim time;
+	// outstanding ones are still retried to completion, so a run's last
+	// command can finish before the simulation ends.
+	Deadline time.Duration
+	// Retry is the base acknowledgment timeout; zero disables retries
+	// (and redirects): the session issues each command once and waits
+	// forever — the pre-exactly-once behavior, kept for control runs.
+	Retry time.Duration
+	// BackoffCap caps the exponential backoff (default 8x Retry).
+	BackoffCap time.Duration
+	// OnIssue/OnAck observe the session's lifecycle (first issue only,
+	// not retries) — the fault rigs feed them to the safety oracle.
+	OnIssue func(client, seq int64)
+	OnAck   func(client, seq int64)
+}
+
+// Stats counts the session's observable behavior; the CI client budgets
+// bound Retries and ExtraBytes.
+type Stats struct {
+	Issued  int64 // distinct commands issued
+	Acked   int64 // distinct commands acknowledged
+	Retries int64 // re-submissions beyond each command's first send
+	Nacks   int64 // explicit coordinator rejections received
+	// SkippedDead counts retry timeouts that fired while the proposer was
+	// still aimed at a coordinator known dead (NACK evidence) — e.g.
+	// inside the election window — and therefore sent nothing.
+	SkippedDead int64
+	// ExtraBytes is the wire cost of the retries (payload + header each).
+	ExtraBytes int64
+	// DupAcks counts acknowledgments beyond the first per command (every
+	// learner acks independently; duplicates are expected and ignored).
+	DupAcks int64
+}
+
+// Session is a closed-loop exactly-once client: one outstanding command
+// at a time, stamped, retried and redirected until acknowledged. It is a
+// proto.Handler, composed on its node (via proto.Multi) with the ring
+// agent whose Propose/Coordinator it uses.
+type Session struct {
+	Cfg   Config
+	Stats Stats
+
+	env     proto.Env
+	seq     int64
+	cur     core.Value
+	waiting bool
+	backoff time.Duration
+	// gen invalidates scheduled retry timers: every ack or reschedule
+	// bumps it, so a stale timer (for an already acked command, or
+	// superseded by a NACK-triggered reschedule) no-ops.
+	gen int64
+	// dead is the coordinator the session has evidence (a NACK) is not
+	// serving; retries aimed at it are held back until the ring view
+	// moves on. noNode when no evidence is held.
+	dead    proto.NodeID
+	retryFn func(int64)
+	issueFn func()
+}
+
+var _ proto.Handler = (*Session)(nil)
+
+// Start implements proto.Handler: the session issues its first command
+// immediately.
+func (s *Session) Start(env proto.Env) {
+	s.env = env
+	s.dead = noNode
+	s.retryFn = s.retryTick
+	s.issueFn = s.issue
+	if s.Cfg.BackoffCap <= 0 {
+		s.Cfg.BackoffCap = 8 * s.Cfg.Retry
+	}
+	s.issue()
+}
+
+// ID returns the session's client identity (its node id).
+func (s *Session) ID() int64 { return int64(s.env.ID()) }
+
+func (s *Session) issue() {
+	if s.waiting {
+		return
+	}
+	if s.Cfg.Deadline > 0 && s.env.Now() >= s.Cfg.Deadline {
+		return
+	}
+	s.seq++
+	s.cur = core.Value{
+		ID:     core.ValueID(int64(s.env.ID())<<40 | s.seq),
+		Bytes:  s.Cfg.Bytes,
+		Born:   s.env.Now(),
+		Client: int64(s.env.ID()),
+		Seq:    s.seq,
+	}
+	s.waiting = true
+	s.backoff = s.Cfg.Retry
+	s.Stats.Issued++
+	if s.Cfg.OnIssue != nil {
+		s.Cfg.OnIssue(int64(s.env.ID()), s.seq)
+	}
+	s.Cfg.Submit(s.cur)
+	s.armRetry()
+}
+
+// armRetry schedules the next acknowledgment timeout under a fresh
+// generation (invalidating any previously scheduled one).
+func (s *Session) armRetry() {
+	if s.Cfg.Retry <= 0 {
+		return
+	}
+	s.gen++
+	proto.AfterFreeArg(s.env, s.backoff, s.retryFn, s.gen)
+}
+
+func (s *Session) retryTick(gen int64) {
+	if !s.waiting || gen != s.gen {
+		return
+	}
+	if target := s.Cfg.Coord(); target == s.dead && s.backoff < s.Cfg.BackoffCap {
+		// The proposer is still aimed at a coordinator a NACK told us is
+		// gone — the election window. Re-sending there would be a
+		// guaranteed-wasted duplicate; keep backing off until the ring
+		// view moves. Once the backoff reaches its cap the evidence is
+		// old enough to distrust: probe anyway, so stale evidence (a
+		// node that recovered, or was elected after all) can never stall
+		// the session forever.
+		s.Stats.SkippedDead++
+	} else {
+		s.Stats.Retries++
+		s.Stats.ExtraBytes += int64(s.Cfg.Bytes + retryOverheadBytes)
+		s.Cfg.Submit(s.cur)
+	}
+	if s.backoff *= 2; s.backoff > s.Cfg.BackoffCap {
+		s.backoff = s.Cfg.BackoffCap
+	}
+	s.armRetry()
+}
+
+// Receive implements proto.Handler.
+func (s *Session) Receive(from proto.NodeID, m proto.Message) {
+	switch msg := m.(type) {
+	case *proto.MsgClientAck:
+		s.onAck(msg)
+	case *proto.MsgProposeNack:
+		s.onNack(from, msg)
+	}
+}
+
+func (s *Session) onAck(m *proto.MsgClientAck) {
+	if m.Client != int64(s.env.ID()) || m.Seq != s.seq || !s.waiting {
+		// A later learner's ack for a command already acknowledged.
+		s.Stats.DupAcks++
+		proto.ClientAckPool.Put(m)
+		return
+	}
+	s.waiting = false
+	s.gen++ // invalidate the pending retry timer
+	s.dead = noNode
+	s.Stats.Acked++
+	if s.Cfg.OnAck != nil {
+		s.Cfg.OnAck(m.Client, m.Seq)
+	}
+	proto.ClientAckPool.Put(m)
+	if s.Cfg.Think > 0 {
+		proto.AfterFree(s.env, s.Cfg.Think, s.issueFn)
+		return
+	}
+	s.issue()
+}
+
+func (s *Session) onNack(from proto.NodeID, m *proto.MsgProposeNack) {
+	stale := m.Client != int64(s.env.ID()) || m.Seq != s.seq || !s.waiting
+	hint := m.Coord
+	proto.ProposeNackPool.Put(m)
+	if stale {
+		return
+	}
+	s.Stats.Nacks++
+	if s.Cfg.Retry <= 0 {
+		return // control mode: evidence noted, but no retries
+	}
+	if hint == from {
+		// The rejecting node names ITSELF as coordinator: it is mid-
+		// election (Phase 1 not yet complete) and will serve shortly.
+		// Marking it dead would hold retries away from the very node
+		// about to be elected; re-sending immediately would just be
+		// NACKed again. Leave the timeout to retry.
+		s.armRetry()
+		return
+	}
+	// The sender is the evidence: it rejected us and points elsewhere, so
+	// the node the proposer was aimed at is not serving proposals.
+	s.dead = from
+	if target := s.Cfg.Coord(); target != s.dead {
+		// The proposer already re-aimed (ring change beat the NACK):
+		// redirect immediately instead of waiting out the timeout.
+		s.Stats.Retries++
+		s.Stats.ExtraBytes += int64(s.Cfg.Bytes + retryOverheadBytes)
+		s.Cfg.Submit(s.cur)
+	}
+	s.armRetry()
+}

@@ -1,0 +1,270 @@
+package client
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// clockEnv is a single-node manual-clock environment: timers run in time
+// order (FIFO within an instant), sends are recorded. Enough to drive a
+// Session through retry/backoff/redirect schedules deterministically
+// without a full LAN simulation.
+type clockEnv struct {
+	id     proto.NodeID
+	now    time.Duration
+	timers []timerEntry
+	seq    int
+}
+
+type timerEntry struct {
+	at  time.Duration
+	ord int
+	fn  func()
+}
+
+func (e *clockEnv) ID() proto.NodeID                 { return e.id }
+func (e *clockEnv) Now() time.Duration               { return e.now }
+func (e *clockEnv) Rand() *rand.Rand                 { return rand.New(rand.NewSource(1)) }
+func (e *clockEnv) Send(proto.NodeID, proto.Message) {}
+func (e *clockEnv) SendUDP(proto.NodeID, proto.Message) {
+}
+func (e *clockEnv) Multicast(proto.GroupID, proto.Message) {}
+func (e *clockEnv) After(d time.Duration, fn func()) proto.Timer {
+	e.seq++
+	e.timers = append(e.timers, timerEntry{at: e.now + d, ord: e.seq, fn: fn})
+	return nil
+}
+func (e *clockEnv) Work(d time.Duration, fn func()) { fn() }
+func (e *clockEnv) DiskWrite(_ int, fn func())      { fn() }
+
+// runUntil fires due timers in (time, insertion) order up to and
+// including t, advancing the clock.
+func (e *clockEnv) runUntil(t time.Duration) {
+	for {
+		best := -1
+		for i, te := range e.timers {
+			if te.at > t {
+				continue
+			}
+			if best < 0 || te.at < e.timers[best].at ||
+				(te.at == e.timers[best].at && te.ord < e.timers[best].ord) {
+				best = i
+			}
+		}
+		if best < 0 {
+			e.now = t
+			return
+		}
+		te := e.timers[best]
+		e.timers = append(e.timers[:best], e.timers[best+1:]...)
+		e.now = te.at
+		te.fn()
+	}
+}
+
+// rig wires a Session to a recording submit path with a mutable
+// coordinator view.
+type rig struct {
+	env   *clockEnv
+	s     *Session
+	coord proto.NodeID
+	sends []proto.NodeID // coordinator view at each Submit
+}
+
+func newRig(retry time.Duration, cfg func(*Config)) *rig {
+	r := &rig{env: &clockEnv{id: 200}, coord: 2}
+	c := Config{
+		Bytes: 100,
+		Retry: retry,
+		Submit: func(v core.Value) {
+			r.sends = append(r.sends, r.coord)
+		},
+		Coord: func() proto.NodeID { return r.coord },
+	}
+	if cfg != nil {
+		cfg(&c)
+	}
+	r.s = &Session{Cfg: c}
+	r.s.Start(r.env)
+	return r
+}
+
+func ack(r *rig, from proto.NodeID) {
+	m := proto.ClientAckPool.Get()
+	m.Client, m.Seq = int64(r.env.id), r.s.seq
+	r.s.Receive(from, m)
+}
+
+// nack delivers a demoted-node rejection: the hint points away from the
+// sender, so the sender is evidence of a dead coordinator.
+func nack(r *rig, from proto.NodeID) {
+	m := proto.ProposeNackPool.Get()
+	m.Client, m.Seq, m.Coord = int64(r.env.id), r.s.seq, from+100
+	r.s.Receive(from, m)
+}
+
+// nackSelf delivers a mid-election rejection: the sender names itself as
+// coordinator (its Phase 1 has not completed yet).
+func nackSelf(r *rig, from proto.NodeID) {
+	m := proto.ProposeNackPool.Get()
+	m.Client, m.Seq, m.Coord = int64(r.env.id), r.s.seq, from
+	r.s.Receive(from, m)
+}
+
+// TestSessionBackoffCap: with no acks, retries fire at the base timeout
+// doubling per attempt until the cap, then hold at the cap.
+func TestSessionBackoffCap(t *testing.T) {
+	r := newRig(10*time.Millisecond, func(c *Config) { c.BackoffCap = 40 * time.Millisecond })
+	r.env.runUntil(200 * time.Millisecond)
+	// First send at 0, retries at 10, 30 (+20), 70 (+40, capped), 110,
+	// 150, 190 ms: intervals 10, 20, 40, 40, 40, 40.
+	if got := r.s.Stats.Retries; got != 6 {
+		t.Fatalf("retries = %d, want 6 (sends %v)", got, r.sends)
+	}
+	if len(r.sends) != 7 {
+		t.Fatalf("sends = %d, want 7", len(r.sends))
+	}
+	if r.s.Stats.ExtraBytes != 6*(100+retryOverheadBytes) {
+		t.Fatalf("extra bytes = %d", r.s.Stats.ExtraBytes)
+	}
+}
+
+// TestSessionNoResendToDeadCoordinator: a NACK from the coordinator the
+// proposer is still aimed at (the election window: no ring change seen
+// yet) must hold retries back instead of re-sending to the dead node;
+// once the view moves to the new coordinator, the next timeout retries
+// there.
+func TestSessionNoResendToDeadCoordinator(t *testing.T) {
+	r := newRig(10*time.Millisecond, nil)
+	nack(r, 2) // evidence: node 2 rejected us; view still aims at 2
+	r.env.runUntil(50 * time.Millisecond)
+	if len(r.sends) != 1 {
+		t.Fatalf("re-sent to dead coordinator: sends %v", r.sends)
+	}
+	if r.s.Stats.SkippedDead == 0 {
+		t.Fatal("election-window timeouts not counted as skipped")
+	}
+	r.coord = 5 // ring change: proposer re-aims
+	r.env.runUntil(200 * time.Millisecond)
+	if len(r.sends) < 2 || r.sends[len(r.sends)-1] != 5 {
+		t.Fatalf("no redirect to new coordinator: sends %v", r.sends)
+	}
+	ack(r, 100)
+	if r.s.Stats.Acked != 1 || !boolSeq(r.s.seq == 2) {
+		t.Fatalf("session did not move on after ack: %+v seq=%d", r.s.Stats, r.s.seq)
+	}
+}
+
+func boolSeq(b bool) bool { return b }
+
+// TestSessionNackImmediateRedirect: when the ring view already moved by
+// the time the NACK arrives, the session redirects immediately instead
+// of waiting out the timeout.
+func TestSessionNackImmediateRedirect(t *testing.T) {
+	r := newRig(time.Second, nil) // timeout far away: only the NACK can redirect
+	r.coord = 5
+	nack(r, 2)
+	if len(r.sends) != 2 || r.sends[1] != 5 {
+		t.Fatalf("no immediate redirect: sends %v", r.sends)
+	}
+	if r.s.Stats.Nacks != 1 {
+		t.Fatalf("nacks = %d", r.s.Stats.Nacks)
+	}
+}
+
+// TestSessionRedirectCoordinatorDiesAgain: the redirected-to coordinator
+// dies before acking; the session must survive a second NACK and land on
+// the third coordinator.
+func TestSessionRedirectCoordinatorDiesAgain(t *testing.T) {
+	r := newRig(10*time.Millisecond, nil)
+	nack(r, 2) // first coordinator demoted
+	r.coord = 5
+	r.env.runUntil(15 * time.Millisecond) // timeout redirects to 5
+	nack(r, 5)                            // ...which dies before acking
+	r.coord = 7
+	r.env.runUntil(100 * time.Millisecond)
+	if r.sends[len(r.sends)-1] != 7 {
+		t.Fatalf("did not reach third coordinator: sends %v", r.sends)
+	}
+	ack(r, 100)
+	if r.s.Stats.Acked != 1 || r.s.seq != 2 {
+		t.Fatalf("session stuck: %+v seq=%d", r.s.Stats, r.s.seq)
+	}
+}
+
+// TestSessionDupAndStaleAcksIgnored: every learner acks independently;
+// only the first ack completes the command, later ones (and acks for old
+// sequences) are counted and dropped.
+func TestSessionDupAndStaleAcksIgnored(t *testing.T) {
+	r := newRig(0, func(c *Config) { c.Think = time.Hour }) // no retries, park after ack
+	ack(r, 100)
+	ack(r, 101) // second learner's ack for the same command
+	if r.s.Stats.Acked != 1 || r.s.Stats.DupAcks != 1 {
+		t.Fatalf("dup ack mishandled: %+v", r.s.Stats)
+	}
+	if r.s.Stats.Issued != 1 {
+		t.Fatalf("dup ack issued a command early: %+v", r.s.Stats)
+	}
+}
+
+// TestSessionDeadlineStopsNewCommands: after Deadline the session issues
+// nothing new but still completes (and acks) the outstanding command.
+func TestSessionDeadlineStopsNewCommands(t *testing.T) {
+	r := newRig(10*time.Millisecond, func(c *Config) { c.Deadline = 5 * time.Millisecond })
+	r.env.runUntil(6 * time.Millisecond)
+	ack(r, 100) // outstanding command completes after the deadline
+	if r.s.Stats.Issued != 1 || r.s.Stats.Acked != 1 {
+		t.Fatalf("deadline mishandled: %+v", r.s.Stats)
+	}
+	r.env.runUntil(100 * time.Millisecond)
+	if r.s.Stats.Issued != 1 {
+		t.Fatalf("issued past deadline: %+v", r.s.Stats)
+	}
+}
+
+// TestSessionElectionNackNotDeadEvidence: a NACK whose hint names the
+// sender itself means the sender is mid-election and about to serve;
+// the session must neither mark it dead nor resend immediately (that
+// would just be NACKed again) — the next timeout retries normally.
+func TestSessionElectionNackNotDeadEvidence(t *testing.T) {
+	r := newRig(10*time.Millisecond, nil)
+	nackSelf(r, 2)
+	if len(r.sends) != 1 {
+		t.Fatalf("immediate resend into an election: sends %v", r.sends)
+	}
+	r.env.runUntil(12 * time.Millisecond)
+	if len(r.sends) != 2 || r.sends[1] != 2 || r.s.Stats.SkippedDead != 0 {
+		t.Fatalf("timeout retry withheld from electing node: sends %v stats %+v",
+			r.sends, r.s.Stats)
+	}
+}
+
+// TestSessionDeadEvidenceProbedAtCap: dead-coordinator evidence expires
+// once the backoff reaches its cap — the session probes the aimed-at node
+// again rather than trusting stale evidence forever.
+func TestSessionDeadEvidenceProbedAtCap(t *testing.T) {
+	r := newRig(10*time.Millisecond, func(c *Config) { c.BackoffCap = 40 * time.Millisecond })
+	nack(r, 2) // view never moves off node 2
+	r.env.runUntil(80 * time.Millisecond)
+	// Ticks at 10, 30 ms skip (backoff below cap); the 70 ms tick probes.
+	if len(r.sends) != 2 || r.s.Stats.SkippedDead != 2 {
+		t.Fatalf("stale evidence never probed: sends %v stats %+v", r.sends, r.s.Stats)
+	}
+}
+
+// TestSessionControlModeNeverRetries: Retry == 0 is the control
+// configuration — one send per command, no timers, no redirects, even on
+// NACK evidence.
+func TestSessionControlModeNeverRetries(t *testing.T) {
+	r := newRig(0, nil)
+	nack(r, 2)
+	r.coord = 5
+	r.env.runUntil(time.Second)
+	if len(r.sends) != 1 || r.s.Stats.Retries != 0 {
+		t.Fatalf("control session retried: sends %v stats %+v", r.sends, r.s.Stats)
+	}
+}

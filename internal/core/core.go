@@ -23,6 +23,15 @@ type Value struct {
 	// bitmask, for the partitioned M-Ring Paxos of Chapter 4 (DSN 2011).
 	// Zero means "no partitioning": the value goes to every learner.
 	PartMask uint64
+	// Client and Seq form the exactly-once identity of a client proposal:
+	// Client is the submitting session's node id, Seq its per-session
+	// sequence number. Client == 0 (the zero value) means the value was not
+	// submitted through a client session — the entire exactly-once layer
+	// (learner dedup tables, acks, NACKs) is skipped for such values, so
+	// protocols that never see stamped values behave byte-identically to
+	// before the layer existed.
+	Client int64
+	Seq    int64
 }
 
 // Size returns the value's wire footprint in bytes.

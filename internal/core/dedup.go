@@ -1,0 +1,139 @@
+package core
+
+import "sort"
+
+// DedupTable is the replicated half of the exactly-once client layer: a
+// per-client last-applied-sequence table kept by every learner/executor.
+// Client sessions stamp each proposal with (Client, Seq) and retry until
+// acked, so the same command can be decided in more than one consensus
+// instance; every learner consults the table before applying and
+// suppresses (but still acks) a command whose Seq it has already applied.
+// Because all learners run the check against the same decided prefix they
+// all suppress the same instances, keeping delivered sequences — and the
+// safety oracle's agreed frontier — identical across replicas.
+//
+// The table is O(live clients), not O(commands): only the highest applied
+// Seq per client is kept (sessions issue sequences in order and never
+// re-issue below an acked one). It rides the snapshot path (mSnapshot) so
+// a learner that catches up past the GC trim floor stays dedup-consistent,
+// and Trim evicts only clients explicitly retired — a live client's entry
+// is never forgotten, even when its last activity predates the GC floor,
+// because a retry may still arrive arbitrarily late.
+type DedupTable struct {
+	m map[int64]dedupState
+}
+
+type dedupState struct {
+	seq     int64 // highest applied sequence for this client
+	inst    int64 // instance whose batch applied seq
+	retired bool  // explicitly marked evictable; Trim may drop it
+}
+
+// DedupEntry is the wire/snapshot form of one client's table row.
+type DedupEntry struct {
+	Client int64
+	Seq    int64
+	Inst   int64
+}
+
+// DedupEntryBytes is the modeled wire footprint of one snapshot entry.
+const DedupEntryBytes = 24
+
+// NewDedupTable returns an empty table.
+func NewDedupTable() *DedupTable { return &DedupTable{m: map[int64]dedupState{}} }
+
+// Len returns the number of clients tracked.
+func (t *DedupTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.m)
+}
+
+// Dup reports whether (client, seq) was already applied: seq at or below
+// the client's last applied sequence. A retried command for which Dup is
+// true must be acked from the table, not re-executed.
+func (t *DedupTable) Dup(client, seq int64) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.m[client]
+	return ok && seq <= s.seq
+}
+
+// Commit records that (client, seq) was applied by instance inst. It
+// returns true when the sequence is new (the caller should execute and
+// deliver the command) and false for a duplicate (suppress, ack from the
+// table). The recorded sequence never regresses. Activity revives a
+// retired client.
+func (t *DedupTable) Commit(client, seq, inst int64) bool {
+	s, ok := t.m[client]
+	if ok && seq <= s.seq {
+		return false
+	}
+	t.m[client] = dedupState{seq: seq, inst: inst}
+	return true
+}
+
+// Seq returns the client's last applied sequence (0 if unknown).
+func (t *DedupTable) Seq(client int64) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.m[client].seq
+}
+
+// Retire marks a client evictable: a later Trim past its last activity
+// may drop its row. Sessions that announce departure (or an external
+// liveness authority) call this; Trim alone never guesses.
+func (t *DedupTable) Retire(client int64) {
+	if s, ok := t.m[client]; ok {
+		s.retired = true
+		t.m[client] = s
+	}
+}
+
+// Trim drops retired clients whose last activity instance is below the GC
+// floor — their acks can no longer be in flight once the log below floor
+// is unreachable. Live (non-retired) clients are always kept, no matter
+// how old their last activity: a session that is merely idle may still
+// retry. Returns how many rows were dropped.
+func (t *DedupTable) Trim(floor int64) int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for c, s := range t.m {
+		if s.retired && s.inst < floor {
+			delete(t.m, c)
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot serializes the table for the snapshot path, sorted by client
+// so the encoding (and anything hashed over it) is deterministic.
+func (t *DedupTable) Snapshot() []DedupEntry {
+	if t == nil || len(t.m) == 0 {
+		return nil
+	}
+	out := make([]DedupEntry, 0, len(t.m))
+	for c, s := range t.m {
+		out = append(out, DedupEntry{Client: c, Seq: s.seq, Inst: s.inst})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Client < out[j].Client })
+	return out
+}
+
+// Install merges a snapshot into the table. Merging never regresses a
+// sequence: the receiving learner may have applied past the snapshot's
+// row for some client (snapshots lag the frontier).
+func (t *DedupTable) Install(entries []DedupEntry) {
+	for _, e := range entries {
+		if s, ok := t.m[e.Client]; ok && e.Seq <= s.seq {
+			continue
+		}
+		t.m[e.Client] = dedupState{seq: e.Seq, inst: e.Inst}
+	}
+}

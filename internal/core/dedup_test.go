@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDedupTableBasics covers the deterministic contract: first commit
+// applies, retry suppresses, commits never regress, snapshot/install
+// round-trips and merges without regressing.
+func TestDedupTableBasics(t *testing.T) {
+	tab := NewDedupTable()
+	if tab.Dup(7, 1) {
+		t.Fatal("empty table reported a duplicate")
+	}
+	if !tab.Commit(7, 1, 10) {
+		t.Fatal("first commit reported duplicate")
+	}
+	if !tab.Dup(7, 1) || tab.Commit(7, 1, 99) {
+		t.Fatal("retry of applied seq not suppressed")
+	}
+	if tab.Seq(7) != 1 {
+		t.Fatalf("seq = %d, want 1", tab.Seq(7))
+	}
+	if !tab.Commit(7, 2, 11) || tab.Seq(7) != 2 {
+		t.Fatal("next seq did not apply")
+	}
+	// Install never regresses; unknown clients are adopted.
+	tab.Install([]DedupEntry{{Client: 7, Seq: 1, Inst: 10}, {Client: 9, Seq: 4, Inst: 12}})
+	if tab.Seq(7) != 2 || tab.Seq(9) != 4 {
+		t.Fatalf("install merged wrong: seq7=%d seq9=%d", tab.Seq(7), tab.Seq(9))
+	}
+	snap := tab.Snapshot()
+	if len(snap) != 2 || snap[0].Client != 7 || snap[1].Client != 9 {
+		t.Fatalf("snapshot not sorted by client: %+v", snap)
+	}
+	fresh := NewDedupTable()
+	fresh.Install(snap)
+	if fresh.Seq(7) != 2 || fresh.Seq(9) != 4 {
+		t.Fatal("snapshot round-trip lost rows")
+	}
+}
+
+// TestDedupTableNilSafe: a nil table (layer disabled) answers queries
+// harmlessly.
+func TestDedupTableNilSafe(t *testing.T) {
+	var tab *DedupTable
+	if tab.Dup(1, 1) || tab.Seq(1) != 0 || tab.Len() != 0 || tab.Trim(100) != 0 {
+		t.Fatal("nil table misbehaved")
+	}
+	if tab.Snapshot() != nil {
+		t.Fatal("nil table produced a snapshot")
+	}
+}
+
+// TestDedupTableProperty drives random interleavings of commit / retry /
+// trim / retire across a population of clients and asserts the two table
+// invariants: a client's recorded sequence never regresses, and Trim
+// never forgets a live (non-retired) client, even when its last activity
+// instance is below the GC floor.
+func TestDedupTableProperty(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tab := NewDedupTable()
+		const clients = 6
+		next := make([]int64, clients+1)    // next seq each client will commit
+		applied := make([]int64, clients+1) // model: highest applied seq
+		retired := make([]bool, clients+1)
+		inst := int64(0)
+		floor := int64(0)
+		for op := 0; op < 4000; op++ {
+			c := int64(rng.Intn(clients) + 1)
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // commit the client's next sequence
+				inst++
+				next[c]++
+				if !tab.Commit(c, next[c], inst) {
+					t.Fatalf("seed %d op %d: fresh seq %d for client %d reported dup", seed, op, next[c], c)
+				}
+				applied[c] = next[c]
+				retired[c] = false // activity revives
+			case 4, 5, 6: // retry a random already-applied sequence
+				// Only live clients retry: a retired client's row may have
+				// been trimmed, which legitimately forfeits dedup coverage
+				// (that is why Trim refuses to drop anyone NOT retired).
+				if applied[c] == 0 || retired[c] {
+					continue
+				}
+				s := rng.Int63n(applied[c]) + 1
+				inst++
+				if tab.Commit(c, s, inst) {
+					t.Fatalf("seed %d op %d: retry of applied seq %d client %d re-applied", seed, op, s, c)
+				}
+				if !tab.Dup(c, s) {
+					t.Fatalf("seed %d op %d: Dup(%d,%d) = false after apply", seed, op, c, s)
+				}
+			case 7: // retire a client (it may be revived by later commits)
+				tab.Retire(c)
+				if applied[c] > 0 {
+					retired[c] = true
+				}
+			default: // advance the floor and trim
+				floor += rng.Int63n(20)
+				tab.Trim(floor)
+			}
+			// Invariants, checked after every operation.
+			for cc := int64(1); cc <= clients; cc++ {
+				if applied[cc] == 0 {
+					continue
+				}
+				if got := tab.Seq(cc); got > applied[cc] {
+					t.Fatalf("seed %d op %d: client %d seq %d beyond model %d", seed, op, cc, got, applied[cc])
+				} else if !retired[cc] && got != applied[cc] {
+					t.Fatalf("seed %d op %d: live client %d forgotten or regressed (seq %d, want %d, floor %d)",
+						seed, op, cc, got, applied[cc], floor)
+				}
+			}
+		}
+	}
+}

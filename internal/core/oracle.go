@@ -39,6 +39,28 @@ type Oracle struct {
 	liveWindow time.Duration
 	lastDeliv  time.Duration
 	maxGap     time.Duration
+
+	// Exactly-once client check (opt-in via EnableClientCheck): the fourth
+	// safety dimension. Tracks, per cursor, the last applied sequence of
+	// every client session so a (client, seq) applied twice ON THE SAME
+	// replica is flagged (prefix consistency alone cannot see it: if every
+	// learner re-executes the same duplicate, the sequences still match).
+	// The rig additionally feeds issued/acked proposals (NoteClientIssued /
+	// NoteClientAcked) so the verdict can state whether every ack was
+	// preceded by an application and how many issued proposals were never
+	// acked — the lost-proposal gap a client retry layer exists to close.
+	clientCheck bool
+	clientRecs  map[int64]clientSeq // frontier position -> stamped identity
+	appliedSeq  map[int64]int64     // client -> max seq on the agreed frontier
+	issuedSeq   map[int64]int64     // client -> max seq issued by a session
+	ackSeq      map[int64]int64     // client -> max seq acked to a session
+	dupApplied  int                 // (client, seq) applications beyond the first, any replica
+	firstDup    string
+}
+
+type clientSeq struct {
+	client int64
+	seq    int64
 }
 
 type delivRec struct {
@@ -63,6 +85,11 @@ type OracleCursor struct {
 	idx       int   // learner ordinal, for divergence messages
 	pos       int64 // absolute position of the next delivery
 	divergent bool
+
+	// clientLast is this replica's applied-sequence view per client, used
+	// by the exactly-once check. Nil until the first stamped value (or
+	// snapshot skip over one), so unstamped workloads pay nothing.
+	clientLast map[int64]int64
 }
 
 // Learner registers a new learner and returns its cursor. Call once per
@@ -86,6 +113,9 @@ func (c *OracleCursor) Note(now time.Duration, inst int64, v Value) {
 		}
 		o.lastDeliv = now
 	}
+	if o.clientCheck && v.Client != 0 {
+		c.noteClient(v.Client, v.Seq)
+	}
 	rec := delivRec{inst: inst, vid: v.ID, bytes: int32(v.Bytes)}
 	i := c.pos - o.base
 	c.pos++
@@ -106,7 +136,33 @@ func (c *OracleCursor) Note(now time.Duration, inst int64, v Value) {
 		return
 	}
 	// Frontier: positions advance one at a time, so i == len(recs) here.
+	if o.clientCheck && v.Client != 0 {
+		o.clientRecs[o.base+i] = clientSeq{client: v.Client, seq: v.Seq}
+		if v.Seq > o.appliedSeq[v.Client] {
+			o.appliedSeq[v.Client] = v.Seq
+		}
+	}
 	o.recs = append(o.recs, rec)
+}
+
+// noteClient folds one stamped application into this replica's per-client
+// view; a sequence at or below the last applied one is a duplicate
+// application — the exactly-once violation the dedup table exists to
+// prevent.
+func (c *OracleCursor) noteClient(client, seq int64) {
+	if c.clientLast == nil {
+		c.clientLast = map[int64]int64{}
+	}
+	if last, ok := c.clientLast[client]; ok && seq <= last {
+		c.o.dupApplied++
+		if c.o.firstDup == "" {
+			c.o.firstDup = fmt.Sprintf(
+				"learner %d re-applied client %d seq %d (last applied %d)",
+				c.idx, client, seq, last)
+		}
+		return
+	}
+	c.clientLast[client] = seq
 }
 
 // Skip implements DelivSkipSink: the learner installed a snapshot and
@@ -130,6 +186,20 @@ func (c *OracleCursor) Skip(now time.Duration, toInst int64) {
 		i := c.pos - o.base
 		if i < 0 || i >= int64(len(o.recs)) || o.recs[i].inst >= toInst {
 			break
+		}
+		// A snapshot carries the dedup table, so the catching-up replica
+		// knows every client sequence applied in the skipped prefix: fold
+		// them into its view, or a post-snapshot retry of one of those
+		// commands would be misread as a fresh (not duplicate) application.
+		if o.clientCheck {
+			if cs, ok := o.clientRecs[c.pos]; ok {
+				if c.clientLast == nil {
+					c.clientLast = map[int64]int64{}
+				}
+				if cs.seq > c.clientLast[cs.client] {
+					c.clientLast[cs.client] = cs.seq
+				}
+			}
 		}
 		c.pos++
 	}
@@ -155,6 +225,11 @@ func (o *Oracle) maybeTrim() {
 		n := copy(o.recs, o.recs[keep:])
 		o.recs = o.recs[:n]
 		o.base = min
+		for p := range o.clientRecs {
+			if p < o.base {
+				delete(o.clientRecs, p)
+			}
+		}
 	}
 }
 
@@ -204,6 +279,81 @@ func (o *Oracle) MaxPos() int64 {
 // reports whether any delivery-free gap exceeded w. Call before the run.
 func (o *Oracle) SetLivenessWindow(w time.Duration) { o.liveWindow = w }
 
+// EnableClientCheck turns on the exactly-once client dimension: duplicate
+// applications of a stamped (client, seq) on any single replica are
+// counted, and the issued/acked bookkeeping fed by NoteClientIssued /
+// NoteClientAcked is folded into the verdict. Opt-in so that verdicts
+// (and pinned safety digests) of experiments without client sessions stay
+// byte-identical. Call before the run.
+func (o *Oracle) EnableClientCheck() {
+	o.clientCheck = true
+	if o.clientRecs == nil {
+		o.clientRecs = map[int64]clientSeq{}
+		o.appliedSeq = map[int64]int64{}
+		o.issuedSeq = map[int64]int64{}
+		o.ackSeq = map[int64]int64{}
+	}
+}
+
+// NoteClientIssued records that a session issued (client, seq). Sessions
+// issue sequences in order, so only the maximum is kept.
+func (o *Oracle) NoteClientIssued(client, seq int64) {
+	if o.clientCheck && seq > o.issuedSeq[client] {
+		o.issuedSeq[client] = seq
+	}
+}
+
+// NoteClientAcked records that a session received the ack for (client,
+// seq) — from execution or from a learner's dedup table.
+func (o *Oracle) NoteClientAcked(client, seq int64) {
+	if o.clientCheck && seq > o.ackSeq[client] {
+		o.ackSeq[client] = seq
+	}
+}
+
+// DupApplications returns how many stamped applications were observed
+// beyond the first for their (client, seq) on some replica.
+func (o *Oracle) DupApplications() int { return o.dupApplied }
+
+// FirstDuplicate describes the first duplicate application, or "".
+func (o *Oracle) FirstDuplicate() string { return o.firstDup }
+
+// ClientSessions returns how many distinct client identities the oracle
+// saw (issued or applied).
+func (o *Oracle) ClientSessions() int {
+	n := len(o.issuedSeq)
+	for c := range o.appliedSeq {
+		if _, ok := o.issuedSeq[c]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// AckGaps returns how many clients were acked a sequence that never
+// reached the agreed frontier — an ack without an application.
+func (o *Oracle) AckGaps() int {
+	n := 0
+	for c, s := range o.ackSeq {
+		if s > o.appliedSeq[c] {
+			n++
+		}
+	}
+	return n
+}
+
+// Unacked returns how many issued proposals were never acked: the
+// lost-proposal count a retry/redirect layer must drive to zero.
+func (o *Oracle) Unacked() int {
+	n := int64(0)
+	for c, s := range o.issuedSeq {
+		if a := o.ackSeq[c]; s > a {
+			n += s - a
+		}
+	}
+	return int(n)
+}
+
 // Seal closes the liveness observation at sim time end, folding in the
 // trailing delivery-free gap. Call once, after the run.
 func (o *Oracle) Seal(end time.Duration) {
@@ -233,6 +383,10 @@ func (o *Oracle) Verdict() string {
 		o.Learners(), o.Divergences(), o.Consistent())
 	if o.liveWindow > 0 {
 		s += fmt.Sprintf(" stalled=%v", o.Stalled())
+	}
+	if o.clientCheck {
+		s += fmt.Sprintf(" clients=%d dups=%d ackgaps=%d unacked=%d",
+			o.ClientSessions(), o.DupApplications(), o.AckGaps(), o.Unacked())
 	}
 	return s
 }

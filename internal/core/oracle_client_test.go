@@ -1,0 +1,131 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func stamped(id ValueID, client, seq int64) Value {
+	return Value{ID: id, Bytes: 100, Client: client, Seq: seq}
+}
+
+// TestOracleClientVerdictOptIn: without EnableClientCheck the verdict is
+// byte-identical to the pre-client form even when stamped values flow —
+// the compatibility contract every pre-existing safety pin relies on.
+func TestOracleClientVerdictOptIn(t *testing.T) {
+	o := NewOracle()
+	c := o.Learner()
+	c.Note(0, 1, stamped(1, 5, 1))
+	if v := o.Verdict(); strings.Contains(v, "clients=") {
+		t.Fatalf("client facts leaked into opt-out verdict: %q", v)
+	}
+	o2 := NewOracle()
+	o2.EnableClientCheck()
+	c2 := o2.Learner()
+	c2.Note(0, 1, stamped(1, 5, 1))
+	want := "learners=1 divergences=0 consistent=true clients=1 dups=0 ackgaps=0 unacked=0"
+	if v := o2.Verdict(); v != want {
+		t.Fatalf("verdict = %q, want %q", v, want)
+	}
+}
+
+// TestOracleClientAckLostRetryDedups: the command committed but the ack
+// was lost; the session retries and the learners suppress the duplicate
+// (no second application) while re-acking from the dedup table. The
+// oracle must see a clean exactly-once outcome. The contrast case — a
+// learner that re-executes instead of suppressing — must be flagged.
+func TestOracleClientAckLostRetryDedups(t *testing.T) {
+	o := NewOracle()
+	o.EnableClientCheck()
+	a, b := o.Learner(), o.Learner()
+	o.NoteClientIssued(5, 1)
+	a.Note(0, 1, stamped(1, 5, 1))
+	b.Note(0, 1, stamped(1, 5, 1))
+	// Retry decided again in instance 2; both learners suppress (no Note)
+	// and the table ack reaches the session.
+	o.NoteClientAcked(5, 1)
+	if o.DupApplications() != 0 || o.AckGaps() != 0 || o.Unacked() != 0 {
+		t.Fatalf("clean retry flagged: %s", o.Verdict())
+	}
+	// Buggy learner: re-executes the retried command.
+	b.Note(0, 2, stamped(1, 5, 1))
+	if o.DupApplications() != 1 {
+		t.Fatalf("re-execution not flagged: %s", o.Verdict())
+	}
+	if fd := o.FirstDuplicate(); !strings.Contains(fd, "client 5 seq 1") {
+		t.Fatalf("FirstDuplicate = %q", fd)
+	}
+}
+
+// TestOracleClientSkipFoldsDedupState: a learner that snapshot-skips past
+// the trim floor must inherit the skipped prefix's client sequences (the
+// snapshot carries the dedup table), so a resend racing the catch-up is
+// still recognized as a duplicate — on the catching-up replica too, even
+// though it never applied the original. Both replicas applying the
+// duplicate keeps the prefix consistent, which is exactly why prefix
+// consistency alone cannot catch this.
+func TestOracleClientSkipFoldsDedupState(t *testing.T) {
+	o := NewOracle()
+	o.EnableClientCheck()
+	a, b := o.Learner(), o.Learner()
+	for seq := int64(1); seq <= 3; seq++ {
+		a.Note(0, seq, stamped(ValueID(seq), 5, seq))
+	}
+	b.Skip(0, 4) // snapshot catch-up past instances 1..3
+	// A resend of seq 2 races the catch-up and is (buggily) re-applied by
+	// every replica in instance 4.
+	a.Note(0, 4, stamped(2, 5, 2))
+	b.Note(0, 4, stamped(2, 5, 2))
+	if !o.Consistent() {
+		t.Fatalf("replicas agreed, prefix check should stay silent: %s", o.FirstDivergence())
+	}
+	if o.DupApplications() != 2 {
+		t.Fatalf("dup applications = %d, want 2 (both replicas): %s", o.DupApplications(), o.Verdict())
+	}
+}
+
+// TestOracleClientStragglerDuplicate: the duplicate was suppressed on the
+// up-to-date replica but a straggler re-executes it before catching up.
+// Only the straggler is flagged; the prefix check stays silent because
+// the straggler is merely behind, not divergent.
+func TestOracleClientStragglerDuplicate(t *testing.T) {
+	o := NewOracle()
+	o.EnableClientCheck()
+	a, b := o.Learner(), o.Learner()
+	a.Note(0, 1, stamped(1, 5, 1))
+	b.Note(0, 1, stamped(1, 5, 1))
+	// Straggler b re-applies the retried command decided in instance 2;
+	// a suppresses it (no Note).
+	b.Note(0, 2, stamped(1, 5, 1))
+	if o.DupApplications() != 1 {
+		t.Fatalf("straggler duplicate not flagged: %s", o.Verdict())
+	}
+	if !o.Consistent() {
+		t.Fatalf("straggler wrongly divergent: %s", o.FirstDivergence())
+	}
+}
+
+// TestOracleClientLostAndGhostAcks: an issued-but-never-acked proposal is
+// the lost-proposal gap (unacked > 0); an ack for a sequence that never
+// reached the agreed frontier is an ack gap.
+func TestOracleClientLostAndGhostAcks(t *testing.T) {
+	o := NewOracle()
+	o.EnableClientCheck()
+	c := o.Learner()
+	o.NoteClientIssued(5, 1)
+	c.Note(0, 1, stamped(1, 5, 1))
+	o.NoteClientAcked(5, 1)
+	o.NoteClientIssued(5, 2) // dies with the coordinator, never applied
+	o.Seal(time.Second)
+	if o.Unacked() != 1 || o.AckGaps() != 0 {
+		t.Fatalf("lost proposal not counted: %s", o.Verdict())
+	}
+	o.NoteClientAcked(5, 2) // ghost ack: acked without application
+	if o.AckGaps() != 1 || o.Unacked() != 0 {
+		t.Fatalf("ghost ack not counted: %s", o.Verdict())
+	}
+	if got := o.ClientSessions(); got != 1 {
+		t.Fatalf("sessions = %d, want 1", got)
+	}
+}

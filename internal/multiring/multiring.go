@@ -245,6 +245,12 @@ type Merger struct {
 	// delivery-equivalence digest (see core.DelivTrace). Pure observation:
 	// it sends nothing and consumes no simulated time.
 	Trace *core.DelivTrace
+	// Dedup, if set, suppresses stamped values whose (client, seq) the
+	// merged sequence already delivered — a client retry that won a second
+	// consensus instance, possibly on a different ring. The decision is a
+	// pure function of the merged order, so every subscriber suppresses
+	// the same values. Nil (the default) disables the check.
+	Dedup *core.DedupTable
 
 	rings  []int
 	queues []tokenQueue // parallel to rings
@@ -262,6 +268,8 @@ type Merger struct {
 	LatencyCount   int64
 	// ReceivedBytes counts payload received per ring before merging.
 	ReceivedBytes map[int]int64
+	// DupSuppressed counts values the Dedup table suppressed.
+	DupSuppressed int64
 }
 
 type token struct {
@@ -380,6 +388,10 @@ func (mg *Merger) drain() {
 
 func (mg *Merger) deliverBatch(b core.Batch) {
 	for _, v := range b.Vals {
+		if mg.Dedup != nil && v.Client != 0 && !mg.Dedup.Commit(v.Client, v.Seq, mg.seq) {
+			mg.DupSuppressed++
+			continue
+		}
 		mg.DeliveredBytes += int64(v.Bytes)
 		mg.DeliveredMsgs++
 		if v.Born != 0 {

@@ -1,0 +1,49 @@
+package proto
+
+// Client-session wire messages, shared by every ordering protocol so the
+// exactly-once client layer (internal/client) never has to import a
+// protocol package. Both are small fixed-size control messages.
+
+// clientMsgBytes is the modeled wire footprint of the client control
+// messages: header plus the (client, seq) identity and a node hint.
+const clientMsgBytes = 32
+
+// MsgClientAck acknowledges a stamped proposal (Client, Seq) back to its
+// session: the command was applied — or had already been applied and was
+// suppressed by the learner's dedup table, in which case the ack is
+// served from the table. Sessions must tolerate duplicate acks (every
+// learner acks independently) and stale ones (from retries of an already
+// acked sequence).
+type MsgClientAck struct {
+	Client int64
+	Seq    int64
+}
+
+// Size implements Message.
+func (m *MsgClientAck) Size() int { return clientMsgBytes }
+
+// ClientAckPool recycles acks; the receiving session is the final
+// consumer (unicast, one owner).
+var ClientAckPool MsgPool[MsgClientAck]
+
+// MsgProposeNack rejects a stamped proposal: the receiver is not (or is
+// no longer) the coordinator that can open an instance for it — a demoted
+// or retired ex-coordinator after a failover, typically reached by a
+// session with a stale ring view. Coord is the rejecting node's own view
+// of the current coordinator (which may be stale too; sessions treat the
+// NACK's sender, not the hint, as the evidence of who NOT to retry). The
+// point of the NACK is that the session backs off on evidence instead of
+// timeout alone.
+type MsgProposeNack struct {
+	Client int64
+	Seq    int64
+	// Coord is the rejecting node's current coordinator view.
+	Coord NodeID
+}
+
+// Size implements Message.
+func (m *MsgProposeNack) Size() int { return clientMsgBytes }
+
+// ProposeNackPool recycles NACKs; the receiving session is the final
+// consumer.
+var ProposeNackPool MsgPool[MsgProposeNack]

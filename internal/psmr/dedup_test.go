@@ -1,0 +1,79 @@
+package psmr
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// dedupEnv runs Work completions immediately and counts replies.
+type dedupEnv struct{ replies int }
+
+func (e *dedupEnv) ID() proto.NodeID   { return 9 }
+func (e *dedupEnv) Now() time.Duration { return 0 }
+func (e *dedupEnv) Rand() *rand.Rand   { return rand.New(rand.NewSource(1)) }
+func (e *dedupEnv) Send(_ proto.NodeID, m proto.Message) {
+	if _, ok := m.(*msgReply); ok {
+		e.replies++
+	}
+}
+func (e *dedupEnv) SendUDP(proto.NodeID, proto.Message)     {}
+func (e *dedupEnv) Multicast(proto.GroupID, proto.Message)  {}
+func (e *dedupEnv) After(time.Duration, func()) proto.Timer { return nil }
+func (e *dedupEnv) Work(_ time.Duration, fn func())         { fn() }
+func (e *dedupEnv) DiskWrite(_ int, fn func())              { fn() }
+
+func value(c Command) core.Value { return core.Value{Payload: c} }
+
+// TestReplicaExactlyOnceSerial: in the serial modes a retried command is
+// answered without re-entering the execution engine.
+func TestReplicaExactlyOnceSerial(t *testing.T) {
+	env := &dedupEnv{}
+	r := &Replica{Mode: Sequential, Store: NewKVStore(0), ExactlyOnce: true}
+	r.Start(env)
+	c := Command{Classes: []int{0}, Put: true, Keys: []int64{1}, Value: 5, Client: 7, Seq: 1}
+	r.OnValue(0, value(c))
+	r.OnValue(0, value(c)) // retry decided again
+	if r.ExecutedCmds != 1 || r.DedupHits != 1 || env.replies != 2 {
+		t.Fatalf("executed=%d hits=%d replies=%d, want 1/1/2",
+			r.ExecutedCmds, r.DedupHits, env.replies)
+	}
+}
+
+// TestReplicaExactlyOncePSMRBarrier: a dependent command's copies exist in
+// every worker stream (the barrier needs all of them). On retry every
+// stream must suppress its copy — keeping the streams aligned — while the
+// client is answered exactly once.
+func TestReplicaExactlyOncePSMRBarrier(t *testing.T) {
+	env := &dedupEnv{}
+	r := &Replica{Mode: PSMR, Workers: 2, Store: NewKVStore(0), ExactlyOnce: true}
+	r.Start(env)
+	dep := Command{Classes: []int{0, 1}, Put: true, Keys: []int64{1}, Value: 5, Client: 7, Seq: 1}
+	r.OnValue(0, value(dep))
+	r.OnValue(1, value(dep))
+	if r.ExecutedCmds != 1 || env.replies != 1 {
+		t.Fatalf("barrier broken: executed=%d replies=%d", r.ExecutedCmds, env.replies)
+	}
+	r.OnValue(0, value(dep)) // retry fans out to both streams again
+	r.OnValue(1, value(dep))
+	if r.ExecutedCmds != 1 || r.DedupHits != 2 || env.replies != 2 {
+		t.Fatalf("retry mishandled: executed=%d hits=%d replies=%d, want 1/2/2",
+			r.ExecutedCmds, r.DedupHits, env.replies)
+	}
+	// An independent retry on a non-zero worker is answered by that worker.
+	ind := Command{Classes: []int{1}, Put: true, Keys: []int64{2}, Value: 6, Client: 7, Seq: 2}
+	r.OnValue(1, value(ind))
+	r.OnValue(1, value(ind))
+	if r.ExecutedCmds != 2 || r.DedupHits != 3 || env.replies != 4 {
+		t.Fatalf("independent retry mishandled: executed=%d hits=%d replies=%d",
+			r.ExecutedCmds, r.DedupHits, env.replies)
+	}
+	// The engine still makes progress afterwards.
+	r.OnValue(0, value(Command{Classes: []int{0}, Put: true, Keys: []int64{3}, Value: 7, Client: 7, Seq: 3}))
+	if r.ExecutedCmds != 3 {
+		t.Fatalf("engine stalled after suppression: executed=%d", r.ExecutedCmds)
+	}
+}

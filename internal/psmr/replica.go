@@ -32,6 +32,11 @@ type Replica struct {
 	GroupSize int
 	// ClientNode maps client ids to nodes; identity by default.
 	ClientNode func(client int64) proto.NodeID
+	// ExactlyOnce suppresses re-execution of commands whose (client, seq)
+	// was already admitted — a retry that won a second consensus instance
+	// is answered immediately instead of entering the execution engine.
+	// Off by default.
+	ExactlyOnce bool
 
 	env proto.Env
 
@@ -39,6 +44,13 @@ type Replica struct {
 	// stalls at dependent-command barriers (P-SMR).
 	ExecutedCmds int64
 	BarrierWaits int64
+	// DedupHits counts commands suppressed by the exactly-once table.
+	DedupHits int64
+
+	// dedup is the per-client last-admitted-seq table (ExactlyOnce only);
+	// admitted counts admissions to serve as its instance axis.
+	dedup    *core.DedupTable
+	admitted int64
 
 	// P-SMR per-worker streams.
 	workers []*workerState
@@ -94,6 +106,26 @@ func (r *Replica) OnValue(worker int, v core.Value) {
 	if !ok {
 		return
 	}
+	if r.ExactlyOnce {
+		// Dedup is decided at admission, before any execution model sees
+		// the command, so the suppression is identical across replicas. In
+		// P-SMR each worker's merged stream carries its own copy of every
+		// dependent command (the barrier needs all of them), so each
+		// stream deduplicates independently; a suppressed dependent
+		// command (present in every stream) is answered by worker 0 only.
+		key := c.Client
+		if r.Mode == PSMR {
+			key = c.Client<<8 | int64(worker)
+		}
+		r.admitted++
+		if !r.dedup.Commit(key, c.Seq, r.admitted) {
+			r.DedupHits++
+			if r.Mode != PSMR || worker == 0 || len(c.Classes) <= 1 {
+				r.reply(c)
+			}
+			return
+		}
+	}
 	switch r.Mode {
 	case Sequential, Pipelined:
 		r.serialQueue.Push(c)
@@ -143,6 +175,9 @@ func (r *Replica) Start(env proto.Env) {
 		wi := i
 		w.doneFn = func() { r.workerDone(wi) }
 		r.workers[i] = w
+	}
+	if r.ExactlyOnce {
+		r.dedup = core.NewDedupTable()
 	}
 	r.classQ = make(map[int]*core.FIFO[*sdpeCmd])
 	r.admitFn = r.completeAdmit

@@ -158,9 +158,14 @@ type (
 	// floor — the instances it needs no longer exist anywhere, so catch-up
 	// is by state, not by replay (§3.5.5). StateBytes is the modeled
 	// snapshot size; the learner charges it to its disk model on install.
+	// Dedup carries the sender's per-client last-applied-seq table so the
+	// catching-up learner stays exactly-once consistent for commands
+	// decided below the floor (nil — and zero wire bytes — when no client
+	// sessions are running).
 	mSnapshot struct {
 		Floor      int64
 		StateBytes int
+		Dedup      []core.DedupEntry
 	}
 	// mRingStateReq asks a ring member for the current ring layout. Sent
 	// by a node restarting after a crash, before it arms its failure
@@ -222,6 +227,8 @@ func (m uPhase1B) Size() int {
 	}
 	return n
 }
-func (m mSnapshot) Size() int     { return headerBytes + m.StateBytes }
+func (m mSnapshot) Size() int {
+	return headerBytes + m.StateBytes + core.DedupEntryBytes*len(m.Dedup)
+}
 func (m mRingStateReq) Size() int { return headerBytes }
 func (m mRingState) Size() int    { return headerBytes + 4*len(m.Ring) }

@@ -308,6 +308,21 @@ type MAgent struct {
 	// SnapshotsInstalled counts snapshot catch-ups performed by this
 	// learner (mSnapshot installs that actually moved the frontier).
 	SnapshotsInstalled int64
+	// DupSuppressed counts stamped commands that were decided again (a
+	// client retry won a second instance) and were acked from the dedup
+	// table instead of re-executed.
+	DupSuppressed int64
+
+	// dedup is the exactly-once layer's replicated per-client
+	// last-applied-seq table (see core.DedupTable). Nil until the first
+	// stamped value is seen, so deployments without client sessions never
+	// allocate or consult it. Learners feed it at delivery; acceptors fold
+	// decided stamped values into theirs so the snapshot path can carry
+	// the table to catch-up learners.
+	dedup *core.DedupTable
+	// dedupSup is a reusable scratch marking which values of the batch
+	// being finished are duplicates (suppressed).
+	dedupSup []bool
 }
 
 var _ proto.Handler = (*MAgent)(nil)
@@ -372,6 +387,15 @@ func (a *MAgent) isSpare() bool { return ringContains(a.Cfg.Spares, a.env.ID()) 
 // a completed Phase 1. Failover-aware callers (skip pacers, rigs) consult
 // it instead of comparing against the static configuration.
 func (a *MAgent) IsCoordinator() bool { return a.isCoord && a.phase1Done }
+
+// Coordinator returns this agent's current view of the ring coordinator
+// (re-aimed by ring changes after a failover). Client sessions composed
+// with a proposer agent consult it to decide where a retry would go.
+func (a *MAgent) Coordinator() proto.NodeID { return a.coord }
+
+// DedupSeq returns the learner's last applied sequence for a client (0
+// when unknown) — the dedup table's view, for tests and probes.
+func (a *MAgent) DedupSeq(client int64) int64 { return a.dedup.Seq(client) }
 
 // ringIndex returns this node's position in the current ring, or -1.
 func (a *MAgent) ringIndex() int {
@@ -466,6 +490,15 @@ func (a *MAgent) Receive(from proto.NodeID, m proto.Message) {
 	case *MsgPropose:
 		if a.isCoord {
 			a.enqueue(msg.V)
+		} else if msg.V.Client != 0 {
+			// A stamped proposal reached a node that cannot open an
+			// instance for it — a demoted or retired ex-coordinator, via a
+			// session with a stale ring view. Silence here would leave the
+			// session backing off on timeout alone; reject with the current
+			// coordinator view so it retries on evidence.
+			n := proto.ProposeNackPool.Get()
+			n.Client, n.Seq, n.Coord = msg.V.Client, msg.V.Seq, a.coord
+			a.env.Send(proto.NodeID(msg.V.Client), n)
 		}
 		msgProposePool.Put(msg)
 	case mPhase1A:
@@ -591,6 +624,10 @@ func (a *MAgent) replayWAL() {
 			e.decided = true
 			if e.vid == 0 {
 				e.vid, e.mask = r.VID, r.Mask
+			} else {
+				// Rebuild the acceptor-side dedup table from the replayed
+				// decided batches (the table itself is volatile).
+				a.foldDedup(r.Inst, e.val)
 			}
 		}
 	})
@@ -842,6 +879,7 @@ func (a *MAgent) decide(inst int64) {
 	e, _ := a.store.Put(inst)
 	e.vid, e.val, e.bytes, e.mask, e.decided = vid, val, val.Size(), mask, true
 	e.pooled = pooled
+	a.foldDedup(inst, val)
 	if a.walOn() {
 		// The decision is logged asynchronously: nothing gates on it (a
 		// crashed coordinator recovers undecided instances via Phase 1
@@ -1025,7 +1063,14 @@ func (a *MAgent) onRetransmitReq(from proto.NodeID, m mRetransmitReq) {
 			// (§3.5.5). One snapshot covers every trimmed instance at once.
 			if !snapped {
 				snapped = true
-				a.env.Send(from, mSnapshot{Floor: a.versions.Floor(), StateBytes: a.Cfg.SnapshotBytes})
+				// The snapshot carries the dedup table (nil and zero wire
+				// bytes without client sessions) so the catch-up learner
+				// keeps suppressing retries of commands below the floor.
+				a.env.Send(from, mSnapshot{
+					Floor:      a.versions.Floor(),
+					StateBytes: a.Cfg.SnapshotBytes,
+					Dedup:      a.dedup.Snapshot(),
+				})
 			}
 			continue
 		}
@@ -1053,6 +1098,12 @@ func (a *MAgent) onSnapshot(m mSnapshot) {
 		a.maxDecided = m.Floor - 1
 	}
 	a.SnapshotsInstalled++
+	if len(m.Dedup) > 0 {
+		if a.dedup == nil {
+			a.dedup = core.NewDedupTable()
+		}
+		a.dedup.Install(m.Dedup)
+	}
 	// Persisting the installed state is a real disk write: the learner
 	// must never re-request a snapshot the application already holds.
 	a.env.DiskWrite(m.StateBytes, nopFn)
@@ -1101,6 +1152,10 @@ func (a *MAgent) onVersion(m proto.VersionReport) {
 		// the same way garbage collection bounds acceptor memory.
 		a.Log.Trim(a.versions.Floor())
 	}
+	// The dedup table trims in concert with the GC floor: rows of clients
+	// that announced departure (Retire) and whose last activity fell below
+	// the floor are dropped; live clients are never forgotten.
+	a.dedup.Trim(a.versions.Floor())
 }
 
 // StoreBytes reports the bytes of batch payload currently held by this
@@ -1167,6 +1222,9 @@ func (a *MAgent) onDecisions(insts []int64, masks []uint64, vids []core.ValueID)
 			vid = vids[i]
 		}
 		if e, ok := a.store.Get(inst); ok && e.vid != 0 {
+			if !e.decided {
+				a.foldDedup(inst, e.val)
+			}
 			e.decided = true
 			mask = e.mask
 		}
@@ -1242,9 +1300,13 @@ func (a *MAgent) process(inst int64, val core.Batch) {
 
 func (a *MAgent) finishInstance(inst int64, val core.Batch) {
 	a.backlog--
+	sup := a.dedupPass(inst, val)
 	if a.Trace != nil {
 		now := a.env.Now()
-		for _, v := range val.Vals {
+		for i, v := range val.Vals {
+			if sup != nil && sup[i] {
+				continue
+			}
 			a.Trace.Note(now, inst, v)
 		}
 	}
@@ -1254,7 +1316,10 @@ func (a *MAgent) finishInstance(inst int64, val core.Batch) {
 	if a.DeliverBatch != nil {
 		a.DeliverBatch(inst, val)
 	}
-	for _, v := range val.Vals {
+	for i, v := range val.Vals {
+		if sup != nil && sup[i] {
+			continue
+		}
 		a.DeliveredBytes += int64(v.Bytes)
 		a.DeliveredMsgs++
 		if v.Born != 0 {
@@ -1268,6 +1333,81 @@ func (a *MAgent) finishInstance(inst int64, val core.Batch) {
 		if a.Deliver != nil {
 			a.Deliver(inst, v)
 		}
+	}
+}
+
+// dedupPass runs the exactly-once check over a finished batch: the first
+// application of a stamped (client, seq) commits it to the dedup table
+// and acks the session; a sequence already in the table (a retry that won
+// a second consensus instance) is acked FROM the table and marked for
+// suppression — not traced, not delivered, not executed. The decision is
+// a pure function of the decided sequence and the table it built, so
+// every learner suppresses the same instances and delivered sequences
+// stay replica-identical. Returns nil, at the cost of one field compare
+// per value, when the batch carries no stamped values.
+func (a *MAgent) dedupPass(inst int64, val core.Batch) []bool {
+	stamped := false
+	for i := range val.Vals {
+		if val.Vals[i].Client != 0 {
+			stamped = true
+			break
+		}
+	}
+	if !stamped {
+		return nil
+	}
+	if a.dedup == nil {
+		a.dedup = core.NewDedupTable()
+	}
+	if cap(a.dedupSup) < len(val.Vals) {
+		a.dedupSup = make([]bool, len(val.Vals))
+	}
+	sup := a.dedupSup[:len(val.Vals)]
+	for i, v := range val.Vals {
+		sup[i] = false
+		if v.Client == 0 {
+			continue
+		}
+		if !a.dedup.Commit(v.Client, v.Seq, inst) {
+			sup[i] = true
+			a.DupSuppressed++
+		}
+		a.ackClient(v.Client, v.Seq)
+	}
+	return sup
+}
+
+// ackClient acknowledges (client, seq) to its session. Every learner acks
+// independently; sessions dedup.
+func (a *MAgent) ackClient(client, seq int64) {
+	m := proto.ClientAckPool.Get()
+	m.Client, m.Seq = client, seq
+	a.env.Send(proto.NodeID(client), m)
+}
+
+// foldDedup folds a decided batch's stamped values into a NON-learner
+// acceptor's dedup table, so the snapshot this acceptor may later serve
+// (onRetransmitReq) carries the table and keeps a catch-up learner
+// exactly-once consistent for commands below the trim floor. Gated on
+// GCEvict (no snapshots can be sent otherwise) and skipped on learners,
+// whose table is fed at delivery where duplicate detection must happen
+// exactly once. Commit is idempotent per (client, seq), so folding the
+// same decision through several paths is harmless.
+func (a *MAgent) foldDedup(inst int64, val core.Batch) {
+	if a.Cfg.GCEvict <= 0 {
+		return
+	}
+	for _, v := range val.Vals {
+		if v.Client == 0 {
+			continue
+		}
+		if a.isLearner() {
+			return
+		}
+		if a.dedup == nil {
+			a.dedup = core.NewDedupTable()
+		}
+		a.dedup.Commit(v.Client, v.Seq, inst)
 	}
 }
 

@@ -162,6 +162,11 @@ type UAgent struct {
 	// learner state
 	learned     core.InstLog[core.Batch]
 	nextDeliver int64
+	// dedup is the exactly-once layer's per-client last-applied-seq table
+	// (nil until the first stamped value, zero cost without client
+	// sessions); dedupSup is the per-batch suppression scratch.
+	dedup    *core.DedupTable
+	dedupSup []bool
 
 	// DeliveredBytes/DeliveredMsgs count application payload delivered at
 	// this learner.
@@ -170,6 +175,9 @@ type UAgent struct {
 	LatencySum     time.Duration
 	LatencyCount   int64
 	Latencies      *[]time.Duration
+	// DupSuppressed counts stamped commands acked from the dedup table
+	// instead of re-executed.
+	DupSuppressed int64
 }
 
 var _ proto.Handler = (*UAgent)(nil)
@@ -223,6 +231,14 @@ func (a *UAgent) lastAcceptor() bool {
 // IsCoordinator reports whether this agent currently leads the ring with
 // a completed Phase 1 (failover-aware).
 func (a *UAgent) IsCoordinator() bool { return a.isCoord && a.phase1Done }
+
+// Coordinator returns this agent's current view of the ring coordinator
+// (the first ring position; re-laid-out by failover reconfigurations).
+func (a *UAgent) Coordinator() proto.NodeID { return a.ring[0] }
+
+// DedupSeq returns the learner's last applied sequence for a client (0
+// when unknown) — the dedup table's view, for tests and probes.
+func (a *UAgent) DedupSeq(client int64) int64 { return a.dedup.Seq(client) }
 
 func (a *UAgent) isLearner() bool {
 	for _, id := range a.Cfg.Learners {
@@ -286,7 +302,14 @@ func (a *UAgent) Receive(from proto.NodeID, m proto.Message) {
 		} else if a.retired {
 			// An amnesiac ex-coordinator cannot serve the proposal and must
 			// not blindly forward it either: with no live coordinator on
-			// the ring it would circulate forever. Clients re-submit.
+			// the ring it would circulate forever. Clients re-submit — and a
+			// stamped proposal is rejected explicitly so its session backs
+			// off on evidence instead of timeout alone.
+			if msg.V.Client != 0 {
+				n := proto.ProposeNackPool.Get()
+				n.Client, n.Seq, n.Coord = msg.V.Client, msg.V.Seq, a.ring[0]
+				a.env.Send(proto.NodeID(msg.V.Client), n)
+			}
 			msgProposePool.Put(msg)
 		} else {
 			a.env.Send(a.succ(), msg)
@@ -521,6 +544,18 @@ func (a *UAgent) onPhase1B(from proto.NodeID, m uPhase1B) {
 			}
 		}
 	}
+	if a.fo.tookOver && len(a.ring) > 1 {
+		// Circulate the reconfigured layout once around the new ring BEFORE
+		// re-proposing the adopted instances: their Phase 2s (and the
+		// decisions the last acceptor derives from them) travel the same
+		// links, and a downstream member still holding the pre-failure
+		// layout would forward those decisions to the dead node. Lost
+		// decisions leave the new coordinator's window permanently
+		// exhausted — with more adopted instances than Window, it could
+		// never open an instance again.
+		a.ringRnd = a.crnd
+		a.env.Send(a.succ(), uRingChange{Rnd: a.crnd, Ring: a.ring, NAcc: a.nacc})
+	}
 	insts := make([]int64, 0, len(adopt))
 	for inst := range adopt {
 		insts = append(insts, inst)
@@ -552,12 +587,6 @@ func (a *UAgent) onPhase1B(from proto.NodeID, m uPhase1B) {
 		m := uPhase2Pool.Get()
 		m.Inst, m.Rnd, m.VID, m.Val = inst, a.crnd, vid, av.val
 		a.forwardPhase2(m)
-	}
-	if a.fo.tookOver && len(a.ring) > 1 {
-		// Circulate the reconfigured layout once around the new ring so
-		// every member re-routes around the dead node.
-		a.ringRnd = a.crnd
-		a.env.Send(a.succ(), uRingChange{Rnd: a.crnd, Ring: a.ring, NAcc: a.nacc})
 	}
 	a.flush()
 }
@@ -712,13 +741,20 @@ func (a *UAgent) drain() {
 }
 
 func (a *UAgent) finishBatch(inst int64, b core.Batch) {
+	sup := a.dedupPass(inst, b)
 	if a.Trace != nil {
 		now := a.env.Now()
-		for _, v := range b.Vals {
+		for i, v := range b.Vals {
+			if sup != nil && sup[i] {
+				continue
+			}
 			a.Trace.Note(now, inst, v)
 		}
 	}
-	for _, v := range b.Vals {
+	for i, v := range b.Vals {
+		if sup != nil && sup[i] {
+			continue
+		}
 		a.DeliveredBytes += int64(v.Bytes)
 		a.DeliveredMsgs++
 		if v.Born != 0 {
@@ -733,6 +769,45 @@ func (a *UAgent) finishBatch(inst int64, b core.Batch) {
 			a.Deliver(inst, v)
 		}
 	}
+}
+
+// dedupPass mirrors the M-Ring learner's exactly-once check (see
+// MAgent.dedupPass): first applications commit to the table and ack the
+// session, duplicates are acked from the table and suppressed before
+// tracing/delivery. Nil — at one compare per value — for unstamped
+// batches.
+func (a *UAgent) dedupPass(inst int64, b core.Batch) []bool {
+	stamped := false
+	for i := range b.Vals {
+		if b.Vals[i].Client != 0 {
+			stamped = true
+			break
+		}
+	}
+	if !stamped {
+		return nil
+	}
+	if a.dedup == nil {
+		a.dedup = core.NewDedupTable()
+	}
+	if cap(a.dedupSup) < len(b.Vals) {
+		a.dedupSup = make([]bool, len(b.Vals))
+	}
+	sup := a.dedupSup[:len(b.Vals)]
+	for i, v := range b.Vals {
+		sup[i] = false
+		if v.Client == 0 {
+			continue
+		}
+		if !a.dedup.Commit(v.Client, v.Seq, inst) {
+			sup[i] = true
+			a.DupSuppressed++
+		}
+		m := proto.ClientAckPool.Get()
+		m.Client, m.Seq = v.Client, v.Seq
+		a.env.Send(proto.NodeID(v.Client), m)
+	}
+	return sup
 }
 
 // --- garbage collection (shared subsystem, §3.3.7) ---
@@ -782,6 +857,9 @@ func (a *UAgent) trimLogs() {
 		// The log trims in lockstep with the vote log, bounding replay.
 		a.Log.Trim(a.gc.Floor())
 	}
+	// The dedup table trims in concert with the GC floor (retired clients
+	// only; live clients are never forgotten).
+	a.dedup.Trim(a.gc.Floor())
 }
 
 // --- failover ---

@@ -1,0 +1,94 @@
+package smr
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// execEnv runs Work/DiskWrite completions immediately and records replies.
+type execEnv struct{ replies []*MsgReply }
+
+func (e *execEnv) ID() proto.NodeID   { return 9 }
+func (e *execEnv) Now() time.Duration { return 0 }
+func (e *execEnv) Rand() *rand.Rand   { return rand.New(rand.NewSource(1)) }
+func (e *execEnv) Send(_ proto.NodeID, m proto.Message) {
+	if r, ok := m.(*MsgReply); ok {
+		e.replies = append(e.replies, r)
+	}
+}
+func (e *execEnv) SendUDP(proto.NodeID, proto.Message)     {}
+func (e *execEnv) Multicast(proto.GroupID, proto.Message)  {}
+func (e *execEnv) After(time.Duration, func()) proto.Timer { return nil }
+func (e *execEnv) Work(_ time.Duration, fn func())         { fn() }
+func (e *execEnv) DiskWrite(_ int, fn func())              { fn() }
+
+// dedupReplica builds an ExactlyOnce replica wired straight to an execEnv,
+// bypassing the ordering agent: tests drive onDeliver directly.
+func dedupReplica(env *execEnv) *Replica {
+	r := &Replica{
+		Service:     NewBTreeService(0, 0),
+		GroupSize:   1,
+		ExactlyOnce: true,
+		ClientNode:  func(c int64) proto.NodeID { return proto.NodeID(c) },
+	}
+	r.env = env
+	r.dedup = core.NewDedupTable()
+	r.lastReply = make(map[int64]Reply)
+	r.replyFn = r.completeReply
+	return r
+}
+
+func deliver(r *Replica, inst int64, c Command) {
+	r.onDeliver(inst, core.Value{Payload: []Command{c}})
+}
+
+// TestReplicaExactlyOnceSuppressesRetry: a retried insert that won a
+// second consensus instance is answered from the table with the ORIGINAL
+// reply — re-executing would return Ok=false (duplicate key), which is
+// exactly the observable difference at-most-once execution prevents.
+func TestReplicaExactlyOnceSuppressesRetry(t *testing.T) {
+	env := &execEnv{}
+	r := dedupReplica(env)
+	ins := Command{Op: OpInsert, Key: 42, Value: 1, Client: 7, Seq: 1}
+	deliver(r, 10, ins)
+	deliver(r, 11, ins) // the retry, decided again
+	if r.ExecutedCmds != 1 || r.DedupHits != 1 {
+		t.Fatalf("executed=%d hits=%d, want 1/1", r.ExecutedCmds, r.DedupHits)
+	}
+	if len(env.replies) != 2 {
+		t.Fatalf("replies = %d, want 2 (original + answered retry)", len(env.replies))
+	}
+	for i, m := range env.replies {
+		if !m.Reply.Ok {
+			t.Fatalf("reply %d Ok=false: the retry was re-executed", i)
+		}
+	}
+	// The next sequence still executes normally.
+	deliver(r, 12, Command{Op: OpDelete, Key: 42, Client: 7, Seq: 2})
+	if r.ExecutedCmds != 2 || !env.replies[2].Reply.Ok {
+		t.Fatalf("seq 2 mis-executed: executed=%d replies=%+v", r.ExecutedCmds, env.replies)
+	}
+}
+
+// TestReplicaExactlyOnceSubStreams: sub-queries of one partitioned request
+// share (client, seq); each sub index must deduplicate as its own stream,
+// not suppress its siblings.
+func TestReplicaExactlyOnceSubStreams(t *testing.T) {
+	env := &execEnv{}
+	r := dedupReplica(env)
+	q0 := Command{Op: OpQuery, Min: 0, Max: 10, Client: 7, Seq: 1, Sub: 0}
+	q1 := Command{Op: OpQuery, Min: 10, Max: 20, Client: 7, Seq: 1, Sub: 1}
+	deliver(r, 10, q0)
+	deliver(r, 11, q1)
+	if r.ExecutedCmds != 2 || r.DedupHits != 0 {
+		t.Fatalf("sibling sub-query suppressed: executed=%d hits=%d", r.ExecutedCmds, r.DedupHits)
+	}
+	deliver(r, 12, q1) // retry of one sub-query only
+	if r.ExecutedCmds != 2 || r.DedupHits != 1 {
+		t.Fatalf("sub retry not suppressed: executed=%d hits=%d", r.ExecutedCmds, r.DedupHits)
+	}
+}

@@ -93,6 +93,11 @@ type Replica struct {
 	// ClientNode maps a command's client id to the node to answer;
 	// identity by default.
 	ClientNode func(client int64) proto.NodeID
+	// ExactlyOnce enables the replicated dedup table: a command whose
+	// (client, seq) is already applied — a retry that won a second
+	// consensus instance — is answered from the table instead of
+	// re-executed. Off by default (zero cost for existing deployments).
+	ExactlyOnce bool
 
 	env proto.Env
 
@@ -104,6 +109,16 @@ type Replica struct {
 	DiscardedCmds int64
 	// Rollbacks counts speculative rollbacks.
 	Rollbacks int64
+	// DedupHits counts commands suppressed by the exactly-once table.
+	DedupHits int64
+
+	// dedup is the per-stream last-applied-seq table (ExactlyOnce only).
+	// Each client sub-query stream deduplicates independently, so the key
+	// composes the client id with the sub index.
+	dedup *core.DedupTable
+	// lastReply caches each stream's most recent answer so a suppressed
+	// retry can still be answered (the ack the client lost).
+	lastReply map[int64]Reply
 
 	// speculative bookkeeping
 	specLog   []*specEntry
@@ -143,9 +158,18 @@ func (r *Replica) Start(env proto.Env) {
 	} else {
 		r.Agent.Deliver = r.onDeliver
 	}
+	if r.ExactlyOnce {
+		r.dedup = core.NewDedupTable()
+		r.lastReply = make(map[int64]Reply)
+	}
 	r.replyFn = r.completeReply
 	r.Agent.Start(env)
 }
+
+// dedupKey identifies one exactly-once stream: partitioned queries split a
+// request into sub-values sharing (client, seq), so each sub index
+// deduplicates as its own stream.
+func dedupKey(c Command) int64 { return c.Client<<8 | int64(c.Sub) }
 
 func (r *Replica) completeReply(id int64) {
 	if p, ok := r.replyQ.complete(id); ok && p.send {
@@ -179,9 +203,22 @@ func replyBytes(cs []Command) int {
 
 // --- non-speculative path ---
 
-func (r *Replica) onDeliver(_ int64, v core.Value) {
+func (r *Replica) onDeliver(inst int64, v core.Value) {
 	cs := commands(v)
 	if len(cs) == 0 {
+		return
+	}
+	if r.ExactlyOnce && r.dedup.Dup(dedupKey(cs[0]), cs[0].Seq) {
+		// A retry won a second consensus instance after the first was
+		// applied: answer from the table, never re-execute (at-most-once).
+		r.DedupHits += int64(len(cs))
+		c0 := cs[0]
+		if r.responsible(c0) {
+			m := replyPool.Get()
+			m.Client, m.Seq, m.Sub = c0.Client, c0.Seq, c0.Sub
+			m.Bytes, m.Reply = replyBytes(cs), r.lastReply[dedupKey(c0)]
+			r.env.Send(r.ClientNode(c0.Client), m)
+		}
 		return
 	}
 	resp := r.responsible(cs[0])
@@ -200,6 +237,10 @@ func (r *Replica) onDeliver(_ int64, v core.Value) {
 		r.ExecutedCmds++
 	}
 	c0 := cs[0]
+	if r.ExactlyOnce {
+		r.dedup.Commit(dedupKey(c0), c0.Seq, inst)
+		r.lastReply[dedupKey(c0)] = last
+	}
 	p := pendingReply{send: resp}
 	if resp {
 		m := replyPool.Get()
